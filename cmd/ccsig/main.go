@@ -1,0 +1,213 @@
+// Command ccsig classifies TCP flows as experiencing self-induced or
+// external congestion from server-side packet captures, using the TCP
+// congestion-signatures technique (IMC '17).
+//
+// Usage:
+//
+//	ccsig train [-quick] [-runs N] [-threshold F] -o model.json
+//	ccsig classify -model model.json -server 10.0.0.2 trace.pcap...
+//	ccsig inspect -model model.json
+//
+// train fits the decision tree on emulated controlled experiments
+// reproducing the paper's testbed; classify analyzes pcap files captured at
+// the data sender (e.g. a speed-test server) and prints one verdict per
+// flow; inspect prints the tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tcpsig"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "train":
+		trainCmd(os.Args[2:])
+	case "classify":
+		classifyCmd(os.Args[2:])
+	case "inspect":
+		inspectCmd(os.Args[2:])
+	case "summarize":
+		summarizeCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  ccsig train [-quick] [-runs N] [-threshold F] [-seed N] [-data in.csv] [-export-data out.csv] -o model.json
+  ccsig classify -model model.json -server IPv4 trace.pcap...
+  ccsig summarize -server IPv4 trace.pcap...
+  ccsig inspect -model model.json
+`)
+	os.Exit(2)
+}
+
+func trainCmd(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "small parameter grid (seconds instead of minutes)")
+	runs := fs.Int("runs", 0, "runs per parameter combination (default 10, paper used 50)")
+	threshold := fs.Float64("threshold", 0.8, "slow-start throughput labeling threshold")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "model.json", "output model path")
+	dataIn := fs.String("data", "", "train from a labeled CSV (normdiff,cov,label) instead of the emulated testbed")
+	dataOut := fs.String("export-data", "", "also write the training examples as CSV")
+	verbose := fs.Bool("v", false, "print progress")
+	fs.Parse(args)
+
+	var examples []tcpsig.Example
+	var err error
+	if *dataIn != "" {
+		f, ferr := os.Open(*dataIn)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		examples, err = tcpsig.ReadExamplesCSV(f)
+		f.Close()
+	} else {
+		opt := tcpsig.TrainTestbedOptions{
+			RunsPerConfig: *runs,
+			Threshold:     *threshold,
+			Quick:         *quick,
+			Seed:          *seed,
+		}
+		if *verbose {
+			opt.Progress = func(done, total int) { fmt.Fprintf(os.Stderr, "\r%d/%d", done, total) }
+		}
+		examples, err = tcpsig.TestbedExamples(opt)
+		if *verbose {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dataOut != "" {
+		f, ferr := os.Create(*dataOut)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if err := tcpsig.WriteExamplesCSV(f, examples); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("dataset written to %s (%d examples)\n", *dataOut, len(examples))
+	}
+
+	clf, err := tcpsig.Train(examples, tcpsig.TrainOptions{MinLeaf: 2, Threshold: *threshold})
+	if err != nil {
+		fatal(err)
+	}
+	if err := clf.SaveFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model written to %s (threshold %.2f, %d examples)\n", *out, clf.Threshold(), len(examples))
+	fmt.Print(clf.Tree())
+}
+
+func classifyCmd(args []string) {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	modelPath := fs.String("model", "", "model file from 'ccsig train' (default: train a quick model)")
+	server := fs.String("server", "", "server IPv4 address (data sender) in the capture")
+	fs.Parse(args)
+	if *server == "" || fs.NArg() == 0 {
+		usage()
+	}
+
+	var clf *tcpsig.Classifier
+	var err error
+	if *modelPath != "" {
+		clf, err = tcpsig.LoadFile(*modelPath)
+	} else {
+		fmt.Fprintln(os.Stderr, "no -model given; training a quick model on the emulated testbed...")
+		clf, err = tcpsig.TrainOnTestbed(tcpsig.TrainTestbedOptions{Quick: true})
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	exit := 0
+	for _, path := range fs.Args() {
+		verdicts, err := clf.ClassifyPcapFile(path, *server)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		for _, fv := range verdicts {
+			id := fmt.Sprintf("%s:%d > %s:%d", fv.SrcIP, fv.SrcPort, fv.DstIP, fv.DstPort)
+			if fv.Err != nil {
+				fmt.Printf("%s  %-42s  skipped: %v\n", path, id, fv.Err)
+				continue
+			}
+			v := fv.Verdict
+			fmt.Printf("%s  %-42s  %-12s conf=%.2f normdiff=%.3f cov=%.3f samples=%d minRTT=%v maxRTT=%v\n",
+				path, id, tcpsig.ClassName(v.Class), v.Confidence,
+				v.Features.NormDiff, v.Features.CoV, v.Features.Samples,
+				v.Features.MinRTT, v.Features.MaxRTT)
+		}
+	}
+	os.Exit(exit)
+}
+
+func summarizeCmd(args []string) {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	server := fs.String("server", "", "server IPv4 address (data sender) in the capture")
+	fs.Parse(args)
+	if *server == "" || fs.NArg() == 0 {
+		usage()
+	}
+	exit := 0
+	for _, path := range fs.Args() {
+		summaries, err := tcpsig.SummarizePcapFile(path, *server)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		for _, s := range summaries {
+			fmt.Printf("%s  %s:%d > %s:%d\n", path, s.SrcIP, s.SrcPort, s.DstIP, s.DstPort)
+			fmt.Printf("  duration=%v bytes=%d goodput=%.2f Mbps\n", s.Duration.Round(time.Millisecond), s.BytesAcked, s.ThroughputBps/1e6)
+			fmt.Printf("  slow-start: rate=%.2f Mbps samples=%d", s.SlowStartBps/1e6, s.RTTSamples)
+			if s.HasRetransmit {
+				fmt.Printf(" first-retransmit=%v", s.FirstRetransmitAt.Round(time.Millisecond))
+			} else {
+				fmt.Printf(" no-retransmission")
+			}
+			fmt.Println()
+			if s.FeaturesValid {
+				fmt.Printf("  features: normdiff=%.3f cov=%.3f minRTT=%v maxRTT=%v\n",
+					s.Features.NormDiff, s.Features.CoV, s.Features.MinRTT, s.Features.MaxRTT)
+			} else {
+				fmt.Println("  features: invalid (fewer than 10 slow-start RTT samples)")
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+func inspectCmd(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "model file")
+	fs.Parse(args)
+	clf, err := tcpsig.LoadFile(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("labeling threshold: %.2f\n", clf.Threshold())
+	fmt.Print(clf.Tree())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccsig:", err)
+	os.Exit(1)
+}

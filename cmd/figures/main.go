@@ -1,0 +1,291 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation on the emulator, printing the same rows/series the paper plots.
+//
+// Usage:
+//
+//	figures [-scale quick|full|paper] [-only fig1,fig3,...] [-seed N]
+//
+// Experiments: fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, multiplexing,
+// tslp-accuracy, feature-ablation, depth-ablation, cc-ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tcpsig/internal/core"
+	"tcpsig/internal/experiments"
+	"tcpsig/internal/mlab"
+	"tcpsig/internal/stats"
+	"tcpsig/internal/testbed"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick, full, or paper")
+	only := flag.String("only", "", "comma-separated experiment subset (default all)")
+	seed := flag.Int64("seed", 1, "random seed")
+	progress := flag.Bool("progress", false, "print progress for long sweeps")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	case "paper":
+		scale = experiments.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	var prog func(done, total int)
+	if *progress {
+		prog = func(done, total int) { fmt.Fprintf(os.Stderr, "\r%d/%d", done, total) }
+	}
+
+	r := &runner{scale: scale, seed: *seed, progress: prog}
+
+	if sel("fig1") {
+		r.fig1()
+	}
+	needSweep := sel("fig3") || sel("fig4") || sel("fig7") || sel("fig8") ||
+		sel("multiplexing") || sel("tslp-accuracy") || sel("feature-ablation") || sel("depth-ablation")
+	if needSweep {
+		r.sweep()
+	}
+	if sel("fig3") {
+		r.fig3()
+	}
+	if sel("fig4") {
+		r.fig4()
+	}
+	if sel("feature-ablation") {
+		r.featureAblation()
+	}
+	if sel("depth-ablation") {
+		r.depthAblation()
+	}
+	if sel("multiplexing") {
+		r.multiplexing()
+	}
+	needDispute := sel("fig5") || sel("fig7") || sel("fig8") || sel("fig9")
+	if needDispute {
+		r.dispute()
+	}
+	if sel("fig5") {
+		r.fig5()
+	}
+	if sel("fig7") {
+		r.fig7()
+	}
+	if sel("fig8") {
+		r.fig8()
+	}
+	if sel("fig9") {
+		r.fig9()
+	}
+	needTSLP := sel("fig6") || sel("tslp-accuracy")
+	if needTSLP {
+		r.tslp()
+	}
+	if sel("fig6") {
+		r.fig6()
+	}
+	if sel("tslp-accuracy") {
+		r.tslpAccuracy()
+	}
+	if sel("cc-ablation") {
+		r.ccAblation()
+	}
+}
+
+type runner struct {
+	scale    experiments.Scale
+	seed     int64
+	progress func(done, total int)
+
+	sweepResults []*testbed.Result
+	clf          *core.Classifier
+	disputeTests []mlab.DisputeTest
+	tslpTests    []mlab.TSLPTest
+}
+
+func (r *runner) header(title string) {
+	fmt.Printf("\n=== %s (scale=%s) ===\n", title, r.scale)
+}
+
+func (r *runner) sweep() {
+	if r.sweepResults != nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "running controlled-experiment sweep...\n")
+	r.sweepResults = experiments.SweepResults(r.scale, r.seed, r.progress)
+	clf, err := experiments.TrainOnResults(r.sweepResults, 0.8)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "training failed: %v\n", err)
+		os.Exit(1)
+	}
+	r.clf = clf
+	fmt.Fprintf(os.Stderr, "sweep: %d valid runs; model:\n%s", len(r.sweepResults), clf.Tree)
+}
+
+func (r *runner) dispute() {
+	if r.disputeTests != nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "generating Dispute2014 dataset...\n")
+	r.disputeTests = experiments.DisputeData(r.scale, r.seed+10000, r.progress)
+	fmt.Fprintf(os.Stderr, "dispute2014: %d tests\n", len(r.disputeTests))
+}
+
+func (r *runner) tslp() {
+	if r.tslpTests != nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "generating TSLP2017 campaign...\n")
+	var p func(int)
+	if r.progress != nil {
+		p = func(done int) { fmt.Fprintf(os.Stderr, "\r%d", done) }
+	}
+	r.tslpTests = experiments.TSLPData(r.scale, r.seed+20000, p)
+	fmt.Fprintf(os.Stderr, "tslp2017: %d tests\n", len(r.tslpTests))
+}
+
+func printCDF(name string, cdf []stats.CDFPoint) {
+	fmt.Printf("# %s: x p\n", name)
+	for _, pt := range cdf {
+		fmt.Printf("%.4f %.4f\n", pt.X, pt.P)
+	}
+}
+
+func (r *runner) fig1() {
+	r.header("Figure 1: slow-start RTT signatures (20 Mbps access, 100 ms buffer)")
+	res := experiments.Fig1(r.scale, r.seed)
+	printCDF("fig1a max-min RTT (ms), self-induced", res.MaxMinDiffMs[testbed.SelfInduced])
+	printCDF("fig1a max-min RTT (ms), external", res.MaxMinDiffMs[testbed.External])
+	printCDF("fig1b CoV, self-induced", res.CoV[testbed.SelfInduced])
+	printCDF("fig1b CoV, external", res.CoV[testbed.External])
+}
+
+func (r *runner) fig3() {
+	r.header("Figure 3: precision/recall vs congestion threshold")
+	fmt.Println("threshold  P(self)  R(self)  P(ext)  R(ext)  train  test")
+	for _, p := range experiments.Fig3(r.sweepResults, nil, r.seed) {
+		fmt.Printf("%9.2f  %7.3f  %7.3f  %6.3f  %6.3f  %5d  %4d\n",
+			p.Threshold, p.PrecisionSelf, p.RecallSelf, p.PrecisionExt, p.RecallExt, p.TrainN, p.TestN)
+	}
+}
+
+func (r *runner) fig4() {
+	r.header("Figure 4: NormDiff vs CoV feature plane")
+	fmt.Println("normdiff  cov  class")
+	for _, p := range experiments.Fig4(r.sweepResults) {
+		fmt.Printf("%.4f %.4f %s\n", p.NormDiff, p.CoV, testbed.ClassName(p.Scenario))
+	}
+}
+
+func (r *runner) fig5() {
+	r.header("Figure 5: diurnal mean NDT throughput (Mbps)")
+	for _, row := range experiments.Fig5(r.disputeTests) {
+		fmt.Printf("%s/%s %s %s:", row.Site.Transit, row.Site.City, row.ISP, row.Period)
+		for h := 0; h < 24; h++ {
+			if v, ok := row.ByHour[h]; ok {
+				fmt.Printf(" %d=%.1f", h, v)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func (r *runner) fig6() {
+	r.header("Figure 6: TSLP latency and NDT throughput timeline")
+	fmt.Println("hours  farRTT(ms)  nearRTT(ms)  tput(Mbps)  congested")
+	for _, p := range experiments.Fig6(r.tslpTests) {
+		fmt.Printf("%7.2f  %9.2f  %10.2f  %9.2f  %v\n",
+			p.At.Hours(), p.FarRTTms, p.NearRTTms, p.Throughput, p.Congested)
+	}
+}
+
+func (r *runner) fig7() {
+	r.header("Figure 7: fraction classified self-induced (testbed model)")
+	fmt.Println("site            isp         period   frac-self  n")
+	for _, row := range experiments.Fig7(r.disputeTests, r.clf) {
+		fmt.Printf("%-15s %-11s %-8s %9.2f  %d\n",
+			row.Site.Transit+"/"+row.Site.City, row.ISP, row.Period, row.FracSelf, row.N)
+	}
+}
+
+func (r *runner) fig8() {
+	r.header("Figure 8: median throughput of classified flows (Mbps)")
+	fmt.Println("transit  isp         period   med(self)  med(ext)  n(self)  n(ext)")
+	for _, row := range experiments.Fig8(r.disputeTests, r.clf) {
+		fmt.Printf("%-8s %-11s %-8s %9.1f  %8.1f  %7d  %6d\n",
+			row.Transit, row.ISP, row.Period, row.MedianSelf, row.MedianExt, row.NSelf, row.NExt)
+	}
+}
+
+func (r *runner) fig9() {
+	r.header("Figure 9: fraction self-induced (Dispute2014-trained model)")
+	fmt.Println("site            isp         period   frac-self  n")
+	for _, row := range experiments.Fig9(r.disputeTests, r.seed) {
+		fmt.Printf("%-15s %-11s %-8s %9.2f  %d\n",
+			row.Site.Transit+"/"+row.Site.City, row.ISP, row.Period, row.FracSelf, row.N)
+	}
+}
+
+func (r *runner) multiplexing() {
+	r.header("Section 3.3: multiplexing")
+	fmt.Println("variant            frac-expected  runs")
+	for _, row := range experiments.Multiplexing(r.clf, r.scale, r.seed+30000) {
+		name := fmt.Sprintf("cong-flows=%d", row.CongFlows)
+		if row.AccessCross > 0 {
+			name = fmt.Sprintf("access-cross=%d", row.AccessCross)
+		}
+		fmt.Printf("%-18s %13.2f  %d\n", name, row.FracExpected, row.Runs)
+	}
+}
+
+func (r *runner) tslpAccuracy() {
+	r.header("Section 5.4: TSLP2017 accuracy (testbed model)")
+	acc := experiments.EvalTSLP(r.tslpTests, r.clf)
+	fmt.Printf("self-induced: %d/%d = %.3f (paper: ~0.99)\n", acc.SelfCorrect, acc.SelfTotal, acc.AccSelf())
+	fmt.Printf("external:     %d/%d = %.3f (paper: 0.75-0.85)\n", acc.ExtCorrect, acc.ExtTotal, acc.AccExt())
+	fmt.Printf("unlabeled (gray zone / invalid): %d\n", acc.Unlabeled)
+}
+
+func (r *runner) featureAblation() {
+	r.header("Ablation: single feature vs both (§3.3 'why both metrics')")
+	fmt.Println("features       accuracy  test-n")
+	for _, row := range experiments.FeatureAblation(r.sweepResults, 0.8, r.seed) {
+		fmt.Printf("%-14s %8.3f  %d\n", row.Features, row.Accuracy, row.TestN)
+	}
+}
+
+func (r *runner) depthAblation() {
+	r.header("Ablation: tree depth (§3.2)")
+	fmt.Println("depth  accuracy")
+	for _, row := range experiments.DepthAblation(r.sweepResults, 0.8, r.seed) {
+		fmt.Printf("%5d  %8.3f\n", row.Depth, row.Accuracy)
+	}
+}
+
+func (r *runner) ccAblation() {
+	r.header("Ablation: congestion control & AQM (§6 limitations)")
+	fmt.Println("variant    normdiff  cov    minRTT(ms)  maxRTT(ms)  valid/runs")
+	for _, row := range experiments.CCAblation(r.scale, r.seed+40000) {
+		fmt.Printf("%-10s %8.3f  %.3f  %10.1f  %10.1f  %d/%d\n",
+			row.Variant, row.NormDiff, row.CoV, row.MinRTTms, row.MaxRTTms, row.ValidRuns, row.Runs)
+	}
+}

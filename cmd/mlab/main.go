@@ -1,0 +1,145 @@
+// Command mlab generates and evaluates the paper's two real-world-style
+// datasets on the emulator.
+//
+// Usage:
+//
+//	mlab dispute [-scale quick|full|paper] [-seed N]   # §4.1/§5.1-5.3
+//	mlab tslp    [-scale quick|full|paper] [-seed N]   # §4.2/§5.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tcpsig/internal/experiments"
+	"tcpsig/internal/mlab"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "dispute":
+		disputeCmd(os.Args[2:])
+	case "tslp":
+		tslpCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  mlab dispute [-scale quick|full|paper] [-seed N]
+  mlab tslp    [-scale quick|full|paper] [-seed N]
+`)
+	os.Exit(2)
+}
+
+func parseScale(s string) experiments.Scale {
+	switch s {
+	case "quick":
+		return experiments.Quick
+	case "full":
+		return experiments.Full
+	case "paper":
+		return experiments.Paper
+	}
+	fmt.Fprintf(os.Stderr, "unknown scale %q\n", s)
+	os.Exit(2)
+	return 0
+}
+
+func disputeCmd(args []string) {
+	fs := flag.NewFlagSet("dispute", flag.ExitOnError)
+	scaleFlag := fs.String("scale", "quick", "quick, full, or paper")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	scale := parseScale(*scaleFlag)
+
+	results := experiments.SweepResults(scale, *seed, nil)
+	clf, err := experiments.TrainOnResults(results, 0.8)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	tests := experiments.DisputeData(scale, *seed+10000, func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
+	})
+	fmt.Fprintf(os.Stderr, "\n%d NDT tests\n", len(tests))
+
+	fmt.Println("\n-- diurnal throughput (Figure 5) --")
+	for _, row := range experiments.Fig5(tests) {
+		fmt.Printf("%s/%s %s %s:", row.Site.Transit, row.Site.City, row.ISP, row.Period)
+		for h := 0; h < 24; h++ {
+			if v, ok := row.ByHour[h]; ok {
+				fmt.Printf(" %d=%.1f", h, v)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n-- classification (Figure 7) --")
+	for _, row := range experiments.Fig7(tests, clf) {
+		fmt.Printf("%-15s %-11s %-8s frac-self=%.2f n=%d\n",
+			row.Site.Transit+"/"+row.Site.City, row.ISP, row.Period, row.FracSelf, row.N)
+	}
+
+	fmt.Println("\n-- classified throughput (Figure 8) --")
+	for _, row := range experiments.Fig8(tests, clf) {
+		fmt.Printf("%-8s %-11s %-8s self=%.1f ext=%.1f (n=%d/%d)\n",
+			row.Transit, row.ISP, row.Period, row.MedianSelf, row.MedianExt, row.NSelf, row.NExt)
+	}
+
+	fmt.Println("\n-- dispute-trained model (Figure 9) --")
+	for _, row := range experiments.Fig9(tests, *seed) {
+		fmt.Printf("%-15s %-11s %-8s frac-self=%.2f n=%d\n",
+			row.Site.Transit+"/"+row.Site.City, row.ISP, row.Period, row.FracSelf, row.N)
+	}
+}
+
+func tslpCmd(args []string) {
+	fs := flag.NewFlagSet("tslp", flag.ExitOnError)
+	scaleFlag := fs.String("scale", "quick", "quick, full, or paper")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	scale := parseScale(*scaleFlag)
+
+	results := experiments.SweepResults(scale, *seed, nil)
+	clf, err := experiments.TrainOnResults(results, 0.8)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	tests := experiments.TSLPData(scale, *seed+20000, func(done int) {
+		fmt.Fprintf(os.Stderr, "\r%d", done)
+	})
+	fmt.Fprintf(os.Stderr, "\n%d tests\n", len(tests))
+
+	var labeledSelf, labeledExt int
+	for i := range tests {
+		if l, ok := mlab.TSLPLabel(&tests[i]); ok {
+			if l == 0 {
+				labeledSelf++
+			} else {
+				labeledExt++
+			}
+		}
+	}
+	fmt.Printf("labeled: %d self-induced, %d external (paper: 2573 / 20)\n", labeledSelf, labeledExt)
+
+	fmt.Println("\n-- timeline sample (Figure 6) --")
+	pts := experiments.Fig6(tests)
+	step := len(pts)/40 + 1
+	for i := 0; i < len(pts); i += step {
+		p := pts[i]
+		fmt.Printf("t=%6.1fh far=%5.1fms tput=%5.1fM cong=%v\n", p.At.Hours(), p.FarRTTms, p.Throughput, p.Congested)
+	}
+
+	acc := experiments.EvalTSLP(tests, clf)
+	fmt.Println("\n-- accuracy (§5.4) --")
+	fmt.Printf("self-induced: %d/%d = %.3f (paper: ~0.99)\n", acc.SelfCorrect, acc.SelfTotal, acc.AccSelf())
+	fmt.Printf("external:     %d/%d = %.3f (paper: 0.75-0.85)\n", acc.ExtCorrect, acc.ExtTotal, acc.AccExt())
+}

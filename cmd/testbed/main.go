@@ -1,0 +1,93 @@
+// Command testbed runs the paper's §3 controlled experiments on the
+// emulator: the full access-link parameter sweep with self-induced and
+// external congestion scenarios, printing per-run features and the trained
+// classifier's quality.
+//
+// Usage:
+//
+//	testbed [-runs N] [-threshold F] [-seed N] [-quick] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"tcpsig/internal/dtree"
+	"tcpsig/internal/features"
+	"tcpsig/internal/testbed"
+)
+
+func main() {
+	runs := flag.Int("runs", 5, "runs per parameter combination (paper: 50)")
+	threshold := flag.Float64("threshold", 0.8, "labeling threshold")
+	seed := flag.Int64("seed", 1, "random seed")
+	quick := flag.Bool("quick", false, "reduced parameter grid")
+	csv := flag.Bool("csv", false, "emit per-run CSV instead of a summary")
+	flag.Parse()
+
+	opt := testbed.SweepOptions{
+		RunsPerConfig: *runs,
+		Seed:          *seed,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
+		},
+	}
+	if *quick {
+		opt.Rates = []float64{20}
+		opt.Losses = []float64{0}
+		opt.Latencies = []time.Duration{20 * time.Millisecond}
+		opt.Buffers = []time.Duration{20 * time.Millisecond, 100 * time.Millisecond}
+		opt.Duration = 5 * time.Second
+	}
+	results := testbed.Sweep(opt)
+	fmt.Fprintf(os.Stderr, "\n%d valid runs\n", len(results))
+
+	if *csv {
+		fmt.Println("scenario,rate_mbps,loss,latency_ms,buffer_ms,normdiff,cov,slowstart_mbps,flow_mbps,label")
+		for _, r := range results {
+			fmt.Printf("%s,%.0f,%.4f,%.0f,%.0f,%.4f,%.4f,%.2f,%.2f,%s\n",
+				testbed.ClassName(r.Scenario),
+				r.Config.Access.RateMbps,
+				r.Config.Access.Loss,
+				float64(r.Config.Access.Latency)/float64(time.Millisecond),
+				float64(r.Config.Access.Buffer)/float64(time.Millisecond),
+				r.Features.NormDiff, r.Features.CoV,
+				r.SlowStartBps/1e6, r.FlowBps/1e6,
+				testbed.ClassName(r.Label(*threshold)))
+		}
+		return
+	}
+
+	ds := testbed.Dataset(results, *threshold)
+	var nSelf, nExt int
+	for _, e := range ds {
+		if e.Label == testbed.SelfInduced {
+			nSelf++
+		} else {
+			nExt++
+		}
+	}
+	fmt.Printf("dataset at threshold %.2f: %d examples (%d self, %d external, %d filtered)\n",
+		*threshold, len(ds), nSelf, nExt, len(results)-len(ds))
+
+	rng := rand.New(rand.NewSource(*seed))
+	train, test := dtree.TrainTestSplit(rng, ds, 0.7)
+	tree, err := dtree.Train(train, dtree.Options{MaxDepth: 4, MinLeaf: 2, FeatureNames: features.Names()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\ndecision tree:")
+	fmt.Print(tree.String())
+	eval := test
+	if len(eval) == 0 {
+		eval = train
+	}
+	c := tree.Evaluate(eval)
+	fmt.Printf("\nholdout (%d examples): accuracy %.3f\n", len(eval), c.Accuracy())
+	fmt.Printf("self-induced: precision %.3f recall %.3f\n", c.Precision(testbed.SelfInduced), c.Recall(testbed.SelfInduced))
+	fmt.Printf("external:     precision %.3f recall %.3f\n", c.Precision(testbed.External), c.Recall(testbed.External))
+}

@@ -1,0 +1,101 @@
+package tcpsig
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Dataset CSV format: a header line then one example per row.
+//
+//	normdiff,cov,label
+//	0.8213,0.4411,self-induced
+//	0.1522,0.0525,external
+//
+// Labels accept "self-induced"/"self"/"0" and "external"/"ext"/"1".
+
+// WriteExamplesCSV writes labeled examples in the canonical CSV format, so
+// datasets can move between this library and external tooling.
+func WriteExamplesCSV(w io.Writer, examples []Example) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"normdiff", "cov", "label"}); err != nil {
+		return err
+	}
+	for i, e := range examples {
+		if len(e.X) != 2 {
+			return fmt.Errorf("tcpsig: example %d has %d features, want 2", i, len(e.X))
+		}
+		rec := []string{
+			strconv.FormatFloat(e.X[0], 'f', 6, 64),
+			strconv.FormatFloat(e.X[1], 'f', 6, 64),
+			ClassName(e.Label),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadExamplesCSV parses a dataset written by WriteExamplesCSV (or produced
+// by external labeling pipelines in the same format).
+func ReadExamplesCSV(r io.Reader) ([]Example, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("tcpsig: reading dataset: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("tcpsig: empty dataset")
+	}
+	start := 0
+	if isHeader(rows[0]) {
+		start = 1
+	}
+	var out []Example
+	for i, row := range rows[start:] {
+		if len(row) != 3 {
+			return nil, fmt.Errorf("tcpsig: row %d has %d columns, want 3", i+start+1, len(row))
+		}
+		nd, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tcpsig: row %d normdiff: %w", i+start+1, err)
+		}
+		cov, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tcpsig: row %d cov: %w", i+start+1, err)
+		}
+		label, err := parseLabel(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("tcpsig: row %d: %w", i+start+1, err)
+		}
+		out = append(out, Example{X: []float64{nd, cov}, Label: label})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tcpsig: dataset has no examples")
+	}
+	return out, nil
+}
+
+func isHeader(row []string) bool {
+	if len(row) == 0 {
+		return false
+	}
+	_, err := strconv.ParseFloat(row[0], 64)
+	return err != nil
+}
+
+func parseLabel(s string) (int, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "self-induced", "self", "0":
+		return SelfInduced, nil
+	case "external", "ext", "1":
+		return External, nil
+	default:
+		return 0, fmt.Errorf("tcpsig: unknown label %q", s)
+	}
+}

@@ -1,0 +1,138 @@
+package tcpsig
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDatasetCSVRoundTrip(t *testing.T) {
+	in := []Example{
+		{X: []float64{0.82, 0.44}, Label: SelfInduced},
+		{X: []float64{0.15, 0.05}, Label: External},
+		{X: []float64{0.5, 0.2}, Label: SelfInduced},
+	}
+	var buf bytes.Buffer
+	if err := WriteExamplesCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadExamplesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d examples", len(out))
+	}
+	for i := range in {
+		if out[i].Label != in[i].Label {
+			t.Fatalf("row %d label %d != %d", i, out[i].Label, in[i].Label)
+		}
+		for j := range in[i].X {
+			if d := out[i].X[j] - in[i].X[j]; d > 1e-5 || d < -1e-5 {
+				t.Fatalf("row %d feature %d: %v != %v", i, j, out[i].X[j], in[i].X[j])
+			}
+		}
+	}
+}
+
+func TestReadExamplesCSVFlexibleLabels(t *testing.T) {
+	csvData := "normdiff,cov,label\n0.8,0.4,self\n0.1,0.05,EXT\n0.2,0.1,1\n0.9,0.5,0\n"
+	ex, err := ReadExamplesCSV(strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{SelfInduced, External, External, SelfInduced}
+	for i, e := range ex {
+		if e.Label != want[i] {
+			t.Fatalf("row %d: label %d, want %d", i, e.Label, want[i])
+		}
+	}
+}
+
+func TestReadExamplesCSVNoHeader(t *testing.T) {
+	ex, err := ReadExamplesCSV(strings.NewReader("0.8,0.4,self\n"))
+	if err != nil || len(ex) != 1 {
+		t.Fatalf("headerless parse: %v, %d", err, len(ex))
+	}
+}
+
+func TestReadExamplesCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"normdiff,cov,label\n",
+		"a,b\n",
+		"x,0.4,self\n",
+		"0.8,y,self\n",
+		"0.8,0.4,maybe\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadExamplesCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+}
+
+func TestTrainFromCSVEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	var ex []Example
+	for i := 0; i < 30; i++ {
+		d := float64(i) / 100
+		ex = append(ex,
+			Example{X: []float64{0.7 + d, 0.4}, Label: SelfInduced},
+			Example{X: []float64{0.1 + d, 0.05}, Label: External},
+		)
+	}
+	if err := WriteExamplesCSV(&buf, ex); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadExamplesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := Train(loaded, TrainOptions{Threshold: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := clf.ClassifyFeatures(Features{NormDiff: 0.9, CoV: 0.4}); v.Class != SelfInduced {
+		t.Fatal("CSV-trained model misclassifies")
+	}
+}
+
+// Property: any finite feature set survives the CSV round trip.
+func TestPropertyDatasetRoundTrip(t *testing.T) {
+	f := func(vals []uint16, labels []bool) bool {
+		n := len(vals) / 2
+		if n == 0 || len(labels) < n {
+			return true
+		}
+		var in []Example
+		for i := 0; i < n; i++ {
+			label := SelfInduced
+			if labels[i] {
+				label = External
+			}
+			in = append(in, Example{
+				X:     []float64{float64(vals[2*i]) / 65536, float64(vals[2*i+1]) / 65536},
+				Label: label,
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteExamplesCSV(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadExamplesCSV(&buf)
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i].Label != in[i].Label {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

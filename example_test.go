@@ -1,0 +1,47 @@
+package tcpsig_test
+
+import (
+	"fmt"
+	"time"
+
+	"strings"
+
+	"tcpsig"
+)
+
+// The classification features come straight from slow-start RTT samples: a
+// flow that fills an idle buffer shows a rising RTT (high NormDiff and CoV);
+// a flow behind an already-full buffer shows flat, elevated RTTs.
+func ExampleFeaturesFromRTTs() {
+	ramp := []time.Duration{
+		20 * time.Millisecond, 24 * time.Millisecond, 30 * time.Millisecond,
+		38 * time.Millisecond, 48 * time.Millisecond, 60 * time.Millisecond,
+		74 * time.Millisecond, 90 * time.Millisecond, 105 * time.Millisecond,
+		118 * time.Millisecond,
+	}
+	v, err := tcpsig.FeaturesFromRTTs(ramp, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("NormDiff=%.2f CoV=%.2f min=%v max=%v\n", v.NormDiff, v.CoV, v.MinRTT, v.MaxRTT)
+	// Output: NormDiff=0.83 CoV=0.54 min=20ms max=118ms
+}
+
+// Datasets round-trip through CSV so models can be trained from externally
+// labeled measurements.
+func ExampleReadExamplesCSV() {
+	csvData := `normdiff,cov,label
+0.82,0.45,self-induced
+0.15,0.05,external
+`
+	examples, err := tcpsig.ReadExamplesCSV(strings.NewReader(csvData))
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range examples {
+		fmt.Printf("%v -> %s\n", e.X, tcpsig.ClassName(e.Label))
+	}
+	// Output:
+	// [0.82 0.45] -> self-induced
+	// [0.15 0.05] -> external
+}

@@ -1,0 +1,78 @@
+// Pcapfile: the tcpdump workflow. Emulate a throughput test while capturing
+// packets at the server, write the capture to a real libpcap file (the same
+// format tcpdump produces), then classify the file through the public
+// pcap-analysis API — the pipeline a speed-test operator would run on
+// captures from production servers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tcpsig"
+	"tcpsig/internal/netem"
+	"tcpsig/internal/pcap"
+	"tcpsig/internal/sim"
+	"tcpsig/internal/tcpsim"
+)
+
+func main() {
+	// 1. Emulate a speed test saturating a 20 Mbps access link, with
+	//    tcpdump running on the server.
+	eng := sim.NewEngine(2024)
+	net := netem.New(eng)
+	client := net.NewHost("client")
+	server := net.NewHost("server")
+	q := netem.NewDropTailDepth(20e6, 100*time.Millisecond)
+	net.Connect(server, client,
+		netem.LinkConfig{RateBps: 20e6, Delay: 20 * time.Millisecond, Jitter: 2 * time.Millisecond, Queue: q},
+		netem.LinkConfig{RateBps: 100e6, Delay: 20 * time.Millisecond})
+	capture := server.EnableCapture()
+
+	dl := tcpsim.StartDownload(client, server, 40000, 443, tcpsim.Config{}, 0, 10*time.Second)
+	eng.Run()
+	fmt.Printf("emulated test finished: %.1f Mbps at the client\n", dl.ThroughputBps()/1e6)
+
+	// 2. Write the server-side capture as a pcap file.
+	dir, err := os.MkdirTemp("", "tcpsig-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "server.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pcap.NewWriter(f).WriteCapture(capture); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	info, _ := os.Stat(path)
+	fmt.Printf("wrote %s (%d bytes, %d packets)\n", path, info.Size(), len(capture.Records))
+
+	// 3. Classify the file through the public API, as ccsig does.
+	clf, err := tcpsig.TrainOnTestbed(tcpsig.TrainTestbedOptions{Quick: true, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	serverIP := fmt.Sprintf("10.0.0.%d", server.Addr())
+	verdicts, err := clf.ClassifyPcapFile(path, serverIP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fv := range verdicts {
+		if fv.Err != nil {
+			fmt.Printf("flow %s:%d > %s:%d skipped: %v\n", fv.SrcIP, fv.SrcPort, fv.DstIP, fv.DstPort, fv.Err)
+			continue
+		}
+		v := fv.Verdict
+		fmt.Printf("flow %s:%d > %s:%d\n", fv.SrcIP, fv.SrcPort, fv.DstIP, fv.DstPort)
+		fmt.Printf("  verdict: %s (confidence %.2f)\n", tcpsig.ClassName(v.Class), v.Confidence)
+		fmt.Printf("  NormDiff=%.3f CoV=%.3f samples=%d slow-start throughput=%.1f Mbps\n",
+			v.Features.NormDiff, v.Features.CoV, v.Features.Samples, v.Flow.SlowStartThroughputBps()/1e6)
+	}
+}

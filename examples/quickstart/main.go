@@ -1,0 +1,49 @@
+// Quickstart: train a congestion-signature classifier on the emulated
+// testbed and classify two hand-made slow-start RTT series — one showing
+// the buffer-filling ramp of self-induced congestion, one the flat elevated
+// RTTs of an externally congested path.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tcpsig"
+)
+
+func main() {
+	// Train on a small grid of emulated controlled experiments (the full
+	// paper grid is TrainTestbedOptions{} without Quick).
+	fmt.Println("training on the emulated testbed (quick grid)...")
+	clf, err := tcpsig.TrainOnTestbed(tcpsig.TrainTestbedOptions{Quick: true, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("learned decision tree:")
+	fmt.Print(clf.Tree())
+
+	// A flow that fills an idle bottleneck: RTT ramps as the buffer fills.
+	selfInduced := []time.Duration{}
+	for i := 0; i < 14; i++ {
+		selfInduced = append(selfInduced, time.Duration(20+i*7)*time.Millisecond)
+	}
+	// A flow on an already congested path: RTT starts high and stays flat.
+	external := []time.Duration{}
+	for i := 0; i < 14; i++ {
+		external = append(external, time.Duration(115+i%4)*time.Millisecond)
+	}
+
+	for name, rtts := range map[string][]time.Duration{
+		"ramping RTTs (speed test filling the access link)": selfInduced,
+		"flat elevated RTTs (congested interconnect)":       external,
+	} {
+		v, err := clf.ClassifyRTTs(rtts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s:\n  verdict: %s (confidence %.2f)\n  NormDiff=%.3f CoV=%.3f minRTT=%v maxRTT=%v\n",
+			name, tcpsig.ClassName(v.Class), v.Confidence,
+			v.Features.NormDiff, v.Features.CoV, v.Features.MinRTT, v.Features.MaxRTT)
+	}
+}

@@ -1,0 +1,53 @@
+// Speedtest: emulate the paper's motivating scenario end to end. A client
+// runs a 10-second download test against a server twice — once on an idle
+// path where the test saturates the client's 20 Mbps access link, and once
+// behind an interconnect already congested by 100 bulk flows — and the
+// classifier diagnoses, from the server-side capture alone, which kind of
+// congestion each test experienced.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tcpsig"
+	"tcpsig/internal/testbed"
+)
+
+func main() {
+	fmt.Println("training classifier on the emulated testbed...")
+	clf, err := tcpsig.TrainOnTestbed(tcpsig.TrainTestbedOptions{Quick: true, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(name string, congFlows int, seed int64) {
+		cfg := testbed.Config{
+			Access: testbed.AccessParams{
+				RateMbps: 20,
+				Latency:  20 * time.Millisecond,
+				Jitter:   2 * time.Millisecond,
+				Buffer:   100 * time.Millisecond,
+			},
+			TransCross: true,
+			CongFlows:  congFlows,
+			Duration:   10 * time.Second,
+			Seed:       seed,
+		}
+		res, err := testbed.Run(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		v := clf.ClassifyFeatures(res.Features)
+		fmt.Printf("\n%s\n", name)
+		fmt.Printf("  measured throughput: %.1f Mbps (slow start: %.1f Mbps)\n", res.FlowBps/1e6, res.SlowStartBps/1e6)
+		fmt.Printf("  slow-start RTT:      min=%v max=%v over %d samples\n",
+			res.Features.MinRTT, res.Features.MaxRTT, res.Features.Samples)
+		fmt.Printf("  features:            NormDiff=%.3f CoV=%.3f\n", res.Features.NormDiff, res.Features.CoV)
+		fmt.Printf("  verdict:             %s (confidence %.2f)\n", tcpsig.ClassName(v.Class), v.Confidence)
+	}
+
+	run("speed test on an idle path (user limited by their 20 Mbps plan)", 0, 100)
+	run("speed test behind a congested interconnect (not the user's plan)", 100, 200)
+}

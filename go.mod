@@ -1,0 +1,3 @@
+module tcpsig
+
+go 1.22

@@ -1,0 +1,195 @@
+// Package core implements the paper's primary contribution: the pipeline
+// that turns a server-side view of a TCP flow into a congestion-type
+// verdict. It glues the substrates together — trace → slow-start RTT
+// samples (flowrtt) → NormDiff/CoV features (features) → decision tree
+// (dtree) — and adds model persistence.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"tcpsig/internal/dtree"
+	"tcpsig/internal/features"
+	"tcpsig/internal/flowrtt"
+	"tcpsig/internal/netem"
+)
+
+// Class labels, matching testbed conventions.
+const (
+	SelfInduced = 0
+	External    = 1
+)
+
+// ClassName returns a human-readable label.
+func ClassName(c int) string {
+	if c == SelfInduced {
+		return "self-induced"
+	}
+	return "external"
+}
+
+// Verdict is the classification outcome for one flow.
+type Verdict struct {
+	// Class is SelfInduced or External.
+	Class int
+
+	// Confidence is the training-class purity of the decision-tree leaf
+	// the flow landed in, in (0, 1].
+	Confidence float64
+
+	// Features holds the extracted NormDiff/CoV vector.
+	Features features.Vector
+
+	// Flow carries the underlying trace analysis when the verdict came
+	// from a trace (nil when classifying raw RTTs).
+	Flow *flowrtt.FlowInfo
+}
+
+// CapacityEstimate returns an estimate of the bottleneck-link line rate in
+// bits/second, derived from the goodput the flow achieved by the end of
+// slow start (§2.3: for self-induced congestion, the slow-start rate tracks
+// the capacity of the bottleneck the flow filled). It reports ok=false when
+// the verdict is External (the rate reflects someone else's congestion, not
+// a capacity) or when no trace analysis is attached.
+func (v Verdict) CapacityEstimate() (bps float64, ok bool) {
+	if v.Class != SelfInduced || v.Flow == nil {
+		return 0, false
+	}
+	goodput := v.Flow.SlowStartThroughputBps()
+	if goodput <= 0 {
+		return 0, false
+	}
+	// Convert goodput to line rate: each MSS of payload ships with 40
+	// bytes of headers.
+	const mss = 1460.0
+	return goodput * (mss + 40) / mss, true
+}
+
+// Classifier is a trained congestion-signature model.
+type Classifier struct {
+	// Tree is the underlying decision tree.
+	Tree *dtree.Tree
+
+	// Threshold records the congestion-labeling threshold the training
+	// data was labeled with (informational).
+	Threshold float64
+
+	// MinSamples is the slow-start RTT sample validity floor (default
+	// 10, as in the paper).
+	MinSamples int
+}
+
+// TrainOptions configures Train.
+type TrainOptions struct {
+	// MaxDepth of the decision tree (paper default 4).
+	MaxDepth int
+
+	// MinLeaf is the minimum leaf size (default 5).
+	MinLeaf int
+
+	// Threshold annotates the model with the labeling threshold used.
+	Threshold float64
+}
+
+// Train fits a classifier on labeled feature examples (X = [NormDiff, CoV]).
+func Train(examples []dtree.Example, opt TrainOptions) (*Classifier, error) {
+	tree, err := dtree.Train(examples, dtree.Options{
+		MaxDepth:     opt.MaxDepth,
+		MinLeaf:      opt.MinLeaf,
+		FeatureNames: features.Names(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{Tree: tree, Threshold: opt.Threshold, MinSamples: flowrtt.MinSlowStartSamples}, nil
+}
+
+// ClassifyFeatures classifies a precomputed feature vector.
+func (c *Classifier) ClassifyFeatures(v features.Vector) Verdict {
+	x := v.Values()
+	class := c.Tree.Predict(x)
+	proba := c.Tree.PredictProba(x)
+	conf := 0.0
+	if class < len(proba) {
+		conf = proba[class]
+	}
+	return Verdict{Class: class, Confidence: conf, Features: v}
+}
+
+// ClassifyRTTs classifies a flow from its slow-start RTT samples.
+func (c *Classifier) ClassifyRTTs(rtts []time.Duration) (Verdict, error) {
+	v, err := features.FromRTTs(rtts, c.MinSamples)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return c.ClassifyFeatures(v), nil
+}
+
+// ClassifyTrace analyzes one flow of a server-side capture and classifies
+// it. It fails when the flow lacks enough valid slow-start samples.
+func (c *Classifier) ClassifyTrace(records []netem.CaptureRecord, flow netem.FlowKey) (Verdict, error) {
+	info, err := flowrtt.AnalyzeValid(records, flow)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v, err := features.FromRTTs(info.SlowStartRTTs(), c.MinSamples)
+	if err != nil {
+		return Verdict{}, err
+	}
+	verdict := c.ClassifyFeatures(v)
+	verdict.Flow = info
+	return verdict, nil
+}
+
+// ClassifyCapture classifies every data-bearing flow in a capture,
+// returning per-flow verdicts and skipping invalid flows (with their errors
+// collected).
+func (c *Classifier) ClassifyCapture(capt *netem.Capture) (map[netem.FlowKey]Verdict, map[netem.FlowKey]error) {
+	verdicts := make(map[netem.FlowKey]Verdict)
+	errs := make(map[netem.FlowKey]error)
+	for _, flow := range flowrtt.Flows(capt.Records) {
+		v, err := c.ClassifyTrace(capt.Records, flow)
+		if err != nil {
+			errs[flow] = err
+			continue
+		}
+		verdicts[flow] = v
+	}
+	return verdicts, errs
+}
+
+type classifierJSON struct {
+	Version    int         `json:"version"`
+	Threshold  float64     `json:"threshold"`
+	MinSamples int         `json:"min_samples"`
+	Tree       *dtree.Tree `json:"tree"`
+}
+
+// Save writes the model as JSON.
+func (c *Classifier) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(classifierJSON{Version: 1, Threshold: c.Threshold, MinSamples: c.MinSamples, Tree: c.Tree})
+}
+
+// Load reads a model saved with Save.
+func Load(r io.Reader) (*Classifier, error) {
+	var j classifierJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if j.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported model version %d", j.Version)
+	}
+	if j.Tree == nil {
+		return nil, errors.New("core: model has no tree")
+	}
+	if j.MinSamples == 0 {
+		j.MinSamples = flowrtt.MinSlowStartSamples
+	}
+	return &Classifier{Tree: j.Tree, Threshold: j.Threshold, MinSamples: j.MinSamples}, nil
+}

@@ -1,0 +1,370 @@
+// Package dtree implements the CART decision-tree classifier the paper
+// builds on the NormDiff/CoV features (§3.2), replacing the
+// sklearn.tree.DecisionTreeClassifier the authors used. Splits minimize
+// Gini impurity; depth and minimum-leaf-size knobs control overfitting.
+package dtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Example is one training or evaluation instance.
+type Example struct {
+	X     []float64
+	Label int
+}
+
+// Options configures training.
+type Options struct {
+	// MaxDepth bounds the tree depth; the paper evaluates 3-5 and uses 4.
+	// Default 4.
+	MaxDepth int
+
+	// MinLeaf is the minimum number of examples in a leaf. Default 5.
+	MinLeaf int
+
+	// FeatureNames labels features in String output (optional).
+	FeatureNames []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 4
+	}
+	if o.MinLeaf == 0 {
+		o.MinLeaf = 5
+	}
+	return o
+}
+
+// ErrNoData is returned when Train receives no examples.
+var ErrNoData = errors.New("dtree: no training examples")
+
+// ErrDimMismatch is returned for inconsistent feature vector lengths.
+var ErrDimMismatch = errors.New("dtree: inconsistent feature dimensions")
+
+type node struct {
+	// Internal nodes.
+	feature   int
+	threshold float64
+	left      *node // X[feature] <= threshold
+	right     *node
+
+	// Leaves.
+	leaf   bool
+	label  int
+	counts []int // class histogram at this node
+	total  int
+}
+
+// Tree is a trained CART classifier.
+type Tree struct {
+	root     *node
+	nClasses int
+	nFeat    int
+	opt      Options
+}
+
+// Train builds a tree from examples.
+func Train(examples []Example, opt Options) (*Tree, error) {
+	opt = opt.withDefaults()
+	if len(examples) == 0 {
+		return nil, ErrNoData
+	}
+	nFeat := len(examples[0].X)
+	nClasses := 0
+	for _, e := range examples {
+		if len(e.X) != nFeat {
+			return nil, ErrDimMismatch
+		}
+		if e.Label < 0 {
+			return nil, fmt.Errorf("dtree: negative label %d", e.Label)
+		}
+		if e.Label+1 > nClasses {
+			nClasses = e.Label + 1
+		}
+	}
+	t := &Tree{nClasses: nClasses, nFeat: nFeat, opt: opt}
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(examples, idx, 0)
+	return t, nil
+}
+
+func (t *Tree) histogram(examples []Example, idx []int) []int {
+	counts := make([]int, t.nClasses)
+	for _, i := range idx {
+		counts[examples[i].Label]++
+	}
+	return counts
+}
+
+func gini(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+func argmax(counts []int) int {
+	m := 0
+	for i, c := range counts {
+		if c > counts[m] {
+			m = i
+		}
+	}
+	return m
+}
+
+func (t *Tree) build(examples []Example, idx []int, depth int) *node {
+	counts := t.histogram(examples, idx)
+	n := &node{counts: counts, total: len(idx), label: argmax(counts)}
+	if depth >= t.opt.MaxDepth || len(idx) < 2*t.opt.MinLeaf || gini(counts, len(idx)) == 0 {
+		n.leaf = true
+		return n
+	}
+
+	bestGain := -1.0
+	bestFeat := -1
+	var bestThresh float64
+	parentImp := gini(counts, len(idx))
+
+	for f := 0; f < t.nFeat; f++ {
+		// Sort indices by feature value.
+		ord := append([]int(nil), idx...)
+		sort.Slice(ord, func(a, b int) bool { return examples[ord[a]].X[f] < examples[ord[b]].X[f] })
+
+		leftCounts := make([]int, t.nClasses)
+		rightCounts := append([]int(nil), counts...)
+		for i := 0; i < len(ord)-1; i++ {
+			lbl := examples[ord[i]].Label
+			leftCounts[lbl]++
+			rightCounts[lbl]--
+			xi, xj := examples[ord[i]].X[f], examples[ord[i+1]].X[f]
+			if xi == xj {
+				continue
+			}
+			nl, nr := i+1, len(ord)-i-1
+			if nl < t.opt.MinLeaf || nr < t.opt.MinLeaf {
+				continue
+			}
+			imp := (float64(nl)*gini(leftCounts, nl) + float64(nr)*gini(rightCounts, nr)) / float64(len(ord))
+			gain := parentImp - imp
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (xi + xj) / 2
+			}
+		}
+	}
+
+	if bestFeat < 0 || bestGain <= 1e-12 {
+		n.leaf = true
+		return n
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if examples[i].X[bestFeat] <= bestThresh {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	n.feature = bestFeat
+	n.threshold = bestThresh
+	n.left = t.build(examples, leftIdx, depth+1)
+	n.right = t.build(examples, rightIdx, depth+1)
+	return n
+}
+
+// Predict returns the predicted class for x.
+func (t *Tree) Predict(x []float64) int {
+	n := t.root
+	for !n.leaf && n.left != nil {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label
+}
+
+// PredictProba returns the class distribution at the leaf x falls into.
+func (t *Tree) PredictProba(x []float64) []float64 {
+	n := t.root
+	for !n.leaf && n.left != nil {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	out := make([]float64, t.nClasses)
+	if n.total > 0 {
+		for i, c := range n.counts {
+			out[i] = float64(c) / float64(n.total)
+		}
+	}
+	return out
+}
+
+// Depth returns the realized depth of the tree (0 = single leaf).
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *node) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// NumClasses returns the number of classes seen at training time.
+func (t *Tree) NumClasses() int { return t.nClasses }
+
+// String renders the tree for inspection.
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.render(&b, t.root, 0)
+	return b.String()
+}
+
+func (t *Tree) render(b *strings.Builder, n *node, depth int) {
+	pad := strings.Repeat("  ", depth)
+	if n.leaf || n.left == nil {
+		fmt.Fprintf(b, "%sleaf class=%d counts=%v\n", pad, n.label, n.counts)
+		return
+	}
+	name := fmt.Sprintf("x%d", n.feature)
+	if n.feature < len(t.opt.FeatureNames) {
+		name = t.opt.FeatureNames[n.feature]
+	}
+	fmt.Fprintf(b, "%s%s <= %.4f ?\n", pad, name, n.threshold)
+	t.render(b, n.left, depth+1)
+	t.render(b, n.right, depth+1)
+}
+
+// Confusion is a confusion matrix: M[actual][predicted].
+type Confusion struct {
+	M [][]int
+}
+
+// Evaluate runs the tree on examples and tallies the confusion matrix.
+func (t *Tree) Evaluate(examples []Example) Confusion {
+	c := Confusion{M: make([][]int, t.nClasses)}
+	for i := range c.M {
+		c.M[i] = make([]int, t.nClasses)
+	}
+	for _, e := range examples {
+		p := t.Predict(e.X)
+		if e.Label < t.nClasses && p < t.nClasses {
+			c.M[e.Label][p]++
+		}
+	}
+	return c
+}
+
+// Accuracy is the fraction of correct predictions.
+func (c Confusion) Accuracy() float64 {
+	var right, total int
+	for i := range c.M {
+		for j := range c.M[i] {
+			total += c.M[i][j]
+			if i == j {
+				right += c.M[i][j]
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(right) / float64(total)
+}
+
+// Precision returns TP/(TP+FP) for class k (0 when the class is never
+// predicted or unknown to the matrix).
+func (c Confusion) Precision(k int) float64 {
+	if k < 0 || k >= len(c.M) {
+		return 0
+	}
+	var tp, predicted int
+	for i := range c.M {
+		predicted += c.M[i][k]
+	}
+	tp = c.M[k][k]
+	if predicted == 0 {
+		return 0
+	}
+	return float64(tp) / float64(predicted)
+}
+
+// Recall returns TP/(TP+FN) for class k (0 when the class never occurs or is
+// unknown to the matrix).
+func (c Confusion) Recall(k int) float64 {
+	if k < 0 || k >= len(c.M) {
+		return 0
+	}
+	var actual int
+	for j := range c.M[k] {
+		actual += c.M[k][j]
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(c.M[k][k]) / float64(actual)
+}
+
+// F1 returns the harmonic mean of precision and recall for class k.
+func (c Confusion) F1(k int) float64 {
+	p, r := c.Precision(k), c.Recall(k)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// TrainTestSplit shuffles examples with rng and splits off trainFrac for
+// training, the rest for testing.
+func TrainTestSplit(rng *rand.Rand, examples []Example, trainFrac float64) (train, test []Example) {
+	shuffled := append([]Example(nil), examples...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	cut := int(math.Round(trainFrac * float64(len(shuffled))))
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > len(shuffled) {
+		cut = len(shuffled)
+	}
+	return shuffled[:cut], shuffled[cut:]
+}
+
+// KFold partitions examples into k shuffled folds for cross-validation.
+func KFold(rng *rand.Rand, examples []Example, k int) [][]Example {
+	if k <= 0 {
+		return nil
+	}
+	shuffled := append([]Example(nil), examples...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	folds := make([][]Example, k)
+	for i, e := range shuffled {
+		folds[i%k] = append(folds[i%k], e)
+	}
+	return folds
+}

@@ -1,0 +1,243 @@
+package dtree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func linearlySeparable(rng *rand.Rand, n int) []Example {
+	var out []Example
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		y := rng.Float64()
+		label := 0
+		if x > 0.5 {
+			label = 1
+		}
+		out = append(out, Example{X: []float64{x, y}, Label: label})
+	}
+	return out
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, Options{}); err != ErrNoData {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+	ex := []Example{{X: []float64{1}, Label: 0}, {X: []float64{1, 2}, Label: 1}}
+	if _, err := Train(ex, Options{}); err != ErrDimMismatch {
+		t.Fatalf("err = %v, want ErrDimMismatch", err)
+	}
+	bad := []Example{{X: []float64{1}, Label: -1}}
+	if _, err := Train(bad, Options{}); err == nil {
+		t.Fatal("negative label should error")
+	}
+}
+
+func TestPerfectSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ex := linearlySeparable(rng, 400)
+	tree, err := Train(ex, Options{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tree.Evaluate(ex)
+	if acc := c.Accuracy(); acc < 0.99 {
+		t.Fatalf("accuracy %.3f on separable data, want ~1", acc)
+	}
+	if tree.Depth() < 1 {
+		t.Fatal("tree did not split")
+	}
+}
+
+func TestGeneralizesToHoldout(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	all := linearlySeparable(rng, 1000)
+	train, test := TrainTestSplit(rng, all, 0.7)
+	if len(train) != 700 || len(test) != 300 {
+		t.Fatalf("split sizes %d/%d", len(train), len(test))
+	}
+	tree, err := Train(train, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tree.Evaluate(test)
+	if acc := c.Accuracy(); acc < 0.95 {
+		t.Fatalf("holdout accuracy %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var ex []Example
+	// XOR-ish pattern needs depth 2.
+	for i := 0; i < 400; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		label := 0
+		if (x > 0.5) != (y > 0.5) {
+			label = 1
+		}
+		ex = append(ex, Example{X: []float64{x, y}, Label: label})
+	}
+	for _, d := range []int{1, 2, 3, 4, 5} {
+		tree, err := Train(ex, Options{MaxDepth: d, MinLeaf: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tree.Depth(); got > d {
+			t.Fatalf("depth %d exceeds max %d", got, d)
+		}
+	}
+	// Depth 1 cannot solve XOR; a deeper greedy tree can (greedy CART
+	// needs extra depth on XOR because the first split carries no
+	// information, so allow depth 5).
+	t1, _ := Train(ex, Options{MaxDepth: 1, MinLeaf: 1})
+	t5, _ := Train(ex, Options{MaxDepth: 5, MinLeaf: 1})
+	a1, a5 := t1.Evaluate(ex).Accuracy(), t5.Evaluate(ex).Accuracy()
+	if a5 <= a1 {
+		t.Fatalf("deeper tree should beat stump on XOR: %.3f vs %.3f", a5, a1)
+	}
+	if a5 < 0.9 {
+		t.Fatalf("depth-5 XOR accuracy %.3f", a5)
+	}
+}
+
+func TestMinLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ex := linearlySeparable(rng, 40)
+	tree, err := Train(ex, Options{MaxDepth: 10, MinLeaf: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 0 {
+		t.Fatal("MinLeaf = n should force a single leaf")
+	}
+}
+
+func TestPredictProbaSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ex := linearlySeparable(rng, 200)
+	tree, _ := Train(ex, Options{})
+	p := tree.PredictProba([]float64{0.3, 0.5})
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("proba sums to %v", sum)
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{M: [][]int{{8, 2}, {1, 9}}}
+	if acc := c.Accuracy(); acc != 0.85 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	// class 1: TP=9, FP=2, FN=1.
+	if p := c.Precision(1); p != 9.0/11 {
+		t.Fatalf("precision = %v", p)
+	}
+	if r := c.Recall(1); r != 0.9 {
+		t.Fatalf("recall = %v", r)
+	}
+	f1 := c.F1(1)
+	if f1 < 0.85 || f1 > 0.86 {
+		t.Fatalf("f1 = %v", f1)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	c := Confusion{M: [][]int{{0, 0}, {0, 0}}}
+	if c.Accuracy() != 0 || c.Precision(0) != 0 || c.Recall(0) != 0 || c.F1(0) != 0 {
+		t.Fatal("empty confusion should give zeros")
+	}
+}
+
+func TestStringRendersFeatureNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ex := linearlySeparable(rng, 200)
+	tree, _ := Train(ex, Options{FeatureNames: []string{"normdiff", "cov"}})
+	s := tree.String()
+	if !strings.Contains(s, "normdiff") && !strings.Contains(s, "cov") {
+		t.Fatalf("tree string lacks feature names:\n%s", s)
+	}
+}
+
+func TestKFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ex := linearlySeparable(rng, 103)
+	folds := KFold(rng, ex, 5)
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	total := 0
+	for _, f := range folds {
+		total += len(f)
+		if len(f) < 20 || len(f) > 21 {
+			t.Fatalf("unbalanced fold size %d", len(f))
+		}
+	}
+	if total != 103 {
+		t.Fatalf("folds lose examples: %d", total)
+	}
+	if KFold(rng, ex, 0) != nil {
+		t.Fatal("k=0 should give nil")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ex := linearlySeparable(rng, 300)
+	t1, _ := Train(ex, Options{})
+	t2, _ := Train(ex, Options{})
+	if t1.String() != t2.String() {
+		t.Fatal("training is nondeterministic")
+	}
+}
+
+// Property: predictions are always one of the training labels, and a
+// single-class training set predicts that class everywhere.
+func TestPropertyPredictInRange(t *testing.T) {
+	f := func(pts []struct{ A, B int8 }, probe []int8) bool {
+		if len(pts) < 2 {
+			return true
+		}
+		var ex []Example
+		for _, p := range pts {
+			label := 0
+			if p.A > 0 {
+				label = 1
+			}
+			ex = append(ex, Example{X: []float64{float64(p.A), float64(p.B)}, Label: label})
+		}
+		tree, err := Train(ex, Options{MinLeaf: 1})
+		if err != nil {
+			return false
+		}
+		for _, q := range probe {
+			p := tree.Predict([]float64{float64(q), float64(q)})
+			if p < 0 || p >= tree.NumClasses() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleClass(t *testing.T) {
+	ex := []Example{{X: []float64{1, 2}, Label: 0}, {X: []float64{3, 4}, Label: 0}}
+	tree, err := Train(ex, Options{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Predict([]float64{100, -100}) != 0 {
+		t.Fatal("single-class tree must predict that class")
+	}
+	if tree.Depth() != 0 {
+		t.Fatal("pure node should not split")
+	}
+}

@@ -1,0 +1,110 @@
+package dtree
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// jsonNode is the serialized form of a tree node.
+type jsonNode struct {
+	Leaf      bool      `json:"leaf"`
+	Feature   int       `json:"feature,omitempty"`
+	Threshold float64   `json:"threshold,omitempty"`
+	Label     int       `json:"label"`
+	Counts    []int     `json:"counts,omitempty"`
+	Total     int       `json:"total,omitempty"`
+	Left      *jsonNode `json:"left,omitempty"`
+	Right     *jsonNode `json:"right,omitempty"`
+}
+
+type jsonTree struct {
+	Version      int       `json:"version"`
+	NClasses     int       `json:"classes"`
+	NFeatures    int       `json:"features"`
+	FeatureNames []string  `json:"feature_names,omitempty"`
+	Root         *jsonNode `json:"root"`
+}
+
+func toJSONNode(n *node) *jsonNode {
+	if n == nil {
+		return nil
+	}
+	j := &jsonNode{
+		Leaf:      n.leaf || n.left == nil,
+		Feature:   n.feature,
+		Threshold: n.threshold,
+		Label:     n.label,
+		Counts:    n.counts,
+		Total:     n.total,
+	}
+	if !j.Leaf {
+		j.Left = toJSONNode(n.left)
+		j.Right = toJSONNode(n.right)
+	}
+	return j
+}
+
+func fromJSONNode(j *jsonNode, nFeat, nClasses int) (*node, error) {
+	if j == nil {
+		return nil, errors.New("dtree: nil node in model")
+	}
+	n := &node{
+		leaf:      j.Leaf,
+		feature:   j.Feature,
+		threshold: j.Threshold,
+		label:     j.Label,
+		counts:    j.Counts,
+		total:     j.Total,
+	}
+	if j.Label < 0 || j.Label >= nClasses {
+		return nil, fmt.Errorf("dtree: label %d out of range", j.Label)
+	}
+	if !j.Leaf {
+		if j.Feature < 0 || j.Feature >= nFeat {
+			return nil, fmt.Errorf("dtree: feature %d out of range", j.Feature)
+		}
+		var err error
+		if n.left, err = fromJSONNode(j.Left, nFeat, nClasses); err != nil {
+			return nil, err
+		}
+		if n.right, err = fromJSONNode(j.Right, nFeat, nClasses); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonTree{
+		Version:      1,
+		NClasses:     t.nClasses,
+		NFeatures:    t.nFeat,
+		FeatureNames: t.opt.FeatureNames,
+		Root:         toJSONNode(t.root),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var j jsonTree
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Version != 1 {
+		return fmt.Errorf("dtree: unsupported model version %d", j.Version)
+	}
+	if j.NClasses < 1 || j.NFeatures < 1 {
+		return errors.New("dtree: invalid model dimensions")
+	}
+	root, err := fromJSONNode(j.Root, j.NFeatures, j.NClasses)
+	if err != nil {
+		return err
+	}
+	t.nClasses = j.NClasses
+	t.nFeat = j.NFeatures
+	t.opt = Options{FeatureNames: j.FeatureNames}.withDefaults()
+	t.root = root
+	return nil
+}

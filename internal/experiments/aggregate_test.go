@@ -1,0 +1,196 @@
+package experiments
+
+// Pure-function tests for the aggregation logic behind the figures; no
+// emulation needed.
+
+import (
+	"testing"
+	"time"
+
+	"tcpsig/internal/core"
+	"tcpsig/internal/dtree"
+	"tcpsig/internal/flowrtt"
+	"tcpsig/internal/mlab"
+	"tcpsig/internal/testbed"
+)
+
+// mkDispute builds a synthetic labeled test without running the emulator.
+func mkDispute(site mlab.Site, isp string, period mlab.Period, hour int, nd, cov, tputMbps float64) mlab.DisputeTest {
+	res := &mlab.NDTResult{
+		ThroughputBps: tputMbps * 1e6,
+		FeaturesValid: true,
+		Flow:          &flowrtt.FlowInfo{},
+	}
+	res.Features.NormDiff = nd
+	res.Features.CoV = cov
+	res.Web100.CongestionLimited = time.Second // passes the 90% filter
+	return mlab.DisputeTest{Site: site, ISP: isp, Period: period, Hour: hour, Result: res}
+}
+
+// stumpClassifier splits on NormDiff at 0.5.
+func stumpClassifier(t *testing.T) *core.Classifier {
+	t.Helper()
+	var ex []dtree.Example
+	for i := 0; i < 20; i++ {
+		ex = append(ex,
+			dtree.Example{X: []float64{0.7 + float64(i)/100, 0.4}, Label: core.SelfInduced},
+			dtree.Example{X: []float64{0.2 + float64(i)/100, 0.1}, Label: core.External},
+		)
+	}
+	clf, err := core.Train(ex, core.TrainOptions{MaxDepth: 2, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf
+}
+
+func TestFig7Aggregation(t *testing.T) {
+	cogent := mlab.Site{Transit: "Cogent", City: "LAX"}
+	clf := stumpClassifier(t)
+	tests := []mlab.DisputeTest{
+		// Jan-Feb peak: 1 self-looking, 2 external-looking.
+		mkDispute(cogent, "Comcast", mlab.JanFeb, 20, 0.8, 0.4, 18),
+		mkDispute(cogent, "Comcast", mlab.JanFeb, 21, 0.2, 0.05, 5),
+		mkDispute(cogent, "Comcast", mlab.JanFeb, 22, 0.25, 0.06, 6),
+		// Jan-Feb off-peak: excluded from Fig 7 entirely.
+		mkDispute(cogent, "Comcast", mlab.JanFeb, 3, 0.2, 0.05, 5),
+		// Mar-Apr off-peak: both self-looking.
+		mkDispute(cogent, "Comcast", mlab.MarApr, 3, 0.85, 0.45, 19),
+		mkDispute(cogent, "Comcast", mlab.MarApr, 4, 0.8, 0.4, 18),
+		// Mar-Apr peak: excluded.
+		mkDispute(cogent, "Comcast", mlab.MarApr, 20, 0.2, 0.05, 5),
+	}
+	rows := Fig7(tests, clf)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Period {
+		case mlab.JanFeb:
+			if r.N != 3 || r.FracSelf < 0.32 || r.FracSelf > 0.34 {
+				t.Fatalf("Jan-Feb row: %+v", r)
+			}
+		case mlab.MarApr:
+			if r.N != 2 || r.FracSelf != 1 {
+				t.Fatalf("Mar-Apr row: %+v", r)
+			}
+		}
+	}
+}
+
+func TestFig7SkipsInvalidAndUnfiltered(t *testing.T) {
+	cogent := mlab.Site{Transit: "Cogent", City: "LAX"}
+	clf := stumpClassifier(t)
+	bad := mkDispute(cogent, "Comcast", mlab.JanFeb, 20, 0.8, 0.4, 18)
+	bad.Result.FeaturesValid = false
+	senderLimited := mkDispute(cogent, "Comcast", mlab.JanFeb, 20, 0.8, 0.4, 18)
+	senderLimited.Result.Web100.CongestionLimited = 0
+	senderLimited.Result.Web100.SenderLimited = time.Second
+	rows := Fig7([]mlab.DisputeTest{bad, senderLimited}, clf)
+	if len(rows) != 0 {
+		t.Fatalf("invalid tests produced rows: %+v", rows)
+	}
+}
+
+func TestFig8Aggregation(t *testing.T) {
+	cogent := mlab.Site{Transit: "Cogent", City: "LAX"}
+	clf := stumpClassifier(t)
+	tests := []mlab.DisputeTest{
+		mkDispute(cogent, "Comcast", mlab.MarApr, 3, 0.8, 0.4, 10),
+		mkDispute(cogent, "Comcast", mlab.MarApr, 4, 0.8, 0.4, 20),
+		mkDispute(cogent, "Comcast", mlab.MarApr, 5, 0.8, 0.4, 30),
+		mkDispute(cogent, "Comcast", mlab.MarApr, 6, 0.2, 0.05, 4),
+	}
+	rows := Fig8(tests, clf)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.NSelf != 3 || r.NExt != 1 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if r.MedianSelf != 20 || r.MedianExt != 4 {
+		t.Fatalf("medians: %+v", r)
+	}
+	if r.Period != mlab.MarApr || r.Transit != "Cogent" || r.ISP != "Comcast" {
+		t.Fatalf("identity: %+v", r)
+	}
+}
+
+func TestFig5RowsSortedAndComplete(t *testing.T) {
+	cogent := mlab.Site{Transit: "Cogent", City: "LAX"}
+	level3 := mlab.Site{Transit: "Level3", City: "ATL"}
+	tests := []mlab.DisputeTest{
+		mkDispute(level3, "Cox", mlab.MarApr, 3, 0.8, 0.4, 30),
+		mkDispute(cogent, "Comcast", mlab.JanFeb, 3, 0.8, 0.4, 10),
+		mkDispute(cogent, "Comcast", mlab.JanFeb, 3, 0.8, 0.4, 20),
+	}
+	rows := Fig5(tests)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Site.Transit != "Cogent" {
+		t.Fatal("rows not sorted")
+	}
+	if got := rows[0].ByHour[3]; got != 15 {
+		t.Fatalf("mean = %v, want 15", got)
+	}
+}
+
+func mkTSLP(congested bool, tputMbps float64, minRTT time.Duration, nd, cov float64) mlab.TSLPTest {
+	res := &mlab.NDTResult{ThroughputBps: tputMbps * 1e6, FeaturesValid: true}
+	res.Features.MinRTT = minRTT
+	res.Features.NormDiff = nd
+	res.Features.CoV = cov
+	return mlab.TSLPTest{Congested: congested, Result: res}
+}
+
+func TestEvalTSLPCounts(t *testing.T) {
+	clf := stumpClassifier(t)
+	tests := []mlab.TSLPTest{
+		// Labeled self, classified self.
+		mkTSLP(false, 24, 17*time.Millisecond, 0.8, 0.4),
+		// Labeled self, classified external (a miss).
+		mkTSLP(false, 24, 17*time.Millisecond, 0.2, 0.05),
+		// Labeled external, classified external.
+		mkTSLP(true, 5, 35*time.Millisecond, 0.2, 0.05),
+		// Gray zone: unlabeled.
+		mkTSLP(true, 17, 25*time.Millisecond, 0.5, 0.2),
+	}
+	acc := EvalTSLP(tests, clf)
+	if acc.SelfTotal != 2 || acc.SelfCorrect != 1 {
+		t.Fatalf("self: %+v", acc)
+	}
+	if acc.ExtTotal != 1 || acc.ExtCorrect != 1 {
+		t.Fatalf("ext: %+v", acc)
+	}
+	if acc.Unlabeled != 1 {
+		t.Fatalf("unlabeled: %+v", acc)
+	}
+	if acc.AccSelf() != 0.5 || acc.AccExt() != 1 {
+		t.Fatalf("accuracy: %v %v", acc.AccSelf(), acc.AccExt())
+	}
+}
+
+func TestFig3SkipsDegenerateThresholds(t *testing.T) {
+	// All results label the same way at threshold 0 → no second class →
+	// the point must come back empty rather than panicking.
+	var results []*testbed.Result
+	for i := 0; i < 20; i++ {
+		r := &testbed.Result{Scenario: testbed.SelfInduced, SlowStartBps: 19e6}
+		r.Config.Access.RateMbps = 20
+		r.Features.NormDiff = 0.8
+		r.Features.CoV = 0.4
+		results = append(results, r)
+	}
+	pts := Fig3(results, []float64{0.1}, 1)
+	if len(pts) != 1 || pts[0].TestN != 0 {
+		t.Fatalf("degenerate threshold not skipped: %+v", pts)
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" || Paper.String() != "paper" {
+		t.Fatal("scale names")
+	}
+}

@@ -1,0 +1,68 @@
+// Package features computes the paper's two classification metrics from
+// slow-start RTT samples (§2.3):
+//
+//   - NormDiff: (maxRTT − minRTT) / maxRTT — the fraction of the peak RTT
+//     contributed by buffering the flow itself induced.
+//   - CoV: stddev(RTT) / mean(RTT) — the variability of the RTT as the
+//     buffer fills (high when the flow drives the buffer, low when the
+//     buffer was already full).
+package features
+
+import (
+	"errors"
+	"time"
+
+	"tcpsig/internal/stats"
+)
+
+// ErrTooFew is returned when fewer samples than min are provided.
+var ErrTooFew = errors.New("features: too few RTT samples")
+
+// Vector is the feature vector for one flow.
+type Vector struct {
+	// NormDiff is (max-min)/max of slow-start RTTs, in [0, 1).
+	NormDiff float64
+
+	// CoV is the coefficient of variation of slow-start RTTs.
+	CoV float64
+
+	// Supporting statistics, useful for diagnostics and extended models.
+	MinRTT  time.Duration
+	MaxRTT  time.Duration
+	MeanRTT time.Duration
+	Samples int
+}
+
+// Values returns the model inputs in canonical order (NormDiff, CoV), the
+// order the decision tree was trained with.
+func (v Vector) Values() []float64 { return []float64{v.NormDiff, v.CoV} }
+
+// Names returns the canonical feature names matching Values.
+func Names() []string { return []string{"normdiff", "cov"} }
+
+// FromRTTs computes the feature vector from RTT samples, requiring at least
+// min samples (use 0 for the paper's default of 10).
+func FromRTTs(rtts []time.Duration, min int) (Vector, error) {
+	if min <= 0 {
+		min = 10
+	}
+	if len(rtts) < min {
+		return Vector{}, ErrTooFew
+	}
+	xs := make([]float64, len(rtts))
+	for i, r := range rtts {
+		xs[i] = r.Seconds()
+	}
+	lo, hi := stats.Min(xs), stats.Max(xs)
+	v := Vector{
+		CoV:     stats.CoV(xs),
+		MinRTT:  time.Duration(lo * float64(time.Second)),
+		MaxRTT:  time.Duration(hi * float64(time.Second)),
+		MeanRTT: time.Duration(stats.Mean(xs) * float64(time.Second)),
+		Samples: len(rtts),
+	}
+	if hi > 0 {
+		v.NormDiff = (hi - lo) / hi
+	}
+	return v, nil
+}

@@ -1,0 +1,114 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(v ...int) []time.Duration {
+	out := make([]time.Duration, len(v))
+	for i, x := range v {
+		out[i] = time.Duration(x) * time.Millisecond
+	}
+	return out
+}
+
+func TestFromRTTsBasics(t *testing.T) {
+	rtts := ms(20, 30, 40, 50, 60, 70, 80, 90, 100, 120)
+	v, err := FromRTTs(rtts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantND := (0.120 - 0.020) / 0.120
+	if math.Abs(v.NormDiff-wantND) > 1e-9 {
+		t.Fatalf("NormDiff = %v, want %v", v.NormDiff, wantND)
+	}
+	if v.MinRTT != 20*time.Millisecond || v.MaxRTT != 120*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", v.MinRTT, v.MaxRTT)
+	}
+	if v.Samples != 10 {
+		t.Fatalf("samples = %d", v.Samples)
+	}
+	if v.CoV <= 0 {
+		t.Fatal("CoV should be positive for varying RTTs")
+	}
+}
+
+func TestFromRTTsTooFew(t *testing.T) {
+	if _, err := FromRTTs(ms(1, 2, 3), 0); err != ErrTooFew {
+		t.Fatalf("err = %v, want ErrTooFew", err)
+	}
+	if _, err := FromRTTs(ms(1, 2, 3), 3); err != nil {
+		t.Fatalf("custom min rejected: %v", err)
+	}
+}
+
+func TestConstantRTTsGiveZeroFeatures(t *testing.T) {
+	rtts := ms(50, 50, 50, 50, 50, 50, 50, 50, 50, 50)
+	v, err := FromRTTs(rtts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NormDiff != 0 || v.CoV > 1e-9 {
+		t.Fatalf("constant RTTs: NormDiff=%v CoV=%v, want 0,0", v.NormDiff, v.CoV)
+	}
+}
+
+func TestSelfVsExternalSignature(t *testing.T) {
+	// Rising RTT (buffer filling) vs stable elevated RTT (full buffer):
+	// both features must be larger for the former.
+	self := ms(20, 25, 32, 41, 52, 66, 83, 100, 110, 119)
+	ext := ms(118, 120, 119, 121, 120, 122, 119, 121, 120, 118)
+	vs, _ := FromRTTs(self, 0)
+	ve, _ := FromRTTs(ext, 0)
+	if vs.NormDiff <= ve.NormDiff {
+		t.Fatalf("NormDiff self %v <= external %v", vs.NormDiff, ve.NormDiff)
+	}
+	if vs.CoV <= ve.CoV {
+		t.Fatalf("CoV self %v <= external %v", vs.CoV, ve.CoV)
+	}
+}
+
+func TestValuesOrderMatchesNames(t *testing.T) {
+	v := Vector{NormDiff: 0.7, CoV: 0.3}
+	vals := v.Values()
+	names := Names()
+	if len(vals) != 2 || len(names) != 2 {
+		t.Fatal("expect 2 features")
+	}
+	if names[0] != "normdiff" || vals[0] != 0.7 || names[1] != "cov" || vals[1] != 0.3 {
+		t.Fatalf("order mismatch: %v %v", names, vals)
+	}
+}
+
+// Property: NormDiff is in [0, 1) and CoV is nonnegative for any positive
+// RTT set; scaling all RTTs by a constant leaves both unchanged.
+func TestPropertyScaleInvariance(t *testing.T) {
+	f := func(raw []uint16, scale uint8) bool {
+		if len(raw) < 10 {
+			return true
+		}
+		k := time.Duration(scale%7 + 2)
+		a := make([]time.Duration, len(raw))
+		b := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			d := time.Duration(v%2000+1) * time.Microsecond
+			a[i] = d
+			b[i] = d * k
+		}
+		va, err1 := FromRTTs(a, 0)
+		vb, err2 := FromRTTs(b, 0)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if va.NormDiff < 0 || va.NormDiff >= 1 || va.CoV < 0 {
+			return false
+		}
+		return math.Abs(va.NormDiff-vb.NormDiff) < 1e-6 && math.Abs(va.CoV-vb.CoV) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,343 @@
+// Package flowrtt extracts per-packet RTT samples from a server-side packet
+// trace, the measurement the paper's technique is built on (§3.2).
+//
+// An RTT sample pairs an outgoing data segment with the acknowledgment that
+// covers it, observed at the server. Samples from retransmitted sequence
+// ranges are discarded (Karn's rule). Slow start is defined, as in the
+// paper, as the period up to the first retransmission or fast
+// retransmission; flows with fewer than MinSlowStartSamples RTT samples in
+// that window are rejected as statistically invalid.
+package flowrtt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
+)
+
+// MinSlowStartSamples is the validity threshold from §3.2 of the paper.
+const MinSlowStartSamples = 10
+
+// ErrTooFewSamples marks flows whose slow start yielded fewer than
+// MinSlowStartSamples RTT samples.
+var ErrTooFewSamples = errors.New("flowrtt: fewer than 10 slow-start RTT samples")
+
+// ErrNoData marks traces with no data-bearing packets for the flow.
+var ErrNoData = errors.New("flowrtt: no data packets for flow")
+
+// Sample is one RTT measurement.
+type Sample struct {
+	At  sim.Time      // when the ACK arrived
+	RTT time.Duration // measured round-trip time
+}
+
+// FlowInfo is the analysis result for a single flow direction.
+type FlowInfo struct {
+	Flow netem.FlowKey
+
+	// Samples holds every valid (Karn-filtered) RTT sample in arrival
+	// order; SlowStart is the prefix collected before the first
+	// retransmission (the whole flow if none occurred).
+	Samples   []Sample
+	SlowStart []Sample
+
+	// HasRetransmit reports whether a retransmission was observed;
+	// FirstRetransmitAt is its trace time.
+	HasRetransmit     bool
+	FirstRetransmitAt sim.Time
+
+	FirstDataAt sim.Time
+	LastDataAt  sim.Time
+
+	BytesSent  int64 // unique payload bytes observed outgoing
+	BytesAcked int64 // highest cumulative ACK progress
+
+	// SlowStartBytesAcked is the ACK progress at the first
+	// retransmission (or end of trace), used for slow-start throughput.
+	SlowStartBytesAcked int64
+
+	// AckCurve records cumulative ACK progress over time, enabling rate
+	// measurements over sub-windows of the flow.
+	AckCurve []AckPoint
+}
+
+// AckPoint is one point of the cumulative acknowledgment curve.
+type AckPoint struct {
+	At    sim.Time
+	Acked int64
+}
+
+// Duration returns the active data-transfer time of the flow.
+func (f *FlowInfo) Duration() time.Duration {
+	return f.LastDataAt - f.FirstDataAt
+}
+
+// ThroughputBps returns the whole-flow goodput estimate.
+func (f *FlowInfo) ThroughputBps() float64 {
+	d := f.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(f.BytesAcked*8) / d
+}
+
+// SlowStartDuration returns the length of the slow-start window.
+func (f *FlowInfo) SlowStartDuration() time.Duration {
+	end := f.LastDataAt
+	if f.HasRetransmit {
+		end = f.FirstRetransmitAt
+	}
+	return end - f.FirstDataAt
+}
+
+// ackedAt returns the cumulative acked bytes at time t.
+func (f *FlowInfo) ackedAt(t sim.Time) int64 {
+	// Binary search for the last point at or before t.
+	lo, hi := 0, len(f.AckCurve)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.AckCurve[mid].At <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return f.AckCurve[lo-1].Acked
+}
+
+// SlowStartThroughputBps returns the rate the flow achieved by the end of
+// slow start, the quantity the paper thresholds against link capacity for
+// labeling. Because slow start ramps exponentially, the whole-window mean
+// undersells what the flow reached; this measures the second half of the
+// window, which approaches the bottleneck rate for flows that fill their
+// link.
+func (f *FlowInfo) SlowStartThroughputBps() float64 {
+	end := f.LastDataAt
+	if f.HasRetransmit {
+		end = f.FirstRetransmitAt
+	}
+	d := end - f.FirstDataAt
+	if d <= 0 {
+		return 0
+	}
+	mid := f.FirstDataAt + d/2
+	bytes := f.SlowStartBytesAcked - f.ackedAt(mid)
+	half := (end - mid).Seconds()
+	if half <= 0 || bytes <= 0 {
+		return f.MeanSlowStartThroughputBps()
+	}
+	return float64(bytes*8) / half
+}
+
+// MeanSlowStartThroughputBps is the whole-window average goodput during
+// slow start.
+func (f *FlowInfo) MeanSlowStartThroughputBps() float64 {
+	d := f.SlowStartDuration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(f.SlowStartBytesAcked*8) / d
+}
+
+// SlowStartRTTs returns the slow-start RTT samples as raw durations.
+func (f *FlowInfo) SlowStartRTTs() []time.Duration {
+	out := make([]time.Duration, len(f.SlowStart))
+	for i, s := range f.SlowStart {
+		out[i] = s.RTT
+	}
+	return out
+}
+
+// Valid reports whether the flow passes the paper's sample-count filter.
+func (f *FlowInfo) Valid() bool { return len(f.SlowStart) >= MinSlowStartSamples }
+
+type outSeg struct {
+	endSeq uint32
+	at     sim.Time
+	retx   bool
+}
+
+// Analyze extracts RTT samples for the data direction given by flow from a
+// server-side capture. Outgoing records must carry the flow key; incoming
+// ACKs are matched on the reverse key.
+func Analyze(records []netem.CaptureRecord, flow netem.FlowKey) (*FlowInfo, error) {
+	info := &FlowInfo{Flow: flow}
+	rev := flow.Reverse()
+
+	var outstanding []outSeg
+	var seen []netem.SackBlock // transmitted ranges, for retransmit detection
+	var highAck uint32
+	var haveAck bool
+	var firstSeq uint32
+	var haveData bool
+
+	isRetransmission := func(p *netem.Packet) bool {
+		if p.Retransmit {
+			return true
+		}
+		// For real traces without the emulator's flag: a data packet
+		// whose range overlaps something already sent.
+		start, end := p.Seg.Seq, p.EndSeq()
+		for _, r := range seen {
+			if seqLT32(start, r.End) && seqLT32(r.Start, end) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for i := range records {
+		rec := &records[i]
+		p := &rec.Pkt
+		switch {
+		case rec.Dir == netem.DirOut && p.Flow == flow && p.IsData():
+			if !haveData {
+				haveData = true
+				firstSeq = p.Seg.Seq
+				info.FirstDataAt = rec.At
+			}
+			info.LastDataAt = rec.At
+			if isRetransmission(p) {
+				if !info.HasRetransmit {
+					info.HasRetransmit = true
+					info.FirstRetransmitAt = rec.At
+					if haveAck {
+						info.SlowStartBytesAcked = seqDiff32(highAck, firstSeq)
+					}
+				}
+				// Invalidate overlapping outstanding samples.
+				for j := range outstanding {
+					if seqLT32(p.Seg.Seq, outstanding[j].endSeq) && seqLT32(outstanding[j].endSeq, p.EndSeq()+1) {
+						outstanding[j].retx = true
+					}
+				}
+			} else {
+				outstanding = append(outstanding, outSeg{endSeq: p.EndSeq(), at: rec.At})
+				seen = mergeRange(seen, p.Seg.Seq, p.EndSeq())
+			}
+			info.BytesSent = coveredBytes(seen)
+
+		case rec.Dir == netem.DirIn && p.Flow == rev && p.Seg.Flags&netem.FlagACK != 0:
+			ack := p.Seg.Ack
+			if haveData && seqLT32(firstSeq, ack) {
+				if !haveAck || seqLT32(highAck, ack) {
+					highAck = ack
+					haveAck = true
+					info.AckCurve = append(info.AckCurve, AckPoint{At: rec.At, Acked: seqDiff32(highAck, firstSeq)})
+				}
+			}
+			// Pop covered segments; newest non-retransmitted one
+			// yields the sample.
+			idx := 0
+			var sampleAt sim.Time
+			var sampleRTT time.Duration
+			ok := false
+			for ; idx < len(outstanding) && seqLEQ32(outstanding[idx].endSeq, ack); idx++ {
+				if !outstanding[idx].retx {
+					sampleAt = rec.At
+					sampleRTT = rec.At - outstanding[idx].at
+					ok = true
+				}
+			}
+			outstanding = outstanding[idx:]
+			if ok {
+				s := Sample{At: sampleAt, RTT: sampleRTT}
+				info.Samples = append(info.Samples, s)
+				if !info.HasRetransmit {
+					info.SlowStart = append(info.SlowStart, s)
+				}
+			}
+		}
+	}
+	if !haveData {
+		return nil, fmt.Errorf("%w: %v", ErrNoData, flow)
+	}
+	if haveAck {
+		info.BytesAcked = seqDiff32(highAck, firstSeq)
+		if !info.HasRetransmit {
+			info.SlowStartBytesAcked = info.BytesAcked
+		}
+	}
+	return info, nil
+}
+
+// AnalyzeValid is Analyze plus the paper's >= 10 slow-start samples filter.
+func AnalyzeValid(records []netem.CaptureRecord, flow netem.FlowKey) (*FlowInfo, error) {
+	info, err := Analyze(records, flow)
+	if err != nil {
+		return nil, err
+	}
+	if !info.Valid() {
+		return info, fmt.Errorf("%w: got %d", ErrTooFewSamples, len(info.SlowStart))
+	}
+	return info, nil
+}
+
+// Flows enumerates the distinct outgoing data-bearing flow keys in a capture
+// in order of first appearance.
+func Flows(records []netem.CaptureRecord) []netem.FlowKey {
+	var out []netem.FlowKey
+	seen := make(map[netem.FlowKey]bool)
+	for i := range records {
+		rec := &records[i]
+		if rec.Dir == netem.DirOut && rec.Pkt.IsData() && !seen[rec.Pkt.Flow] {
+			seen[rec.Pkt.Flow] = true
+			out = append(out, rec.Pkt.Flow)
+		}
+	}
+	return out
+}
+
+// mergeRange inserts [start, end) keeping the set sorted and merged.
+func mergeRange(set []netem.SackBlock, start, end uint32) []netem.SackBlock {
+	if !seqLT32(start, end) {
+		return set
+	}
+	out := set[:0:0]
+	inserted := false
+	for _, iv := range set {
+		switch {
+		case seqLT32(end, iv.Start):
+			if !inserted {
+				out = append(out, netem.SackBlock{Start: start, End: end})
+				inserted = true
+			}
+			out = append(out, iv)
+		case seqLT32(iv.End, start):
+			out = append(out, iv)
+		default:
+			if seqLT32(iv.Start, start) {
+				start = iv.Start
+			}
+			if seqLT32(end, iv.End) {
+				end = iv.End
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, netem.SackBlock{Start: start, End: end})
+	}
+	sort.Slice(out, func(i, j int) bool { return seqLT32(out[i].Start, out[j].Start) })
+	return out
+}
+
+func coveredBytes(set []netem.SackBlock) int64 {
+	var n int64
+	for _, iv := range set {
+		n += seqDiff32(iv.End, iv.Start)
+	}
+	return n
+}
+
+func seqLT32(a, b uint32) bool  { return int32(a-b) < 0 }
+func seqLEQ32(a, b uint32) bool { return int32(a-b) <= 0 }
+func seqDiff32(a, b uint32) int64 {
+	return int64(int32(a - b))
+}

@@ -1,0 +1,233 @@
+package flowrtt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
+	"tcpsig/internal/tcpsim"
+)
+
+var testFlow = netem.FlowKey{SrcAddr: 1, DstAddr: 2, SrcPort: 80, DstPort: 5000}
+
+// synth builds a capture of alternating data-out/ack-in records with the
+// given per-segment RTTs.
+func synth(rtts []time.Duration) []netem.CaptureRecord {
+	var recs []netem.CaptureRecord
+	var now sim.Time
+	seq := uint32(1000)
+	for _, rtt := range rtts {
+		recs = append(recs, netem.CaptureRecord{
+			At:  now,
+			Dir: netem.DirOut,
+			Pkt: netem.Packet{Flow: testFlow, Seg: netem.Segment{Seq: seq, PayloadLen: 1460, Flags: netem.FlagACK}, Size: 1500},
+		})
+		recs = append(recs, netem.CaptureRecord{
+			At:  now + rtt,
+			Dir: netem.DirIn,
+			Pkt: netem.Packet{Flow: testFlow.Reverse(), Seg: netem.Segment{Ack: seq + 1460, Flags: netem.FlagACK}, Size: 40},
+		})
+		seq += 1460
+		now += rtt + time.Millisecond
+	}
+	return recs
+}
+
+func TestSyntheticRTTExtraction(t *testing.T) {
+	rtts := []time.Duration{
+		20 * time.Millisecond, 22 * time.Millisecond, 25 * time.Millisecond,
+		30 * time.Millisecond, 36 * time.Millisecond, 44 * time.Millisecond,
+		54 * time.Millisecond, 66 * time.Millisecond, 80 * time.Millisecond,
+		96 * time.Millisecond, 114 * time.Millisecond,
+	}
+	info, err := AnalyzeValid(synth(rtts), testFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Samples) != len(rtts) {
+		t.Fatalf("samples = %d, want %d", len(info.Samples), len(rtts))
+	}
+	for i, s := range info.Samples {
+		if s.RTT != rtts[i] {
+			t.Fatalf("sample %d = %v, want %v", i, s.RTT, rtts[i])
+		}
+	}
+	if info.HasRetransmit {
+		t.Fatal("no retransmits in this trace")
+	}
+	if len(info.SlowStart) != len(rtts) {
+		t.Fatal("without loss, the whole flow is slow start")
+	}
+	if info.BytesSent != int64(len(rtts))*1460 {
+		t.Fatalf("BytesSent = %d", info.BytesSent)
+	}
+	if info.BytesAcked != int64(len(rtts))*1460 {
+		t.Fatalf("BytesAcked = %d", info.BytesAcked)
+	}
+}
+
+func TestRetransmitEndsSlowStart(t *testing.T) {
+	recs := synth([]time.Duration{
+		20 * time.Millisecond, 21 * time.Millisecond, 22 * time.Millisecond,
+		23 * time.Millisecond, 24 * time.Millisecond, 25 * time.Millisecond,
+		26 * time.Millisecond, 27 * time.Millisecond, 28 * time.Millisecond,
+		29 * time.Millisecond, 30 * time.Millisecond, 31 * time.Millisecond,
+	})
+	// Append a retransmission of the first segment, then more data+acks.
+	last := recs[len(recs)-1].At
+	retx := netem.CaptureRecord{
+		At:  last + time.Millisecond,
+		Dir: netem.DirOut,
+		Pkt: netem.Packet{Flow: testFlow, Seg: netem.Segment{Seq: 1000, PayloadLen: 1460, Flags: netem.FlagACK}, Size: 1500, Retransmit: true},
+	}
+	recs = append(recs, retx)
+	more := synth([]time.Duration{40 * time.Millisecond})
+	for i := range more {
+		more[i].At += last + 10*time.Millisecond
+		more[i].Pkt.Seg.Seq += 100000
+		more[i].Pkt.Seg.Ack += 100000
+	}
+	recs = append(recs, more...)
+
+	info, err := AnalyzeValid(recs, testFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.HasRetransmit {
+		t.Fatal("retransmission not detected")
+	}
+	if info.FirstRetransmitAt != retx.At {
+		t.Fatalf("FirstRetransmitAt = %v, want %v", info.FirstRetransmitAt, retx.At)
+	}
+	if len(info.SlowStart) != 12 {
+		t.Fatalf("slow-start samples = %d, want 12", len(info.SlowStart))
+	}
+	if len(info.Samples) <= len(info.SlowStart) {
+		t.Fatal("post-retransmit samples missing from full set")
+	}
+}
+
+func TestRetransmitDetectionWithoutFlag(t *testing.T) {
+	// Duplicate sequence range without the emulator's Retransmit flag
+	// (as in a real pcap) must still be detected.
+	recs := synth([]time.Duration{
+		20 * time.Millisecond, 21 * time.Millisecond, 22 * time.Millisecond,
+		23 * time.Millisecond, 24 * time.Millisecond, 25 * time.Millisecond,
+		26 * time.Millisecond, 27 * time.Millisecond, 28 * time.Millisecond,
+		29 * time.Millisecond, 30 * time.Millisecond,
+	})
+	dup := netem.CaptureRecord{
+		At:  recs[len(recs)-1].At + time.Millisecond,
+		Dir: netem.DirOut,
+		Pkt: netem.Packet{Flow: testFlow, Seg: netem.Segment{Seq: 1000, PayloadLen: 1460, Flags: netem.FlagACK}, Size: 1500},
+	}
+	recs = append(recs, dup)
+	info, err := Analyze(recs, testFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.HasRetransmit {
+		t.Fatal("unflagged duplicate range not detected as retransmission")
+	}
+}
+
+func TestKarnExcludesRetransmittedSamples(t *testing.T) {
+	// Data seg sent, retransmitted, then acked: the ACK must not yield a
+	// sample from either copy.
+	var recs []netem.CaptureRecord
+	add := func(at time.Duration, dir netem.Direction, pkt netem.Packet) {
+		recs = append(recs, netem.CaptureRecord{At: sim.Time(at), Dir: dir, Pkt: pkt})
+	}
+	data := netem.Packet{Flow: testFlow, Seg: netem.Segment{Seq: 1000, PayloadLen: 1460, Flags: netem.FlagACK}, Size: 1500}
+	add(0, netem.DirOut, data)
+	retx := data
+	retx.Retransmit = true
+	add(300*time.Millisecond, netem.DirOut, retx)
+	add(320*time.Millisecond, netem.DirIn, netem.Packet{Flow: testFlow.Reverse(), Seg: netem.Segment{Ack: 2460, Flags: netem.FlagACK}, Size: 40})
+	info, err := Analyze(recs, testFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Samples) != 0 {
+		t.Fatalf("Karn violation: got %d samples", len(info.Samples))
+	}
+}
+
+func TestTooFewSamplesRejected(t *testing.T) {
+	recs := synth([]time.Duration{20 * time.Millisecond, 21 * time.Millisecond})
+	_, err := AnalyzeValid(recs, testFlow)
+	if !errors.Is(err, ErrTooFewSamples) {
+		t.Fatalf("err = %v, want ErrTooFewSamples", err)
+	}
+}
+
+func TestNoDataError(t *testing.T) {
+	_, err := Analyze(nil, testFlow)
+	if !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestFlowsEnumeration(t *testing.T) {
+	recs := synth([]time.Duration{20 * time.Millisecond})
+	other := testFlow
+	other.DstPort = 6000
+	recs = append(recs, netem.CaptureRecord{
+		At:  time.Second,
+		Dir: netem.DirOut,
+		Pkt: netem.Packet{Flow: other, Seg: netem.Segment{Seq: 1, PayloadLen: 100}, Size: 140},
+	})
+	flows := Flows(recs)
+	if len(flows) != 2 || flows[0] != testFlow || flows[1] != other {
+		t.Fatalf("flows = %v", flows)
+	}
+}
+
+// End-to-end: capture a real emulated transfer at the server, analyze it,
+// and verify the self-induced RTT ramp is visible.
+func TestEndToEndSelfInducedRamp(t *testing.T) {
+	eng := sim.NewEngine(21)
+	net := netem.New(eng)
+	client := net.NewHost("client")
+	server := net.NewHost("server")
+	q := netem.NewDropTailDepth(20e6, 100*time.Millisecond)
+	net.Connect(server, client,
+		netem.LinkConfig{RateBps: 20e6, Delay: 20 * time.Millisecond, Queue: q},
+		netem.LinkConfig{RateBps: 1e9, Delay: 20 * time.Millisecond})
+	capt := server.EnableCapture()
+
+	d := tcpsim.StartDownload(client, server, 40000, 80, tcpsim.Config{}, 0, 10*time.Second)
+	eng.Run()
+	if !d.Receiver.Done() {
+		t.Fatal("transfer incomplete")
+	}
+
+	flows := Flows(capt.Records)
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d, want 1", len(flows))
+	}
+	info, err := AnalyzeValid(capt.Records, flows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.HasRetransmit {
+		t.Fatal("slow start should overflow the buffer")
+	}
+	rtts := info.SlowStartRTTs()
+	span := rtts[len(rtts)-1] - rtts[0]
+	if span < 50*time.Millisecond {
+		t.Fatalf("slow-start RTT ramp %v, want >= 50ms with a 100ms buffer", span)
+	}
+	// Trace-derived throughput should roughly match receiver-observed.
+	rx := d.Receiver.Stats()
+	rxBps := float64(rx.BytesReceived*8) / (rx.FinishedAt - rx.EstablishedAt).Seconds()
+	traceBps := info.ThroughputBps()
+	if traceBps < 0.8*rxBps || traceBps > 1.25*rxBps {
+		t.Fatalf("trace throughput %.1f vs receiver %.1f Mbps", traceBps/1e6, rxBps/1e6)
+	}
+	if info.SlowStartThroughputBps() < 5e6 {
+		t.Fatalf("slow-start throughput %.1f Mbps too low", info.SlowStartThroughputBps()/1e6)
+	}
+}

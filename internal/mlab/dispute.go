@@ -1,0 +1,271 @@
+package mlab
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Period distinguishes the two Dispute2014 timeframes.
+type Period int
+
+// Periods.
+const (
+	JanFeb Period = iota // during the Cogent peering dispute
+	MarApr               // after resolution
+)
+
+func (p Period) String() string {
+	if p == JanFeb {
+		return "Jan-Feb"
+	}
+	return "Mar-Apr"
+}
+
+// Site is one M-Lab server location within a transit ISP.
+type Site struct {
+	Transit string
+	City    string
+}
+
+// DisputeSites are the paper's three (transit, city) combinations.
+var DisputeSites = []Site{
+	{Transit: "Cogent", City: "LAX"},
+	{Transit: "Cogent", City: "LGA"},
+	{Transit: "Level3", City: "ATL"},
+}
+
+// DisputeISPs are the four access ISPs studied.
+var DisputeISPs = []string{"Comcast", "TimeWarner", "Verizon", "Cox"}
+
+// Affected reports whether a (site, ISP, period) cell suffered the
+// interconnect congestion of the 2014 dispute: Cogent paths to everyone
+// except Cox (which peered directly with Netflix), during Jan-Feb only.
+func Affected(site Site, isp string, period Period) bool {
+	return site.Transit == "Cogent" && isp != "Cox" && period == JanFeb
+}
+
+// PeakHour reports whether local hour h is in the paper's peak window
+// (4 PM to midnight).
+func PeakHour(h int) bool { return h >= 16 }
+
+// OffPeakHour reports whether h is in the paper's off-peak window (1 AM to
+// 8 AM).
+func OffPeakHour(h int) bool { return h >= 1 && h <= 8 }
+
+// planDist is the service-plan distribution used for synthetic clients,
+// loosely following 2014 US broadband tiers.
+var planDist = []struct {
+	Mbps float64
+	P    float64
+}{
+	{10, 0.20},
+	{20, 0.35},
+	{25, 0.15},
+	{50, 0.20},
+	{100, 0.10},
+}
+
+func samplePlan(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	acc := 0.0
+	for _, pd := range planDist {
+		acc += pd.P
+		if u <= acc {
+			return pd.Mbps
+		}
+	}
+	return planDist[len(planDist)-1].Mbps
+}
+
+// diurnalLoad is the normalized interconnect utilization by hour of day:
+// near-idle overnight, ramping through the afternoon, peaking in the
+// evening. It shapes both the congested-cell intensity and the background
+// noise probability.
+func diurnalLoad(hour int) float64 {
+	switch {
+	case hour >= 1 && hour <= 7:
+		return 0.10
+	case hour >= 8 && hour <= 11:
+		return 0.35
+	case hour >= 12 && hour <= 15:
+		return 0.55
+	case hour >= 16 && hour <= 19:
+		return 0.85
+	default: // 20-24, 0
+		return 1.0
+	}
+}
+
+// DisputeOptions configures dataset generation.
+type DisputeOptions struct {
+	// TestsPerCell is the number of NDT tests per (site, ISP, period,
+	// hour) cell.
+	TestsPerCell int
+
+	// Hours restricts which hours are generated (nil = all 24).
+	Hours []int
+
+	// Sites and ISPs restrict the grid (nil = the paper's full sets).
+	Sites []Site
+	ISPs  []string
+
+	// Duration shortens the per-test length for fast runs (default 10s).
+	Duration time.Duration
+
+	// MaxCongFlows is the cross-traffic concurrency at full load
+	// (default 28, which drives per-flow interconnect share well below
+	// typical plans at peak).
+	MaxCongFlows int
+
+	// Seed drives the whole dataset deterministically.
+	Seed int64
+
+	// Progress, when non-nil, is called after every test.
+	Progress func(done, total int)
+}
+
+func (o DisputeOptions) withDefaults() DisputeOptions {
+	if o.TestsPerCell == 0 {
+		o.TestsPerCell = 2
+	}
+	if o.Hours == nil {
+		o.Hours = make([]int, 24)
+		for i := range o.Hours {
+			o.Hours[i] = i
+		}
+	}
+	if o.Sites == nil {
+		o.Sites = DisputeSites
+	}
+	if o.ISPs == nil {
+		o.ISPs = DisputeISPs
+	}
+	if o.Duration == 0 {
+		o.Duration = 10 * time.Second
+	}
+	if o.MaxCongFlows == 0 {
+		o.MaxCongFlows = 28
+	}
+	return o
+}
+
+// Total returns how many tests the options will generate.
+func (o DisputeOptions) Total() int {
+	o = o.withDefaults()
+	return len(o.Sites) * len(o.ISPs) * 2 * len(o.Hours) * o.TestsPerCell
+}
+
+// DisputeTest is one generated NDT measurement with its cell coordinates.
+type DisputeTest struct {
+	Site     Site
+	ISP      string
+	Period   Period
+	Hour     int
+	PlanMbps float64
+
+	// Congested records the ground truth: whether the interconnect was
+	// congested during this test.
+	Congested bool
+
+	Result *NDTResult
+}
+
+// GenerateDispute2014 synthesizes the dataset. Affected cells get diurnal
+// interconnect congestion; every cell also gets occasional transient
+// congestion episodes whose probability scales with the diurnal load,
+// modeling the background noise of a crowdsourced dataset.
+func GenerateDispute2014(opt DisputeOptions) []DisputeTest {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var out []DisputeTest
+	done := 0
+	total := opt.Total()
+	seed := opt.Seed
+	for _, site := range opt.Sites {
+		for _, isp := range opt.ISPs {
+			for _, period := range []Period{JanFeb, MarApr} {
+				for _, hour := range opt.Hours {
+					for k := 0; k < opt.TestsPerCell; k++ {
+						seed++
+						load := diurnalLoad(hour)
+						cong := 0
+						if Affected(site, isp, period) {
+							// Dispute congestion kicks in once the diurnal
+							// load crosses the link's spare capacity.
+							if load >= 0.5 {
+								cong = int(float64(opt.MaxCongFlows) * load)
+							}
+						}
+						if cong == 0 {
+							// Background transient congestion, more
+							// likely at peak.
+							if rng.Float64() < 0.04+0.08*load {
+								cong = 4 + rng.Intn(opt.MaxCongFlows)
+							}
+						}
+						plan := samplePlan(rng)
+						res, err := RunNDT(PathParams{
+							AccessMbps:    plan,
+							AccessLatency: time.Duration(10+rng.Intn(30)) * time.Millisecond,
+							AccessBuffer:  time.Duration(40+rng.Intn(120)) * time.Millisecond,
+							CongFlows:     cong,
+							Duration:      opt.Duration,
+							Seed:          seed,
+						})
+						done++
+						if opt.Progress != nil {
+							opt.Progress(done, total)
+						}
+						if err != nil {
+							continue
+						}
+						out = append(out, DisputeTest{
+							Site:      site,
+							ISP:       isp,
+							Period:    period,
+							Hour:      hour,
+							PlanMbps:  plan,
+							Congested: cong > 0,
+							Result:    res,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DiurnalThroughput aggregates mean NDT throughput (Mbps) by hour for one
+// (site, ISP, period) combination — the Figure 5 series.
+func DiurnalThroughput(tests []DisputeTest, site Site, isp string, period Period) map[int]float64 {
+	sum := make(map[int]float64)
+	n := make(map[int]int)
+	for _, t := range tests {
+		if t.Site != site || t.ISP != isp || t.Period != period {
+			continue
+		}
+		sum[t.Hour] += t.Result.ThroughputBps / 1e6
+		n[t.Hour]++
+	}
+	out := make(map[int]float64, len(sum))
+	for h, s := range sum {
+		out[h] = s / float64(n[h])
+	}
+	return out
+}
+
+// PaperLabel applies the paper's coarse labeling (§4.1) and reports whether
+// the test is usable: peak-hour Jan-Feb tests from affected (site, ISP)
+// pairs are labeled external, off-peak Mar-Apr tests self-induced,
+// everything else is discarded.
+func PaperLabel(t *DisputeTest) (label int, ok bool) {
+	switch {
+	case t.Period == JanFeb && PeakHour(t.Hour) && Affected(t.Site, t.ISP, t.Period):
+		return 1, true // external
+	case t.Period == MarApr && OffPeakHour(t.Hour):
+		return 0, true // self-induced
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,91 @@
+package mlab
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPathParamsDefaults(t *testing.T) {
+	p := PathParams{AccessMbps: 25}.withDefaults()
+	if p.InterMbps != 200 || p.InterBuffer != 50*time.Millisecond {
+		t.Fatalf("interconnect defaults: %+v", p)
+	}
+	if p.AccessBuffer != 100*time.Millisecond || p.Duration != 10*time.Second {
+		t.Fatalf("access defaults: %+v", p)
+	}
+	// Explicit values survive.
+	p2 := PathParams{AccessMbps: 25, InterMbps: 950, Duration: 5 * time.Second}.withDefaults()
+	if p2.InterMbps != 950 || p2.Duration != 5*time.Second {
+		t.Fatalf("explicit values overwritten: %+v", p2)
+	}
+}
+
+func TestDisputeOptionsTotal(t *testing.T) {
+	opt := DisputeOptions{
+		TestsPerCell: 3,
+		Hours:        []int{1, 2},
+		Sites:        []Site{{Transit: "Cogent", City: "LAX"}},
+		ISPs:         []string{"Comcast", "Cox"},
+	}
+	// 1 site × 2 ISPs × 2 periods × 2 hours × 3 tests = 24.
+	if got := opt.Total(); got != 24 {
+		t.Fatalf("Total = %d, want 24", got)
+	}
+	// Defaults: 3 sites × 4 ISPs × 2 × 24 hours × 2 = 1152.
+	if got := (DisputeOptions{}).Total(); got != 1152 {
+		t.Fatalf("default Total = %d, want 1152", got)
+	}
+}
+
+func TestTSLPTestTimeline(t *testing.T) {
+	ts := TSLPTest{Day: 2, Hour: 3, Minute: 30}
+	want := 51*time.Hour + 30*time.Minute
+	if ts.At() != want {
+		t.Fatalf("At = %v, want %v", ts.At(), want)
+	}
+}
+
+func TestDiurnalLoadShape(t *testing.T) {
+	// Overnight low, evening peak, monotone-ish ramp between.
+	if diurnalLoad(3) >= diurnalLoad(10) {
+		t.Fatal("overnight not below morning")
+	}
+	if diurnalLoad(10) >= diurnalLoad(18) {
+		t.Fatal("morning not below evening")
+	}
+	if diurnalLoad(21) != 1.0 {
+		t.Fatalf("evening peak = %v", diurnalLoad(21))
+	}
+}
+
+func TestSamplePlanDistribution(t *testing.T) {
+	rng := newTestRand()
+	counts := map[float64]int{}
+	for i := 0; i < 10000; i++ {
+		counts[samplePlan(rng)]++
+	}
+	for _, pd := range planDist {
+		got := float64(counts[pd.Mbps]) / 10000
+		if got < pd.P-0.03 || got > pd.P+0.03 {
+			t.Fatalf("plan %v Mbps frequency %.3f, want ~%.2f", pd.Mbps, got, pd.P)
+		}
+	}
+}
+
+func TestNDTFilterAccounting(t *testing.T) {
+	r := &NDTResult{}
+	if r.CongestionLimitedFrac() != 0 {
+		t.Fatal("empty accounting should be 0")
+	}
+	r.Web100.CongestionLimited = 9 * time.Second
+	r.Web100.SenderLimited = time.Second
+	if f := r.CongestionLimitedFrac(); f != 0.9 {
+		t.Fatalf("frac = %v", f)
+	}
+	if r.PassesNDTFilter() {
+		t.Fatal("nil Flow must fail the filter")
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(1)) }

@@ -1,0 +1,117 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"tcpsig/internal/sim"
+)
+
+type eceSink struct {
+	marked   int
+	unmarked int
+}
+
+func (s *eceSink) Input(p *Packet) {
+	if p.ECE {
+		s.marked++
+	} else {
+		s.unmarked++
+	}
+}
+
+func TestLinkAppliesECNMarks(t *testing.T) {
+	eng := sim.NewEngine(3)
+	net := New(eng)
+	a := net.NewHost("a")
+	b := net.NewHost("b")
+	red := NewRED(eng, 100000, 10000, 60000, 0.2, 10e6)
+	red.ECN = true
+	red.Weight = 0.05
+	net.Connect(a, b, LinkConfig{RateBps: 10e6, Queue: red}, LinkConfig{})
+	s := &eceSink{}
+	b.Bind(80, s)
+	// Sustained 12 Mbps into a 10 Mbps link.
+	for i := 0; i < 3000; i++ {
+		a.Send(&Packet{
+			Flow: FlowKey{SrcAddr: a.Addr(), DstAddr: b.Addr(), SrcPort: 1, DstPort: 80},
+			Seg:  Segment{PayloadLen: 1460},
+			Size: 1500,
+		})
+		eng.RunFor(time.Millisecond)
+	}
+	eng.Run()
+	if red.Marks == 0 || s.marked == 0 {
+		t.Fatalf("no ECN marks delivered: queue marks=%d delivered marked=%d", red.Marks, s.marked)
+	}
+	if s.marked != int(red.Marks) {
+		t.Fatalf("marks delivered (%d) != marks applied (%d)", s.marked, red.Marks)
+	}
+	if red.EarlyDrops != 0 {
+		t.Fatalf("ECN queue early-dropped %d", red.EarlyDrops)
+	}
+	if s.unmarked == 0 {
+		t.Fatal("every packet marked; marking should be probabilistic")
+	}
+}
+
+func TestREDWithoutECNDoesNotMark(t *testing.T) {
+	eng := sim.NewEngine(4)
+	net := New(eng)
+	a := net.NewHost("a")
+	b := net.NewHost("b")
+	red := NewRED(eng, 100000, 10000, 60000, 0.2, 10e6)
+	red.Weight = 0.05
+	net.Connect(a, b, LinkConfig{RateBps: 10e6, Queue: red}, LinkConfig{})
+	s := &eceSink{}
+	b.Bind(80, s)
+	for i := 0; i < 2000; i++ {
+		a.Send(&Packet{
+			Flow: FlowKey{SrcAddr: a.Addr(), DstAddr: b.Addr(), SrcPort: 1, DstPort: 80},
+			Seg:  Segment{PayloadLen: 1460},
+			Size: 1500,
+		})
+		eng.RunFor(time.Millisecond)
+	}
+	eng.Run()
+	if s.marked != 0 || red.Marks != 0 {
+		t.Fatal("drop-mode RED marked packets")
+	}
+	if red.EarlyDrops == 0 {
+		t.Fatal("drop-mode RED never early-dropped under overload")
+	}
+}
+
+func TestSetLossRuntime(t *testing.T) {
+	eng := sim.NewEngine(5)
+	net := New(eng)
+	a := net.NewHost("a")
+	b := net.NewHost("b")
+	link, _ := net.Connect(a, b, LinkConfig{RateBps: 1e9}, LinkConfig{})
+	s := &eceSink{}
+	b.Bind(80, s)
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			a.Send(&Packet{
+				Flow: FlowKey{SrcAddr: a.Addr(), DstAddr: b.Addr(), SrcPort: 1, DstPort: 80},
+				Seg:  Segment{PayloadLen: 100},
+				Size: 140,
+			})
+		}
+		eng.Run()
+	}
+	send(100)
+	if got := s.marked + s.unmarked; got != 100 {
+		t.Fatalf("lossless phase delivered %d", got)
+	}
+	link.SetLoss(1.0)
+	send(100)
+	if got := s.marked + s.unmarked; got != 100 {
+		t.Fatalf("blackout phase delivered %d extra", got-100)
+	}
+	link.SetLoss(0)
+	send(100)
+	if got := s.marked + s.unmarked; got != 200 {
+		t.Fatalf("healed phase total %d, want 200", got)
+	}
+}

@@ -1,0 +1,244 @@
+package netem
+
+import (
+	"time"
+
+	"tcpsig/internal/sim"
+)
+
+// LinkConfig describes one direction of a link.
+type LinkConfig struct {
+	// RateBps is the serialization rate in bits per second. Zero means
+	// infinitely fast (no serialization delay, no queueing).
+	RateBps float64
+
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+
+	// Jitter adds a uniform random component in [-Jitter, +Jitter] to the
+	// propagation delay of each packet. Delivery order is preserved, as
+	// with tc netem's default configuration.
+	Jitter time.Duration
+
+	// Loss is the independent per-packet drop probability applied at
+	// transmission time (after queueing), like tc netem loss.
+	Loss float64
+
+	// Queue buffers packets awaiting transmission. Nil gets an unlimited
+	// drop-tail queue.
+	Queue Queue
+
+	// Bucket optionally meters departures through a token bucket shaper
+	// in addition to the serialization rate, matching tc tbf.
+	Bucket *TokenBucket
+}
+
+// LinkStats counts link activity.
+type LinkStats struct {
+	Sent           uint64 // packets handed to the link
+	Delivered      uint64
+	QueueDrops     uint64 // rejected by the buffer
+	LossDrops      uint64 // random loss
+	BytesDelivered uint64
+}
+
+type pendingRelease struct {
+	at   sim.Time
+	size int
+}
+
+type pendingDelivery struct {
+	at  sim.Time
+	p   *Packet
+	del bool // random loss: occupy the slot but do not deliver
+}
+
+// Link is a unidirectional channel from one node to another: a FIFO buffer
+// drained at a serialization rate, followed by a propagation pipe.
+//
+// Departures are computed analytically (virtual finish times), so each
+// packet costs a single scheduled event — its delivery — regardless of
+// buffer depth.
+type Link struct {
+	Name string
+
+	eng *sim.Engine
+	cfg LinkConfig
+	dst Node
+	src Node
+
+	lastDepart   sim.Time
+	lastDelivery sim.Time
+
+	// releases tracks buffer occupancy: packets admitted but not yet
+	// fully serialized, drained lazily as time passes.
+	releases    []pendingRelease
+	releaseHead int
+
+	// deliveries is the propagation pipeline; only its head event is in
+	// the engine queue.
+	deliveries   []pendingDelivery
+	deliveryHead int
+	deliveryArmd bool
+	deliverFn    sim.Event
+
+	stats LinkStats
+
+	// Tap, when non-nil, observes every packet at the moment it is handed
+	// to the link (before queueing/dropping).
+	Tap func(p *Packet)
+}
+
+// NewLink builds a standalone unidirectional link delivering into dst.
+// Most callers use Network.Connect instead.
+func NewLink(eng *sim.Engine, name string, cfg LinkConfig, dst Node) *Link {
+	if cfg.Queue == nil {
+		cfg.Queue = NewDropTail(0)
+	}
+	l := &Link{Name: name, eng: eng, cfg: cfg, dst: dst}
+	l.deliverFn = l.deliverHead
+	return l
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Queue exposes the buffer for occupancy inspection.
+func (l *Link) Queue() Queue { return l.cfg.Queue }
+
+// Dst returns the node this link delivers into.
+func (l *Link) Dst() Node { return l.dst }
+
+// Src returns the node that feeds this link (nil for standalone links).
+func (l *Link) Src() Node { return l.src }
+
+// drainReleases returns buffer bytes for packets that have finished
+// serializing by now.
+func (l *Link) drainReleases() {
+	now := l.eng.Now()
+	for l.releaseHead < len(l.releases) && l.releases[l.releaseHead].at <= now {
+		l.cfg.Queue.Release(l.releases[l.releaseHead].size)
+		l.releaseHead++
+	}
+	if l.releaseHead == len(l.releases) && len(l.releases) > 0 {
+		l.releases = l.releases[:0]
+		l.releaseHead = 0
+	} else if l.releaseHead > 1024 && l.releaseHead*2 > len(l.releases) {
+		n := copy(l.releases, l.releases[l.releaseHead:])
+		l.releases = l.releases[:n]
+		l.releaseHead = 0
+	}
+}
+
+// Send enqueues a packet for transmission. Drops are silent, as on a real
+// wire; senders learn about them from missing ACKs.
+func (l *Link) Send(p *Packet) {
+	l.stats.Sent++
+	if l.Tap != nil {
+		l.Tap(p)
+	}
+	l.drainReleases()
+	if m, ok := l.cfg.Queue.(interface {
+		AdmitMark(size int) (bool, bool)
+	}); ok {
+		admit, mark := m.AdmitMark(p.Size)
+		if !admit {
+			l.stats.QueueDrops++
+			return
+		}
+		if mark {
+			p.ECE = true
+		}
+	} else if !l.cfg.Queue.Admit(p.Size) {
+		l.stats.QueueDrops++
+		return
+	}
+	now := l.eng.Now()
+
+	// Analytic departure: wait for prior packets, shaping tokens, then
+	// serialize at the link rate.
+	start := now
+	if l.lastDepart > start {
+		start = l.lastDepart
+	}
+	if l.cfg.Bucket != nil {
+		start += l.cfg.Bucket.ReadyAfter(start, p.Size)
+	}
+	var txTime time.Duration
+	if l.cfg.RateBps > 0 {
+		txTime = time.Duration(float64(p.Size*8) / l.cfg.RateBps * float64(time.Second))
+	}
+	depart := start + txTime
+	l.lastDepart = depart
+	l.releases = append(l.releases, pendingRelease{at: depart, size: p.Size})
+
+	// Random loss applies on the wire: the packet consumes its
+	// serialization slot but is not delivered.
+	lost := l.cfg.Loss > 0 && l.eng.Rand().Float64() < l.cfg.Loss
+	if lost {
+		l.stats.LossDrops++
+	}
+	prop := l.cfg.Delay + jitterIn(l.eng.Rand(), l.cfg.Jitter)
+	if prop < 0 {
+		prop = 0
+	}
+	deliverAt := depart + prop
+	// Preserve FIFO delivery despite jitter, as tc netem does when
+	// reordering is not requested.
+	if deliverAt < l.lastDelivery {
+		deliverAt = l.lastDelivery
+	}
+	l.lastDelivery = deliverAt
+	if l.deliveryHead > 1024 && l.deliveryHead*2 > len(l.deliveries) {
+		n := copy(l.deliveries, l.deliveries[l.deliveryHead:])
+		for i := n; i < len(l.deliveries); i++ {
+			l.deliveries[i].p = nil
+		}
+		l.deliveries = l.deliveries[:n]
+		l.deliveryHead = 0
+	}
+	l.deliveries = append(l.deliveries, pendingDelivery{at: deliverAt, p: p, del: !lost})
+	if !l.deliveryArmd {
+		l.deliveryArmd = true
+		l.eng.At(deliverAt, l.deliverFn)
+	}
+}
+
+func (l *Link) deliverHead() {
+	now := l.eng.Now()
+	for l.deliveryHead < len(l.deliveries) {
+		d := &l.deliveries[l.deliveryHead]
+		if d.at > now {
+			l.eng.At(d.at, l.deliverFn)
+			return
+		}
+		l.deliveryHead++
+		if d.del {
+			l.stats.Delivered++
+			l.stats.BytesDelivered += uint64(d.p.Size)
+			l.dst.Deliver(d.p)
+		}
+		d.p = nil
+	}
+	l.deliveries = l.deliveries[:0]
+	l.deliveryHead = 0
+	l.deliveryArmd = false
+}
+
+// SetLoss changes the link's random-loss probability at runtime, enabling
+// failure injection (outages, lossy episodes) mid-experiment.
+func (l *Link) SetLoss(p float64) { l.cfg.Loss = p }
+
+// QueueDelay estimates the current queueing delay a newly arriving packet
+// would experience, in seconds of buffered bytes at the link rate. Used by
+// the TSLP probe emulation to report buffer occupancy.
+func (l *Link) QueueDelay() time.Duration {
+	if l.cfg.RateBps <= 0 {
+		return 0
+	}
+	l.drainReleases()
+	return time.Duration(float64(l.cfg.Queue.Bytes()*8) / l.cfg.RateBps * float64(time.Second))
+}

@@ -1,0 +1,372 @@
+package netem
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tcpsig/internal/sim"
+)
+
+type sink struct {
+	pkts  []*Packet
+	times []sim.Time
+	eng   *sim.Engine
+}
+
+func (s *sink) Input(p *Packet) {
+	s.pkts = append(s.pkts, p)
+	s.times = append(s.times, s.eng.Now())
+}
+
+func twoHosts(t *testing.T, seed int64, cfg LinkConfig) (*sim.Engine, *Host, *Host, *sink) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	net := New(eng)
+	a := net.NewHost("a")
+	b := net.NewHost("b")
+	net.Connect(a, b, cfg, LinkConfig{})
+	s := &sink{eng: eng}
+	b.Bind(80, s)
+	return eng, a, b, s
+}
+
+func mkPkt(a, b *Host, size int) *Packet {
+	return &Packet{
+		Flow: FlowKey{SrcAddr: a.Addr(), DstAddr: b.Addr(), SrcPort: 1000, DstPort: 80},
+		Seg:  Segment{PayloadLen: size - HeaderBytes},
+		Size: size,
+	}
+}
+
+func TestDeliveryDelay(t *testing.T) {
+	// 1500B at 12 Mbps = 1 ms serialization; +20 ms propagation.
+	eng, a, b, s := twoHosts(t, 1, LinkConfig{RateBps: 12e6, Delay: 20 * time.Millisecond})
+	a.Send(mkPkt(a, b, 1500))
+	eng.Run()
+	if len(s.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(s.pkts))
+	}
+	want := 21 * time.Millisecond
+	if d := s.times[0]; d < want-time.Microsecond || d > want+time.Microsecond {
+		t.Fatalf("delivery at %v, want ~%v", d, want)
+	}
+}
+
+func TestSerializationQueueing(t *testing.T) {
+	// Two back-to-back packets: second waits for the first's tx time.
+	eng, a, b, s := twoHosts(t, 1, LinkConfig{RateBps: 12e6})
+	a.Send(mkPkt(a, b, 1500))
+	a.Send(mkPkt(a, b, 1500))
+	eng.Run()
+	if len(s.pkts) != 2 {
+		t.Fatalf("delivered %d, want 2", len(s.pkts))
+	}
+	gap := s.times[1] - s.times[0]
+	want := time.Millisecond
+	if gap < want-time.Microsecond || gap > want+time.Microsecond {
+		t.Fatalf("inter-delivery gap %v, want ~1ms", gap)
+	}
+}
+
+func TestDropTailOverflow(t *testing.T) {
+	q := NewDropTail(3000)
+	eng := sim.NewEngine(1)
+	net := New(eng)
+	a := net.NewHost("a")
+	b := net.NewHost("b")
+	toB, _ := net.Connect(a, b, LinkConfig{RateBps: 1e6, Queue: q}, LinkConfig{})
+	s := &sink{eng: eng}
+	b.Bind(80, s)
+	// The buffer holds the in-service packet plus queued ones: two 1500B
+	// packets fill the 3000B buffer; the third and fourth drop.
+	for i := 0; i < 4; i++ {
+		a.Send(mkPkt(a, b, 1500))
+	}
+	if q.Drops != 2 {
+		t.Fatalf("queue drops = %d, want 2", q.Drops)
+	}
+	eng.Run()
+	if len(s.pkts) != 2 {
+		t.Fatalf("delivered %d, want 2", len(s.pkts))
+	}
+	if st := toB.Stats(); st.QueueDrops != 2 || st.Sent != 4 || st.Delivered != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRandomLossRate(t *testing.T) {
+	eng, a, b, s := twoHosts(t, 42, LinkConfig{RateBps: 1e9, Loss: 0.1})
+	const n = 5000
+	for i := 0; i < n; i++ {
+		a.Send(mkPkt(a, b, 100))
+	}
+	eng.Run()
+	lost := n - len(s.pkts)
+	if lost < 400 || lost > 600 {
+		t.Fatalf("lost %d of %d at p=0.1, want ~500", lost, n)
+	}
+}
+
+func TestJitterPreservesOrder(t *testing.T) {
+	eng, a, b, s := twoHosts(t, 7, LinkConfig{RateBps: 1e8, Delay: 10 * time.Millisecond, Jitter: 5 * time.Millisecond})
+	for i := 0; i < 200; i++ {
+		p := mkPkt(a, b, 1000)
+		p.Seg.Seq = uint32(i)
+		a.Send(p)
+	}
+	eng.Run()
+	if len(s.pkts) != 200 {
+		t.Fatalf("delivered %d, want 200", len(s.pkts))
+	}
+	for i, p := range s.pkts {
+		if p.Seg.Seq != uint32(i) {
+			t.Fatalf("reordered at %d: seq %d", i, p.Seg.Seq)
+		}
+	}
+	for i := 1; i < len(s.times); i++ {
+		if s.times[i] < s.times[i-1] {
+			t.Fatal("delivery times not monotonic")
+		}
+	}
+}
+
+func TestTokenBucketShaping(t *testing.T) {
+	// 20 Mbps bucket with 5 KB burst on a 1 Gbps line: a long burst must
+	// average out to the token rate.
+	bucket := NewTokenBucket(20e6, 5000)
+	eng, a, b, s := twoHosts(t, 1, LinkConfig{RateBps: 1e9, Bucket: bucket})
+	const n = 200
+	for i := 0; i < n; i++ {
+		a.Send(mkPkt(a, b, 1500))
+	}
+	eng.Run()
+	if len(s.pkts) != n {
+		t.Fatalf("delivered %d, want %d", len(s.pkts), n)
+	}
+	elapsed := s.times[n-1].Seconds()
+	gotRate := float64((n-4)*1500*8) / elapsed // discount burst allowance
+	if gotRate < 17e6 || gotRate > 23e6 {
+		t.Fatalf("shaped rate = %.1f Mbps, want ~20", gotRate/1e6)
+	}
+}
+
+func TestTokenBucketBurst(t *testing.T) {
+	b := NewTokenBucket(8000, 1000) // 1 KB/s rate, 1 KB burst
+	if w := b.ReadyAfter(0, 1000); w != 0 {
+		t.Fatalf("burst packet waited %v", w)
+	}
+	w := b.ReadyAfter(0, 1000)
+	if w != time.Second {
+		t.Fatalf("post-burst wait %v, want 1s", w)
+	}
+}
+
+func TestRoutingThroughRouters(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng)
+	h1 := net.NewHost("h1")
+	h2 := net.NewHost("h2")
+	r1 := net.NewRouter("r1")
+	r2 := net.NewRouter("r2")
+	fast := LinkConfig{RateBps: 1e9, Delay: time.Millisecond}
+	net.Connect(h1, r1, fast, fast)
+	net.Connect(r1, r2, fast, fast)
+	net.Connect(r2, h2, fast, fast)
+	net.ComputeRoutes()
+
+	s := &sink{eng: eng}
+	h2.Bind(80, s)
+	h1.Send(mkPkt(h1, h2, 1000))
+	eng.Run()
+	if len(s.pkts) != 1 {
+		t.Fatalf("delivered %d, want 1 (routing failed)", len(s.pkts))
+	}
+	if s.times[0] < 3*time.Millisecond {
+		t.Fatalf("delivered at %v, want >= 3ms (3 hops)", s.times[0])
+	}
+	if r1.NoRoute != 0 || r2.NoRoute != 0 {
+		t.Fatal("unexpected no-route drops")
+	}
+}
+
+func TestRoutingPicksShortestPath(t *testing.T) {
+	// h1-rA, h2-rC. rA reaches rC either directly or the long way via rB;
+	// the computed route must take the direct link.
+	eng := sim.NewEngine(1)
+	net := New(eng)
+	h1 := net.NewHost("h1")
+	h2 := net.NewHost("h2")
+	rA := net.NewRouter("rA")
+	rB := net.NewRouter("rB")
+	rC := net.NewRouter("rC")
+	fast := LinkConfig{RateBps: 1e9}
+	net.Connect(h1, rA, fast, fast)
+	net.Connect(rA, rB, fast, fast)
+	viaB, _ := net.Connect(rB, rC, fast, fast)
+	direct, _ := net.Connect(rA, rC, fast, fast)
+	net.Connect(rC, h2, fast, fast)
+	net.ComputeRoutes()
+
+	s := &sink{eng: eng}
+	h2.Bind(80, s)
+	h1.Send(mkPkt(h1, h2, 1000))
+	eng.Run()
+	if len(s.pkts) != 1 {
+		t.Fatal("not delivered")
+	}
+	if direct.Stats().Delivered != 1 || viaB.Stats().Delivered != 0 {
+		t.Fatalf("took long path: direct=%d viaB=%d", direct.Stats().Delivered, viaB.Stats().Delivered)
+	}
+}
+
+func TestCaptureRecordsBothDirections(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng)
+	a := net.NewHost("a")
+	b := net.NewHost("b")
+	net.Connect(a, b, LinkConfig{RateBps: 1e9}, LinkConfig{RateBps: 1e9})
+	cap := a.EnableCapture()
+	s := &sink{eng: eng}
+	b.Bind(80, s)
+	echo := &echoer{host: b}
+	b.Bind(81, echo)
+	p := mkPkt(a, b, 500)
+	p.Flow.DstPort = 81
+	a.Bind(1000, &sink{eng: eng})
+	a.Send(p)
+	eng.Run()
+	if len(cap.Records) != 2 {
+		t.Fatalf("capture has %d records, want 2 (out+in)", len(cap.Records))
+	}
+	if cap.Records[0].Dir != DirOut || cap.Records[1].Dir != DirIn {
+		t.Fatalf("directions = %v,%v", cap.Records[0].Dir, cap.Records[1].Dir)
+	}
+	if cap.Records[1].At <= cap.Records[0].At {
+		t.Fatal("reply captured before request")
+	}
+}
+
+type echoer struct{ host *Host }
+
+func (e *echoer) Input(p *Packet) {
+	r := &Packet{Flow: p.Flow.Reverse(), Size: HeaderBytes, Seg: Segment{Flags: FlagACK}}
+	e.host.Send(r)
+}
+
+func TestUnboundPortDropped(t *testing.T) {
+	eng, a, b, _ := twoHosts(t, 1, LinkConfig{RateBps: 1e9})
+	p := mkPkt(a, b, 100)
+	p.Flow.DstPort = 9999
+	a.Send(p)
+	eng.Run()
+	if b.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", b.Dropped)
+	}
+}
+
+func TestBufferBytes(t *testing.T) {
+	// 100 ms at 20 Mbps = 250 KB.
+	if got := BufferBytes(20e6, 100*time.Millisecond); got != 250000 {
+		t.Fatalf("BufferBytes = %d, want 250000", got)
+	}
+}
+
+func TestQueueDelayReflectsOccupancy(t *testing.T) {
+	q := NewDropTail(0)
+	eng := sim.NewEngine(1)
+	net := New(eng)
+	a := net.NewHost("a")
+	b := net.NewHost("b")
+	toB, _ := net.Connect(a, b, LinkConfig{RateBps: 8e6, Queue: q}, LinkConfig{})
+	b.Bind(80, &sink{eng: eng})
+	// 11 packets of 1000B occupy 11000B at 1 MB/s = 11 ms of drain time.
+	for i := 0; i < 11; i++ {
+		a.Send(mkPkt(a, b, 1000))
+	}
+	got := toB.QueueDelay()
+	if got < 10*time.Millisecond || got > 12*time.Millisecond {
+		t.Fatalf("QueueDelay = %v, want ~11ms", got)
+	}
+	eng.Run()
+	if toB.QueueDelay() != 0 {
+		t.Fatal("queue delay nonzero after drain")
+	}
+}
+
+func TestREDDropsEarly(t *testing.T) {
+	eng := sim.NewEngine(3)
+	red := NewRED(eng, 100000, 20000, 60000, 0.1, 10e6)
+	net := New(eng)
+	a := net.NewHost("a")
+	b := net.NewHost("b")
+	net.Connect(a, b, LinkConfig{RateBps: 10e6, Queue: red}, LinkConfig{})
+	b.Bind(80, &sink{eng: eng})
+	// Offer ~12 Mbps into a 10 Mbps link for 3 seconds: the average queue
+	// must cross minTh and trigger probabilistic early drops.
+	for i := 0; i < 3000; i++ {
+		a.Send(mkPkt(a, b, 1500)) // first packet of each pair
+		eng.Schedule(time.Millisecond, func() {})
+		eng.RunFor(time.Millisecond)
+	}
+	eng.Run()
+	if red.EarlyDrops == 0 {
+		t.Fatal("RED produced no early drops under sustained overload")
+	}
+	if red.Drops < red.EarlyDrops {
+		t.Fatalf("drop accounting inconsistent: drops=%d early=%d", red.Drops, red.EarlyDrops)
+	}
+}
+
+// Property: drop-tail never exceeds its capacity and releasing every
+// admitted packet returns occupancy to zero.
+func TestPropertyDropTailConservation(t *testing.T) {
+	f := func(sizes []uint16, capKB uint8) bool {
+		capBytes := int(capKB)*1024 + 1
+		q := NewDropTail(capBytes)
+		var admitted []int
+		for _, s := range sizes {
+			size := int(s)%3000 + 40
+			if q.Admit(size) {
+				admitted = append(admitted, size)
+			}
+			if q.Bytes() > capBytes {
+				return false
+			}
+		}
+		for _, size := range admitted {
+			q.Release(size)
+		}
+		return q.Bytes() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: token bucket long-run throughput never exceeds the configured rate.
+func TestPropertyTokenBucketRate(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) < 10 {
+			return true
+		}
+		b := NewTokenBucket(1e6, 2000)
+		var now sim.Time
+		total := 0
+		for _, s := range sizes {
+			size := int(s)%1500 + 40
+			w := b.ReadyAfter(now, size)
+			now += w
+			total += size
+		}
+		if now == 0 {
+			return total <= 2000 // all within burst
+		}
+		rate := float64(total*8) / now.Seconds()
+		// Burst allowance can exceed 1 Mbps slightly on short runs.
+		return rate <= 1e6+float64(2000*8)/now.Seconds()+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

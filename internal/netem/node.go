@@ -1,0 +1,176 @@
+package netem
+
+import (
+	"fmt"
+
+	"tcpsig/internal/sim"
+)
+
+// Node is anything packets can be delivered to.
+type Node interface {
+	Addr() Addr
+	Name() string
+	Deliver(p *Packet)
+
+	// links returns the node's outgoing links, for route computation.
+	links() []*Link
+	addLink(l *Link)
+}
+
+// Receiver consumes packets demultiplexed to a bound port on a host.
+type Receiver interface {
+	Input(p *Packet)
+}
+
+// Direction distinguishes capture records.
+type Direction int
+
+// Capture directions.
+const (
+	DirOut Direction = iota
+	DirIn
+)
+
+func (d Direction) String() string {
+	if d == DirOut {
+		return "out"
+	}
+	return "in"
+}
+
+// CaptureRecord is one captured packet, a timestamped copy as tcpdump on the
+// host would see it.
+type CaptureRecord struct {
+	At  sim.Time
+	Dir Direction
+	Pkt Packet
+}
+
+// Capture accumulates a host-side packet trace.
+type Capture struct {
+	Records []CaptureRecord
+}
+
+// Host is an end system: it originates packets through its uplink and
+// demultiplexes arriving packets to bound ports.
+type Host struct {
+	name string
+	addr Addr
+	net  *Network
+
+	uplink *Link
+	ports  map[Port]Receiver
+
+	capture *Capture
+
+	// Dropped counts packets that arrived for a port nobody is bound to.
+	Dropped uint64
+}
+
+// Addr returns the host address.
+func (h *Host) Addr() Addr { return h.addr }
+
+// Engine returns the simulation engine of the host's network.
+func (h *Host) Engine() *sim.Engine { return h.net.eng }
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+func (h *Host) links() []*Link {
+	if h.uplink == nil {
+		return nil
+	}
+	return []*Link{h.uplink}
+}
+
+func (h *Host) addLink(l *Link) {
+	if h.uplink != nil {
+		panic(fmt.Sprintf("netem: host %s already has an uplink; hosts are single-homed", h.name))
+	}
+	h.uplink = l
+}
+
+// Bind registers r to receive packets addressed to port. It panics if the
+// port is taken.
+func (h *Host) Bind(port Port, r Receiver) {
+	if _, ok := h.ports[port]; ok {
+		panic(fmt.Sprintf("netem: port %d already bound on %s", port, h.name))
+	}
+	h.ports[port] = r
+}
+
+// Unbind releases a port.
+func (h *Host) Unbind(port Port) { delete(h.ports, port) }
+
+// EnableCapture starts recording all packets the host sends and receives,
+// like running tcpdump on it. It returns the capture buffer.
+func (h *Host) EnableCapture() *Capture {
+	if h.capture == nil {
+		h.capture = &Capture{}
+	}
+	return h.capture
+}
+
+// Send stamps and transmits a packet through the host uplink.
+func (h *Host) Send(p *Packet) {
+	p.ID = h.net.nextPacketID()
+	p.SentAt = h.net.eng.Now()
+	if h.capture != nil {
+		h.capture.Records = append(h.capture.Records, CaptureRecord{At: h.net.eng.Now(), Dir: DirOut, Pkt: *p})
+	}
+	if h.uplink == nil {
+		panic(fmt.Sprintf("netem: host %s has no uplink", h.name))
+	}
+	h.uplink.Send(p)
+}
+
+// Deliver implements Node.
+func (h *Host) Deliver(p *Packet) {
+	if h.capture != nil {
+		h.capture.Records = append(h.capture.Records, CaptureRecord{At: h.net.eng.Now(), Dir: DirIn, Pkt: *p})
+	}
+	if r, ok := h.ports[p.Flow.DstPort]; ok {
+		r.Input(p)
+		return
+	}
+	h.Dropped++
+}
+
+// Router forwards packets by destination address.
+type Router struct {
+	name string
+	addr Addr
+	net  *Network
+
+	out    []*Link
+	routes map[Addr]*Link
+
+	// NoRoute counts packets dropped for lack of a route.
+	NoRoute uint64
+}
+
+// Addr returns the router address.
+func (r *Router) Addr() Addr { return r.addr }
+
+// Name returns the router name.
+func (r *Router) Name() string { return r.name }
+
+func (r *Router) links() []*Link { return r.out }
+func (r *Router) addLink(l *Link) {
+	r.out = append(r.out, l)
+}
+
+// AddRoute installs a static route: packets for dst leave via link.
+func (r *Router) AddRoute(dst Addr, link *Link) {
+	r.routes[dst] = link
+}
+
+// Deliver implements Node by forwarding.
+func (r *Router) Deliver(p *Packet) {
+	link, ok := r.routes[p.Flow.DstAddr]
+	if !ok {
+		r.NoRoute++
+		return
+	}
+	link.Send(p)
+}

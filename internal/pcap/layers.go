@@ -1,0 +1,175 @@
+// Package pcap reads and writes libpcap capture files and encodes the
+// emulator's packets as Ethernet/IPv4/TCP frames, so traces can be written
+// out like the tcpdump captures the paper analyzed with tshark, and real
+// pcap files can be fed to the same RTT analysis.
+//
+// The layer codecs follow the gopacket philosophy of small per-protocol
+// encode/decode units but implement only what TCP throughput traces need.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Layer sizes in bytes.
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20
+	TCPHeaderLen      = 20
+)
+
+// EtherTypeIPv4 identifies IPv4 in an Ethernet frame.
+const EtherTypeIPv4 = 0x0800
+
+// ProtoTCP is the IPv4 protocol number for TCP.
+const ProtoTCP = 6
+
+// ErrTruncated is returned when a frame is too short for its headers.
+var ErrTruncated = errors.New("pcap: truncated frame")
+
+// ErrNotTCP is returned for frames that are not IPv4/TCP.
+var ErrNotTCP = errors.New("pcap: not an IPv4/TCP frame")
+
+// Ethernet is a minimal Ethernet II header.
+type Ethernet struct {
+	Dst       [6]byte
+	Src       [6]byte
+	EtherType uint16
+}
+
+// Marshal appends the wire form to b.
+func (e *Ethernet) Marshal(b []byte) []byte {
+	b = append(b, e.Dst[:]...)
+	b = append(b, e.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, e.EtherType)
+}
+
+// Unmarshal parses the header from b.
+func (e *Ethernet) Unmarshal(b []byte) error {
+	if len(b) < EthernetHeaderLen {
+		return ErrTruncated
+	}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return nil
+}
+
+// IPv4 is a minimal IPv4 header (no options).
+type IPv4 struct {
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Src      uint32
+	Dst      uint32
+}
+
+// Marshal appends the wire form to b, computing the header checksum.
+func (ip *IPv4) Marshal(b []byte) []byte {
+	start := len(b)
+	b = append(b, 0x45, 0) // version 4, IHL 5, DSCP 0
+	b = binary.BigEndian.AppendUint16(b, ip.TotalLen)
+	b = binary.BigEndian.AppendUint16(b, ip.ID)
+	b = binary.BigEndian.AppendUint16(b, 0) // flags/frag
+	ttl := ip.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	b = append(b, ttl, ip.Protocol)
+	b = binary.BigEndian.AppendUint16(b, 0) // checksum placeholder
+	b = binary.BigEndian.AppendUint32(b, ip.Src)
+	b = binary.BigEndian.AppendUint32(b, ip.Dst)
+	cs := headerChecksum(b[start : start+IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[start+10:start+12], cs)
+	return b
+}
+
+// Unmarshal parses the header from b.
+func (ip *IPv4) Unmarshal(b []byte) error {
+	if len(b) < IPv4HeaderLen {
+		return ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return fmt.Errorf("pcap: IP version %d", b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return ErrTruncated
+	}
+	ip.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	ip.ID = binary.BigEndian.Uint16(b[4:6])
+	ip.TTL = b[8]
+	ip.Protocol = b[9]
+	ip.Src = binary.BigEndian.Uint32(b[12:16])
+	ip.Dst = binary.BigEndian.Uint32(b[16:20])
+	return nil
+}
+
+// HeaderLen returns the IPv4 header length encoded in the first byte of b.
+func ipv4HeaderLen(b []byte) int { return int(b[0]&0x0f) * 4 }
+
+func headerChecksum(h []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(h); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(h[i : i+2]))
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// TCP flag bits.
+const (
+	TCPFlagFIN = 0x01
+	TCPFlagSYN = 0x02
+	TCPFlagRST = 0x04
+	TCPFlagPSH = 0x08
+	TCPFlagACK = 0x10
+)
+
+// TCP is a minimal TCP header (no options).
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+	DataOff int // header length in bytes when unmarshalled
+}
+
+// Marshal appends the wire form to b (checksum left zero; capture files do
+// not need valid transport checksums).
+func (t *TCP) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, t.DstPort)
+	b = binary.BigEndian.AppendUint32(b, t.Seq)
+	b = binary.BigEndian.AppendUint32(b, t.Ack)
+	b = append(b, 5<<4, t.Flags) // data offset 5 words
+	b = binary.BigEndian.AppendUint16(b, t.Window)
+	b = binary.BigEndian.AppendUint16(b, 0) // checksum
+	b = binary.BigEndian.AppendUint16(b, 0) // urgent
+	return b
+}
+
+// Unmarshal parses the header from b.
+func (t *TCP) Unmarshal(b []byte) error {
+	if len(b) < TCPHeaderLen {
+		return ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	t.DstPort = binary.BigEndian.Uint16(b[2:4])
+	t.Seq = binary.BigEndian.Uint32(b[4:8])
+	t.Ack = binary.BigEndian.Uint32(b[8:12])
+	t.DataOff = int(b[12]>>4) * 4
+	if t.DataOff < TCPHeaderLen {
+		return ErrTruncated
+	}
+	t.Flags = b[13]
+	t.Window = binary.BigEndian.Uint16(b[14:16])
+	return nil
+}

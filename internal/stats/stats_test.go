@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanVarianceBasics(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5) {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	if !almost(Variance(xs), 4) {
+		t.Fatalf("variance = %v", Variance(xs))
+	}
+	if !almost(StdDev(xs), 2) {
+		t.Fatalf("stddev = %v", StdDev(xs))
+	}
+	if !almost(CoV(xs), 0.4) {
+		t.Fatalf("cov = %v", CoV(xs))
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || CoV(nil) != 0 {
+		t.Fatal("empty inputs should give zeros")
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Fatal("single sample variance should be 0")
+	}
+	if CoV([]float64{0, 0}) != 0 {
+		t.Fatal("zero-mean CoV should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(nil) should panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); !almost(got, 1.5) {
+		t.Fatalf("interpolated median = %v, want 1.5", got)
+	}
+	if Median(xs) != 3 {
+		t.Fatal("median")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{1, 1, 2, 4})
+	want := []CDFPoint{{1, 0.5}, {2, 0.75}, {4, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("cdf = %v", pts)
+	}
+	for i := range want {
+		if !almost(pts[i].X, want[i].X) || !almost(pts[i].P, want[i].P) {
+			t.Fatalf("cdf[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	if CDF(nil) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	for i, c := range h {
+		if c != 2 {
+			t.Fatalf("bin %d = %d, want 2", i, c)
+		}
+	}
+	h = Histogram([]float64{5, 5, 5}, 3)
+	if h[0] != 3 {
+		t.Fatal("degenerate histogram should put all in bin 0")
+	}
+	if Histogram(nil, 3) != nil || Histogram([]float64{1}, 0) != nil {
+		t.Fatal("invalid inputs should give nil")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if !almost(w.Mean(), Mean(xs)) || !almost(w.Variance(), Variance(xs)) {
+		t.Fatalf("welford (%v,%v) vs batch (%v,%v)", w.Mean(), w.Variance(), Mean(xs), Variance(xs))
+	}
+	if w.Min() != 2 || w.Max() != 9 || w.N() != 8 {
+		t.Fatalf("welford min/max/n = %v/%v/%v", w.Min(), w.Max(), w.N())
+	}
+	if !almost(w.CoV(), CoV(xs)) {
+		t.Fatalf("welford CoV %v vs %v", w.CoV(), CoV(xs))
+	}
+}
+
+// Property: Welford agrees with the batch formulas for arbitrary input.
+func TestPropertyWelfordEquivalence(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var w Welford
+		for i, v := range raw {
+			xs[i] = float64(v)
+			w.Add(float64(v))
+		}
+		return math.Abs(w.Mean()-Mean(xs)) < 1e-6 &&
+			math.Abs(w.Variance()-Variance(xs)) < 1e-3 &&
+			w.Min() == Min(xs) && w.Max() == Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev || v < Min(xs)-1e-9 || v > Max(xs)+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF is nondecreasing in both coordinates and ends at P=1.
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		pts := CDF(xs)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X <= pts[i-1].X || pts[i].P < pts[i-1].P {
+				return false
+			}
+		}
+		return almost(pts[len(pts)-1].P, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package tcpsim
+
+import (
+	"math"
+	"time"
+
+	"tcpsig/internal/sim"
+)
+
+// BBRLite is a simplified model of BBR (Cardwell et al., 2016): it paces at a
+// multiple of the estimated bottleneck bandwidth and caps the window near the
+// estimated bandwidth-delay product, so it keeps bottleneck buffers largely
+// empty. The paper's §6 notes that such latency-aware congestion control can
+// confound the RTT-based signature; this implementation exists to reproduce
+// that ablation.
+//
+// Phases: STARTUP (pacing gain 2.885 until bandwidth stops growing ~25% for
+// three rounds), DRAIN (inverse gain for one round), then PROBE_BW cycling
+// the canonical eight-phase gain schedule. PROBE_RTT is modeled by honouring
+// a 10-second min-RTT expiry with a brief cwnd clamp.
+type BBRLite struct {
+	eng *sim.Engine
+	mss int
+
+	state     bbrState
+	pacing    float64
+	cwndBytes float64
+
+	btlBw      float64 // bytes/sec, windowed max
+	bwSamples  []bwSample
+	rtProp     time.Duration
+	rtPropSeen sim.Time
+
+	fullBwCount int
+	fullBw      float64
+	roundStart  sim.Time
+	cyclePhase  int
+	cycleStart  sim.Time
+
+	probeRTTUntil sim.Time
+}
+
+type bbrState int
+
+const (
+	bbrStartup bbrState = iota
+	bbrDrain
+	bbrProbeBW
+	bbrProbeRTT
+)
+
+type bwSample struct {
+	at   sim.Time
+	rate float64
+}
+
+var bbrCycleGains = [8]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+const (
+	bbrHighGain   = 2.885
+	bbrMinRTTWin  = 10 * time.Second
+	bbrBwWinRTTs  = 10
+	bbrCwndGain   = 2.0
+	bbrProbeRTTms = 200 * time.Millisecond
+)
+
+// Name implements CongestionControl.
+func (b *BBRLite) Name() string { return "bbr" }
+
+// Init implements CongestionControl.
+func (b *BBRLite) Init(eng *sim.Engine, mss int) {
+	b.eng = eng
+	b.mss = mss
+	b.state = bbrStartup
+	b.cwndBytes = float64(InitialWindowSegments * mss)
+	b.pacing = 0 // unknown until the first RTT sample
+	b.rtProp = 0
+}
+
+// DeliveryRateSample implements CongestionControl: this is BBR's main input.
+func (b *BBRLite) DeliveryRateSample(rate float64, rtt time.Duration) {
+	now := b.eng.Now()
+	if rtt > 0 && (b.rtProp == 0 || rtt <= b.rtProp || now-b.rtPropSeen > bbrMinRTTWin) {
+		if rtt < b.rtProp || b.rtProp == 0 || now-b.rtPropSeen > bbrMinRTTWin {
+			b.rtProp = rtt
+			b.rtPropSeen = now
+		}
+	}
+	if rate <= 0 {
+		return
+	}
+	// Windowed max filter over ~10 RTTs.
+	win := time.Duration(bbrBwWinRTTs) * b.rtPropOrDefault()
+	b.bwSamples = append(b.bwSamples, bwSample{at: now, rate: rate})
+	cut := 0
+	for cut < len(b.bwSamples) && now-b.bwSamples[cut].at > win {
+		cut++
+	}
+	b.bwSamples = b.bwSamples[cut:]
+	b.btlBw = 0
+	for _, s := range b.bwSamples {
+		if s.rate > b.btlBw {
+			b.btlBw = s.rate
+		}
+	}
+	b.update()
+}
+
+func (b *BBRLite) rtPropOrDefault() time.Duration {
+	if b.rtProp > 0 {
+		return b.rtProp
+	}
+	return 100 * time.Millisecond
+}
+
+func (b *BBRLite) bdp() float64 {
+	return b.btlBw * b.rtPropOrDefault().Seconds()
+}
+
+func (b *BBRLite) update() {
+	now := b.eng.Now()
+	switch b.state {
+	case bbrStartup:
+		// Full-bandwidth check once per round trip.
+		if now-b.roundStart >= b.rtPropOrDefault() {
+			b.roundStart = now
+			if b.btlBw < b.fullBw*1.25 {
+				b.fullBwCount++
+			} else {
+				b.fullBwCount = 0
+				b.fullBw = b.btlBw
+			}
+			if b.fullBwCount >= 3 {
+				b.state = bbrDrain
+				b.roundStart = now
+			}
+		}
+		b.pacing = bbrHighGain * b.btlBw
+	case bbrDrain:
+		b.pacing = b.btlBw / bbrHighGain
+		if now-b.roundStart >= b.rtPropOrDefault() {
+			b.state = bbrProbeBW
+			b.cycleStart = now
+			b.cyclePhase = 0
+		}
+	case bbrProbeBW:
+		if now-b.cycleStart >= b.rtPropOrDefault() {
+			b.cycleStart = now
+			b.cyclePhase = (b.cyclePhase + 1) % len(bbrCycleGains)
+		}
+		b.pacing = bbrCycleGains[b.cyclePhase] * b.btlBw
+		// PROBE_RTT: if the min-RTT estimate is stale, briefly drain.
+		if now-b.rtPropSeen > bbrMinRTTWin && b.probeRTTUntil < now {
+			b.state = bbrProbeRTT
+			b.probeRTTUntil = now + bbrProbeRTTms
+		}
+	case bbrProbeRTT:
+		b.pacing = b.btlBw * 0.5
+		if now >= b.probeRTTUntil {
+			b.state = bbrProbeBW
+			b.rtPropSeen = now
+			b.cycleStart = now
+		}
+	}
+	b.cwndBytes = bbrCwndGain * b.bdp()
+	min := 4 * float64(b.mss)
+	if b.cwndBytes < min {
+		b.cwndBytes = min
+	}
+	if b.state == bbrProbeRTT {
+		b.cwndBytes = 4 * float64(b.mss)
+	}
+}
+
+// OnAck implements CongestionControl (BBR is driven by rate samples).
+func (b *BBRLite) OnAck(int, time.Duration, int) {}
+
+// OnDupAck implements CongestionControl.
+func (b *BBRLite) OnDupAck() {}
+
+// OnLoss implements CongestionControl: BBR does not reduce on isolated loss,
+// but a timeout resets to conservative operation.
+func (b *BBRLite) OnLoss(kind LossKind, _ int) {
+	if kind == LossTimeout {
+		b.cwndBytes = 4 * float64(b.mss)
+	}
+}
+
+// OnExitRecovery implements CongestionControl.
+func (b *BBRLite) OnExitRecovery() {}
+
+// Cwnd implements CongestionControl.
+func (b *BBRLite) Cwnd() float64 { return b.cwndBytes }
+
+// Ssthresh implements CongestionControl.
+func (b *BBRLite) Ssthresh() float64 { return math.MaxFloat64 }
+
+// InSlowStart implements CongestionControl: STARTUP is BBR's analogue.
+func (b *BBRLite) InSlowStart() bool { return b.state == bbrStartup }
+
+// PacingRate implements CongestionControl.
+func (b *BBRLite) PacingRate() float64 { return b.pacing }

@@ -1,0 +1,195 @@
+// Package tcpsim implements TCP endpoints on the netem substrate.
+//
+// The sender implements RFC 5681 congestion control with NewReno recovery
+// (RFC 6582), RFC 6298 retransmission timers, delayed acknowledgments and
+// selectable congestion-control algorithms: Reno, NewReno, CUBIC and a
+// rate-based BBR-like controller. Only the mechanisms the paper's technique
+// depends on matter — slow-start cwnd growth filling the bottleneck buffer,
+// and the first (fast) retransmission ending slow start — but the
+// implementation is complete enough to run every experiment in the paper,
+// including cross-traffic and the §6 BBR ablation.
+package tcpsim
+
+import (
+	"math"
+	"time"
+
+	"tcpsig/internal/sim"
+)
+
+// LossKind distinguishes how a loss was detected.
+type LossKind int
+
+// Loss kinds.
+const (
+	LossFastRetransmit LossKind = iota
+	LossTimeout
+
+	// LossECN is an explicit congestion notification (RFC 3168): reduce
+	// the window as for a fast retransmit, but nothing needs resending.
+	LossECN
+)
+
+// CongestionControl evolves the congestion window in response to ACKs and
+// loss. Implementations are per-connection and not safe for reuse.
+type CongestionControl interface {
+	Name() string
+
+	// Init is called once before the connection starts sending.
+	Init(eng *sim.Engine, mss int)
+
+	// OnAck is called for every ACK that advances snd_una. acked is the
+	// number of newly acknowledged bytes, rtt the latest sample (0 when
+	// the ACK yielded none), flight the outstanding bytes before the ACK.
+	OnAck(acked int, rtt time.Duration, flight int)
+
+	// OnDupAck is called for each duplicate ACK while in fast recovery
+	// (window inflation for Reno-family controllers).
+	OnDupAck()
+
+	// OnLoss is called when entering recovery (fast retransmit) or on a
+	// retransmission timeout, with the bytes in flight at detection.
+	OnLoss(kind LossKind, flight int)
+
+	// OnExitRecovery is called when recovery completes (deflation point).
+	OnExitRecovery()
+
+	// Cwnd returns the current congestion window in bytes.
+	Cwnd() float64
+
+	// Ssthresh returns the slow-start threshold in bytes.
+	Ssthresh() float64
+
+	// InSlowStart reports whether the controller is in its initial
+	// exponential-growth phase.
+	InSlowStart() bool
+
+	// PacingRate returns the bytes-per-second pacing rate, or 0 when the
+	// controller is purely window-based (ACK-clocked).
+	PacingRate() float64
+
+	// DeliveryRateSample feeds a per-ACK delivery-rate estimate
+	// (bytes/sec); window-based controllers may ignore it.
+	DeliveryRateSample(rate float64, rtt time.Duration)
+}
+
+// InitialWindowSegments is the IW used by all controllers (RFC 6928).
+const InitialWindowSegments = 10
+
+// Reno is classic AIMD congestion control (RFC 5681). With window inflation
+// during recovery it behaves as Reno; the sender's recovery machinery
+// provides NewReno partial-ACK handling when Config.NewReno is set.
+type Reno struct {
+	// HyStart enables a simplified delay-based HyStart: slow start exits
+	// when the RTT rises noticeably above its minimum, before the buffer
+	// overflows. Relevant to the paper's signature, which relies on
+	// slow start actually filling the buffer.
+	HyStart bool
+
+	mss      int
+	cwnd     float64
+	ssthresh float64
+	inflated float64 // dup-ACK inflation, deflated on recovery exit
+	hy       hystart
+}
+
+// hystart implements the shared delay-based slow-start exit check.
+type hystart struct {
+	minRTT time.Duration
+}
+
+// exitNow reports whether the latest sample indicates standing queueing.
+func (h *hystart) exitNow(rtt time.Duration) bool {
+	if rtt <= 0 {
+		return false
+	}
+	if h.minRTT == 0 || rtt < h.minRTT {
+		h.minRTT = rtt
+	}
+	thresh := h.minRTT / 8
+	if thresh < 4*time.Millisecond {
+		thresh = 4 * time.Millisecond
+	}
+	return rtt > h.minRTT+thresh
+}
+
+// Name implements CongestionControl.
+func (r *Reno) Name() string { return "reno" }
+
+// Init implements CongestionControl.
+func (r *Reno) Init(_ *sim.Engine, mss int) {
+	r.mss = mss
+	r.cwnd = float64(InitialWindowSegments * mss)
+	r.ssthresh = math.MaxFloat64
+}
+
+// OnAck implements CongestionControl.
+func (r *Reno) OnAck(acked int, rtt time.Duration, _ int) {
+	if r.InSlowStart() {
+		if r.HyStart && r.hy.exitNow(rtt) {
+			r.ssthresh = r.cwnd
+			return
+		}
+		// Slow start: cwnd grows by the bytes acknowledged (RFC 5681
+		// allows min(acked, SMSS); full-acked growth matches ABC with
+		// L=2 closely enough and is what Linux does with GSO off).
+		grow := float64(acked)
+		if grow > 2*float64(r.mss) {
+			grow = 2 * float64(r.mss)
+		}
+		r.cwnd += grow
+		if r.cwnd > r.ssthresh {
+			r.cwnd = r.ssthresh
+		}
+		return
+	}
+	// Congestion avoidance: ~1 MSS per RTT.
+	r.cwnd += float64(r.mss) * float64(acked) / r.cwnd
+}
+
+// OnDupAck implements CongestionControl (window inflation).
+func (r *Reno) OnDupAck() {
+	r.cwnd += float64(r.mss)
+	r.inflated += float64(r.mss)
+}
+
+// OnLoss implements CongestionControl.
+func (r *Reno) OnLoss(kind LossKind, flight int) {
+	half := float64(flight) / 2
+	min := 2 * float64(r.mss)
+	if half < min {
+		half = min
+	}
+	r.ssthresh = half
+	r.inflated = 0
+	switch kind {
+	case LossTimeout:
+		r.cwnd = float64(r.mss)
+	case LossFastRetransmit:
+		r.cwnd = r.ssthresh + 3*float64(r.mss)
+		r.inflated = 3 * float64(r.mss)
+	case LossECN:
+		r.cwnd = r.ssthresh
+	}
+}
+
+// OnExitRecovery implements CongestionControl (deflation).
+func (r *Reno) OnExitRecovery() {
+	r.cwnd = r.ssthresh
+	r.inflated = 0
+}
+
+// Cwnd implements CongestionControl.
+func (r *Reno) Cwnd() float64 { return r.cwnd }
+
+// Ssthresh implements CongestionControl.
+func (r *Reno) Ssthresh() float64 { return r.ssthresh }
+
+// InSlowStart implements CongestionControl.
+func (r *Reno) InSlowStart() bool { return r.cwnd < r.ssthresh }
+
+// PacingRate implements CongestionControl.
+func (r *Reno) PacingRate() float64 { return 0 }
+
+// DeliveryRateSample implements CongestionControl.
+func (r *Reno) DeliveryRateSample(float64, time.Duration) {}

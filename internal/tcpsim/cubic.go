@@ -1,0 +1,153 @@
+package tcpsim
+
+import (
+	"math"
+	"time"
+
+	"tcpsig/internal/sim"
+)
+
+// Cubic implements CUBIC congestion control (RFC 8312). Slow start is
+// standard; after the first loss the window follows the cubic function of
+// time since the last congestion event around W_max.
+type Cubic struct {
+	// HyStart enables the delay-based slow-start exit, as Linux CUBIC
+	// ships by default.
+	HyStart bool
+
+	eng *sim.Engine
+	mss int
+	hy  hystart
+
+	cwnd     float64
+	ssthresh float64
+	inflated float64
+
+	wMax       float64
+	epochStart sim.Time
+	k          float64 // seconds until the plateau
+	hasEpoch   bool
+
+	// tcpFriendly window estimate (Reno-equivalent), per RFC 8312 §4.2.
+	wEst      float64
+	ackedInCA float64
+}
+
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// Name implements CongestionControl.
+func (c *Cubic) Name() string { return "cubic" }
+
+// Init implements CongestionControl.
+func (c *Cubic) Init(eng *sim.Engine, mss int) {
+	c.eng = eng
+	c.mss = mss
+	c.cwnd = float64(InitialWindowSegments * mss)
+	c.ssthresh = math.MaxFloat64
+}
+
+// OnAck implements CongestionControl.
+func (c *Cubic) OnAck(acked int, rtt time.Duration, _ int) {
+	if c.InSlowStart() {
+		if c.HyStart && c.hy.exitNow(rtt) {
+			c.ssthresh = c.cwnd
+			return
+		}
+		grow := float64(acked)
+		if grow > 2*float64(c.mss) {
+			grow = 2 * float64(c.mss)
+		}
+		c.cwnd += grow
+		if c.cwnd > c.ssthresh {
+			c.cwnd = c.ssthresh
+		}
+		return
+	}
+	if !c.hasEpoch {
+		c.newEpoch()
+	}
+	t := (c.eng.Now() - c.epochStart).Seconds()
+	segTarget := cubicC*math.Pow(t-c.k, 3) + c.wMax/float64(c.mss)
+	target := segTarget * float64(c.mss)
+	// TCP-friendly region (RFC 8312 §4.2): W_est(t) in segments is
+	// W_max*beta + 3(1-beta)/(1+beta) * t/RTT.
+	c.ackedInCA += float64(acked)
+	if rtt > 0 {
+		rounds := t / rtt.Seconds()
+		c.wEst = (c.wMax/float64(c.mss)*cubicBeta + 3*(1-cubicBeta)/(1+cubicBeta)*rounds) * float64(c.mss)
+	}
+	if target < c.wEst {
+		target = c.wEst
+	}
+	if target > c.cwnd {
+		// Approach the target over one RTT worth of ACKs.
+		c.cwnd += (target - c.cwnd) * float64(acked) / c.cwnd
+	} else {
+		// Max-probing region grows very slowly.
+		c.cwnd += float64(c.mss) * float64(acked) / (100 * c.cwnd)
+	}
+}
+
+func (c *Cubic) newEpoch() {
+	c.hasEpoch = true
+	c.epochStart = c.eng.Now()
+	if c.wMax < c.cwnd {
+		c.wMax = c.cwnd
+	}
+	c.k = math.Cbrt((c.wMax / float64(c.mss)) * (1 - cubicBeta) / cubicC)
+	c.wEst = c.cwnd
+	c.ackedInCA = 0
+}
+
+// OnDupAck implements CongestionControl.
+func (c *Cubic) OnDupAck() {
+	c.cwnd += float64(c.mss)
+	c.inflated += float64(c.mss)
+}
+
+// OnLoss implements CongestionControl.
+func (c *Cubic) OnLoss(kind LossKind, flight int) {
+	base := c.cwnd - c.inflated
+	if float64(flight) < base {
+		base = float64(flight)
+	}
+	c.wMax = base
+	c.inflated = 0
+	reduced := base * cubicBeta
+	if reduced < 2*float64(c.mss) {
+		reduced = 2 * float64(c.mss)
+	}
+	c.ssthresh = reduced
+	switch kind {
+	case LossTimeout:
+		c.cwnd = float64(c.mss)
+		c.hasEpoch = false
+	case LossFastRetransmit, LossECN:
+		c.cwnd = reduced
+		c.hasEpoch = false
+	}
+}
+
+// OnExitRecovery implements CongestionControl.
+func (c *Cubic) OnExitRecovery() {
+	c.cwnd = c.ssthresh
+	c.inflated = 0
+}
+
+// Cwnd implements CongestionControl.
+func (c *Cubic) Cwnd() float64 { return c.cwnd }
+
+// Ssthresh implements CongestionControl.
+func (c *Cubic) Ssthresh() float64 { return c.ssthresh }
+
+// InSlowStart implements CongestionControl.
+func (c *Cubic) InSlowStart() bool { return c.cwnd < c.ssthresh }
+
+// PacingRate implements CongestionControl.
+func (c *Cubic) PacingRate() float64 { return 0 }
+
+// DeliveryRateSample implements CongestionControl.
+func (c *Cubic) DeliveryRateSample(float64, time.Duration) {}

@@ -1,0 +1,159 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
+)
+
+// ecnNet builds a path whose bottleneck buffer is an ECN-marking RED queue.
+func ecnNet(seed int64) (*sim.Engine, *netem.Host, *netem.Host, *netem.RED) {
+	eng := sim.NewEngine(seed)
+	net := netem.New(eng)
+	client := net.NewHost("client")
+	server := net.NewHost("server")
+	rate := 20e6
+	capB := netem.BufferBytes(rate, 100*time.Millisecond)
+	red := netem.NewRED(eng, capB, capB/4, capB*3/4, 0.1, rate)
+	red.ECN = true
+	red.Weight = 0.01 // track slow-start bursts on a low-rate link
+	net.Connect(server, client,
+		netem.LinkConfig{RateBps: rate, Delay: 20 * time.Millisecond, Queue: red},
+		netem.LinkConfig{RateBps: 100e6, Delay: 20 * time.Millisecond})
+	return eng, client, server, red
+}
+
+func TestECNMarksInsteadOfDropping(t *testing.T) {
+	eng, client, server, red := ecnNet(1)
+	d := StartDownload(client, server, 40000, 80, Config{}, 0, 10*time.Second)
+	eng.Run()
+	if !d.Receiver.Done() {
+		t.Fatal("transfer incomplete")
+	}
+	if red.Marks == 0 {
+		t.Fatal("ECN queue never marked under sustained load")
+	}
+	if red.EarlyDrops != 0 {
+		t.Fatalf("ECN queue early-dropped %d packets", red.EarlyDrops)
+	}
+	st := d.Sender().Stats()
+	if st.ECNReductions == 0 {
+		t.Fatal("sender never reacted to ECN-Echo")
+	}
+	// The flow should still approach link rate: marking avoids the
+	// loss-recovery stalls a dropping RED causes.
+	if bps := d.ThroughputBps(); bps < 14e6 {
+		t.Fatalf("goodput %.1f Mbps under ECN, want >= 14", bps/1e6)
+	}
+}
+
+func TestECNOutperformsDroppingRED(t *testing.T) {
+	run := func(ecn bool) (tput float64, early uint64) {
+		eng := sim.NewEngine(2)
+		net := netem.New(eng)
+		client := net.NewHost("client")
+		server := net.NewHost("server")
+		rate := 20e6
+		capB := netem.BufferBytes(rate, 100*time.Millisecond)
+		red := netem.NewRED(eng, capB, capB/4, capB*3/4, 0.1, rate)
+		red.ECN = ecn
+		red.Weight = 0.01
+		net.Connect(server, client,
+			netem.LinkConfig{RateBps: rate, Delay: 20 * time.Millisecond, Queue: red},
+			netem.LinkConfig{RateBps: 100e6, Delay: 20 * time.Millisecond})
+		d := StartDownload(client, server, 40000, 80, Config{}, 0, 10*time.Second)
+		eng.Run()
+		return d.ThroughputBps(), red.EarlyDrops
+	}
+	tputECN, earlyECN := run(true)
+	tputDrop, earlyDrop := run(false)
+	if earlyECN != 0 {
+		t.Fatalf("ECN mode early-dropped %d packets", earlyECN)
+	}
+	if earlyDrop == 0 {
+		t.Fatal("drop mode produced no early drops (nothing to compare)")
+	}
+	if tputECN <= tputDrop {
+		t.Fatalf("ECN goodput %.1f Mbps not above drop-RED %.1f", tputECN/1e6, tputDrop/1e6)
+	}
+}
+
+func TestECNReductionOncePerWindow(t *testing.T) {
+	// A burst of marked ACKs within one window must cause exactly one
+	// window reduction.
+	eng, client, server, _ := ecnNet(3)
+	d := StartDownload(client, server, 40000, 80, Config{}, 0, 2*time.Second)
+	eng.Run()
+	st := d.Sender().Stats()
+	// With a 100 ms buffer and 2 s of transfer, the number of reductions
+	// must stay far below the number of marks the queue produced.
+	if st.ECNReductions > 30 {
+		t.Fatalf("%d ECN reductions in 2s; once-per-window guard broken", st.ECNReductions)
+	}
+}
+
+func TestECNEchoOnPureReceiver(t *testing.T) {
+	// Direct unit check: a CE-marked data packet makes the next ACK carry
+	// ECN-Echo.
+	eng := sim.NewEngine(4)
+	net := netem.New(eng)
+	client := net.NewHost("client")
+	server := net.NewHost("server")
+	net.Connect(server, client, netem.LinkConfig{RateBps: 1e9}, netem.LinkConfig{RateBps: 1e9})
+	srv := &eceSniffer{host: server, iss: 1000}
+	server.Bind(80, srv)
+	r := NewReceiver(client, 40000, Config{AckEvery: 1})
+	r.Connect(server.Addr(), 80)
+	eng.Run()
+	if !srv.established {
+		t.Fatal("handshake did not complete")
+	}
+	// Deliver a CE-marked data segment.
+	server.Send(&netem.Packet{
+		Flow: netem.FlowKey{SrcAddr: server.Addr(), DstAddr: client.Addr(), SrcPort: 80, DstPort: 40000},
+		Seg:  netem.Segment{Seq: srv.iss + 1, Flags: netem.FlagACK, PayloadLen: 100},
+		Size: 140,
+		ECE:  true,
+	})
+	eng.Run()
+	if !srv.sawECE {
+		t.Fatal("ACK did not echo ECE")
+	}
+	// Subsequent unmarked data must get a clean ACK.
+	srv.sawECE = false
+	server.Send(&netem.Packet{
+		Flow: netem.FlowKey{SrcAddr: server.Addr(), DstAddr: client.Addr(), SrcPort: 80, DstPort: 40000},
+		Seg:  netem.Segment{Seq: srv.iss + 101, Flags: netem.FlagACK, PayloadLen: 100},
+		Size: 140,
+	})
+	eng.Run()
+	if srv.sawECE {
+		t.Fatal("ECE echoed without a new mark")
+	}
+}
+
+// eceSniffer acts as a minimal hand-rolled SYN-ACK responder that records
+// whether incoming ACKs carry the ECN-Echo bit.
+type eceSniffer struct {
+	host        *netem.Host
+	iss         uint32
+	established bool
+	sawECE      bool
+}
+
+func (e *eceSniffer) Input(p *netem.Packet) {
+	if p.Seg.Flags&netem.FlagSYN != 0 {
+		e.host.Send(&netem.Packet{
+			Flow: p.Flow.Reverse(),
+			Seg:  netem.Segment{Seq: e.iss, Ack: p.Seg.Seq + 1, Flags: netem.FlagSYN | netem.FlagACK, Window: 65535},
+			Size: netem.HeaderBytes,
+		})
+		return
+	}
+	e.established = true
+	if p.ECE {
+		e.sawECE = true
+	}
+}

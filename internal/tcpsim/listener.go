@@ -1,0 +1,68 @@
+package tcpsim
+
+import (
+	"tcpsig/internal/netem"
+)
+
+// Listener accepts connections on a host port and hands each established
+// connection's Sender to the accept handler (which decides what to send).
+type Listener struct {
+	host    *netem.Host
+	port    netem.Port
+	cfg     Config
+	onConn  func(*Sender)
+	conns   map[netem.FlowKey]*Sender // keyed by sender->client flow
+	accepts uint64
+}
+
+// Listen binds a listener to port on host. onConn runs when a connection's
+// handshake completes; it typically calls Send, SendFor, and Close.
+func Listen(host *netem.Host, port netem.Port, cfg Config, onConn func(*Sender)) *Listener {
+	l := &Listener{
+		host:   host,
+		port:   port,
+		cfg:    cfg.withDefaults(),
+		onConn: onConn,
+		conns:  make(map[netem.FlowKey]*Sender),
+	}
+	host.Bind(port, l)
+	return l
+}
+
+// Accepted returns the number of connections established so far.
+func (l *Listener) Accepted() uint64 { return l.accepts }
+
+// Conns returns the senders created so far (including finished ones).
+func (l *Listener) Conns() []*Sender {
+	out := make([]*Sender, 0, len(l.conns))
+	for _, s := range l.conns {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Input implements netem.Receiver: demultiplex to per-connection senders.
+func (l *Listener) Input(p *netem.Packet) {
+	key := p.Flow.Reverse() // our sender's direction
+	s, ok := l.conns[key]
+	if !ok {
+		if p.Seg.Flags&netem.FlagSYN == 0 {
+			return // stray non-SYN for an unknown connection
+		}
+		s = newSender(l.host.Engine(), l.host, key, l.cfg)
+		s.onEstablished = func(sn *Sender) {
+			l.accepts++
+			if l.onConn != nil {
+				l.onConn(sn)
+			}
+		}
+		l.conns[key] = s
+	}
+	s.Input(p)
+}
+
+// Forget drops connection state for a finished sender, freeing memory in
+// long-running workload generators.
+func (l *Listener) Forget(s *Sender) {
+	delete(l.conns, s.flow)
+}

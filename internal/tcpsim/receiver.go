@@ -1,0 +1,295 @@
+package tcpsim
+
+import (
+	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
+)
+
+// ReceiverStats aggregates client-side counters.
+type ReceiverStats struct {
+	BytesReceived    int64
+	SegmentsReceived uint64
+	DupSegments      uint64 // already-received data (spurious retransmits)
+	OutOfOrder       uint64
+	AcksSent         uint64
+	EstablishedAt    sim.Time
+	FinishedAt       sim.Time
+}
+
+type interval struct{ start, end uint32 }
+
+// Receiver is the client-side endpoint: it connects to a Listener, consumes
+// the byte stream and generates (optionally delayed) acknowledgments.
+type Receiver struct {
+	eng  *sim.Engine
+	host *netem.Host
+	flow netem.FlowKey // receiver -> sender direction
+	cfg  Config
+
+	isn         uint32
+	irs         uint32
+	rcvNxt      uint32
+	established bool
+	finSeq      uint32
+	sawFin      bool
+	done        bool
+
+	ooo        []interval // buffered out-of-order ranges, sorted
+	recentOOO  uint32     // start of the most recently grown ooo range
+	haveRecent bool
+	sackCursor int  // rotation cursor for advertising older blocks
+	eceEcho    bool // a CE-marked segment awaits its ECN echo
+	unackedSeg int  // in-order segments since last ACK
+	delack     *sim.Timer
+	synTimer   *sim.Timer
+
+	stats      ReceiverStats
+	onComplete func(*Receiver)
+}
+
+// NewReceiver creates a client endpoint bound to localPort on host.
+func NewReceiver(host *netem.Host, localPort netem.Port, cfg Config) *Receiver {
+	panicOnNil(host)
+	r := &Receiver{
+		eng:  host.Engine(),
+		host: host,
+		cfg:  cfg.withDefaults(),
+	}
+	r.flow.SrcAddr = host.Addr()
+	r.flow.SrcPort = localPort
+	r.delack = sim.NewTimer(r.eng, r.sendAck)
+	r.synTimer = sim.NewTimer(r.eng, r.resendSyn)
+	host.Bind(localPort, r)
+	return r
+}
+
+func panicOnNil(h *netem.Host) {
+	if h == nil {
+		panic("tcpsim: nil host")
+	}
+}
+
+// Stats returns a snapshot of the receiver counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// BytesReceived returns the in-order payload bytes delivered so far.
+func (r *Receiver) BytesReceived() int64 { return r.stats.BytesReceived }
+
+// Done reports whether the sender's FIN has been consumed.
+func (r *Receiver) Done() bool { return r.done }
+
+// OnComplete registers a callback invoked when the transfer finishes.
+func (r *Receiver) OnComplete(fn func(*Receiver)) { r.onComplete = fn }
+
+// Connect starts the three-way handshake toward the server.
+func (r *Receiver) Connect(server netem.Addr, port netem.Port) {
+	r.flow.DstAddr = server
+	r.flow.DstPort = port
+	r.isn = r.eng.Rand().Uint32()
+	r.sendSyn()
+}
+
+func (r *Receiver) sendSyn() {
+	r.host.Send(&netem.Packet{
+		Flow: r.flow,
+		Seg:  netem.Segment{Seq: r.isn, Flags: netem.FlagSYN, Window: uint32(r.cfg.RcvWindow)},
+		Size: netem.HeaderBytes,
+	})
+	r.synTimer.Reset(time3s)
+}
+
+const time3s = 3e9 // SYN retransmission interval
+
+func (r *Receiver) resendSyn() {
+	if !r.established {
+		r.sendSyn()
+	}
+}
+
+// Input implements netem.Receiver.
+func (r *Receiver) Input(p *netem.Packet) {
+	seg := &p.Seg
+	if !r.established {
+		if seg.Flags&netem.FlagSYN != 0 && seg.Flags&netem.FlagACK != 0 {
+			r.irs = seg.Seq
+			r.rcvNxt = seg.Seq + 1
+			r.established = true
+			r.stats.EstablishedAt = r.eng.Now()
+			r.synTimer.Stop()
+			r.sendAck()
+		}
+		return
+	}
+	r.stats.SegmentsReceived++
+
+	if seg.Flags&netem.FlagSYN != 0 {
+		// Duplicate SYN-ACK: our handshake ACK was lost. Re-ACK so the
+		// server can leave SYN-RECEIVED.
+		r.sendAck()
+		return
+	}
+	if p.ECE {
+		// Congestion Experienced on the data path: echo it back
+		// (RFC 3168 ECN-Echo) on the next acknowledgment.
+		r.eceEcho = true
+	}
+
+	if r.done {
+		// Retransmitted FIN or stray data after completion: re-ACK.
+		r.sendAck()
+		return
+	}
+
+	if seg.Flags&netem.FlagFIN != 0 {
+		r.sawFin = true
+		r.finSeq = seg.Seq + uint32(seg.PayloadLen)
+	}
+
+	switch {
+	case seg.PayloadLen == 0 && seg.Flags&netem.FlagFIN == 0:
+		// Pure ACK from the sender side; nothing to consume.
+		return
+	case seqLEQ(seg.Seq+uint32(seg.PayloadLen), r.rcvNxt) && seg.Flags&netem.FlagFIN == 0:
+		// Entirely old data: spurious retransmission.
+		r.stats.DupSegments++
+		r.sendAck()
+		return
+	case seqGT(seg.Seq, r.rcvNxt):
+		// Out of order: buffer and send an immediate duplicate ACK.
+		r.stats.OutOfOrder++
+		r.bufferOOO(seg.Seq, seg.Seq+uint32(seg.PayloadLen))
+		r.sendAck()
+		return
+	}
+
+	// In-order (possibly partially overlapping) data.
+	end := seg.Seq + uint32(seg.PayloadLen)
+	if seqGT(end, r.rcvNxt) {
+		r.stats.BytesReceived += seqDiff(end, r.rcvNxt)
+		r.rcvNxt = end
+	}
+	r.drainOOO()
+
+	if r.sawFin && r.rcvNxt == r.finSeq {
+		r.rcvNxt++ // consume the FIN
+		r.finish()
+		return
+	}
+
+	// Delayed ACK policy.
+	r.unackedSeg++
+	if r.unackedSeg >= r.cfg.AckEvery || len(r.ooo) > 0 {
+		r.sendAck()
+	} else if !r.delack.Armed() {
+		r.delack.Reset(r.cfg.DelAckTimeout)
+	}
+}
+
+func (r *Receiver) finish() {
+	r.sendAck()
+	if !r.done {
+		r.done = true
+		r.stats.FinishedAt = r.eng.Now()
+		if r.onComplete != nil {
+			r.onComplete(r)
+		}
+	}
+}
+
+func (r *Receiver) bufferOOO(start, end uint32) {
+	if start == end {
+		return
+	}
+	// Insert and merge.
+	out := r.ooo[:0:0]
+	inserted := false
+	for _, iv := range r.ooo {
+		switch {
+		case seqLT(end, iv.start):
+			if !inserted {
+				out = append(out, interval{start, end})
+				inserted = true
+			}
+			out = append(out, iv)
+		case seqGT(start, iv.end):
+			out = append(out, iv)
+		default:
+			// Overlap: merge into the pending interval.
+			if seqLT(iv.start, start) {
+				start = iv.start
+			}
+			if seqGT(iv.end, end) {
+				end = iv.end
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, interval{start, end})
+	}
+	r.ooo = out
+	// Remember which (merged) range just grew: RFC 2018 requires the
+	// first SACK block to cover the most recently received segment.
+	for _, iv := range r.ooo {
+		if seqLEQ(iv.start, start) && seqLEQ(start, iv.end) {
+			r.recentOOO = iv.start
+			r.haveRecent = true
+			break
+		}
+	}
+}
+
+func (r *Receiver) drainOOO() {
+	for len(r.ooo) > 0 && seqLEQ(r.ooo[0].start, r.rcvNxt) {
+		iv := r.ooo[0]
+		if seqGT(iv.end, r.rcvNxt) {
+			r.stats.BytesReceived += seqDiff(iv.end, r.rcvNxt)
+			r.rcvNxt = iv.end
+		}
+		r.ooo = r.ooo[1:]
+	}
+}
+
+func (r *Receiver) sendAck() {
+	r.delack.Stop()
+	r.unackedSeg = 0
+	r.stats.AcksSent++
+	var sack []netem.SackBlock
+	if !r.cfg.DisableSACK && len(r.ooo) > 0 {
+		// RFC 2018: the block covering the most recent arrival goes
+		// first; remaining slots rotate through the other ranges so
+		// the sender eventually learns the whole scoreboard.
+		recent := -1
+		if r.haveRecent {
+			for i, iv := range r.ooo {
+				if iv.start == r.recentOOO {
+					recent = i
+					sack = append(sack, netem.SackBlock{Start: iv.start, End: iv.end})
+					break
+				}
+			}
+		}
+		n := len(r.ooo)
+		for k := 0; k < n && len(sack) < 3; k++ {
+			idx := (r.sackCursor + k) % n
+			if idx == recent {
+				continue
+			}
+			iv := r.ooo[idx]
+			sack = append(sack, netem.SackBlock{Start: iv.start, End: iv.end})
+		}
+		r.sackCursor = (r.sackCursor + 2) % n
+	}
+	r.host.Send(&netem.Packet{
+		Flow: r.flow,
+		Seg: netem.Segment{
+			Seq:    r.isn + 1,
+			Ack:    r.rcvNxt,
+			Flags:  netem.FlagACK,
+			Window: uint32(r.cfg.RcvWindow),
+			Sack:   sack,
+		},
+		Size: netem.HeaderBytes,
+		ECE:  r.eceEcho,
+	})
+	r.eceEcho = false
+}

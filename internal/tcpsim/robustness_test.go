@@ -1,0 +1,318 @@
+package tcpsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
+)
+
+// Property: under arbitrary (bounded) random loss, every transfer delivers
+// exactly its byte count, in order, exactly once — TCP's reliability
+// invariant survives any drop pattern the emulator can produce.
+func TestPropertyReliableDelivery(t *testing.T) {
+	f := func(seed int64, lossPct uint8, sizeKB uint16) bool {
+		// Up to 8% loss: beyond that, TCP's exponential backoff makes
+		// even virtual-time budgets impractically long (as in reality).
+		loss := float64(lossPct%9) / 100
+		size := int64(sizeKB%512+1) * 1024
+		eng := sim.NewEngine(seed)
+		net := netem.New(eng)
+		client := net.NewHost("client")
+		server := net.NewHost("server")
+		net.Connect(server, client,
+			netem.LinkConfig{RateBps: 50e6, Delay: 5 * time.Millisecond, Loss: loss, Queue: netem.NewDropTailDepth(50e6, 50*time.Millisecond)},
+			netem.LinkConfig{RateBps: 50e6, Delay: 5 * time.Millisecond, Loss: loss / 4})
+		d := StartDownload(client, server, 40000, 80, Config{}, size, 0)
+		eng.RunUntil(30 * time.Minute)
+		return d.Receiver.Done() && d.Receiver.BytesReceived() == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the receiver's advertised window is never violated in sequence
+// space, whatever the loss pattern.
+func TestPropertyRwndRespected(t *testing.T) {
+	f := func(seed int64, lossPct uint8) bool {
+		loss := float64(lossPct%5) / 100
+		rwnd := 64 * 1024
+		eng := sim.NewEngine(seed)
+		net := netem.New(eng)
+		client := net.NewHost("client")
+		server := net.NewHost("server")
+		down, _ := net.Connect(server, client,
+			netem.LinkConfig{RateBps: 100e6, Delay: 10 * time.Millisecond, Loss: loss},
+			netem.LinkConfig{RateBps: 100e6, Delay: 10 * time.Millisecond})
+		var una, max uint32
+		var haveUna bool
+		down.Tap = func(p *netem.Packet) {
+			if !p.IsData() {
+				return
+			}
+			end := p.EndSeq()
+			if !haveUna {
+				una = p.Seg.Seq
+				max = end
+				haveUna = true
+			}
+			if seqGT(end, max) {
+				max = end
+			}
+		}
+		d := StartDownload(client, server, 40000, 80, Config{RcvWindow: rwnd}, 2_000_000, 0)
+		eng.RunUntil(30 * time.Minute)
+		s := d.Sender()
+		if s == nil {
+			return false
+		}
+		// All data ever sent must sit within [una, una+rwnd] of some
+		// acked point; conservatively: total outstanding at any time
+		// was bounded, so final max <= acked + rwnd.
+		acked := s.Stats().BytesAcked
+		sent := seqDiff(max, una)
+		return d.Receiver.Done() && sent <= acked+int64(rwnd)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Failure injection: a total blackout mid-transfer must stall the flow into
+// backed-off RTOs, and the transfer must complete after the outage heals.
+func TestBlackoutRecovery(t *testing.T) {
+	eng := sim.NewEngine(5)
+	net := netem.New(eng)
+	client := net.NewHost("client")
+	server := net.NewHost("server")
+	down, _ := net.Connect(server, client,
+		netem.LinkConfig{RateBps: 20e6, Delay: 10 * time.Millisecond, Queue: netem.NewDropTailDepth(20e6, 50*time.Millisecond)},
+		netem.LinkConfig{RateBps: 100e6, Delay: 10 * time.Millisecond})
+	d := StartDownload(client, server, 40000, 80, Config{}, 20_000_000, 0)
+
+	eng.RunFor(2 * time.Second)
+	if d.Receiver.BytesReceived() == 0 {
+		t.Fatal("no progress before outage")
+	}
+	down.SetLoss(1.0) // cut the wire
+	eng.RunFor(5 * time.Second)
+	during := d.Receiver.BytesReceived()
+	eng.RunFor(2 * time.Second)
+	if d.Receiver.BytesReceived() != during {
+		t.Fatal("data delivered across a dead link")
+	}
+	st := d.Sender().Stats()
+	if st.Timeouts == 0 {
+		t.Fatal("no RTOs during blackout")
+	}
+	down.SetLoss(0)
+	eng.RunUntil(eng.Now() + 5*time.Minute)
+	if !d.Receiver.Done() || d.Receiver.BytesReceived() != 20_000_000 {
+		t.Fatalf("transfer did not heal: done=%v bytes=%d", d.Receiver.Done(), d.Receiver.BytesReceived())
+	}
+}
+
+// A lossy episode (20% for 2 s) must not corrupt delivery or deadlock.
+func TestLossyEpisodeRecovery(t *testing.T) {
+	eng := sim.NewEngine(6)
+	net := netem.New(eng)
+	client := net.NewHost("client")
+	server := net.NewHost("server")
+	down, _ := net.Connect(server, client,
+		netem.LinkConfig{RateBps: 20e6, Delay: 10 * time.Millisecond, Queue: netem.NewDropTailDepth(20e6, 50*time.Millisecond)},
+		netem.LinkConfig{RateBps: 100e6, Delay: 10 * time.Millisecond})
+	d := StartDownload(client, server, 40000, 80, Config{}, 0, 10*time.Second)
+	eng.Schedule(3*time.Second, func() { down.SetLoss(0.2) })
+	eng.Schedule(5*time.Second, func() { down.SetLoss(0) })
+	eng.Run()
+	if !d.Receiver.Done() {
+		t.Fatal("transfer incomplete after lossy episode")
+	}
+	rx := d.Receiver.Stats()
+	if rx.BytesReceived < 10_000_000 {
+		t.Fatalf("only %d bytes in 10s around a 2s lossy episode", rx.BytesReceived)
+	}
+}
+
+func TestDisableSACKStillReliable(t *testing.T) {
+	eng := sim.NewEngine(7)
+	net := netem.New(eng)
+	client := net.NewHost("client")
+	server := net.NewHost("server")
+	net.Connect(server, client,
+		netem.LinkConfig{RateBps: 20e6, Delay: 10 * time.Millisecond, Loss: 0.01, Queue: netem.NewDropTailDepth(20e6, 50*time.Millisecond)},
+		netem.LinkConfig{RateBps: 100e6, Delay: 10 * time.Millisecond})
+	d := StartDownload(client, server, 40000, 80, Config{DisableSACK: true}, 3_000_000, 0)
+	eng.RunUntil(5 * time.Minute)
+	if !d.Receiver.Done() || d.Receiver.BytesReceived() != 3_000_000 {
+		t.Fatalf("non-SACK transfer broken: %d bytes", d.Receiver.BytesReceived())
+	}
+}
+
+func TestSACKAvoidsSpuriousRetransmits(t *testing.T) {
+	// SACK's scoreboard retransmits only missing data; the non-SACK
+	// fallback goes back to snd_una after a timeout and resends data the
+	// receiver already buffered. Count the duplicates the receiver sees.
+	run := func(disableSACK bool) (dups uint64) {
+		eng := sim.NewEngine(8)
+		net := netem.New(eng)
+		client := net.NewHost("client")
+		server := net.NewHost("server")
+		net.Connect(server, client,
+			netem.LinkConfig{RateBps: 50e6, Delay: 20 * time.Millisecond, Loss: 0.05, Queue: netem.NewDropTailDepth(50e6, 100*time.Millisecond)},
+			netem.LinkConfig{RateBps: 100e6, Delay: 20 * time.Millisecond})
+		d := StartDownload(client, server, 40000, 80, Config{DisableSACK: disableSACK}, 10_000_000, 0)
+		eng.RunUntil(60 * time.Minute)
+		if !d.Receiver.Done() {
+			t.Fatal("incomplete")
+		}
+		return d.Receiver.Stats().DupSegments
+	}
+	sack := run(false)
+	noSack := run(true)
+	if sack >= noSack {
+		t.Fatalf("SACK dups (%d) not below go-back-N dups (%d) at 2%% loss", sack, noSack)
+	}
+}
+
+func TestDisableTLPCausesMoreTimeouts(t *testing.T) {
+	run := func(disableTLP bool) uint64 {
+		eng := sim.NewEngine(9)
+		net := netem.New(eng)
+		client := net.NewHost("client")
+		server := net.NewHost("server")
+		q := netem.NewDropTailDepth(25e6, 20*time.Millisecond)
+		net.Connect(server, client,
+			netem.LinkConfig{RateBps: 25e6, Delay: 10 * time.Millisecond, Queue: q},
+			netem.LinkConfig{RateBps: 100e6, Delay: 10 * time.Millisecond})
+		d := StartDownload(client, server, 40000, 80, Config{DisableTLP: disableTLP}, 0, 10*time.Second)
+		eng.Run()
+		return d.Sender().Stats().Timeouts
+	}
+	with := run(false)
+	without := run(true)
+	if with > without {
+		t.Fatalf("TLP increased timeouts: %d with vs %d without", with, without)
+	}
+}
+
+func TestListenerDemuxSimple(t *testing.T) {
+	eng := sim.NewEngine(11)
+	net := netem.New(eng)
+	server := net.NewHost("server")
+	r := net.NewRouter("r")
+	net.Connect(server, r, netem.LinkConfig{RateBps: 1e9}, netem.LinkConfig{RateBps: 1e9})
+	var hosts []*netem.Host
+	for i := 0; i < 8; i++ {
+		c := net.NewHost("client")
+		net.Connect(c, r, netem.LinkConfig{RateBps: 1e9, Delay: time.Millisecond}, netem.LinkConfig{RateBps: 1e9, Delay: time.Millisecond})
+		hosts = append(hosts, c)
+	}
+	net.ComputeRoutes()
+
+	l := Listen(server, 80, Config{}, func(s *Sender) {
+		s.Send(500_000)
+		s.Close()
+	})
+	done := 0
+	for _, h := range hosts {
+		rc := NewReceiver(h, 40000, Config{})
+		rc.OnComplete(func(r *Receiver) {
+			if r.BytesReceived() != 500_000 {
+				t.Errorf("client got %d bytes", r.BytesReceived())
+			}
+			done++
+		})
+		rc.Connect(server.Addr(), 80)
+	}
+	eng.Run()
+	if done != 8 {
+		t.Fatalf("completed %d of 8 concurrent clients", done)
+	}
+	if l.Accepted() != 8 {
+		t.Fatalf("accepted %d", l.Accepted())
+	}
+	if len(l.Conns()) != 8 {
+		t.Fatalf("conns %d", len(l.Conns()))
+	}
+	for _, s := range l.Conns() {
+		l.Forget(s)
+	}
+	if len(l.Conns()) != 0 {
+		t.Fatal("Forget did not clear connections")
+	}
+}
+
+func TestSendForTruncatesStream(t *testing.T) {
+	eng, client, server := testNet(12, netem.LinkConfig{RateBps: 10e6, Delay: 10 * time.Millisecond, Queue: netem.NewDropTailDepth(10e6, 50*time.Millisecond)})
+	d := StartDownload(client, server, 40000, 80, Config{}, 0, 2*time.Second)
+	eng.Run()
+	if !d.Receiver.Done() {
+		t.Fatal("timed transfer did not finish")
+	}
+	st := d.Receiver.Stats()
+	dur := st.FinishedAt - st.EstablishedAt
+	// Must end shortly after the 2s mark (drain time for queued data).
+	if dur < 2*time.Second || dur > 4*time.Second {
+		t.Fatalf("transfer lasted %v, want ~2s", dur)
+	}
+}
+
+func TestBBRStateProgression(t *testing.T) {
+	b := &BBRLite{}
+	eng := sim.NewEngine(1)
+	b.Init(eng, 1460)
+	if !b.InSlowStart() {
+		t.Fatal("BBR should start in STARTUP")
+	}
+	// Feed steady bandwidth samples: STARTUP must end once bandwidth
+	// stops growing.
+	for i := 0; i < 100; i++ {
+		eng.RunFor(10 * time.Millisecond)
+		b.DeliveryRateSample(10e6/8, 10*time.Millisecond)
+	}
+	if b.InSlowStart() {
+		t.Fatal("BBR never exited STARTUP on a bandwidth plateau")
+	}
+	if b.PacingRate() <= 0 {
+		t.Fatal("no pacing rate set")
+	}
+	if b.Cwnd() <= 0 {
+		t.Fatal("no cwnd set")
+	}
+}
+
+func TestCubicBetaAndEpoch(t *testing.T) {
+	c := &Cubic{}
+	eng := sim.NewEngine(1)
+	c.Init(eng, 1460)
+	// Grow cwnd to ~100 KB in slow start, then lose.
+	for c.Cwnd() < 100_000 {
+		c.OnAck(1460, 10*time.Millisecond, int(c.Cwnd()))
+	}
+	w := c.Cwnd()
+	c.OnLoss(LossFastRetransmit, int(w))
+	want := 0.7 * w
+	if got := c.Ssthresh(); got < want*0.98 || got > want*1.02 {
+		t.Fatalf("CUBIC beta reduction: ssthresh %v, want ~%.0f", got, want)
+	}
+	c.OnExitRecovery()
+	start := c.Cwnd()
+	// Growth should follow the cubic curve: slow near the plateau, then
+	// accelerating past K.
+	var early, late float64
+	for i := 0; i < 50; i++ {
+		eng.RunFor(10 * time.Millisecond)
+		c.OnAck(1460, 10*time.Millisecond, int(c.Cwnd()))
+		if i == 24 {
+			early = c.Cwnd() - start
+		}
+	}
+	late = c.Cwnd() - start
+	if late <= early {
+		t.Fatalf("CUBIC cwnd not growing: early %v late %v", early, late)
+	}
+}

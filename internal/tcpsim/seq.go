@@ -1,0 +1,25 @@
+package tcpsim
+
+// Sequence-number arithmetic modulo 2^32 (RFC 793 style).
+
+// seqLT reports a < b in modular arithmetic.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// seqLEQ reports a <= b in modular arithmetic.
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// seqGT reports a > b in modular arithmetic.
+func seqGT(a, b uint32) bool { return int32(a-b) > 0 }
+
+// seqGEQ reports a >= b in modular arithmetic.
+func seqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// seqDiff returns a - b as a signed quantity.
+func seqDiff(a, b uint32) int64 { return int64(int32(a - b)) }
+
+func seqMax(a, b uint32) uint32 {
+	if seqGT(a, b) {
+		return a
+	}
+	return b
+}

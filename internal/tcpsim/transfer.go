@@ -1,0 +1,69 @@
+package tcpsim
+
+import (
+	"time"
+
+	"tcpsig/internal/netem"
+)
+
+// BulkServer serves every accepted connection with either a fixed number of
+// bytes or a fixed-duration stream, modeling an NDT/netperf test server or a
+// file server for cross-traffic generators.
+type BulkServer struct {
+	Listener *Listener
+
+	bytes int64
+	dur   time.Duration
+}
+
+// NewBulkServer listens on host:port. If dur > 0 each connection streams for
+// dur (a throughput test); otherwise it sends bytes and closes.
+func NewBulkServer(host *netem.Host, port netem.Port, cfg Config, bytes int64, dur time.Duration) *BulkServer {
+	b := &BulkServer{bytes: bytes, dur: dur}
+	b.Listener = Listen(host, port, cfg, func(s *Sender) {
+		if b.dur > 0 {
+			s.SendFor(b.dur)
+		} else {
+			s.Send(b.bytes)
+			s.Close()
+		}
+	})
+	return b
+}
+
+// Download is a one-shot client-side transfer handle.
+type Download struct {
+	Receiver *Receiver
+
+	server *BulkServer
+}
+
+// StartDownload wires a dedicated server port on serverHost and a client on
+// clientHost, starts the handshake, and returns the handle. After the
+// simulation runs, Sender() and Receiver hold both endpoints' stats.
+func StartDownload(clientHost, serverHost *netem.Host, clientPort, serverPort netem.Port, cfg Config, bytes int64, dur time.Duration) *Download {
+	d := &Download{server: NewBulkServer(serverHost, serverPort, cfg, bytes, dur)}
+	d.Receiver = NewReceiver(clientHost, clientPort, cfg)
+	d.Receiver.Connect(serverHost.Addr(), serverPort)
+	return d
+}
+
+// Sender returns the server-side endpoint once the connection has been
+// accepted (nil before that).
+func (d *Download) Sender() *Sender {
+	conns := d.server.Listener.Conns()
+	if len(conns) == 0 {
+		return nil
+	}
+	return conns[0]
+}
+
+// ThroughputBps returns the client-observed goodput over the transfer
+// lifetime, 0 if the transfer has not finished.
+func (d *Download) ThroughputBps() float64 {
+	st := d.Receiver.Stats()
+	if st.FinishedAt <= st.EstablishedAt || !d.Receiver.Done() {
+		return 0
+	}
+	return float64(st.BytesReceived*8) / (st.FinishedAt - st.EstablishedAt).Seconds()
+}

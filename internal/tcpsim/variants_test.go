@@ -1,0 +1,136 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
+)
+
+// bufferedPath builds a 20 Mbps / 100 ms-buffer bottleneck and runs a
+// 10-second download with the given controller, returning goodput and the
+// sender's slow-start RTT span (a proxy for buffer occupancy).
+func bufferedPath(t *testing.T, seed int64, newCC func() CongestionControl) (bps float64, rttSpan time.Duration, st SenderStats) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	net := netem.New(eng)
+	client := net.NewHost("client")
+	server := net.NewHost("server")
+	q := netem.NewDropTailDepth(20e6, 100*time.Millisecond)
+	net.Connect(server, client,
+		netem.LinkConfig{RateBps: 20e6, Delay: 20 * time.Millisecond, Queue: q},
+		netem.LinkConfig{RateBps: 100e6, Delay: 20 * time.Millisecond})
+	d := StartDownload(client, server, 40000, 80, Config{NewCC: newCC}, 0, 10*time.Second)
+	eng.Run()
+	if !d.Receiver.Done() {
+		t.Fatal("transfer incomplete")
+	}
+	st = d.Sender().Stats()
+	span := time.Duration(0)
+	if st.SlowStartRTTCount > 0 {
+		span = st.SlowStartRTTMax - st.SlowStartRTTMin
+	}
+	return d.ThroughputBps(), span, st
+}
+
+func TestHyStartExitsBeforeOverflow(t *testing.T) {
+	_, spanPlain, stPlain := bufferedPath(t, 1, nil)
+	bpsHy, spanHy, stHy := bufferedPath(t, 1, func() CongestionControl { return &Reno{HyStart: true} })
+	// HyStart should exit slow start on early RTT rise: far smaller
+	// slow-start overshoot (fewer retransmits) while keeping throughput.
+	if stHy.Retransmits >= stPlain.Retransmits {
+		t.Fatalf("HyStart retransmits %d >= plain %d", stHy.Retransmits, stPlain.Retransmits)
+	}
+	if bpsHy < 15e6 {
+		t.Fatalf("HyStart goodput %.1f Mbps", bpsHy/1e6)
+	}
+	_ = spanPlain
+	_ = spanHy
+}
+
+func TestHyStartCubic(t *testing.T) {
+	bps, _, st := bufferedPath(t, 2, func() CongestionControl { return &Cubic{HyStart: true} })
+	if bps < 15e6 {
+		t.Fatalf("CUBIC+HyStart goodput %.1f Mbps", bps/1e6)
+	}
+	if st.Timeouts > 1 {
+		t.Fatalf("CUBIC+HyStart hit %d timeouts", st.Timeouts)
+	}
+}
+
+func TestVegasKeepsBufferNearEmpty(t *testing.T) {
+	bpsReno, spanReno, _ := bufferedPath(t, 3, nil)
+	bpsVegas, spanVegas, stVegas := bufferedPath(t, 3, func() CongestionControl { return &Vegas{} })
+	// Vegas holds only a few packets of backlog: its RTT span must be a
+	// small fraction of Reno's buffer-filling span.
+	if spanVegas >= spanReno/2 {
+		t.Fatalf("Vegas RTT span %v not well below Reno's %v", spanVegas, spanReno)
+	}
+	// It should still achieve solid throughput on an uncontended link.
+	if bpsVegas < 0.7*bpsReno {
+		t.Fatalf("Vegas goodput %.1f Mbps vs Reno %.1f", bpsVegas/1e6, bpsReno/1e6)
+	}
+	// And essentially no loss: it never fills the buffer.
+	if stVegas.Retransmits > 50 {
+		t.Fatalf("Vegas retransmitted %d times", stVegas.Retransmits)
+	}
+}
+
+func TestVegasUnitBacklog(t *testing.T) {
+	v := &Vegas{}
+	v.Init(sim.NewEngine(1), 1460)
+	// Establish base RTT, then grow in slow start until backlog > gamma.
+	v.OnAck(1460, 50*time.Millisecond, 0)
+	if !v.InSlowStart() {
+		t.Fatal("should start in slow start")
+	}
+	// Inflated RTT implies standing queue: with cwnd high enough the
+	// backlog estimate must cross gamma and freeze ssthresh.
+	for i := 0; i < 200 && v.InSlowStart(); i++ {
+		v.OnAck(1460, 60*time.Millisecond, 0)
+	}
+	if v.InSlowStart() {
+		t.Fatal("Vegas never exited slow start on standing delay")
+	}
+	// In CA with big backlog, cwnd must shrink (once per round).
+	w := v.Cwnd()
+	v.lastRTT = 100 * time.Millisecond
+	v.roundBytes = v.cwnd
+	v.OnAck(1460, 100*time.Millisecond, 0)
+	if v.Cwnd() >= w {
+		t.Fatalf("cwnd did not decrease on high backlog: %v -> %v", w, v.Cwnd())
+	}
+	// With near-base RTT, cwnd must grow.
+	w = v.Cwnd()
+	v.roundBytes = v.cwnd
+	v.OnAck(1460, 50*time.Millisecond, 0)
+	if v.Cwnd() <= w {
+		t.Fatalf("cwnd did not grow on low backlog: %v -> %v", w, v.Cwnd())
+	}
+}
+
+func TestHyStartUnitThreshold(t *testing.T) {
+	var h hystart
+	if h.exitNow(0) {
+		t.Fatal("zero RTT must not trigger")
+	}
+	if h.exitNow(40 * time.Millisecond) {
+		t.Fatal("first sample must not trigger")
+	}
+	if h.exitNow(42 * time.Millisecond) {
+		t.Fatal("below min+max(min/8,4ms) must not trigger")
+	}
+	if !h.exitNow(46 * time.Millisecond) {
+		t.Fatal("40ms min + 5ms threshold: 46ms must trigger")
+	}
+	// Small base RTTs use the 4ms floor.
+	var h2 hystart
+	h2.exitNow(8 * time.Millisecond)
+	if h2.exitNow(11 * time.Millisecond) {
+		t.Fatal("below the 4ms floor must not trigger")
+	}
+	if !h2.exitNow(13 * time.Millisecond) {
+		t.Fatal("above the 4ms floor must trigger")
+	}
+}

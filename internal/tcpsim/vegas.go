@@ -1,0 +1,140 @@
+package tcpsim
+
+import (
+	"math"
+	"time"
+
+	"tcpsig/internal/sim"
+)
+
+// Vegas implements TCP Vegas (Brakmo & Peterson '95), the classic delay-based
+// controller: it estimates the backlog the flow keeps in the bottleneck
+// buffer from the difference between expected and actual rates, and holds it
+// between alpha and beta packets. Like BBR, it keeps buffers nearly empty —
+// another §6-style confound for the RTT-based congestion signature.
+type Vegas struct {
+	mss      int
+	cwnd     float64
+	ssthresh float64
+
+	baseRTT  time.Duration // minimum observed RTT
+	lastRTT  time.Duration
+	inflated float64
+
+	// roundBytes accumulates acked bytes to apply the Vegas adjustment
+	// once per RTT worth of data.
+	roundBytes float64
+}
+
+// Vegas backlog thresholds in packets.
+const (
+	vegasAlpha = 2
+	vegasBeta  = 4
+	vegasGamma = 1
+)
+
+// Name implements CongestionControl.
+func (v *Vegas) Name() string { return "vegas" }
+
+// Init implements CongestionControl.
+func (v *Vegas) Init(_ *sim.Engine, mss int) {
+	v.mss = mss
+	v.cwnd = float64(InitialWindowSegments * mss)
+	v.ssthresh = math.MaxFloat64
+}
+
+func (v *Vegas) backlogPackets() float64 {
+	if v.baseRTT == 0 || v.lastRTT == 0 || v.lastRTT <= v.baseRTT {
+		return 0
+	}
+	// diff = cwnd * (RTT - baseRTT) / RTT, in bytes of standing queue.
+	queued := v.cwnd * float64(v.lastRTT-v.baseRTT) / float64(v.lastRTT)
+	return queued / float64(v.mss)
+}
+
+// OnAck implements CongestionControl.
+func (v *Vegas) OnAck(acked int, rtt time.Duration, _ int) {
+	if rtt > 0 {
+		if v.baseRTT == 0 || rtt < v.baseRTT {
+			v.baseRTT = rtt
+		}
+		v.lastRTT = rtt
+	}
+	if v.InSlowStart() {
+		// Slow start until the backlog estimate crosses gamma.
+		if v.backlogPackets() > vegasGamma {
+			v.ssthresh = v.cwnd
+			return
+		}
+		grow := float64(acked)
+		if grow > 2*float64(v.mss) {
+			grow = 2 * float64(v.mss)
+		}
+		v.cwnd += grow
+		if v.cwnd > v.ssthresh {
+			v.cwnd = v.ssthresh
+		}
+		return
+	}
+	// Congestion avoidance: once per RTT, adjust by one MSS based on the
+	// standing backlog.
+	v.roundBytes += float64(acked)
+	if v.roundBytes < v.cwnd {
+		return
+	}
+	v.roundBytes = 0
+	diff := v.backlogPackets()
+	switch {
+	case diff < vegasAlpha:
+		v.cwnd += float64(v.mss)
+	case diff > vegasBeta:
+		v.cwnd -= float64(v.mss)
+		if v.cwnd < 2*float64(v.mss) {
+			v.cwnd = 2 * float64(v.mss)
+		}
+	}
+}
+
+// OnDupAck implements CongestionControl.
+func (v *Vegas) OnDupAck() {
+	v.cwnd += float64(v.mss)
+	v.inflated += float64(v.mss)
+}
+
+// OnLoss implements CongestionControl: Vegas falls back to Reno-style
+// reductions on real loss.
+func (v *Vegas) OnLoss(kind LossKind, flight int) {
+	half := float64(flight) / 2
+	if min := 2 * float64(v.mss); half < min {
+		half = min
+	}
+	v.ssthresh = half
+	v.inflated = 0
+	switch kind {
+	case LossTimeout:
+		v.cwnd = float64(v.mss)
+	case LossFastRetransmit, LossECN:
+		v.cwnd = v.ssthresh
+	}
+}
+
+// OnExitRecovery implements CongestionControl.
+func (v *Vegas) OnExitRecovery() {
+	v.cwnd = v.ssthresh
+	v.inflated = 0
+}
+
+// Cwnd implements CongestionControl.
+func (v *Vegas) Cwnd() float64 { return v.cwnd }
+
+// Ssthresh implements CongestionControl.
+func (v *Vegas) Ssthresh() float64 { return v.ssthresh }
+
+// InSlowStart implements CongestionControl.
+func (v *Vegas) InSlowStart() bool { return v.cwnd < v.ssthresh }
+
+// PacingRate implements CongestionControl.
+func (v *Vegas) PacingRate() float64 { return 0 }
+
+// DeliveryRateSample implements CongestionControl.
+func (v *Vegas) DeliveryRateSample(float64, time.Duration) {}

@@ -1,0 +1,159 @@
+package testbed
+
+import (
+	"time"
+
+	"tcpsig/internal/dtree"
+	"tcpsig/internal/tcpsim"
+)
+
+// Paper parameter grids (§3.1).
+var (
+	// PaperRatesMbps are the shaped access-link bandwidths.
+	PaperRatesMbps = []float64{10, 20, 50}
+
+	// PaperLosses are the access-link loss probabilities (0.02%, 0.05%).
+	PaperLosses = []float64{0, 0.0002, 0.0005}
+
+	// PaperLatencies are the added access-link latencies.
+	PaperLatencies = []time.Duration{20 * time.Millisecond, 40 * time.Millisecond}
+
+	// PaperBuffers are the access-link buffer depths.
+	PaperBuffers = []time.Duration{20 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond}
+)
+
+// SweepOptions configures a controlled-experiment sweep over the testbed
+// parameter grid, running both the self-induced and external scenarios.
+type SweepOptions struct {
+	Rates     []float64
+	Losses    []float64
+	Latencies []time.Duration
+	Buffers   []time.Duration
+
+	// RunsPerConfig is the number of repetitions per parameter
+	// combination and scenario (the paper ran 50).
+	RunsPerConfig int
+
+	// CongFlows is the TGCong concurrency for external runs (paper: 100).
+	CongFlows int
+
+	// Duration is the per-test length (default 10 s; slow start and thus
+	// the features are unaffected by shortening it).
+	Duration time.Duration
+
+	// Seed seeds the whole sweep deterministically.
+	Seed int64
+
+	// CC optionally overrides the test flow's congestion controller.
+	CC func() tcpsim.CongestionControl
+
+	// Progress, when non-nil, is called after each run.
+	Progress func(done, total int)
+}
+
+func (o SweepOptions) withDefaults() SweepOptions {
+	if o.Rates == nil {
+		o.Rates = PaperRatesMbps
+	}
+	if o.Losses == nil {
+		o.Losses = PaperLosses
+	}
+	if o.Latencies == nil {
+		o.Latencies = PaperLatencies
+	}
+	if o.Buffers == nil {
+		o.Buffers = PaperBuffers
+	}
+	if o.RunsPerConfig == 0 {
+		o.RunsPerConfig = 10
+	}
+	if o.CongFlows == 0 {
+		o.CongFlows = 100
+	}
+	if o.Duration == 0 {
+		o.Duration = 10 * time.Second
+	}
+	return o
+}
+
+// Total returns the number of runs the sweep will execute.
+func (o SweepOptions) Total() int {
+	o = o.withDefaults()
+	return len(o.Rates) * len(o.Losses) * len(o.Latencies) * len(o.Buffers) * o.RunsPerConfig * 2
+}
+
+// Sweep runs the full grid for both scenarios and returns every valid
+// result. Runs whose flows fail the 10-sample validity filter are skipped,
+// exactly as the paper discards them.
+func Sweep(opt SweepOptions) []*Result {
+	opt = opt.withDefaults()
+	var out []*Result
+	seed := opt.Seed
+	done := 0
+	total := opt.Total()
+	for _, rate := range opt.Rates {
+		for _, loss := range opt.Losses {
+			for _, lat := range opt.Latencies {
+				for _, buf := range opt.Buffers {
+					for _, cong := range []int{0, opt.CongFlows} {
+						for run := 0; run < opt.RunsPerConfig; run++ {
+							seed++
+							cfg := Config{
+								Access: AccessParams{
+									RateMbps: rate,
+									Loss:     loss,
+									Latency:  lat,
+									Jitter:   2 * time.Millisecond,
+									Buffer:   buf,
+								},
+								CongFlows:  cong,
+								TransCross: true,
+								Duration:   opt.Duration,
+								Seed:       seed,
+								CC:         opt.CC,
+							}
+							if cong > 0 {
+								cfg.WarmUp = 4 * time.Second
+							}
+							res, err := Run(cfg)
+							done++
+							if opt.Progress != nil {
+								opt.Progress(done, total)
+							}
+							if err != nil {
+								continue
+							}
+							out = append(out, res)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Dataset converts sweep results into labeled training examples using the
+// paper's threshold rule, filtering out runs whose threshold label
+// contradicts the scenario that produced them (the paper discards this
+// small inconsistent fraction before training).
+func Dataset(results []*Result, threshold float64) []dtree.Example {
+	var out []dtree.Example
+	for _, r := range results {
+		if r.Label(threshold) != r.Scenario {
+			continue
+		}
+		out = append(out, dtree.Example{X: r.Features.Values(), Label: r.Scenario})
+	}
+	return out
+}
+
+// DatasetUnfiltered keeps every result, labeled purely by the threshold
+// rule, for studying labeling noise.
+func DatasetUnfiltered(results []*Result, threshold float64) []dtree.Example {
+	out := make([]dtree.Example, 0, len(results))
+	for _, r := range results {
+		out = append(out, dtree.Example{X: r.Features.Values(), Label: r.Label(threshold)})
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package trafficgen
+
+import (
+	"testing"
+	"time"
+
+	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
+	"tcpsig/internal/tcpsim"
+)
+
+func smallNet(seed int64, rate float64) (*sim.Engine, *netem.Host, *netem.Host, *netem.Link) {
+	eng := sim.NewEngine(seed)
+	net := netem.New(eng)
+	client := net.NewHost("client")
+	server := net.NewHost("server")
+	cfg := netem.LinkConfig{RateBps: rate, Delay: 5 * time.Millisecond, Queue: netem.NewDropTailDepth(rate, 100*time.Millisecond)}
+	rev := netem.LinkConfig{RateBps: rate, Delay: 5 * time.Millisecond}
+	down, _ := net.Connect(server, client, cfg, rev)
+	return eng, client, server, down
+}
+
+func TestServeObjectsPortsAndSizes(t *testing.T) {
+	eng, client, server, _ := smallNet(1, 1e9)
+	targets := ServeObjects(server, 8000, tcpsim.Config{})
+	if len(targets) != len(ObjectSizes) {
+		t.Fatalf("targets = %d", len(targets))
+	}
+	// Fetch the smallest object and verify its exact size arrives.
+	f := NewFetcher(client, 20000, tcpsim.Config{})
+	var got int64 = -1
+	f.Fetch(targets[0].Server, targets[0].Port, func(r *tcpsim.Receiver) { got = r.BytesReceived() })
+	eng.Run()
+	if got != ObjectSizes[0] {
+		t.Fatalf("fetched %d bytes, want %d", got, ObjectSizes[0])
+	}
+}
+
+func TestFetcherReleasesPorts(t *testing.T) {
+	eng, client, server, _ := smallNet(2, 1e9)
+	targets := ServeObjects(server, 8000, tcpsim.Config{})
+	f := NewFetcher(client, 20000, tcpsim.Config{})
+	done := 0
+	for i := 0; i < 5; i++ {
+		f.Fetch(targets[0].Server, targets[0].Port, func(*tcpsim.Receiver) { done++ })
+	}
+	eng.Run()
+	if done != 5 {
+		t.Fatalf("completed %d of 5", done)
+	}
+	// Ports were unbound on completion: rebinding must not panic.
+	client.Bind(20000, nil)
+}
+
+func TestTGTransWeightsFavorSmallObjects(t *testing.T) {
+	eng, client, server, _ := smallNet(3, 1e9)
+	targets := ServeObjects(server, 8000, tcpsim.Config{})
+	g := NewTGTrans(NewFetcher(client, 20000, tcpsim.Config{}), targets, 5*time.Millisecond)
+	g.Start()
+	eng.RunFor(3 * time.Second)
+	g.Stop()
+	eng.RunFor(time.Second)
+	st := g.Stats()
+	if st.Started < 100 {
+		t.Fatalf("only %d fetches in 3s at 5ms mean gap", st.Started)
+	}
+	if st.Finished == 0 || st.Bytes == 0 {
+		t.Fatalf("no completions: %+v", st)
+	}
+	// With 1/size weighting, the 10 KB object is ~90% of fetches; mean
+	// fetched size must be far below the unweighted mean (~22 MB).
+	mean := float64(st.Bytes) / float64(st.Finished)
+	if mean > 2_000_000 {
+		t.Fatalf("mean object size %.0f; inverse-size weighting broken", mean)
+	}
+}
+
+func TestTGTransStopHaltsNewFetches(t *testing.T) {
+	eng, client, server, _ := smallNet(4, 1e9)
+	targets := ServeObjects(server, 8000, tcpsim.Config{})
+	g := NewTGTrans(NewFetcher(client, 20000, tcpsim.Config{}), targets, 10*time.Millisecond)
+	g.Start()
+	eng.RunFor(500 * time.Millisecond)
+	g.Stop()
+	started := g.Stats().Started
+	eng.RunFor(2 * time.Second)
+	if g.Stats().Started != started {
+		t.Fatal("fetches continued after Stop")
+	}
+}
+
+func TestTGCongSaturatesLink(t *testing.T) {
+	eng, client, server, down := smallNet(5, 50e6)
+	tcpsim.NewBulkServer(server, 9000, tcpsim.Config{}, 100_000_000, 0)
+	g := NewTGCong(NewFetcher(client, 30000, tcpsim.Config{}), server.Addr(), 9000)
+	g.StartStaggered(10, 500*time.Millisecond)
+	eng.RunFor(5 * time.Second)
+	if g.Active() != 10 {
+		t.Fatalf("active = %d, want 10", g.Active())
+	}
+	// Aggregate delivery rate approaches the 50 Mbps link over 5s.
+	util := float64(down.Stats().BytesDelivered*8) / 5
+	if util < 0.8*50e6 {
+		t.Fatalf("link utilization %.1f Mbps, want >= 40", util/1e6)
+	}
+}
+
+func TestTGCongLoopRestartsAfterCompletion(t *testing.T) {
+	eng, client, server, _ := smallNet(6, 1e9)
+	tcpsim.NewBulkServer(server, 9000, tcpsim.Config{}, 1_000_000, 0)
+	g := NewTGCong(NewFetcher(client, 30000, tcpsim.Config{}), server.Addr(), 9000)
+	g.Start(2)
+	eng.RunFor(3 * time.Second)
+	if g.Finished() < 10 {
+		t.Fatalf("only %d completions; loops not restarting", g.Finished())
+	}
+	if g.Active() != 2 {
+		t.Fatalf("active = %d, want 2", g.Active())
+	}
+	g.Stop()
+	eng.Run()
+	if g.Active() != 0 {
+		t.Fatalf("active = %d after Stop and drain", g.Active())
+	}
+}

@@ -1,0 +1,304 @@
+// Package tcpsig implements TCP Congestion Signatures (Sundaresan,
+// Dhamdhere, Allman, claffy — IMC 2017): a server-side, per-flow technique
+// that decides whether a TCP flow experienced self-induced congestion
+// (it filled an otherwise idle bottleneck, typically the last-mile access
+// link) or external congestion (it started on an already congested path,
+// typically an interconnect link).
+//
+// The method computes two statistics from the flow's RTT samples during TCP
+// slow start — NormDiff = (max−min)/max and CoV = stddev/mean — and feeds
+// them to a small decision tree. This package exposes the full pipeline:
+//
+//	verdict, err := clf.ClassifyRTTs(slowStartRTTs)       // raw samples
+//	verdict, err := clf.ClassifyPcapFile("server.pcap", serverIP) // tcpdump trace
+//
+// plus training (on the bundled emulation testbed or your own labeled data),
+// model persistence, and the network-emulation substrate used to reproduce
+// every experiment in the paper (see the examples/ and cmd/ directories).
+package tcpsig
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tcpsig/internal/core"
+	"tcpsig/internal/dtree"
+	"tcpsig/internal/features"
+	"tcpsig/internal/flowrtt"
+	"tcpsig/internal/netem"
+	"tcpsig/internal/pcap"
+	"tcpsig/internal/testbed"
+)
+
+// Congestion classes.
+const (
+	// SelfInduced marks flows that filled an idle bottleneck themselves
+	// (e.g. a speed test saturating the user's access link).
+	SelfInduced = core.SelfInduced
+
+	// External marks flows bottlenecked by an already congested link
+	// (e.g. a saturated interconnect).
+	External = core.External
+)
+
+// ClassName returns "self-induced" or "external".
+func ClassName(class int) string { return core.ClassName(class) }
+
+// Features is the two-metric vector (NormDiff, CoV) plus supporting RTT
+// statistics.
+type Features = features.Vector
+
+// FeaturesFromRTTs computes the classification features from slow-start RTT
+// samples (at least 10, per the paper's validity rule; pass minSamples 0 for
+// that default).
+func FeaturesFromRTTs(rtts []time.Duration, minSamples int) (Features, error) {
+	return features.FromRTTs(rtts, minSamples)
+}
+
+// Verdict is a per-flow classification outcome.
+type Verdict = core.Verdict
+
+// Example is one labeled training instance (X = [NormDiff, CoV]).
+type Example = dtree.Example
+
+// Classifier is a trained congestion-signature model.
+type Classifier struct {
+	inner *core.Classifier
+}
+
+// TrainOptions configures classifier training.
+type TrainOptions struct {
+	// MaxDepth bounds the decision tree (the paper uses 4). 0 = 4.
+	MaxDepth int
+
+	// MinLeaf is the minimum training examples per leaf. 0 = 5.
+	MinLeaf int
+
+	// Threshold records the congestion-labeling threshold the examples
+	// were labeled with (informational, stored in the model).
+	Threshold float64
+}
+
+// Train fits a classifier on labeled examples.
+func Train(examples []Example, opt TrainOptions) (*Classifier, error) {
+	c, err := core.Train(examples, core.TrainOptions{
+		MaxDepth:  opt.MaxDepth,
+		MinLeaf:   opt.MinLeaf,
+		Threshold: opt.Threshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{inner: c}, nil
+}
+
+// TrainTestbedOptions configures TrainOnTestbed.
+type TrainTestbedOptions struct {
+	// RunsPerConfig is the number of emulated throughput tests per
+	// parameter combination and scenario (default 10; the paper ran 50).
+	RunsPerConfig int
+
+	// Threshold is the slow-start-throughput labeling threshold as a
+	// fraction of access capacity (default 0.8; the paper shows 0.6-0.9
+	// all work).
+	Threshold float64
+
+	// Quick shrinks the parameter grid to a single representative
+	// configuration for fast bootstrapping (seconds instead of minutes).
+	Quick bool
+
+	// Seed drives the emulation deterministically (default 1).
+	Seed int64
+
+	// Progress, when non-nil, receives per-run progress.
+	Progress func(done, total int)
+}
+
+// TestbedExamples runs the paper's §3 controlled experiments on the emulated
+// testbed and returns the threshold-labeled feature examples, for training
+// or export.
+func TestbedExamples(opt TrainTestbedOptions) ([]Example, error) {
+	if opt.Threshold == 0 {
+		opt.Threshold = 0.8
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	sw := testbed.SweepOptions{
+		RunsPerConfig: opt.RunsPerConfig,
+		Seed:          opt.Seed,
+		Progress:      opt.Progress,
+	}
+	if opt.Quick {
+		sw.Rates = []float64{20}
+		sw.Losses = []float64{0}
+		sw.Latencies = []time.Duration{20 * time.Millisecond}
+		sw.Buffers = []time.Duration{20 * time.Millisecond, 100 * time.Millisecond}
+		sw.Duration = 5 * time.Second
+		if sw.RunsPerConfig == 0 {
+			sw.RunsPerConfig = 4
+		}
+	}
+	results := testbed.Sweep(sw)
+	ds := testbed.Dataset(results, opt.Threshold)
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("tcpsig: testbed sweep produced no labeled examples")
+	}
+	return ds, nil
+}
+
+// TrainOnTestbed reproduces the paper's §3 methodology end to end: it runs
+// controlled experiments on the emulated testbed (self-induced and external
+// scenarios across the access-link parameter grid), labels them with the
+// slow-start throughput threshold, and trains the decision tree.
+func TrainOnTestbed(opt TrainTestbedOptions) (*Classifier, error) {
+	ds, err := TestbedExamples(opt)
+	if err != nil {
+		return nil, err
+	}
+	threshold := opt.Threshold
+	if threshold == 0 {
+		threshold = 0.8
+	}
+	return Train(ds, TrainOptions{MinLeaf: 2, Threshold: threshold})
+}
+
+// ClassifyRTTs classifies a flow from its slow-start RTT samples.
+func (c *Classifier) ClassifyRTTs(rtts []time.Duration) (Verdict, error) {
+	return c.inner.ClassifyRTTs(rtts)
+}
+
+// ClassifyFeatures classifies a precomputed feature vector.
+func (c *Classifier) ClassifyFeatures(v Features) Verdict {
+	return c.inner.ClassifyFeatures(v)
+}
+
+// FlowVerdict pairs a verdict with its flow identity for trace-wide results.
+type FlowVerdict struct {
+	SrcIP   string
+	SrcPort uint16
+	DstIP   string
+	DstPort uint16
+	Verdict Verdict
+	Err     error // non-nil when the flow failed validity filters
+}
+
+// ClassifyPcapFile analyzes a tcpdump capture taken at the data sender (the
+// server side of a throughput test) and classifies every data-bearing flow.
+// serverIPv4 is the server's address in dotted-quad form, used to orient
+// packet directions.
+func (c *Classifier) ClassifyPcapFile(path string, serverIPv4 string) ([]FlowVerdict, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return c.ClassifyPcap(f, serverIPv4)
+}
+
+// ClassifyPcap is ClassifyPcapFile reading from r.
+func (c *Classifier) ClassifyPcap(r io.Reader, serverIPv4 string) ([]FlowVerdict, error) {
+	ip, err := parseIPv4(serverIPv4)
+	if err != nil {
+		return nil, err
+	}
+	records, err := pcap.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("tcpsig: reading pcap: %w", err)
+	}
+	capt := pcap.ToCapture(records, ip)
+	// Remember the original addresses (ToCapture truncates them into
+	// emulator address space).
+	fullIPs := make(map[netem.FlowKey][2]uint32)
+	for _, rec := range records {
+		key := netem.FlowKey{
+			SrcAddr: pcap.IPToAddr(rec.SrcIP),
+			DstAddr: pcap.IPToAddr(rec.DstIP),
+			SrcPort: netem.Port(rec.SrcPort),
+			DstPort: netem.Port(rec.DstPort),
+		}
+		if _, ok := fullIPs[key]; !ok {
+			fullIPs[key] = [2]uint32{rec.SrcIP, rec.DstIP}
+		}
+	}
+	var out []FlowVerdict
+	for _, flow := range flowrtt.Flows(capt.Records) {
+		ips := fullIPs[flow]
+		fv := FlowVerdict{
+			SrcIP:   ipString(ips[0]),
+			SrcPort: uint16(flow.SrcPort),
+			DstIP:   ipString(ips[1]),
+			DstPort: uint16(flow.DstPort),
+		}
+		v, err := c.inner.ClassifyTrace(capt.Records, flow)
+		if err != nil {
+			fv.Err = err
+		} else {
+			fv.Verdict = v
+		}
+		out = append(out, fv)
+	}
+	return out, nil
+}
+
+// ClassifyCapture classifies every flow of an in-memory emulator capture.
+func (c *Classifier) ClassifyCapture(capt *netem.Capture) (map[netem.FlowKey]Verdict, map[netem.FlowKey]error) {
+	return c.inner.ClassifyCapture(capt)
+}
+
+// Save writes the model as JSON.
+func (c *Classifier) Save(w io.Writer) error { return c.inner.Save(w) }
+
+// SaveFile writes the model to a file.
+func (c *Classifier) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.inner.Save(f)
+}
+
+// Tree renders the trained decision tree for inspection.
+func (c *Classifier) Tree() string { return c.inner.Tree.String() }
+
+// Threshold returns the labeling threshold the model was trained with.
+func (c *Classifier) Threshold() float64 { return c.inner.Threshold }
+
+// Load reads a model saved with Save.
+func Load(r io.Reader) (*Classifier, error) {
+	inner, err := core.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{inner: inner}, nil
+}
+
+// LoadFile reads a model from a file.
+func LoadFile(path string) (*Classifier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func parseIPv4(s string) (uint32, error) {
+	var a, b, c, d int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("tcpsig: bad IPv4 %q", s)
+	}
+	for _, v := range []int{a, b, c, d} {
+		if v < 0 || v > 255 {
+			return 0, fmt.Errorf("tcpsig: bad IPv4 %q", s)
+		}
+	}
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d), nil
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip>>24, ip>>16&0xff, ip>>8&0xff, ip&0xff)
+}
