@@ -7,20 +7,26 @@
 //	ccsig train [-quick] [-runs N] [-threshold F] -o model.json
 //	ccsig classify -model model.json -server 10.0.0.2 trace.pcap...
 //	ccsig inspect -model model.json
+//	ccsig faults [-quick] [-faults ge-loss,flap,...]
 //
 // train fits the decision tree on emulated controlled experiments
 // reproducing the paper's testbed; classify analyzes pcap files captured at
 // the data sender (e.g. a speed-test server) and prints one verdict per
-// flow; inspect prints the tree.
+// flow; inspect prints the tree; faults re-runs the controlled experiments
+// under injected network faults (bursty loss, link flaps, reordering,
+// duplication, corruption) and reports how the signature's accuracy holds
+// up per regime.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"tcpsig"
+	"tcpsig/internal/testbed"
 )
 
 func main() {
@@ -36,6 +42,8 @@ func main() {
 		inspectCmd(os.Args[2:])
 	case "summarize":
 		summarizeCmd(os.Args[2:])
+	case "faults":
+		faultsCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -47,6 +55,7 @@ func usage() {
   ccsig classify -model model.json -server IPv4 trace.pcap...
   ccsig summarize -server IPv4 trace.pcap...
   ccsig inspect -model model.json
+  ccsig faults [-quick] [-runs N] [-threshold F] [-seed N] [-faults name,name,...]
 `)
 	os.Exit(2)
 }
@@ -139,21 +148,30 @@ func classifyCmd(args []string) {
 	for _, path := range fs.Args() {
 		verdicts, err := clf.ClassifyPcapFile(path, *server)
 		if err != nil {
+			// A corrupt tail still yields verdicts for the flows read
+			// before the damage; report the error and keep them.
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			exit = 1
-			continue
 		}
 		for _, fv := range verdicts {
 			id := fmt.Sprintf("%s:%d > %s:%d", fv.SrcIP, fv.SrcPort, fv.DstIP, fv.DstPort)
-			if fv.Err != nil {
+			v := fv.Verdict
+			if v.Class < 0 {
 				fmt.Printf("%s  %-42s  skipped: %v\n", path, id, fv.Err)
 				continue
 			}
-			v := fv.Verdict
-			fmt.Printf("%s  %-42s  %-12s conf=%.2f normdiff=%.3f cov=%.3f samples=%d minRTT=%v maxRTT=%v\n",
-				path, id, tcpsig.ClassName(v.Class), v.Confidence,
+			class := tcpsig.ClassName(v.Class)
+			if v.Reason != tcpsig.ReasonNone {
+				class += "?"
+			}
+			fmt.Printf("%s  %-42s  %-12s conf=%.2f normdiff=%.3f cov=%.3f samples=%d minRTT=%v maxRTT=%v",
+				path, id, class, v.Confidence,
 				v.Features.NormDiff, v.Features.CoV, v.Features.Samples,
 				v.Features.MinRTT, v.Features.MaxRTT)
+			if v.Reason != tcpsig.ReasonNone {
+				fmt.Printf(" degraded=%s", v.Reason)
+			}
+			fmt.Println()
 		}
 	}
 	os.Exit(exit)
@@ -205,6 +223,62 @@ func inspectCmd(args []string) {
 	}
 	fmt.Printf("labeling threshold: %.2f\n", clf.Threshold())
 	fmt.Print(clf.Tree())
+}
+
+func faultsCmd(args []string) {
+	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "small parameter grid (seconds instead of minutes)")
+	runs := fs.Int("runs", 0, "runs per parameter combination and scenario")
+	threshold := fs.Float64("threshold", 0.8, "slow-start throughput labeling threshold")
+	seed := fs.Int64("seed", 1, "random seed")
+	names := fs.String("faults", "", "comma-separated fault regimes to test (default: all)")
+	verbose := fs.Bool("v", false, "print progress")
+	fs.Parse(args)
+
+	sw := testbed.SweepOptions{RunsPerConfig: *runs, Seed: *seed}
+	if *quick {
+		sw.Rates = []float64{50}
+		sw.Losses = []float64{0}
+		sw.Latencies = []time.Duration{20 * time.Millisecond}
+		sw.Buffers = []time.Duration{20 * time.Millisecond, 100 * time.Millisecond}
+		sw.Duration = 5 * time.Second
+		if sw.RunsPerConfig == 0 {
+			sw.RunsPerConfig = 3
+		}
+	}
+
+	regimes := testbed.DefaultFaultRegimes()
+	if *names != "" {
+		byName := make(map[string]testbed.FaultRegime, len(regimes))
+		var known []string
+		for _, r := range regimes {
+			byName[r.Name] = r
+			known = append(known, r.Name)
+		}
+		var picked []testbed.FaultRegime
+		for _, n := range strings.Split(*names, ",") {
+			n = strings.TrimSpace(n)
+			r, ok := byName[n]
+			if !ok {
+				fatal(fmt.Errorf("unknown fault regime %q (available: %s)", n, strings.Join(known, ", ")))
+			}
+			picked = append(picked, r)
+		}
+		regimes = picked
+	}
+
+	opt := testbed.FaultSweepOptions{Sweep: sw, Regimes: regimes, Threshold: *threshold}
+	if *verbose {
+		opt.Progress = func(regime string, done, total int) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] sweeping regime %s...\n", done+1, total, regime)
+		}
+	}
+	report, err := testbed.SweepFaults(opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("classifier trained on clean sweep (threshold %.2f):\n%s\n", report.Threshold, report.Tree.String())
+	fmt.Print(report.String())
 }
 
 func fatal(err error) {

@@ -32,14 +32,52 @@ func ClassName(c int) string {
 	return "external"
 }
 
+// Typed error taxonomy for classification failures, so production callers
+// can route each failure mode (retry, skip, alert) with errors.Is instead
+// of string matching.
+var (
+	// ErrTooFewSamples marks flows whose slow start yielded fewer than
+	// the validity floor of RTT samples.
+	ErrTooFewSamples = flowrtt.ErrTooFewSamples
+
+	// ErrNoData marks traces with no data-bearing packets for the flow.
+	ErrNoData = flowrtt.ErrNoData
+
+	// ErrNoSlowStart marks flows whose first retransmission precedes any
+	// RTT sample, leaving no slow-start window to measure.
+	ErrNoSlowStart = errors.New("core: no slow-start window before first retransmission")
+
+	// ErrCorruptTrace marks captures that could not be parsed at all.
+	ErrCorruptTrace = errors.New("core: corrupt trace")
+)
+
+// Reason is a machine-readable code explaining a degraded or failed
+// verdict; empty for full-confidence classifications.
+type Reason string
+
+// Reason codes attached to Verdicts.
+const (
+	ReasonNone          Reason = ""
+	ReasonTooFewSamples Reason = "too-few-samples"
+	ReasonNoSlowStart   Reason = "no-slow-start"
+	ReasonNoData        Reason = "no-data"
+	ReasonCorruptTrace  Reason = "corrupt-trace"
+)
+
 // Verdict is the classification outcome for one flow.
 type Verdict struct {
 	// Class is SelfInduced or External.
 	Class int
 
 	// Confidence is the training-class purity of the decision-tree leaf
-	// the flow landed in, in (0, 1].
+	// the flow landed in, in (0, 1] — scaled down when the flow failed
+	// validity filters and the verdict is best-effort (see Reason).
 	Confidence float64
+
+	// Reason is empty for a full-confidence verdict; otherwise it is the
+	// machine-readable code for why confidence is degraded (the paired
+	// error carries the same information for errors.Is dispatch).
+	Reason Reason
 
 	// Features holds the extracted NormDiff/CoV vector.
 	Features features.Vector
@@ -120,25 +158,69 @@ func (c *Classifier) ClassifyFeatures(v features.Vector) Verdict {
 	return Verdict{Class: class, Confidence: conf, Features: v}
 }
 
-// ClassifyRTTs classifies a flow from its slow-start RTT samples.
+// minSamples returns the configured validity floor with the paper default.
+func (c *Classifier) minSamples() int {
+	if c.MinSamples > 0 {
+		return c.MinSamples
+	}
+	return flowrtt.MinSlowStartSamples
+}
+
+// degradedFromRTTs builds a best-effort verdict for a flow that failed the
+// validity floor but still has enough samples (>= 2) to compute features.
+// Confidence is scaled by how far short of the floor the flow fell, and the
+// returned error still signals the failure for errors.Is dispatch.
+func (c *Classifier) degradedFromRTTs(rtts []time.Duration) (Verdict, error) {
+	min := c.minSamples()
+	err := fmt.Errorf("%w: got %d slow-start samples (need %d)", ErrTooFewSamples, len(rtts), min)
+	if len(rtts) < 2 {
+		return Verdict{Class: -1, Reason: ReasonTooFewSamples}, err
+	}
+	v, ferr := features.FromRTTs(rtts, 2)
+	if ferr != nil {
+		return Verdict{Class: -1, Reason: ReasonTooFewSamples}, err
+	}
+	verdict := c.ClassifyFeatures(v)
+	verdict.Confidence *= float64(len(rtts)) / float64(min)
+	verdict.Reason = ReasonTooFewSamples
+	return verdict, err
+}
+
+// ClassifyRTTs classifies a flow from its slow-start RTT samples. Below the
+// validity floor it returns ErrTooFewSamples alongside a degraded verdict
+// (Reason set, Confidence scaled down) when >= 2 samples exist.
 func (c *Classifier) ClassifyRTTs(rtts []time.Duration) (Verdict, error) {
-	v, err := features.FromRTTs(rtts, c.MinSamples)
+	v, err := features.FromRTTs(rtts, c.minSamples())
 	if err != nil {
-		return Verdict{}, err
+		return c.degradedFromRTTs(rtts)
 	}
 	return c.ClassifyFeatures(v), nil
 }
 
 // ClassifyTrace analyzes one flow of a server-side capture and classifies
-// it. It fails when the flow lacks enough valid slow-start samples.
+// it. When the flow fails a validity filter the returned error identifies
+// the failure mode (ErrNoData, ErrNoSlowStart, ErrTooFewSamples) and — when
+// any features could be computed — the verdict is still populated with a
+// degraded Confidence and machine-readable Reason, so callers can choose
+// between strictness and coverage.
 func (c *Classifier) ClassifyTrace(records []netem.CaptureRecord, flow netem.FlowKey) (Verdict, error) {
-	info, err := flowrtt.AnalyzeValid(records, flow)
+	info, err := flowrtt.Analyze(records, flow)
 	if err != nil {
-		return Verdict{}, err
+		return Verdict{Class: -1, Reason: ReasonNoData}, err
 	}
-	v, err := features.FromRTTs(info.SlowStartRTTs(), c.MinSamples)
+	ss := info.SlowStartRTTs()
+	if len(ss) == 0 && info.HasRetransmit {
+		return Verdict{Class: -1, Reason: ReasonNoSlowStart, Flow: info},
+			fmt.Errorf("%w (first retransmission at %v)", ErrNoSlowStart, info.FirstRetransmitAt)
+	}
+	if len(ss) < c.minSamples() {
+		verdict, derr := c.degradedFromRTTs(ss)
+		verdict.Flow = info
+		return verdict, derr
+	}
+	v, err := features.FromRTTs(ss, c.minSamples())
 	if err != nil {
-		return Verdict{}, err
+		return Verdict{Class: -1, Reason: ReasonTooFewSamples, Flow: info}, err
 	}
 	verdict := c.ClassifyFeatures(v)
 	verdict.Flow = info
@@ -147,7 +229,8 @@ func (c *Classifier) ClassifyTrace(records []netem.CaptureRecord, flow netem.Flo
 
 // ClassifyCapture classifies every data-bearing flow in a capture,
 // returning per-flow verdicts and skipping invalid flows (with their errors
-// collected).
+// collected). Invalid flows that still produced a degraded verdict appear
+// in both maps, distinguishable by their non-empty Reason.
 func (c *Classifier) ClassifyCapture(capt *netem.Capture) (map[netem.FlowKey]Verdict, map[netem.FlowKey]error) {
 	verdicts := make(map[netem.FlowKey]Verdict)
 	errs := make(map[netem.FlowKey]error)
@@ -155,7 +238,9 @@ func (c *Classifier) ClassifyCapture(capt *netem.Capture) (map[netem.FlowKey]Ver
 		v, err := c.ClassifyTrace(capt.Records, flow)
 		if err != nil {
 			errs[flow] = err
-			continue
+			if v.Class < 0 {
+				continue
+			}
 		}
 		verdicts[flow] = v
 	}
@@ -187,6 +272,11 @@ func Load(r io.Reader) (*Classifier, error) {
 	}
 	if j.Tree == nil {
 		return nil, errors.New("core: model has no tree")
+	}
+	// A model trained on a different feature set would silently index the
+	// wrong inputs (or panic); reject it at load time.
+	if want := len(features.Names()); j.Tree.NumFeatures() != want {
+		return nil, fmt.Errorf("core: model expects %d features, pipeline produces %d", j.Tree.NumFeatures(), want)
 	}
 	if j.MinSamples == 0 {
 		j.MinSamples = flowrtt.MinSlowStartSamples

@@ -239,6 +239,10 @@ func depthOf(n *node) int {
 // NumClasses returns the number of classes seen at training time.
 func (t *Tree) NumClasses() int { return t.nClasses }
 
+// NumFeatures returns the input dimension the tree was trained with.
+// Callers loading untrusted models must size Predict inputs from this.
+func (t *Tree) NumFeatures() int { return t.nFeat }
+
 // String renders the tree for inspection.
 func (t *Tree) String() string {
 	var b strings.Builder

@@ -1,0 +1,63 @@
+package dtree
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzLoadModel deserializes arbitrary JSON as a decision-tree model and
+// exercises the loaded tree. Hostile models must yield errors, never
+// panics, out-of-range indexing, or huge allocations.
+func FuzzLoadModel(f *testing.F) {
+	// Seed with a genuine trained model.
+	examples := []Example{
+		{X: []float64{0.1, 0.05}, Label: 1},
+		{X: []float64{0.12, 0.06}, Label: 1},
+		{X: []float64{0.15, 0.07}, Label: 1},
+		{X: []float64{0.8, 0.45}, Label: 0},
+		{X: []float64{0.75, 0.4}, Label: 0},
+		{X: []float64{0.85, 0.5}, Label: 0},
+	}
+	tree, err := Train(examples, Options{MinLeaf: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(tree)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"classes":2,"features":2,"root":null}`))
+	f.Add([]byte(`{"version":1,"classes":2,"features":2,"root":{"leaf":true,"label":5}}`))
+	f.Add([]byte(`{"version":1,"classes":1000000000,"features":1000000000,"root":{"leaf":true,"label":0}}`))
+	f.Add([]byte(`{"version":1,"classes":2,"features":2,"root":{"leaf":true,"label":0,"counts":[1,2,3,4,5],"total":-1}}`))
+	f.Add([]byte(`{"version":1,"classes":2,"features":2,"root":{"leaf":false,"feature":1,"threshold":0.5,"label":0}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr Tree
+		if err := json.Unmarshal(data, &tr); err != nil {
+			return
+		}
+		x := make([]float64, tr.NumFeatures())
+		cls := tr.Predict(x)
+		if cls < 0 {
+			t.Fatalf("negative class %d from loaded model", cls)
+		}
+		proba := tr.PredictProba(x)
+		if len(proba) != tr.NumClasses() {
+			t.Fatalf("proba has %d entries for %d classes", len(proba), tr.NumClasses())
+		}
+		_ = tr.Depth()
+		_ = tr.String()
+		// Round trip must stay loadable.
+		out, err := json.Marshal(&tr)
+		if err != nil {
+			t.Fatalf("re-marshal of loaded model failed: %v", err)
+		}
+		var tr2 Tree
+		if err := json.Unmarshal(out, &tr2); err != nil {
+			t.Fatalf("round-tripped model no longer loads: %v", err)
+		}
+	})
+}

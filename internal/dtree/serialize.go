@@ -60,6 +60,19 @@ func fromJSONNode(j *jsonNode, nFeat, nClasses int) (*node, error) {
 	if j.Label < 0 || j.Label >= nClasses {
 		return nil, fmt.Errorf("dtree: label %d out of range", j.Label)
 	}
+	// A hostile model must not be able to index out of the class
+	// histogram or claim negative populations.
+	if len(j.Counts) > nClasses {
+		return nil, fmt.Errorf("dtree: %d class counts for %d classes", len(j.Counts), nClasses)
+	}
+	if j.Total < 0 {
+		return nil, fmt.Errorf("dtree: negative node total %d", j.Total)
+	}
+	for _, c := range j.Counts {
+		if c < 0 {
+			return nil, fmt.Errorf("dtree: negative class count %d", c)
+		}
+	}
 	if !j.Leaf {
 		if j.Feature < 0 || j.Feature >= nFeat {
 			return nil, fmt.Errorf("dtree: feature %d out of range", j.Feature)
@@ -95,7 +108,11 @@ func (t *Tree) UnmarshalJSON(data []byte) error {
 	if j.Version != 1 {
 		return fmt.Errorf("dtree: unsupported model version %d", j.Version)
 	}
-	if j.NClasses < 1 || j.NFeatures < 1 {
+	// maxDim bounds the claimed dimensions: PredictProba allocates
+	// NClasses floats and callers allocate NFeatures inputs, so a hostile
+	// model must not be able to demand gigabytes via two JSON integers.
+	const maxDim = 1 << 10
+	if j.NClasses < 1 || j.NFeatures < 1 || j.NClasses > maxDim || j.NFeatures > maxDim {
 		return errors.New("dtree: invalid model dimensions")
 	}
 	root, err := fromJSONNode(j.Root, j.NFeatures, j.NClasses)

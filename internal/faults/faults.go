@@ -1,0 +1,196 @@
+// Package faults provides composable, deterministic fault models for the
+// network emulator: bursty (Gilbert–Elliott) loss, link flaps, packet
+// reordering, duplication, and corruption. Each model implements
+// netem.FaultInjector and can be attached to any link via
+// netem.LinkConfig.Faults; a Chain composes several models on one link.
+//
+// The paper (§6) validated the congestion signature only under clean,
+// independent loss. These models reproduce the pathological path dynamics
+// seen at M-Lab scale so the testbed can measure — instead of assume — how
+// the NormDiff/CoV signature degrades on hostile networks (see
+// testbed.SweepFaults).
+//
+// Every model draws randomness from its own seeded source, never from the
+// engine, so a fault schedule is reproducible independently of how much
+// randomness the rest of the simulation consumes.
+package faults
+
+import (
+	"math/rand"
+	"time"
+
+	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
+)
+
+// GilbertElliott is the classic two-state Markov loss model: the link
+// alternates between a Good state (rare loss) and a Bad state (heavy loss),
+// with per-packet transition probabilities. It produces the bursty,
+// correlated losses of interference-prone or congested real paths, which
+// independent Bernoulli loss cannot.
+type GilbertElliott struct {
+	// PGoodToBad and PBadToGood are the per-packet state transition
+	// probabilities; 1/PBadToGood is the mean burst length in packets.
+	PGoodToBad float64
+	PBadToGood float64
+
+	// LossGood and LossBad are the per-packet drop probabilities inside
+	// each state (classically 0 and ~1, but both are tunable).
+	LossGood float64
+	LossBad  float64
+
+	rng *rand.Rand
+	bad bool
+}
+
+// NewGilbertElliott builds the model with its own deterministic source.
+func NewGilbertElliott(seed int64, pGoodToBad, pBadToGood, lossGood, lossBad float64) *GilbertElliott {
+	return &GilbertElliott{
+		PGoodToBad: pGoodToBad,
+		PBadToGood: pBadToGood,
+		LossGood:   lossGood,
+		LossBad:    lossBad,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// OnTransmit implements netem.FaultInjector.
+func (g *GilbertElliott) OnTransmit(now sim.Time, p *netem.Packet) netem.FaultAction {
+	if g.bad {
+		if g.rng.Float64() < g.PBadToGood {
+			g.bad = false
+		}
+	} else {
+		if g.rng.Float64() < g.PGoodToBad {
+			g.bad = true
+		}
+	}
+	loss := g.LossGood
+	if g.bad {
+		loss = g.LossBad
+	}
+	return netem.FaultAction{Drop: g.rng.Float64() < loss}
+}
+
+// LinkFlap models a link that goes down on a fixed schedule: every Period,
+// the link is dead for the final Down of it. During an outage every packet
+// is dropped on the wire, exactly like a flapping radio or rebooting CPE.
+// The schedule is a pure function of virtual time, so it needs no seed.
+type LinkFlap struct {
+	// Period is the flap cycle length (up time + down time).
+	Period time.Duration
+
+	// Down is how long the link stays dead each cycle.
+	Down time.Duration
+
+	// Phase shifts the schedule, letting multiple links flap out of sync.
+	Phase time.Duration
+}
+
+// NewLinkFlap builds a flap schedule.
+func NewLinkFlap(period, down, phase time.Duration) *LinkFlap {
+	return &LinkFlap{Period: period, Down: down, Phase: phase}
+}
+
+// IsDown reports whether the link is in an outage at virtual time now.
+func (f *LinkFlap) IsDown(now sim.Time) bool {
+	if f.Period <= 0 || f.Down <= 0 {
+		return false
+	}
+	pos := (now + f.Phase) % f.Period
+	if pos < 0 {
+		pos += f.Period
+	}
+	return pos >= f.Period-f.Down
+}
+
+// OnTransmit implements netem.FaultInjector.
+func (f *LinkFlap) OnTransmit(now sim.Time, p *netem.Packet) netem.FaultAction {
+	return netem.FaultAction{Drop: f.IsDown(now)}
+}
+
+// Reorder delays a random fraction of packets by a fixed extra latency,
+// letting later packets overtake them — the same mechanism as
+// `tc netem reorder`.
+type Reorder struct {
+	// P is the per-packet probability of being held back.
+	P float64
+
+	// Delay is how long a selected packet is held beyond its normal
+	// delivery time.
+	Delay time.Duration
+
+	rng *rand.Rand
+}
+
+// NewReorder builds the model with its own deterministic source.
+func NewReorder(seed int64, p float64, delay time.Duration) *Reorder {
+	return &Reorder{P: p, Delay: delay, rng: rand.New(rand.NewSource(seed))}
+}
+
+// OnTransmit implements netem.FaultInjector.
+func (r *Reorder) OnTransmit(now sim.Time, p *netem.Packet) netem.FaultAction {
+	if r.rng.Float64() < r.P {
+		return netem.FaultAction{ExtraDelay: r.Delay}
+	}
+	return netem.FaultAction{}
+}
+
+// Duplicate delivers a second copy of a random fraction of packets, like
+// `tc netem duplicate`.
+type Duplicate struct {
+	// P is the per-packet duplication probability.
+	P float64
+
+	rng *rand.Rand
+}
+
+// NewDuplicate builds the model with its own deterministic source.
+func NewDuplicate(seed int64, p float64) *Duplicate {
+	return &Duplicate{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// OnTransmit implements netem.FaultInjector.
+func (d *Duplicate) OnTransmit(now sim.Time, p *netem.Packet) netem.FaultAction {
+	return netem.FaultAction{Duplicate: d.rng.Float64() < d.P}
+}
+
+// Corrupt flips header bits in a random fraction of packets, modelling
+// corruption that slipped past link checksums (`tc netem corrupt`).
+type Corrupt struct {
+	// P is the per-packet corruption probability.
+	P float64
+
+	rng *rand.Rand
+}
+
+// NewCorrupt builds the model with its own deterministic source.
+func NewCorrupt(seed int64, p float64) *Corrupt {
+	return &Corrupt{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// OnTransmit implements netem.FaultInjector.
+func (c *Corrupt) OnTransmit(now sim.Time, p *netem.Packet) netem.FaultAction {
+	return netem.FaultAction{Corrupt: c.rng.Float64() < c.P}
+}
+
+// Chain composes fault models on one link: every model sees every packet and
+// their actions merge (any Drop wins; Corrupt/Duplicate OR together; extra
+// delays add).
+type Chain []netem.FaultInjector
+
+// NewChain builds a chain from the given models.
+func NewChain(models ...netem.FaultInjector) Chain { return Chain(models) }
+
+// OnTransmit implements netem.FaultInjector.
+func (ch Chain) OnTransmit(now sim.Time, p *netem.Packet) netem.FaultAction {
+	var out netem.FaultAction
+	for _, m := range ch {
+		a := m.OnTransmit(now, p)
+		out.Drop = out.Drop || a.Drop
+		out.Corrupt = out.Corrupt || a.Corrupt
+		out.Duplicate = out.Duplicate || a.Duplicate
+		out.ExtraDelay += a.ExtraDelay
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
+)
+
+type sink struct {
+	pkts  []*netem.Packet
+	times []sim.Time
+	eng   *sim.Engine
+}
+
+func (s *sink) Input(p *netem.Packet) {
+	s.pkts = append(s.pkts, p)
+	s.times = append(s.times, s.eng.Now())
+}
+
+// rig builds a→b with the given faults on the a→b link.
+func rig(seed int64, cfg netem.LinkConfig) (*sim.Engine, *netem.Host, *netem.Host, *sink, *netem.Link) {
+	eng := sim.NewEngine(seed)
+	n := netem.New(eng)
+	a := n.NewHost("a")
+	b := n.NewHost("b")
+	toB, _ := n.Connect(a, b, cfg, netem.LinkConfig{})
+	s := &sink{eng: eng}
+	b.Bind(80, s)
+	return eng, a, b, s, toB
+}
+
+func dataPkt(a, b *netem.Host, seq uint32) *netem.Packet {
+	return &netem.Packet{
+		Flow: netem.FlowKey{SrcAddr: a.Addr(), DstAddr: b.Addr(), SrcPort: 1000, DstPort: 80},
+		Seg:  netem.Segment{Seq: seq, PayloadLen: 1460},
+		Size: 1500,
+	}
+}
+
+func TestGilbertElliottBurstyAndDeterministic(t *testing.T) {
+	const n = 20000
+	drops := func(seed int64) []bool {
+		ge := NewGilbertElliott(seed, 0.01, 0.3, 0, 1)
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = ge.OnTransmit(0, nil).Drop
+		}
+		return out
+	}
+	a, b := drops(7), drops(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at packet %d", i)
+		}
+	}
+	// Mean burst length should approach 1/PBadToGood ≈ 3.3; independent
+	// loss at the same overall rate would give bursts of ~1.
+	var lost, bursts int
+	inBurst := false
+	for _, d := range a {
+		if d {
+			lost++
+			if !inBurst {
+				bursts++
+			}
+		}
+		inBurst = d
+	}
+	if lost == 0 || bursts == 0 {
+		t.Fatalf("no losses injected (lost=%d bursts=%d)", lost, bursts)
+	}
+	mean := float64(lost) / float64(bursts)
+	if mean < 2 || mean > 5 {
+		t.Fatalf("mean burst length %.2f, want ~3.3", mean)
+	}
+	if c := drops(8); func() bool {
+		for i := range c {
+			if c[i] != a[i] {
+				return true
+			}
+		}
+		return false
+	}() == false {
+		t.Fatalf("different seeds produced identical drop sequences")
+	}
+}
+
+func TestLinkFlapSchedule(t *testing.T) {
+	f := NewLinkFlap(time.Second, 200*time.Millisecond, 0)
+	cases := []struct {
+		at   sim.Time
+		down bool
+	}{
+		{0, false},
+		{700 * time.Millisecond, false},
+		{850 * time.Millisecond, true},
+		{999 * time.Millisecond, true},
+		{1 * time.Second, false},
+		{1800*time.Millisecond + time.Millisecond, true},
+	}
+	for _, c := range cases {
+		if got := f.IsDown(c.at); got != c.down {
+			t.Errorf("IsDown(%v) = %v, want %v", c.at, got, c.down)
+		}
+	}
+	// During an outage every packet on the link dies.
+	eng, a, b, s, toB := rig(1, netem.LinkConfig{RateBps: 1e9, Faults: NewLinkFlap(time.Second, 500*time.Millisecond, 0)})
+	for i := 0; i < 10; i++ {
+		at := time.Duration(i) * 100 * time.Millisecond
+		seq := uint32(i * 1460)
+		eng.Schedule(at, func() { a.Send(dataPkt(a, b, seq)) })
+	}
+	eng.Run()
+	if len(s.pkts) != 5 {
+		t.Fatalf("delivered %d packets through a 50%% flap, want 5", len(s.pkts))
+	}
+	if st := toB.Stats(); st.FaultDrops != 5 {
+		t.Fatalf("FaultDrops = %d, want 5", st.FaultDrops)
+	}
+}
+
+func TestReorderDeliversOutOfOrder(t *testing.T) {
+	// Hold exactly the first packet back 10 ms; the rest overtake it.
+	re := NewReorder(1, 0, 10*time.Millisecond)
+	first := true
+	hook := injectorFunc(func(now sim.Time, p *netem.Packet) netem.FaultAction {
+		if first {
+			first = false
+			return netem.FaultAction{ExtraDelay: 10 * time.Millisecond}
+		}
+		return re.OnTransmit(now, p) // P=0: never
+	})
+	eng, a, b, s, toB := rig(1, netem.LinkConfig{RateBps: 1e9, Faults: hook})
+	for i := 0; i < 3; i++ {
+		a.Send(dataPkt(a, b, uint32(i*1460)))
+	}
+	eng.Run()
+	if len(s.pkts) != 3 {
+		t.Fatalf("delivered %d packets, want 3", len(s.pkts))
+	}
+	if s.pkts[0].Seg.Seq != 1460 || s.pkts[2].Seg.Seq != 0 {
+		t.Fatalf("delivery order %d,%d,%d; want the held packet last",
+			s.pkts[0].Seg.Seq, s.pkts[1].Seg.Seq, s.pkts[2].Seg.Seq)
+	}
+	if st := toB.Stats(); st.Reordered != 1 || st.Delivered != 3 {
+		t.Fatalf("stats %+v, want Reordered=1 Delivered=3", st)
+	}
+}
+
+type injectorFunc func(now sim.Time, p *netem.Packet) netem.FaultAction
+
+func (f injectorFunc) OnTransmit(now sim.Time, p *netem.Packet) netem.FaultAction { return f(now, p) }
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	eng, a, b, s, toB := rig(1, netem.LinkConfig{RateBps: 1e9, Faults: NewDuplicate(1, 1)})
+	a.Send(dataPkt(a, b, 0))
+	eng.Run()
+	if len(s.pkts) != 2 {
+		t.Fatalf("delivered %d packets with duplicate=100%%, want 2", len(s.pkts))
+	}
+	if s.pkts[0].Seg.Seq != s.pkts[1].Seg.Seq {
+		t.Fatalf("duplicate differs from original")
+	}
+	if st := toB.Stats(); st.Duplicated != 1 {
+		t.Fatalf("Duplicated = %d, want 1", st.Duplicated)
+	}
+}
+
+func TestCorruptMangledCopyOriginalIntact(t *testing.T) {
+	eng, a, b, s, toB := rig(1, netem.LinkConfig{RateBps: 1e9, Faults: NewCorrupt(1, 1)})
+	p := dataPkt(a, b, 1000)
+	a.Send(p)
+	eng.Run()
+	if len(s.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(s.pkts))
+	}
+	if s.pkts[0].Seg.Seq == 1000 {
+		t.Fatalf("delivered packet was not corrupted")
+	}
+	if p.Seg.Seq != 1000 {
+		t.Fatalf("corruption mutated the sender's packet")
+	}
+	if st := toB.Stats(); st.Corrupted != 1 {
+		t.Fatalf("Corrupted = %d, want 1", st.Corrupted)
+	}
+}
+
+func TestChainMergesActions(t *testing.T) {
+	ch := NewChain(
+		injectorFunc(func(sim.Time, *netem.Packet) netem.FaultAction {
+			return netem.FaultAction{Duplicate: true, ExtraDelay: time.Millisecond}
+		}),
+		injectorFunc(func(sim.Time, *netem.Packet) netem.FaultAction {
+			return netem.FaultAction{Corrupt: true, ExtraDelay: 2 * time.Millisecond}
+		}),
+	)
+	act := ch.OnTransmit(0, nil)
+	if !act.Duplicate || !act.Corrupt || act.Drop || act.ExtraDelay != 3*time.Millisecond {
+		t.Fatalf("merged action %+v", act)
+	}
+}

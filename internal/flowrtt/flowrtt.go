@@ -198,13 +198,23 @@ func Analyze(records []netem.CaptureRecord, flow netem.FlowKey) (*FlowInfo, erro
 		p := &rec.Pkt
 		switch {
 		case rec.Dir == netem.DirOut && p.Flow == flow && p.IsData():
+			retx := isRetransmission(p)
 			if !haveData {
 				haveData = true
 				firstSeq = p.Seg.Seq
 				info.FirstDataAt = rec.At
+			} else if !retx && seqLT32(p.Seg.Seq, firstSeq) {
+				// A reordered capture showed us a segment from before
+				// the first one we saw: rebase the byte-progress
+				// origin so ACK progress is not undercounted.
+				delta := seqDiff32(firstSeq, p.Seg.Seq)
+				firstSeq = p.Seg.Seq
+				for j := range info.AckCurve {
+					info.AckCurve[j].Acked += delta
+				}
 			}
 			info.LastDataAt = rec.At
-			if isRetransmission(p) {
+			if retx {
 				if !info.HasRetransmit {
 					info.HasRetransmit = true
 					info.FirstRetransmitAt = rec.At
@@ -240,11 +250,19 @@ func Analyze(records []netem.CaptureRecord, flow netem.FlowKey) (*FlowInfo, erro
 			var sampleRTT time.Duration
 			ok := false
 			for ; idx < len(outstanding) && seqLEQ32(outstanding[idx].endSeq, ack); idx++ {
-				if !outstanding[idx].retx {
-					sampleAt = rec.At
-					sampleRTT = rec.At - outstanding[idx].at
-					ok = true
+				if outstanding[idx].retx {
+					continue
 				}
+				rtt := rec.At - outstanding[idx].at
+				if rtt <= 0 {
+					// Non-monotonic timestamps (corrupt or hostile
+					// captures) must never yield negative or zero
+					// RTT samples.
+					continue
+				}
+				sampleAt = rec.At
+				sampleRTT = rtt
+				ok = true
 			}
 			outstanding = outstanding[idx:]
 			if ok {

@@ -1,0 +1,174 @@
+package flowrtt
+
+import (
+	"testing"
+	"time"
+
+	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
+)
+
+func dataOut(at sim.Time, seq uint32, payload int) netem.CaptureRecord {
+	return netem.CaptureRecord{
+		At:  at,
+		Dir: netem.DirOut,
+		Pkt: netem.Packet{Flow: testFlow, Seg: netem.Segment{Seq: seq, PayloadLen: payload, Flags: netem.FlagACK}, Size: payload + 40},
+	}
+}
+
+func ackIn(at sim.Time, ack uint32) netem.CaptureRecord {
+	return netem.CaptureRecord{
+		At:  at,
+		Dir: netem.DirIn,
+		Pkt: netem.Packet{Flow: testFlow.Reverse(), Seg: netem.Segment{Ack: ack, Flags: netem.FlagACK}, Size: 40},
+	}
+}
+
+func assertSanity(t *testing.T, info *FlowInfo) {
+	t.Helper()
+	for i, s := range info.Samples {
+		if s.RTT <= 0 {
+			t.Fatalf("sample %d has non-positive RTT %v", i, s.RTT)
+		}
+	}
+	if info.BytesAcked < 0 || info.BytesSent < 0 || info.SlowStartBytesAcked < 0 {
+		t.Fatalf("negative byte counters: %+v", info)
+	}
+}
+
+// Reordered data segments (later sequence captured first) must not be
+// mistaken for retransmissions, and their samples must stay positive.
+func TestReorderedDataSegments(t *testing.T) {
+	var recs []netem.CaptureRecord
+	// seq 1000 and 2460 swapped on the wire; cumulative ACK covers both.
+	recs = append(recs,
+		dataOut(0, 2460, 1460),
+		dataOut(1*time.Millisecond, 1000, 1460),
+		ackIn(20*time.Millisecond, 3920),
+		dataOut(21*time.Millisecond, 3920, 1460),
+		ackIn(41*time.Millisecond, 5380),
+	)
+	info, err := Analyze(recs, testFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSanity(t, info)
+	if info.HasRetransmit {
+		t.Fatal("reordering misread as retransmission")
+	}
+	if len(info.Samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(info.Samples))
+	}
+	if info.BytesAcked != 3*1460 {
+		t.Fatalf("BytesAcked = %d, want %d", info.BytesAcked, 3*1460)
+	}
+}
+
+// A duplicated data segment is indistinguishable from a retransmission at
+// the capture point; Karn's rule requires discarding its samples, and the
+// RTT stream must stay positive.
+func TestDuplicatedDataSegments(t *testing.T) {
+	var recs []netem.CaptureRecord
+	recs = append(recs,
+		dataOut(0, 1000, 1460),
+		dataOut(100*time.Microsecond, 1000, 1460), // duplicate
+		ackIn(20*time.Millisecond, 2460),
+		dataOut(21*time.Millisecond, 2460, 1460),
+		ackIn(41*time.Millisecond, 3920),
+	)
+	info, err := Analyze(recs, testFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSanity(t, info)
+	if !info.HasRetransmit {
+		t.Fatal("duplicate should be treated as a retransmission (Karn)")
+	}
+	// The ambiguous first segment must not produce a sample.
+	for _, s := range info.Samples {
+		if s.At == 20*time.Millisecond {
+			t.Fatal("sample taken from a duplicated/ambiguous segment")
+		}
+	}
+}
+
+// Duplicated ACKs must not double-count progress or produce extra samples.
+func TestDuplicatedAcks(t *testing.T) {
+	var recs []netem.CaptureRecord
+	recs = append(recs,
+		dataOut(0, 1000, 1460),
+		ackIn(20*time.Millisecond, 2460),
+		ackIn(20*time.Millisecond+100*time.Microsecond, 2460), // duplicate ACK
+		dataOut(21*time.Millisecond, 2460, 1460),
+		ackIn(41*time.Millisecond, 3920),
+	)
+	info, err := Analyze(recs, testFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSanity(t, info)
+	if len(info.Samples) != 2 {
+		t.Fatalf("got %d samples, want 2 (duplicate ACK must not add one)", len(info.Samples))
+	}
+	if info.BytesAcked != 2*1460 {
+		t.Fatalf("BytesAcked = %d, want %d", info.BytesAcked, 2*1460)
+	}
+}
+
+// A retransmission-heavy trace: every other segment is retransmitted. Only
+// unambiguous segments may contribute samples (RFC 6298 / Karn's rule).
+func TestRetransmissionHeavyTrace(t *testing.T) {
+	var recs []netem.CaptureRecord
+	now := sim.Time(0)
+	seq := uint32(1000)
+	for i := 0; i < 10; i++ {
+		recs = append(recs, dataOut(now, seq, 1460))
+		if i%2 == 1 {
+			// Retransmit the same range 5 ms later.
+			recs = append(recs, dataOut(now+5*time.Millisecond, seq, 1460))
+		}
+		recs = append(recs, ackIn(now+20*time.Millisecond, seq+1460))
+		seq += 1460
+		now += 25 * time.Millisecond
+	}
+	info, err := Analyze(recs, testFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSanity(t, info)
+	if !info.HasRetransmit {
+		t.Fatal("retransmissions not detected")
+	}
+	// 5 clean segments, but only those ACKed before the first
+	// retransmission count toward slow start.
+	if len(info.SlowStart) != 1 {
+		t.Fatalf("slow-start samples = %d, want 1 (boundary at first retransmit)", len(info.SlowStart))
+	}
+	for _, s := range info.Samples {
+		// Clean segments have a 20 ms path RTT; a sample matched against
+		// a retransmitted copy would show ~15 ms or less.
+		if s.RTT != 20*time.Millisecond {
+			t.Fatalf("sample RTT %v, want 20ms (from the original transmission only)", s.RTT)
+		}
+	}
+}
+
+// Non-monotonic timestamps (hostile or corrupt captures) must never produce
+// non-positive RTT samples.
+func TestNonMonotonicTimestamps(t *testing.T) {
+	var recs []netem.CaptureRecord
+	recs = append(recs,
+		dataOut(50*time.Millisecond, 1000, 1460),
+		ackIn(10*time.Millisecond, 2460), // ACK timestamped before the data
+		dataOut(51*time.Millisecond, 2460, 1460),
+		ackIn(71*time.Millisecond, 3920),
+	)
+	info, err := Analyze(recs, testFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSanity(t, info)
+	if len(info.Samples) != 1 {
+		t.Fatalf("got %d samples, want 1 (the time-travelling ACK yields none)", len(info.Samples))
+	}
+}

@@ -1,0 +1,49 @@
+package netem
+
+import (
+	"time"
+
+	"tcpsig/internal/sim"
+)
+
+// FaultAction tells a link what to do with one packet beyond its configured
+// rate/delay/loss behaviour. The zero value means "transmit normally".
+type FaultAction struct {
+	// Drop discards the packet on the wire. Like random loss, the packet
+	// still consumes its serialization slot (the queue drained it), so a
+	// burst of drops does not speed up the survivors.
+	Drop bool
+
+	// Corrupt delivers a bit-damaged copy of the packet instead of the
+	// original, modelling payload/header corruption that slipped past the
+	// link CRC.
+	Corrupt bool
+
+	// Duplicate delivers a second copy of the packet immediately after the
+	// first, as a flapping LAN segment or misbehaving middlebox would.
+	Duplicate bool
+
+	// ExtraDelay holds the packet back for the given duration after its
+	// normal delivery time, bypassing the link's FIFO ordering — this is
+	// how reordering is injected.
+	ExtraDelay time.Duration
+}
+
+// FaultInjector decides, per transmitted packet, which fault (if any) to
+// inject. Implementations live in internal/faults; they must be
+// deterministic given their seed, and are consulted after queue admission,
+// so injected faults are "on the wire" rather than buffer drops.
+type FaultInjector interface {
+	OnTransmit(now sim.Time, p *Packet) FaultAction
+}
+
+// corruptCopy returns a copy of p with a few header bits flipped, the way a
+// link-level corruption that escaped checksumming would look to the
+// receiver: plausible lengths, garbage sequence/acknowledgment numbers.
+func corruptCopy(p *Packet) *Packet {
+	c := *p
+	c.Seg.Seq ^= 1 << 17
+	c.Seg.Ack ^= 1 << 13
+	c.Seg.Window ^= 1 << 9
+	return &c
+}

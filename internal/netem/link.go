@@ -31,6 +31,11 @@ type LinkConfig struct {
 	// Bucket optionally meters departures through a token bucket shaper
 	// in addition to the serialization rate, matching tc tbf.
 	Bucket *TokenBucket
+
+	// Faults, when non-nil, is consulted for every packet that clears the
+	// queue and can drop, corrupt, duplicate, or re-order it (see
+	// internal/faults for the models).
+	Faults FaultInjector
 }
 
 // LinkStats counts link activity.
@@ -40,6 +45,12 @@ type LinkStats struct {
 	QueueDrops     uint64 // rejected by the buffer
 	LossDrops      uint64 // random loss
 	BytesDelivered uint64
+
+	// Fault-injection counters (zero unless LinkConfig.Faults is set).
+	FaultDrops uint64
+	Corrupted  uint64
+	Duplicated uint64
+	Reordered  uint64
 }
 
 type pendingRelease struct {
@@ -181,11 +192,45 @@ func (l *Link) Send(p *Packet) {
 	if lost {
 		l.stats.LossDrops++
 	}
+	var act FaultAction
+	if l.cfg.Faults != nil {
+		act = l.cfg.Faults.OnTransmit(now, p)
+		if act.Drop && !lost {
+			l.stats.FaultDrops++
+			lost = true
+		}
+	}
 	prop := l.cfg.Delay + jitterIn(l.eng.Rand(), l.cfg.Jitter)
 	if prop < 0 {
 		prop = 0
 	}
 	deliverAt := depart + prop
+	if !lost && act.ExtraDelay > 0 {
+		// Re-ordered delivery bypasses the FIFO pipeline entirely: the
+		// packet arrives ExtraDelay late while packets sent after it keep
+		// their normal delivery times and may overtake it.
+		l.stats.Reordered++
+		dp := p
+		if act.Corrupt {
+			l.stats.Corrupted++
+			dp = corruptCopy(p)
+		}
+		l.eng.At(deliverAt+act.ExtraDelay, func() {
+			l.stats.Delivered++
+			l.stats.BytesDelivered += uint64(dp.Size)
+			l.dst.Deliver(dp)
+		})
+		if act.Duplicate {
+			l.stats.Duplicated++
+			dup := *p
+			l.eng.At(deliverAt+act.ExtraDelay, func() {
+				l.stats.Delivered++
+				l.stats.BytesDelivered += uint64(dup.Size)
+				l.dst.Deliver(&dup)
+			})
+		}
+		return
+	}
 	// Preserve FIFO delivery despite jitter, as tc netem does when
 	// reordering is not requested.
 	if deliverAt < l.lastDelivery {
@@ -200,7 +245,17 @@ func (l *Link) Send(p *Packet) {
 		l.deliveries = l.deliveries[:n]
 		l.deliveryHead = 0
 	}
-	l.deliveries = append(l.deliveries, pendingDelivery{at: deliverAt, p: p, del: !lost})
+	dp := p
+	if !lost && act.Corrupt {
+		l.stats.Corrupted++
+		dp = corruptCopy(p)
+	}
+	l.deliveries = append(l.deliveries, pendingDelivery{at: deliverAt, p: dp, del: !lost})
+	if !lost && act.Duplicate {
+		l.stats.Duplicated++
+		dup := *dp
+		l.deliveries = append(l.deliveries, pendingDelivery{at: deliverAt, p: &dup, del: true})
+	}
 	if !l.deliveryArmd {
 		l.deliveryArmd = true
 		l.eng.At(deliverAt, l.deliverFn)

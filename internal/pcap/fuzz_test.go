@@ -1,0 +1,50 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"tcpsig/internal/flowrtt"
+)
+
+// FuzzPcapReadAll feeds arbitrary bytes through the whole ingestion path:
+// pcap parsing, capture conversion, and flow RTT analysis. The invariant is
+// simply "no panic, no unbounded allocation" — hostile input must surface
+// as a typed error, never a crash.
+func FuzzPcapReadAll(f *testing.F) {
+	valid := samplePcap(f, 8)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-10]) // truncated mid-frame
+	f.Add(valid[:30])            // truncated record header
+	f.Add(valid[:24])            // header only
+	f.Add([]byte{})
+	f.Add(make([]byte, 24)) // zero magic
+
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(huge[24+8:], 0xffffffff)
+	f.Add(huge) // absurd captured length
+
+	swapped := append([]byte(nil), valid...)
+	swapped[0], swapped[1], swapped[2], swapped[3] = 0xa1, 0xb2, 0xc3, 0xd4
+	f.Add(swapped) // big-endian magic with little-endian body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, _ := ReadAll(bytes.NewReader(data))
+		if len(recs) == 0 {
+			return
+		}
+		capt := ToCapture(recs, recs[0].SrcIP)
+		for _, flow := range flowrtt.Flows(capt.Records) {
+			info, err := flowrtt.Analyze(capt.Records, flow)
+			if err != nil {
+				continue
+			}
+			for _, s := range info.Samples {
+				if s.RTT <= 0 {
+					t.Fatalf("non-positive RTT sample %v from hostile input", s.RTT)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
+)
+
+// samplePcap returns a small valid capture: n data packets and their ACKs.
+func samplePcap(t testing.TB, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	flow := netem.FlowKey{SrcAddr: 2, DstAddr: 1, SrcPort: 80, DstPort: 40000}
+	for i := 0; i < n; i++ {
+		data := &netem.Packet{
+			Flow: flow,
+			Seg:  netem.Segment{Seq: uint32(i * 1460), Flags: netem.FlagACK, PayloadLen: 1460},
+			Size: 1500,
+		}
+		if err := w.WritePacket(sim.Time(i)*10*time.Millisecond, data); err != nil {
+			t.Fatal(err)
+		}
+		ack := &netem.Packet{
+			Flow: flow.Reverse(),
+			Seg:  netem.Segment{Ack: uint32((i + 1) * 1460), Flags: netem.FlagACK},
+			Size: netem.HeaderBytes,
+		}
+		if err := w.WritePacket(sim.Time(i)*10*time.Millisecond+5*time.Millisecond, ack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestBadMagicTyped(t *testing.T) {
+	_, err := ReadAll(bytes.NewReader(make([]byte, 24)))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedFrameTyped(t *testing.T) {
+	data := samplePcap(t, 4)
+	// Cut the file mid-frame: inside the last record's bytes.
+	recs, err := ReadAll(bytes.NewReader(data[:len(data)-10]))
+	if !errors.Is(err, ErrTruncatedRecord) {
+		t.Fatalf("err = %v, want ErrTruncatedRecord", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("records before the truncation point were discarded")
+	}
+}
+
+func TestTruncatedRecordHeaderTyped(t *testing.T) {
+	data := samplePcap(t, 2)
+	// Leave 8 stray bytes of a record header at the tail.
+	cut := len(data) - (16 + 54) + 8
+	_, err := ReadAll(bytes.NewReader(data[:cut]))
+	if !errors.Is(err, ErrTruncatedRecord) {
+		t.Fatalf("err = %v, want ErrTruncatedRecord", err)
+	}
+}
+
+func TestImpossibleLengthRejectedWithoutAllocating(t *testing.T) {
+	data := samplePcap(t, 1)
+	// Claim a ~4 GB captured length in the first record header.
+	bad := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(bad[24+8:], 0xfffffff0)
+	binary.LittleEndian.PutUint32(bad[24+12:], 0xfffffff0)
+	_, err := ReadAll(bytes.NewReader(bad))
+	if !errors.Is(err, ErrImpossibleLength) {
+		t.Fatalf("err = %v, want ErrImpossibleLength", err)
+	}
+
+	// Captured length exceeding the original packet length is equally
+	// impossible.
+	bad = append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(bad[24+8:], 100)
+	binary.LittleEndian.PutUint32(bad[24+12:], 50)
+	if _, err := ReadAll(bytes.NewReader(bad)); !errors.Is(err, ErrImpossibleLength) {
+		t.Fatalf("err = %v, want ErrImpossibleLength", err)
+	}
+
+	// Captured length above the file's own snap length too.
+	bad = append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(bad[16:], 64) // snaplen 64
+	binary.LittleEndian.PutUint32(bad[24+8:], 1000)
+	binary.LittleEndian.PutUint32(bad[24+12:], 1000)
+	if _, err := ReadAll(bytes.NewReader(bad)); !errors.Is(err, ErrImpossibleLength) {
+		t.Fatalf("err = %v, want ErrImpossibleLength", err)
+	}
+}
+
+func TestBitFlippedBodySurvives(t *testing.T) {
+	// Flipping bits inside frame bodies must never panic: the reader
+	// either skips the frame or returns a typed error.
+	data := samplePcap(t, 6)
+	for off := 24; off < len(data); off += 7 {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x40
+		_, _ = ReadAll(bytes.NewReader(bad))
+	}
+}
+
+func TestReaderBufferReuseKeepsRecordsIndependent(t *testing.T) {
+	// Records must not alias the reader's internal frame buffer.
+	data := samplePcap(t, 3)
+	recs, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("got %d records, want 6", len(recs))
+	}
+	for i, r := range recs[:3] {
+		if r.SrcPort == r.DstPort {
+			t.Fatalf("record %d corrupted: %+v", i, r)
+		}
+	}
+}

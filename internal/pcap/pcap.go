@@ -3,6 +3,7 @@ package pcap
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -149,9 +150,33 @@ type Record struct {
 	Payload int // payload length derived from the IP total length
 }
 
+// MaxFrameBytes is the largest captured frame a Reader will accept. Real
+// captures never exceed a 256 KiB snap length (tcpdump's modern default);
+// anything bigger in a record header is a corrupt or hostile file, and
+// honouring it would let a 16-byte record claim a multi-gigabyte
+// allocation.
+const MaxFrameBytes = 1 << 18
+
+// Typed ingestion errors, so callers can distinguish hostile or damaged
+// input from I/O failure with errors.Is.
+var (
+	// ErrBadMagic marks files that do not start with a libpcap magic
+	// number.
+	ErrBadMagic = errors.New("pcap: bad magic")
+
+	// ErrTruncatedRecord marks files that end mid-header or mid-frame.
+	ErrTruncatedRecord = errors.New("pcap: truncated record")
+
+	// ErrImpossibleLength marks record headers whose captured length is
+	// impossible: larger than MaxFrameBytes, larger than the file's snap
+	// length, or larger than the original packet length.
+	ErrImpossibleLength = errors.New("pcap: impossible record length")
+)
+
 // Reader parses libpcap files of Ethernet/IPv4/TCP frames. Both
 // microsecond- and nanosecond-resolution files are accepted, in either byte
-// order.
+// order. Hostile input (bad magic, truncated records, absurd lengths)
+// yields typed errors, never panics or unbounded allocations.
 type Reader struct {
 	r       *bufio.Reader
 	order   binary.ByteOrder
@@ -159,6 +184,8 @@ type Reader struct {
 	started bool
 	first   time.Duration
 	haveT0  bool
+	snapLen uint32
+	buf     []byte
 }
 
 // NewReader wraps r.
@@ -169,6 +196,9 @@ func NewReader(r io.Reader) *Reader {
 func (r *Reader) readHeader() error {
 	var hdr [24]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: file header", ErrTruncatedRecord)
+		}
 		return err
 	}
 	switch binary.LittleEndian.Uint32(hdr[0:4]) {
@@ -183,11 +213,12 @@ func (r *Reader) readHeader() error {
 		r.order = binary.BigEndian
 		r.nanos = true
 	default:
-		return fmt.Errorf("pcap: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:4]))
+		return fmt.Errorf("%w: %#x", ErrBadMagic, binary.LittleEndian.Uint32(hdr[0:4]))
 	}
 	if lt := r.order.Uint32(hdr[20:24]); lt != linkTypeEthernet {
 		return fmt.Errorf("pcap: unsupported link type %d", lt)
 	}
+	r.snapLen = r.order.Uint32(hdr[16:20])
 	r.started = true
 	return nil
 }
@@ -204,16 +235,28 @@ func (r *Reader) Next() (Record, error) {
 		var rec [16]byte
 		if _, err := io.ReadFull(r.r, rec[:]); err != nil {
 			if err == io.ErrUnexpectedEOF {
-				err = io.EOF
+				err = fmt.Errorf("%w: partial record header", ErrTruncatedRecord)
 			}
 			return Record{}, err
 		}
 		sec := r.order.Uint32(rec[0:4])
 		usec := r.order.Uint32(rec[4:8])
-		incl := int(r.order.Uint32(rec[8:12]))
-		frame := make([]byte, incl)
+		incl := r.order.Uint32(rec[8:12])
+		orig := r.order.Uint32(rec[12:16])
+		// Validate before allocating: a 16-byte header must not be able
+		// to demand gigabytes.
+		if incl > MaxFrameBytes || incl > orig {
+			return Record{}, fmt.Errorf("%w: captured %d bytes (original %d)", ErrImpossibleLength, incl, orig)
+		}
+		if r.snapLen > 0 && incl > r.snapLen {
+			return Record{}, fmt.Errorf("%w: captured %d bytes exceeds snap length %d", ErrImpossibleLength, incl, r.snapLen)
+		}
+		if int(incl) > cap(r.buf) {
+			r.buf = make([]byte, incl)
+		}
+		frame := r.buf[:incl]
 		if _, err := io.ReadFull(r.r, frame); err != nil {
-			return Record{}, fmt.Errorf("pcap: truncated record: %w", err)
+			return Record{}, fmt.Errorf("%w: frame cut short: %v", ErrTruncatedRecord, err)
 		}
 		out, err := decodeFrame(frame)
 		if err != nil {
@@ -288,49 +331,56 @@ func ReadAll(rd io.Reader) ([]Record, error) {
 	}
 }
 
+// RecordToCapture converts one pcap record into an emulator-style capture
+// record as seen from serverIP: frames sourced at serverIP are outgoing,
+// others incoming. It lets callers stream a capture off a Reader without
+// materializing the []Record slice first.
+func RecordToCapture(rec Record, serverIP uint32) netem.CaptureRecord {
+	dir := netem.DirIn
+	if rec.SrcIP == serverIP {
+		dir = netem.DirOut
+	}
+	var fl uint8
+	if rec.Flags&TCPFlagSYN != 0 {
+		fl |= netem.FlagSYN
+	}
+	if rec.Flags&TCPFlagACK != 0 {
+		fl |= netem.FlagACK
+	}
+	if rec.Flags&TCPFlagFIN != 0 {
+		fl |= netem.FlagFIN
+	}
+	if rec.Flags&TCPFlagRST != 0 {
+		fl |= netem.FlagRST
+	}
+	return netem.CaptureRecord{
+		At:  sim.Time(rec.Time),
+		Dir: dir,
+		Pkt: netem.Packet{
+			Flow: netem.FlowKey{
+				SrcAddr: IPToAddr(rec.SrcIP),
+				DstAddr: IPToAddr(rec.DstIP),
+				SrcPort: netem.Port(rec.SrcPort),
+				DstPort: netem.Port(rec.DstPort),
+			},
+			Seg: netem.Segment{
+				Seq:        rec.Seq,
+				Ack:        rec.Ack,
+				Flags:      fl,
+				Window:     uint32(rec.Window),
+				PayloadLen: rec.Payload,
+			},
+			Size: rec.Payload + netem.HeaderBytes,
+		},
+	}
+}
+
 // ToCapture converts pcap records into an emulator-style capture as seen
-// from serverIP: frames sourced at serverIP are outgoing, others incoming.
-// The result can be fed straight to the flowrtt analysis.
+// from serverIP. The result can be fed straight to the flowrtt analysis.
 func ToCapture(records []Record, serverIP uint32) *netem.Capture {
 	c := &netem.Capture{}
 	for _, rec := range records {
-		dir := netem.DirIn
-		if rec.SrcIP == serverIP {
-			dir = netem.DirOut
-		}
-		var fl uint8
-		if rec.Flags&TCPFlagSYN != 0 {
-			fl |= netem.FlagSYN
-		}
-		if rec.Flags&TCPFlagACK != 0 {
-			fl |= netem.FlagACK
-		}
-		if rec.Flags&TCPFlagFIN != 0 {
-			fl |= netem.FlagFIN
-		}
-		if rec.Flags&TCPFlagRST != 0 {
-			fl |= netem.FlagRST
-		}
-		c.Records = append(c.Records, netem.CaptureRecord{
-			At:  sim.Time(rec.Time),
-			Dir: dir,
-			Pkt: netem.Packet{
-				Flow: netem.FlowKey{
-					SrcAddr: IPToAddr(rec.SrcIP),
-					DstAddr: IPToAddr(rec.DstIP),
-					SrcPort: netem.Port(rec.SrcPort),
-					DstPort: netem.Port(rec.DstPort),
-				},
-				Seg: netem.Segment{
-					Seq:        rec.Seq,
-					Ack:        rec.Ack,
-					Flags:      fl,
-					Window:     uint32(rec.Window),
-					PayloadLen: rec.Payload,
-				},
-				Size: rec.Payload + netem.HeaderBytes,
-			},
-		})
+		c.Records = append(c.Records, RecordToCapture(rec, serverIP))
 	}
 	return c
 }

@@ -3,7 +3,7 @@ package pcap
 import (
 	"bytes"
 	"encoding/binary"
-	"io"
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -207,8 +207,8 @@ func TestBadMagicRejected(t *testing.T) {
 
 func TestShortHeaderEOF(t *testing.T) {
 	_, err := ReadAll(bytes.NewReader([]byte{1, 2, 3}))
-	if err != io.ErrUnexpectedEOF && err != io.EOF {
-		t.Fatalf("err = %v", err)
+	if !errors.Is(err, ErrTruncatedRecord) {
+		t.Fatalf("err = %v, want ErrTruncatedRecord", err)
 	}
 }
 

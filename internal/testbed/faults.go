@@ -1,0 +1,225 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tcpsig/internal/dtree"
+	"tcpsig/internal/faults"
+	"tcpsig/internal/features"
+	"tcpsig/internal/netem"
+)
+
+// FaultRegime names one fault model applied to the access link during a
+// sweep. A nil Factory is the clean baseline.
+type FaultRegime struct {
+	Name        string
+	Description string
+
+	// Factory builds a fresh injector per run, seeded with that run's
+	// seed so the whole regime is deterministic.
+	Factory func(seed int64) netem.FaultInjector
+}
+
+// DefaultFaultRegimes returns the regimes SweepFaults tests out of the box:
+// the clean baseline plus the pathological path dynamics the paper's §6
+// limitations never measured.
+func DefaultFaultRegimes() []FaultRegime {
+	return []FaultRegime{
+		{
+			Name:        "clean",
+			Description: "no injected faults (the paper's §3 conditions)",
+		},
+		{
+			Name:        "ge-loss",
+			Description: "Gilbert-Elliott bursty loss (mean burst ~3 pkts, ~3% overall)",
+			Factory: func(seed int64) netem.FaultInjector {
+				return faults.NewGilbertElliott(seed, 0.01, 0.3, 0, 0.8)
+			},
+		},
+		{
+			Name:        "flap",
+			Description: "link flaps: 150 ms outage every 2 s",
+			Factory: func(seed int64) netem.FaultInjector {
+				// Phase from the seed so outages land at different
+				// points of slow start across runs.
+				phase := time.Duration(seed%20) * 100 * time.Millisecond
+				return faults.NewLinkFlap(2*time.Second, 150*time.Millisecond, phase)
+			},
+		},
+		{
+			Name:        "reorder",
+			Description: "5% of packets held back 5 ms (tc netem reorder)",
+			Factory: func(seed int64) netem.FaultInjector {
+				return faults.NewReorder(seed, 0.05, 5*time.Millisecond)
+			},
+		},
+		{
+			Name:        "duplicate",
+			Description: "5% packet duplication",
+			Factory: func(seed int64) netem.FaultInjector {
+				return faults.NewDuplicate(seed, 0.05)
+			},
+		},
+		{
+			Name:        "corrupt",
+			Description: "2% of packets delivered with mangled headers",
+			Factory: func(seed int64) netem.FaultInjector {
+				return faults.NewCorrupt(seed, 0.02)
+			},
+		},
+		{
+			Name:        "storm",
+			Description: "bursty loss + reordering + duplication together",
+			Factory: func(seed int64) netem.FaultInjector {
+				return faults.NewChain(
+					faults.NewGilbertElliott(seed, 0.005, 0.3, 0, 0.8),
+					faults.NewReorder(seed+1, 0.03, 5*time.Millisecond),
+					faults.NewDuplicate(seed+2, 0.03),
+				)
+			},
+		},
+	}
+}
+
+// RegimeReport is the measured outcome of one fault regime.
+type RegimeReport struct {
+	Regime      string
+	Description string
+
+	// Runs is the number of experiments attempted; Valid is how many
+	// passed the paper's 10-sample validity filter (the rest could not be
+	// classified at full confidence at all).
+	Runs  int
+	Valid int
+
+	// Correct counts valid runs whose classifier prediction matched the
+	// scenario that produced them.
+	Correct int
+}
+
+// Validity is the fraction of runs that yielded a classifiable flow.
+func (r RegimeReport) Validity() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.Valid) / float64(r.Runs)
+}
+
+// Accuracy is the classifier accuracy over the valid runs.
+func (r RegimeReport) Accuracy() float64 {
+	if r.Valid == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Valid)
+}
+
+// FaultReport is the outcome of a full fault-regime sweep.
+type FaultReport struct {
+	// Threshold is the labeling threshold used for the clean training set.
+	Threshold float64
+
+	// Tree is the classifier trained on the clean regime and used to
+	// score every regime.
+	Tree *dtree.Tree
+
+	Regimes []RegimeReport
+}
+
+// String renders the report as an aligned table.
+func (r *FaultReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %6s %9s %9s  %s\n", "regime", "runs", "valid", "validity", "accuracy", "description")
+	for _, reg := range r.Regimes {
+		fmt.Fprintf(&b, "%-10s %6d %6d %8.0f%% %8.0f%%  %s\n",
+			reg.Regime, reg.Runs, reg.Valid, 100*reg.Validity(), 100*reg.Accuracy(), reg.Description)
+	}
+	return b.String()
+}
+
+// Regime returns the report row with the given name, or nil.
+func (r *FaultReport) Regime(name string) *RegimeReport {
+	for i := range r.Regimes {
+		if r.Regimes[i].Regime == name {
+			return &r.Regimes[i]
+		}
+	}
+	return nil
+}
+
+// FaultSweepOptions configures SweepFaults.
+type FaultSweepOptions struct {
+	// Sweep is the underlying parameter grid; its Faults field is
+	// overridden per regime.
+	Sweep SweepOptions
+
+	// Regimes defaults to DefaultFaultRegimes.
+	Regimes []FaultRegime
+
+	// Threshold is the labeling threshold for the clean training set
+	// (default 0.8).
+	Threshold float64
+
+	// Progress, when non-nil, is called before each regime starts.
+	Progress func(regime string, done, total int)
+}
+
+// SweepFaults re-runs the §3 scenarios under each fault regime and reports
+// per-regime classification accuracy and validity. The classifier is
+// trained on the clean regime (exactly the seed methodology: same grid,
+// same seeds), then evaluated against the scenario ground truth under each
+// fault model, quantifying where the NormDiff/CoV signature breaks on
+// hostile networks. The whole sweep is deterministic under Sweep.Seed.
+func SweepFaults(opt FaultSweepOptions) (*FaultReport, error) {
+	regimes := opt.Regimes
+	if regimes == nil {
+		regimes = DefaultFaultRegimes()
+	}
+	threshold := opt.Threshold
+	if threshold == 0 {
+		threshold = 0.8
+	}
+
+	base := opt.Sweep
+	base.Faults = nil
+	if opt.Progress != nil {
+		opt.Progress("clean (training)", 0, len(regimes))
+	}
+	cleanResults := Sweep(base)
+	ds := Dataset(cleanResults, threshold)
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("testbed: clean sweep produced no labeled examples")
+	}
+	tree, err := dtree.Train(ds, dtree.Options{MinLeaf: 2, FeatureNames: features.Names()})
+	if err != nil {
+		return nil, fmt.Errorf("testbed: training on clean sweep: %w", err)
+	}
+
+	report := &FaultReport{Threshold: threshold, Tree: tree}
+	total := base.Total()
+	for i, regime := range regimes {
+		if opt.Progress != nil {
+			opt.Progress(regime.Name, i, len(regimes))
+		}
+		results := cleanResults
+		if regime.Factory != nil {
+			sw := opt.Sweep
+			sw.Faults = regime.Factory
+			results = Sweep(sw)
+		}
+		rep := RegimeReport{
+			Regime:      regime.Name,
+			Description: regime.Description,
+			Runs:        total,
+			Valid:       len(results),
+		}
+		for _, r := range results {
+			if tree.Predict(r.Features.Values()) == r.Scenario {
+				rep.Correct++
+			}
+		}
+		report.Regimes = append(report.Regimes, rep)
+	}
+	return report, nil
+}

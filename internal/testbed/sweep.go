@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"tcpsig/internal/dtree"
+	"tcpsig/internal/netem"
 	"tcpsig/internal/tcpsim"
 )
 
@@ -46,6 +47,10 @@ type SweepOptions struct {
 
 	// CC optionally overrides the test flow's congestion controller.
 	CC func() tcpsim.CongestionControl
+
+	// Faults, when non-nil, is the per-run fault-injector factory passed
+	// through to every Config (see Config.Faults and SweepFaults).
+	Faults func(seed int64) netem.FaultInjector
 
 	// Progress, when non-nil, is called after each run.
 	Progress func(done, total int)
@@ -111,6 +116,7 @@ func Sweep(opt SweepOptions) []*Result {
 								Duration:   opt.Duration,
 								Seed:       seed,
 								CC:         opt.CC,
+								Faults:     opt.Faults,
 							}
 							if cong > 0 {
 								cfg.WarmUp = 4 * time.Second

@@ -91,6 +91,12 @@ type Config struct {
 
 	// InterBufferMS optionally overrides the 50 ms interconnect buffer.
 	InterBuffer time.Duration
+
+	// Faults, when non-nil, builds a fault injector (seeded with the
+	// run's seed) that is attached to the access link's data direction,
+	// stressing the test flow with hostile path dynamics (see
+	// internal/faults and SweepFaults).
+	Faults func(seed int64) netem.FaultInjector
 }
 
 func (c Config) withDefaults() Config {
@@ -193,15 +199,19 @@ func Run(cfg Config) (*Result, error) {
 		accessQ = netem.NewDropTailDepth(rate, cfg.Access.Buffer)
 	}
 	oneWay := cfg.Access.Latency / 2
+	downCfg := netem.LinkConfig{
+		RateBps: rate,
+		Delay:   oneWay,
+		Jitter:  cfg.Access.Jitter,
+		Loss:    cfg.Access.Loss,
+		Queue:   accessQ,
+		Bucket:  netem.NewTokenBucket(rate, 5000),
+	}
+	if cfg.Faults != nil {
+		downCfg.Faults = cfg.Faults(cfg.Seed)
+	}
 	net.Connect(r2, pi1,
-		netem.LinkConfig{
-			RateBps: rate,
-			Delay:   oneWay,
-			Jitter:  cfg.Access.Jitter,
-			Loss:    cfg.Access.Loss,
-			Queue:   accessQ,
-			Bucket:  netem.NewTokenBucket(rate, 5000),
-		},
+		downCfg,
 		netem.LinkConfig{RateBps: 100e6, Delay: oneWay, Jitter: cfg.Access.Jitter})
 
 	// Pi2 bypasses the access link (100 Mbps NIC).

@@ -20,6 +20,7 @@ package tcpsig
 import (
 	"fmt"
 	"io"
+	"net/netip"
 	"os"
 	"time"
 
@@ -30,6 +31,36 @@ import (
 	"tcpsig/internal/netem"
 	"tcpsig/internal/pcap"
 	"tcpsig/internal/testbed"
+)
+
+// Typed classification errors, for errors.Is dispatch. A flow failing a
+// validity filter still yields a degraded Verdict (non-empty Reason, scaled
+// Confidence) whenever features could be computed at all.
+var (
+	// ErrTooFewSamples: slow start yielded fewer RTT samples than the
+	// paper's validity floor (10).
+	ErrTooFewSamples = core.ErrTooFewSamples
+
+	// ErrNoSlowStart: the first retransmission preceded any RTT sample.
+	ErrNoSlowStart = core.ErrNoSlowStart
+
+	// ErrNoData: the trace holds no data-bearing packets for the flow.
+	ErrNoData = core.ErrNoData
+
+	// ErrCorruptTrace: the capture could not be (fully) parsed.
+	ErrCorruptTrace = core.ErrCorruptTrace
+)
+
+// Reason is the machine-readable code on degraded verdicts.
+type Reason = core.Reason
+
+// Reason codes attached to Verdicts (empty = full confidence).
+const (
+	ReasonNone          = core.ReasonNone
+	ReasonTooFewSamples = core.ReasonTooFewSamples
+	ReasonNoSlowStart   = core.ReasonNoSlowStart
+	ReasonNoData        = core.ReasonNoData
+	ReasonCorruptTrace  = core.ReasonCorruptTrace
 )
 
 // Congestion classes.
@@ -181,8 +212,15 @@ type FlowVerdict struct {
 	SrcPort uint16
 	DstIP   string
 	DstPort uint16
+	// Verdict is populated whenever features could be computed, even for
+	// flows failing validity filters (then Verdict.Reason is non-empty and
+	// Confidence is degraded); Verdict.Class is -1 when nothing could be
+	// classified at all.
 	Verdict Verdict
-	Err     error // non-nil when the flow failed validity filters
+
+	// Err is non-nil when the flow failed validity filters; match it with
+	// errors.Is against ErrTooFewSamples, ErrNoSlowStart, ErrNoData.
+	Err error
 }
 
 // ClassifyPcapFile analyzes a tcpdump capture taken at the data sender (the
@@ -198,49 +236,63 @@ func (c *Classifier) ClassifyPcapFile(path string, serverIPv4 string) ([]FlowVer
 	return c.ClassifyPcap(f, serverIPv4)
 }
 
-// ClassifyPcap is ClassifyPcapFile reading from r.
+// ClassifyPcap is ClassifyPcapFile reading from r. The capture is decoded
+// in one streaming pass and held once, as emulator records. A trace that is
+// cut off or corrupted partway through still yields verdicts for the flows
+// read up to that point, alongside an error matching ErrCorruptTrace.
 func (c *Classifier) ClassifyPcap(r io.Reader, serverIPv4 string) ([]FlowVerdict, error) {
 	ip, err := parseIPv4(serverIPv4)
 	if err != nil {
 		return nil, err
 	}
-	records, err := pcap.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("tcpsig: reading pcap: %w", err)
-	}
-	capt := pcap.ToCapture(records, ip)
-	// Remember the original addresses (ToCapture truncates them into
-	// emulator address space).
-	fullIPs := make(map[netem.FlowKey][2]uint32)
-	for _, rec := range records {
+	// maxFlowIPs bounds the original-address map: emulator flow keys
+	// truncate addresses to 24 bits, so the map exists only to report
+	// untruncated dotted quads and must not grow without bound on a
+	// hostile capture cycling through addresses.
+	const maxFlowIPs = 1 << 16
+	rd := pcap.NewReader(r)
+	var (
+		records []netem.CaptureRecord
+		fullIPs = make(map[netem.FlowKey][2]uint32)
+		readErr error
+	)
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			readErr = fmt.Errorf("%w: %v", ErrCorruptTrace, err)
+			break
+		}
 		key := netem.FlowKey{
 			SrcAddr: pcap.IPToAddr(rec.SrcIP),
 			DstAddr: pcap.IPToAddr(rec.DstIP),
 			SrcPort: netem.Port(rec.SrcPort),
 			DstPort: netem.Port(rec.DstPort),
 		}
-		if _, ok := fullIPs[key]; !ok {
+		if _, ok := fullIPs[key]; !ok && len(fullIPs) < maxFlowIPs {
 			fullIPs[key] = [2]uint32{rec.SrcIP, rec.DstIP}
 		}
+		records = append(records, pcap.RecordToCapture(rec, ip))
 	}
 	var out []FlowVerdict
-	for _, flow := range flowrtt.Flows(capt.Records) {
-		ips := fullIPs[flow]
+	for _, flow := range flowrtt.Flows(records) {
 		fv := FlowVerdict{
-			SrcIP:   ipString(ips[0]),
+			SrcIP:   ipString(uint32(flow.SrcAddr)),
 			SrcPort: uint16(flow.SrcPort),
-			DstIP:   ipString(ips[1]),
+			DstIP:   ipString(uint32(flow.DstAddr)),
 			DstPort: uint16(flow.DstPort),
 		}
-		v, err := c.inner.ClassifyTrace(capt.Records, flow)
-		if err != nil {
-			fv.Err = err
-		} else {
-			fv.Verdict = v
+		if ips, ok := fullIPs[flow]; ok {
+			fv.SrcIP, fv.DstIP = ipString(ips[0]), ipString(ips[1])
 		}
+		v, err := c.inner.ClassifyTrace(records, flow)
+		fv.Verdict = v
+		fv.Err = err
 		out = append(out, fv)
 	}
-	return out, nil
+	return out, readErr
 }
 
 // ClassifyCapture classifies every flow of an in-memory emulator capture.
@@ -287,16 +339,14 @@ func LoadFile(path string) (*Classifier, error) {
 }
 
 func parseIPv4(s string) (uint32, error) {
-	var a, b, c, d int
-	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+	// netip.ParseAddr rejects trailing junk, empty octets and out-of-range
+	// values that fmt.Sscanf-style parsing silently accepts.
+	addr, err := netip.ParseAddr(s)
+	if err != nil || !addr.Is4() {
 		return 0, fmt.Errorf("tcpsig: bad IPv4 %q", s)
 	}
-	for _, v := range []int{a, b, c, d} {
-		if v < 0 || v > 255 {
-			return 0, fmt.Errorf("tcpsig: bad IPv4 %q", s)
-		}
-	}
-	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d), nil
+	b := addr.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
 }
 
 func ipString(ip uint32) string {

@@ -2,6 +2,7 @@ package tcpsig
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -193,13 +194,113 @@ func TestParseIPv4(t *testing.T) {
 	if _, err := parseIPv4("10.0.0.2"); err != nil {
 		t.Fatal(err)
 	}
-	for _, bad := range []string{"", "1.2.3", "256.1.1.1", "a.b.c.d"} {
-		if _, err := parseIPv4(bad); err == nil {
-			t.Fatalf("%q accepted", bad)
+	bad := []string{
+		"", "1.2.3", "256.1.1.1", "a.b.c.d",
+		// Trailing junk and variants fmt.Sscanf-style parsing accepted.
+		"1.2.3.4junk", "1.2.3.4.5", " 1.2.3.4", "1.2.3.4 ",
+		"::1", "::ffff:1.2.3.4", "01.2.3.4",
+	}
+	for _, s := range bad {
+		if _, err := parseIPv4(s); err == nil {
+			t.Fatalf("%q accepted", s)
 		}
 	}
 	if got := ipString(0x0a000102); got != "10.0.1.2" {
 		t.Fatalf("ipString = %s", got)
+	}
+}
+
+// synthPcap builds a server-side capture of one clean download flow with
+// the given number of data/ACK round trips (20 ms RTT, no loss).
+func synthPcap(t *testing.T, rounds int) []byte {
+	t.Helper()
+	flow := netem.FlowKey{SrcAddr: 2, DstAddr: 1, SrcPort: 80, DstPort: 40000}
+	capt := &netem.Capture{}
+	seq := uint32(1000)
+	at := sim.Time(0)
+	for i := 0; i < rounds; i++ {
+		data := netem.Packet{
+			Flow: flow,
+			Seg:  netem.Segment{Seq: seq, Flags: netem.FlagACK, PayloadLen: 1460},
+			Size: 1460 + netem.HeaderBytes,
+		}
+		capt.Records = append(capt.Records, netem.CaptureRecord{At: at, Dir: netem.DirOut, Pkt: data})
+		// RTT grows a little each round so features are non-degenerate.
+		rtt := 20*time.Millisecond + time.Duration(i)*2*time.Millisecond
+		seq += 1460
+		ack := netem.Packet{
+			Flow: flow.Reverse(),
+			Seg:  netem.Segment{Ack: seq, Flags: netem.FlagACK},
+			Size: netem.HeaderBytes,
+		}
+		capt.Records = append(capt.Records, netem.CaptureRecord{At: at + sim.Time(rtt), Dir: netem.DirIn, Pkt: ack})
+		at += sim.Time(rtt) + sim.Time(5*time.Millisecond)
+	}
+	var buf bytes.Buffer
+	if err := pcap.NewWriter(&buf).WriteCapture(capt); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestClassifyPcapTruncatedTraceTypedError(t *testing.T) {
+	c := toyClassifier(t)
+	server := ipString(pcap.ServerIP(2))
+	raw := synthPcap(t, 14)
+	// Cut the file mid-record: everything before the cut must still be
+	// classified, and the damage must surface as ErrCorruptTrace.
+	cut := raw[:len(raw)-11]
+	verdicts, err := c.ClassifyPcap(bytes.NewReader(cut), server)
+	if !errors.Is(err, ErrCorruptTrace) {
+		t.Fatalf("err = %v, want ErrCorruptTrace", err)
+	}
+	if len(verdicts) != 1 {
+		t.Fatalf("flows classified from truncated trace = %d, want 1", len(verdicts))
+	}
+	if verdicts[0].Verdict.Class < 0 {
+		t.Fatalf("no verdict from truncated trace: %+v", verdicts[0])
+	}
+
+	// Damage that kills the file header entirely yields no verdicts but
+	// still the typed error, never a panic.
+	raw[0] ^= 0xff
+	verdicts, err = c.ClassifyPcap(bytes.NewReader(raw), server)
+	if !errors.Is(err, ErrCorruptTrace) {
+		t.Fatalf("bad-magic err = %v, want ErrCorruptTrace", err)
+	}
+	if len(verdicts) != 0 {
+		t.Fatalf("verdicts from unreadable trace: %d", len(verdicts))
+	}
+}
+
+func TestClassifyPcapDegradedVerdict(t *testing.T) {
+	c := toyClassifier(t)
+	server := ipString(pcap.ServerIP(2))
+	// 5 round trips: below the 10-sample validity floor, but enough to
+	// compute features for a best-effort verdict.
+	verdicts, err := c.ClassifyPcap(bytes.NewReader(synthPcap(t, 5)), server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 1 {
+		t.Fatalf("flows = %d", len(verdicts))
+	}
+	fv := verdicts[0]
+	if !errors.Is(fv.Err, ErrTooFewSamples) {
+		t.Fatalf("flow err = %v, want ErrTooFewSamples", fv.Err)
+	}
+	v := fv.Verdict
+	if v.Class != SelfInduced && v.Class != External {
+		t.Fatalf("degraded verdict has no class: %+v", v)
+	}
+	if v.Reason != ReasonTooFewSamples {
+		t.Fatalf("reason = %q, want %q", v.Reason, ReasonTooFewSamples)
+	}
+	if v.Confidence <= 0 || v.Confidence > 0.5 {
+		t.Fatalf("degraded confidence = %v, want in (0, 0.5] for 5/10 samples", v.Confidence)
+	}
+	if v.Features.Samples != 5 {
+		t.Fatalf("features from %d samples", v.Features.Samples)
 	}
 }
 
