@@ -1,0 +1,96 @@
+// Command sigcheck runs the repo's determinism and numeric-safety
+// analyzers (see internal/analysis and DESIGN.md "Determinism & numeric
+// invariants"). It supports two modes:
+//
+//	go run ./cmd/sigcheck ./...             # standalone, non-test files
+//	go vet -vettool=$(which sigcheck) ./... # vet tool, includes test files
+//
+// In standalone mode package patterns are resolved with the go command and
+// each matched package is type-checked from source; the exit status is
+// nonzero when any analyzer reports a finding. As a vet tool it speaks the
+// cmd/go unitchecker .cfg protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tcpsig/internal/analysis"
+	"tcpsig/internal/analysis/errtaxonomy"
+	"tcpsig/internal/analysis/floatsafe"
+	"tcpsig/internal/analysis/maporder"
+	"tcpsig/internal/analysis/simdeterminism"
+)
+
+// version participates in cmd/go's tool cache key; bump it when analyzer
+// behavior changes so cached vet results are invalidated.
+const version = "v2-determinism-suite"
+
+var analyzers = []*analysis.Analyzer{
+	simdeterminism.Analyzer,
+	maporder.Analyzer,
+	floatsafe.Analyzer,
+	errtaxonomy.Analyzer,
+}
+
+func main() {
+	versionFlag := flag.String("V", "", "print version and exit (vet tool protocol)")
+	flagsFlag := flag.Bool("flags", false, "print flag descriptions as JSON and exit (vet tool protocol)")
+	flag.Usage = usage
+	flag.Parse()
+	if *versionFlag != "" {
+		fmt.Printf("sigcheck version %s\n", version)
+		return
+	}
+	if *flagsFlag {
+		// cmd/go queries the tool's flags; sigcheck exposes none.
+		fmt.Println("[]")
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	// go vet hands the tool a single JSON config file per package unit.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(analysis.RunUnitchecker(args[0], analyzers))
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(dir, args...)
+	if err != nil {
+		fatal(err)
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunPackage(pkg, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: sigcheck package...\n\nAnalyzers:\n")
+	for _, a := range analyzers {
+		summary, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, summary)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sigcheck: %v\n", err)
+	os.Exit(1)
+}

@@ -34,10 +34,14 @@ func main() {
 		external = append(external, time.Duration(115+i%4)*time.Millisecond)
 	}
 
-	for name, rtts := range map[string][]time.Duration{
-		"ramping RTTs (speed test filling the access link)": selfInduced,
-		"flat elevated RTTs (congested interconnect)":       external,
+	for _, tc := range []struct {
+		name string
+		rtts []time.Duration
+	}{
+		{"ramping RTTs (speed test filling the access link)", selfInduced},
+		{"flat elevated RTTs (congested interconnect)", external},
 	} {
+		name, rtts := tc.name, tc.rtts
 		v, err := clf.ClassifyRTTs(rtts)
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,207 @@
+// Package errtaxonomy enforces the PR-1 error taxonomy in the ingestion
+// and classification packages. Those packages expose typed sentinels
+// (ErrTooFewSamples, ErrBadMagic, ...) precisely so production callers can
+// route failure modes with errors.Is; an fmt.Errorf that does not wrap a
+// sentinel, or an errors.New minted inside a function body, reintroduces
+// stringly-typed errors that no caller can dispatch on. The analyzer also
+// flags callers anywhere in the module that assign a Verdict-returning
+// call's error to the blank identifier: that error carries the
+// degraded-confidence Reason and dropping it silently upgrades best-effort
+// verdicts to full-confidence ones.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"tcpsig/internal/analysis"
+)
+
+// Packages lists the import-path suffixes whose errors must wrap a typed
+// sentinel. The rule only fires in packages that actually declare Err*
+// sentinels, so it cannot demand taxonomy where none exists.
+var Packages = []string{
+	"internal/core",
+	"internal/flowrtt",
+	"internal/pcap",
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errtaxonomy",
+	Doc: "enforce typed error sentinels and Verdict.Reason propagation\n\n" +
+		"In internal/{core,flowrtt,pcap} every fmt.Errorf must wrap a package\n" +
+		"sentinel with %w and function-local errors.New is forbidden; everywhere,\n" +
+		"assigning a Verdict-returning call's error to _ drops the Reason code.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	inScope := analysis.HasPathSuffix(pass.Pkg.Path(), Packages) && hasSentinels(pass.Pkg)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return false
+				}
+				if inScope {
+					checkErrorConstruction(pass, n.Body)
+				}
+				checkDroppedVerdictErrors(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// hasSentinels reports whether the package declares at least one
+// package-level `var ErrFoo = ...` of type error.
+func hasSentinels(pkg *types.Package) bool {
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Err") {
+			continue
+		}
+		v, ok := scope.Lookup(name).(*types.Var)
+		if ok && types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkErrorConstruction(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch pkgFunc(pass, call) {
+		case "fmt.Errorf":
+			lit, ok := stringLiteral(call.Args[0])
+			if !ok {
+				return true
+			}
+			if !strings.Contains(lit, "%") {
+				pass.Report(analysis.Diagnostic{
+					Pos:     call.Pos(),
+					End:     call.End(),
+					Message: "fmt.Errorf with no format verbs; use errors.New (and wrap a package sentinel for dispatchable failures)",
+					SuggestedFixes: []analysis.SuggestedFix{{
+						Message: "replace with errors.New (requires the errors import)",
+						TextEdits: []analysis.TextEdit{{
+							Pos:     call.Fun.Pos(),
+							End:     call.Fun.End(),
+							NewText: []byte("errors.New"),
+						}},
+					}},
+				})
+				return true
+			}
+			if !strings.Contains(lit, "%w") {
+				pass.Reportf(call.Pos(), "fmt.Errorf does not wrap a typed sentinel with %%w; callers cannot errors.Is-dispatch this failure — wrap one of the package's Err* sentinels")
+			}
+		case "errors.New":
+			pass.Reportf(call.Pos(), "function-local errors.New mints an untyped error; declare a package-level Err* sentinel or wrap one with fmt.Errorf and %%w")
+		}
+		return true
+	})
+}
+
+// checkDroppedVerdictErrors flags `v, _ := f(...)` where f returns a
+// (Verdict, error)-shaped tuple: a struct with a Reason field plus error.
+func checkDroppedVerdictErrors(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[call]
+		if !ok {
+			return true
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(assign.Lhs) {
+			return true
+		}
+		verdictAt, errAt := -1, -1
+		for i := 0; i < tuple.Len(); i++ {
+			t := tuple.At(i).Type()
+			if isVerdict(t) {
+				verdictAt = i
+			}
+			if types.Identical(t, types.Universe.Lookup("error").Type()) {
+				errAt = i
+			}
+		}
+		if verdictAt < 0 || errAt < 0 {
+			return true
+		}
+		if id, ok := assign.Lhs[errAt].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(assign.Pos(), "verdict error discarded: it carries the degraded-confidence Reason (ErrTooFewSamples, ErrNoSlowStart, ...); handle it or check Verdict.Reason explicitly")
+		}
+		return true
+	})
+}
+
+// isVerdict recognizes a named struct type called Verdict with a Reason
+// field (matching by shape keeps fixtures self-contained).
+func isVerdict(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Verdict" {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Reason" {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFunc returns "pkg.Func" for a call to a package-level function of an
+// imported package, or "".
+func pkgFunc(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return ""
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pkgName.Imported().Path() + "." + sel.Sel.Name
+}
+
+func stringLiteral(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

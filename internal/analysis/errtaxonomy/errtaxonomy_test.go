@@ -1,0 +1,12 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"tcpsig/internal/analysis/analysistest"
+	"tcpsig/internal/analysis/errtaxonomy"
+)
+
+func TestErrTaxonomy(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, "testdata", errtaxonomy.Analyzer, "internal/core", "nosentinel")
+}

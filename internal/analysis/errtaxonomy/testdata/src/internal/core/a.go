@@ -1,0 +1,51 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a package sentinel; its presence arms the taxonomy rules.
+var ErrBad = errors.New("core: bad")
+
+// Reason is a machine-readable degraded-verdict code.
+type Reason string
+
+// Verdict mimics the real core.Verdict shape.
+type Verdict struct {
+	Class  int
+	Reason Reason
+}
+
+func classify() (Verdict, error) { return Verdict{}, nil }
+
+func wraps() error {
+	return fmt.Errorf("%w: detail %d", ErrBad, 7) // allowed: wraps a sentinel
+}
+
+func adhoc(n int) error {
+	return fmt.Errorf("core: bad value %d", n) // want `does not wrap a typed sentinel`
+}
+
+func local() error {
+	return errors.New("core: something failed") // want `function-local errors\.New mints an untyped error`
+}
+
+func dropsVerdictError() int {
+	v, _ := classify() // want `verdict error discarded`
+	return v.Class
+}
+
+func handlesVerdictError() int {
+	v, err := classify() // allowed: error is handled
+	if err != nil {
+		return -1
+	}
+	return v.Class
+}
+
+func plainTupleIsFine() (int, error) {
+	f := func() (int, error) { return 0, nil }
+	n, _ := f() // allowed: no Verdict in the tuple
+	return n, nil
+}

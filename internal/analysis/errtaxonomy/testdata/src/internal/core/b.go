@@ -1,0 +1,7 @@
+package core
+
+import "fmt"
+
+func noVerbs() error {
+	return fmt.Errorf("core: fixed message") // want `fmt\.Errorf with no format verbs`
+}

@@ -1,0 +1,29 @@
+// Package nosentinel declares no Err* sentinels and is outside the
+// taxonomy packages, so ad-hoc error construction is allowed — but
+// discarding a Verdict-carrying error is flagged everywhere.
+package nosentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verdict mimics the real core.Verdict shape.
+type Verdict struct {
+	Class  int
+	Reason string
+}
+
+func classify() (*Verdict, error) { return &Verdict{}, nil }
+
+func adhocAllowed(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return fmt.Errorf("bad value %d", n)
+}
+
+func dropsVerdictError() int {
+	v, _ := classify() // want `verdict error discarded`
+	return v.Class
+}

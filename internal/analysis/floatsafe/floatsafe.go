@@ -1,0 +1,280 @@
+// Package floatsafe guards the numeric kernels of the feature pipeline.
+// The paper's two features are fragile ratios — CoV divides by the mean,
+// NormDiff by the max RTT — that silently go NaN/Inf on degenerate flows,
+// and NaN then propagates through the decision tree as an always-false
+// comparison. The analyzer flags, inside the configured packages:
+//
+//   - ==/!= between floating-point operands (except comparison against an
+//     exact literal 0, the idiomatic degenerate-input guard, and x != x,
+//     which gets a suggested fix to math.IsNaN),
+//   - divisions whose divisor is not a constant and is not dominated by a
+//     zero/NaN guard mentioning the divisor (or a variable feeding it)
+//     earlier in the function.
+//
+// "Dominated" is approximated by source order within the enclosing
+// function: a comparison of the divisor (or of any identifier appearing in
+// its initializer) against another value, or a math.IsNaN/IsInf call on
+// it, must appear before the division. The approximation is deliberately
+// permissive — the analyzer is a tripwire for unguarded ratios, not a
+// verifier.
+package floatsafe
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tcpsig/internal/analysis"
+)
+
+// Packages lists the import-path suffixes the analyzer applies to.
+var Packages = []string{
+	"internal/stats",
+	"internal/features",
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatsafe",
+	Doc: "flag float equality and unguarded float divisions in numeric kernels\n\n" +
+		"CoV and NormDiff are ratios that become NaN on degenerate input; every\n" +
+		"division must be dominated by a zero/NaN guard and float equality is\n" +
+		"almost always a bug.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !analysis.HasPathSuffix(pass.Pkg.Path(), Packages) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		// Tests assert byte-identical reproducibility on purpose; exact
+		// comparison there is the point, not a bug.
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+// guard is one zero/NaN test: the identifiers it constrains and where it
+// appears.
+type guard struct {
+	pos  token.Pos
+	keys map[string]bool
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var guards []guard
+	inits := map[string]ast.Expr{} // ident/selector -> initializer expression
+
+	// First pass: collect guards and single-assignment initializers.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				keys := leafKeys(pass, n.X)
+				for k := range leafKeys(pass, n.Y) {
+					keys[k] = true
+				}
+				if len(keys) > 0 {
+					guards = append(guards, guard{pos: n.Pos(), keys: keys})
+				}
+			}
+		case *ast.CallExpr:
+			if name, arg := mathCall(pass, n); name == "IsNaN" || name == "IsInf" {
+				keys := leafKeys(pass, arg)
+				if len(keys) > 0 {
+					guards = append(guards, guard{pos: n.Pos(), keys: keys})
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					key := exprKey(lhs)
+					if key == "" {
+						continue
+					}
+					if _, seen := inits[key]; seen {
+						// Reassigned: the initializer no longer tells us
+						// anything reliable.
+						inits[key] = nil
+					} else {
+						inits[key] = n.Rhs[i]
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Second pass: check equalities and divisions.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.EQL, token.NEQ:
+			checkEquality(pass, be)
+		case token.QUO:
+			checkDivision(pass, be, guards, inits)
+		}
+		return true
+	})
+}
+
+func checkEquality(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+		return
+	}
+	// x == 0 / x != 0 is the idiomatic degenerate-input guard.
+	if isLiteralZero(pass, be.X) || isLiteralZero(pass, be.Y) {
+		return
+	}
+	// x != x is a hand-rolled NaN test; offer the intention-revealing form.
+	if be.Op == token.NEQ && types.ExprString(be.X) == types.ExprString(be.Y) {
+		pass.Report(analysis.Diagnostic{
+			Pos:     be.Pos(),
+			End:     be.End(),
+			Message: "x != x is a hand-rolled NaN test; use math.IsNaN",
+			SuggestedFixes: []analysis.SuggestedFix{{
+				Message: "replace with math.IsNaN (requires the math import)",
+				TextEdits: []analysis.TextEdit{{
+					Pos:     be.Pos(),
+					End:     be.End(),
+					NewText: []byte("math.IsNaN(" + types.ExprString(be.X) + ")"),
+				}},
+			}},
+		})
+		return
+	}
+	pass.Reportf(be.Pos(), "floating-point %s comparison is exact; use an epsilon or restructure (compare against literal 0 only to guard degenerate input)", be.Op)
+}
+
+func checkDivision(pass *analysis.Pass, be *ast.BinaryExpr, guards []guard, inits map[string]ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[be]
+	if !ok || !isFloatType(tv.Type) {
+		return
+	}
+	div := pass.TypesInfo.Types[be.Y]
+	if div.Value != nil {
+		return // constant divisor; the compiler rejects constant 0
+	}
+	keys := leafKeys(pass, be.Y)
+	// A plain variable divisor inherits the identifiers of its (single)
+	// initializer, so `w := hi - lo; x / w` is guarded by `hi == lo`.
+	if key := exprKey(be.Y); key != "" {
+		if init := inits[key]; init != nil {
+			for k := range leafKeys(pass, init) {
+				keys[k] = true
+			}
+		}
+	}
+	for _, g := range guards {
+		if g.pos >= be.Pos() {
+			continue
+		}
+		for k := range g.keys {
+			if keys[k] {
+				return
+			}
+		}
+	}
+	pass.Reportf(be.Pos(), "division by %s is not dominated by a zero/NaN guard; degenerate input propagates NaN/Inf into the features", types.ExprString(be.Y))
+}
+
+// leafKeys returns the identifier and selector strings appearing in e,
+// excluding package names, types, and functions. float64(x) contributes
+// the keys of x.
+func leafKeys(pass *analysis.Pass, e ast.Expr) map[string]bool {
+	keys := map[string]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if isValueObject(pass.TypesInfo.Uses[n]) {
+				keys[n.Name] = true
+			}
+		case *ast.SelectorExpr:
+			if sel := exprKey(n); sel != "" {
+				if obj, ok := pass.TypesInfo.Uses[n.Sel]; ok && isValueObject(obj) {
+					keys[sel] = true
+				}
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// exprKey renders x or x.f (chains of identifiers only) as a stable key.
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+func isValueObject(obj types.Object) bool {
+	switch obj.(type) {
+	case *types.Var, *types.Const:
+		return true
+	}
+	return false
+}
+
+func mathCall(pass *analysis.Pass, call *ast.CallExpr) (string, ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", nil
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", nil
+	}
+	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "math" {
+		return "", nil
+	}
+	return sel.Sel.Name, call.Args[0]
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && isFloatType(tv.Type)
+}
+
+func isFloatType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isLiteralZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if tv.Value.Kind() != constant.Int && tv.Value.Kind() != constant.Float {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}

@@ -1,0 +1,12 @@
+package floatsafe_test
+
+import (
+	"testing"
+
+	"tcpsig/internal/analysis/analysistest"
+	"tcpsig/internal/analysis/floatsafe"
+)
+
+func TestFloatSafe(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, "testdata", floatsafe.Analyzer, "internal/stats", "other")
+}

@@ -1,0 +1,68 @@
+package stats
+
+import "math"
+
+func unguarded(a, b float64) float64 {
+	return a / b // want `division by b is not dominated by a zero/NaN guard`
+}
+
+func guardedZero(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b // allowed: zero guard above
+}
+
+func guardedNaN(a, b float64) float64 {
+	if math.IsNaN(b) || math.IsInf(b, 0) {
+		return 0
+	}
+	return a / b // allowed: NaN/Inf guard above
+}
+
+func lenGuard(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)) // allowed: len(xs) guarded above
+}
+
+func aliasedGuard(hi, lo float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	w := hi - lo
+	return 1 / w // allowed: the hi/lo guard reaches w through its initializer
+}
+
+func guardTooLate(a, b float64) float64 {
+	r := a / b // want `division by b is not dominated by a zero/NaN guard`
+	if b == 0 {
+		return 0
+	}
+	return r
+}
+
+func constDivisor(x float64) float64 {
+	return x / 2 // allowed: constant divisor
+}
+
+func equality(x, y float64) bool {
+	return x == y // want `floating-point == comparison is exact`
+}
+
+func inequality(x, y float64) bool {
+	return x != y // want `floating-point != comparison is exact`
+}
+
+func zeroGuardIdiom(x float64) bool {
+	return x == 0 // allowed: comparing against literal 0 guards degenerate input
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b // allowed: not floating point
+}

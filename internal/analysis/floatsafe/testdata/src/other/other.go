@@ -1,0 +1,5 @@
+// Package other is outside the numeric-kernel packages; its divisions are
+// not checked (the decision tree never sees their results directly).
+package other
+
+func ratio(a, b float64) float64 { return a / b }

@@ -1,0 +1,209 @@
+// Package maporder flags range-over-map loops whose body is sensitive to
+// iteration order: appending to a slice that outlives the loop, writing
+// output, or accumulating floats. Go randomizes map iteration, so each of
+// these turns a map range into run-to-run drift — the classic source of
+// nondeterminism in sweep aggregation. Order-insensitive bodies (integer
+// counters, writes into other maps, deletes) are not flagged; iterate over
+// sorted keys instead when order matters.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tcpsig/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag order-sensitive bodies of range-over-map loops\n\n" +
+		"Appending to an outer slice, printing, or accumulating floats inside\n" +
+		"`for ... range m` produces a different result on every run because map\n" +
+		"iteration order is randomized. Collect and sort the keys first.",
+	Run: run,
+}
+
+// printFuncs are fmt functions that emit output in call order.
+var printFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		var funcs []ast.Node // stack of enclosing FuncDecl/FuncLit nodes
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case nil:
+				return true
+			case *ast.FuncDecl:
+				funcs = append(funcs, n)
+			case *ast.FuncLit:
+				funcs = append(funcs, n)
+			case *ast.RangeStmt:
+				// Drop stack entries we have traversed past.
+				for len(funcs) > 0 && funcs[len(funcs)-1].End() < n.Pos() {
+					funcs = funcs[:len(funcs)-1]
+				}
+				tv, ok := pass.TypesInfo.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				var enclosing ast.Node
+				if len(funcs) > 0 {
+					enclosing = funcs[len(funcs)-1]
+				}
+				checkBody(pass, n, enclosing)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkBody(pass *analysis.Pass, rng *ast.RangeStmt, enclosing ast.Node) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				for _, rhs := range n.Rhs {
+					if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+						obj := rootObject(pass, call.Args[0])
+						// Collect-then-sort is the sanctioned idiom: an
+						// append is harmless when the slice is sorted
+						// after the loop, before it can be observed.
+						if escapes(obj, rng) && !sortedAfter(pass, enclosing, rng, obj) {
+							pass.Reportf(n.Pos(), "append to %q inside range over map: element order differs between runs; iterate over sorted keys", obj.Name())
+						}
+					}
+				}
+				return true
+			}
+			// Compound assignment: order-sensitive when accumulating
+			// floating point (addition is not associative) into an outer
+			// variable.
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				lhs := n.Lhs[0]
+				tv, ok := pass.TypesInfo.Types[lhs]
+				if !ok || !isFloat(tv.Type) {
+					return true
+				}
+				if obj := rootObject(pass, lhs); escapes(obj, rng) {
+					pass.Reportf(n.Pos(), "floating-point accumulation into %q inside range over map: float arithmetic is order-sensitive; iterate over sorted keys", obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := fmtPrintCall(pass, n); ok {
+				pass.Reportf(n.Pos(), "fmt.%s inside range over map: output order differs between runs; iterate over sorted keys", name)
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootObject resolves the variable at the base of an expression like
+// x, x.f, or x[i].
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// escapes reports whether obj is declared outside the range statement, so
+// the order of operations on it inside the loop is observable afterwards.
+func escapes(obj types.Object, rng *ast.RangeStmt) bool {
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedAfter reports whether obj is passed to a sort or slices function
+// after the range loop within the same enclosing function, which makes the
+// append order unobservable.
+func sortedAfter(pass *analysis.Pass, enclosing ast.Node, rng *ast.RangeStmt, obj types.Object) bool {
+	if enclosing == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+			for _, arg := range call.Args {
+				if rootObject(pass, arg) == obj {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func fmtPrintCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "fmt" {
+		return "", false
+	}
+	if !printFuncs[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,56 @@
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func bad(m map[string]int, total *float64) []string {
+	var out []string
+	acc := 0.0
+	for k, v := range m {
+		out = append(out, k) // want `append to "out" inside range over map`
+		acc += float64(v)    // want `floating-point accumulation into "acc"`
+		*total -= 1.0        // want `floating-point accumulation into "total"`
+		fmt.Println(k)       // want `fmt\.Println inside range over map`
+	}
+	_ = acc
+	return out
+}
+
+func sortedIdiom(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // allowed: sorted below, before escaping
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func orderInsensitive(m map[string]int, other map[string]bool) int {
+	count := 0
+	for k, v := range m {
+		count += v // allowed: integer accumulation commutes
+		other[k] = true
+		delete(other, k)
+	}
+	return count
+}
+
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x) // allowed: slice iteration is ordered
+	}
+	return out
+}
+
+func loopLocal(m map[string]int) int {
+	n := 0
+	for k := range m {
+		tmp := []string{}
+		tmp = append(tmp, k) // allowed: tmp does not outlive the iteration
+		n += len(tmp)
+	}
+	return n
+}

@@ -1,0 +1,84 @@
+// Package simdeterminism forbids wall-clock time and global math/rand use
+// inside the simulation packages. The paper's result is reproducible only
+// because the whole pipeline is seed-deterministic: all randomness must
+// flow through an injected *rand.Rand and all time through sim clock
+// ticks, so any call that reaches for ambient nondeterminism is a bug.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tcpsig/internal/analysis"
+)
+
+// Packages lists the import-path suffixes the analyzer applies to. It is a
+// variable so tests can point it at fixture packages.
+var Packages = []string{
+	"internal/sim",
+	"internal/netem",
+	"internal/tcpsim",
+	"internal/faults",
+	"internal/experiments",
+}
+
+// wallClock is the set of time functions that read the host clock or block
+// on it. Duration arithmetic and constants remain allowed.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// randAllowed is the set of math/rand package-level names that construct
+// seedable sources rather than drawing from the global one.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// Type names, which appear in selector position in conversions.
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdeterminism",
+	Doc: "forbid wall-clock time and global math/rand in simulation packages\n\n" +
+		"Inside internal/{sim,netem,tcpsim,faults,experiments} every random draw\n" +
+		"must come from an injected *rand.Rand and every timestamp from the sim\n" +
+		"clock; time.Now/Since/Sleep and the global math/rand functions make\n" +
+		"runs irreproducible.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !analysis.HasPathSuffix(pass.Pkg.Path(), Packages) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if wallClock[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation code must take time from the sim clock", sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randAllowed[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "global rand.%s draws from the shared seed; use an injected *rand.Rand", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"tcpsig/internal/analysis/analysistest"
+	"tcpsig/internal/analysis/simdeterminism"
+)
+
+func TestSimDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "internal/sim", "other")
+}

@@ -1,0 +1,24 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad(t0 time.Time) {
+	_ = time.Now()                     // want `time\.Now reads the wall clock`
+	_ = time.Since(t0)                 // want `time\.Since reads the wall clock`
+	time.Sleep(time.Millisecond)       // want `time\.Sleep reads the wall clock`
+	_ = rand.Intn(10)                  // want `global rand\.Intn draws from the shared seed`
+	_ = rand.Float64()                 // want `global rand\.Float64 draws from the shared seed`
+	rand.Shuffle(3, func(i, j int) {}) // want `global rand\.Shuffle draws from the shared seed`
+}
+
+func good(rng *rand.Rand) {
+	r := rand.New(rand.NewSource(42)) // allowed: seedable constructor
+	_ = r.Intn(10)                    // allowed: method on injected *rand.Rand
+	_ = rng.Float64()
+	d := 5 * time.Millisecond // allowed: duration arithmetic
+	_ = d.Seconds()
+	_ = time.Unix(0, 0) // allowed: pure conversion, no clock read
+}

@@ -1,0 +1,13 @@
+// Package other is outside the simulation packages, so ambient time and
+// randomness are allowed (CLI entry points seed from the environment).
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seedFromEnv() *rand.Rand {
+	_ = time.Now()
+	return rand.New(rand.NewSource(rand.Int63()))
+}

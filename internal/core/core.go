@@ -49,6 +49,15 @@ var (
 
 	// ErrCorruptTrace marks captures that could not be parsed at all.
 	ErrCorruptTrace = errors.New("core: corrupt trace")
+
+	// ErrDegenerateRTTs marks flows whose RTT samples admit no meaningful
+	// features (non-positive max RTT): classifying them would divide by
+	// zero inside NormDiff/CoV.
+	ErrDegenerateRTTs = features.ErrDegenerate
+
+	// ErrBadModel marks persisted models that fail structural validation
+	// at load time.
+	ErrBadModel = errors.New("core: invalid model")
 )
 
 // Reason is a machine-readable code explaining a degraded or failed
@@ -62,6 +71,7 @@ const (
 	ReasonNoSlowStart   Reason = "no-slow-start"
 	ReasonNoData        Reason = "no-data"
 	ReasonCorruptTrace  Reason = "corrupt-trace"
+	ReasonDegenerate    Reason = "degenerate-rtts"
 )
 
 // Verdict is the classification outcome for one flow.
@@ -177,6 +187,10 @@ func (c *Classifier) degradedFromRTTs(rtts []time.Duration) (Verdict, error) {
 		return Verdict{Class: -1, Reason: ReasonTooFewSamples}, err
 	}
 	v, ferr := features.FromRTTs(rtts, 2)
+	if errors.Is(ferr, features.ErrDegenerate) {
+		return Verdict{Class: -1, Reason: ReasonDegenerate},
+			fmt.Errorf("%w: cannot compute features", ErrDegenerateRTTs)
+	}
 	if ferr != nil {
 		return Verdict{Class: -1, Reason: ReasonTooFewSamples}, err
 	}
@@ -268,15 +282,15 @@ func Load(r io.Reader) (*Classifier, error) {
 		return nil, fmt.Errorf("core: decoding model: %w", err)
 	}
 	if j.Version != 1 {
-		return nil, fmt.Errorf("core: unsupported model version %d", j.Version)
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadModel, j.Version)
 	}
 	if j.Tree == nil {
-		return nil, errors.New("core: model has no tree")
+		return nil, fmt.Errorf("%w: model has no tree", ErrBadModel)
 	}
 	// A model trained on a different feature set would silently index the
 	// wrong inputs (or panic); reject it at load time.
 	if want := len(features.Names()); j.Tree.NumFeatures() != want {
-		return nil, fmt.Errorf("core: model expects %d features, pipeline produces %d", j.Tree.NumFeatures(), want)
+		return nil, fmt.Errorf("%w: model expects %d features, pipeline produces %d", ErrBadModel, j.Tree.NumFeatures(), want)
 	}
 	if j.MinSamples == 0 {
 		j.MinSamples = flowrtt.MinSlowStartSamples

@@ -402,7 +402,8 @@ func Fig7(tests []mlab.DisputeTest, clf *core.Classifier) []Fig7Row {
 		}
 	}
 	var out []Fig7Row
-	for key, c := range agg {
+	for _, key := range sortedKeys(agg) {
+		c := agg[key]
 		row := meta[key]
 		row.FracSelf = frac(c.self, c.n)
 		row.N = c.n
@@ -458,7 +459,8 @@ func Fig8(tests []mlab.DisputeTest, clf *core.Classifier) []Fig8Row {
 		}
 	}
 	var out []Fig8Row
-	for key, b := range agg {
+	for _, key := range sortedKeys(agg) {
+		b := agg[key]
 		parts := strings.SplitN(key, "|", 3)
 		row := Fig8Row{Transit: parts[0], ISP: parts[1], NSelf: len(b.self), NExt: len(b.ext)}
 		fmt.Sscanf(parts[2], "%d", new(int)) // period parsed below
@@ -507,7 +509,7 @@ func Fig9(tests []mlab.DisputeTest, seed int64) []Fig7Row {
 	}
 
 	var out []Fig7Row
-	for combo := range combos {
+	for _, combo := range sortedKeys(combos) {
 		// Train on 20% of everything except this combo.
 		var pool []dtree.Example
 		for _, l := range all {
@@ -639,4 +641,16 @@ func frac(a, b int) float64 {
 		return 0
 	}
 	return float64(a) / float64(b)
+}
+
+// sortedKeys returns m's keys in sorted order, so aggregation loops iterate
+// deterministically (ranging the map directly would leak the runtime's
+// randomized iteration order into the output).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

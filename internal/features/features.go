@@ -18,6 +18,12 @@ import (
 // ErrTooFew is returned when fewer samples than min are provided.
 var ErrTooFew = errors.New("features: too few RTT samples")
 
+// ErrDegenerate is returned when the samples admit no meaningful features:
+// a non-positive maximum RTT would make NormDiff's (max−min)/max divide by
+// zero. Real captures only produce this from corrupt or synthetic input,
+// but the NaN would otherwise flow silently into the classifier.
+var ErrDegenerate = errors.New("features: degenerate RTT samples (non-positive max RTT)")
+
 // Vector is the feature vector for one flow.
 type Vector struct {
 	// NormDiff is (max-min)/max of slow-start RTTs, in [0, 1).
@@ -41,7 +47,9 @@ func (v Vector) Values() []float64 { return []float64{v.NormDiff, v.CoV} }
 func Names() []string { return []string{"normdiff", "cov"} }
 
 // FromRTTs computes the feature vector from RTT samples, requiring at least
-// min samples (use 0 for the paper's default of 10).
+// min samples (use 0 for the paper's default of 10). It returns
+// ErrDegenerate instead of NaN-laden features when the samples have a
+// non-positive maximum (which would zero both ratios' denominators).
 func FromRTTs(rtts []time.Duration, min int) (Vector, error) {
 	if min <= 0 {
 		min = 10
@@ -54,15 +62,16 @@ func FromRTTs(rtts []time.Duration, min int) (Vector, error) {
 		xs[i] = r.Seconds()
 	}
 	lo, hi := stats.Min(xs), stats.Max(xs)
-	v := Vector{
-		CoV:     stats.CoV(xs),
-		MinRTT:  time.Duration(lo * float64(time.Second)),
-		MaxRTT:  time.Duration(hi * float64(time.Second)),
-		MeanRTT: time.Duration(stats.Mean(xs) * float64(time.Second)),
-		Samples: len(rtts),
+	if hi <= 0 {
+		return Vector{}, ErrDegenerate
 	}
-	if hi > 0 {
-		v.NormDiff = (hi - lo) / hi
+	v := Vector{
+		CoV:      stats.CoV(xs),
+		MinRTT:   time.Duration(lo * float64(time.Second)),
+		MaxRTT:   time.Duration(hi * float64(time.Second)),
+		MeanRTT:  time.Duration(stats.Mean(xs) * float64(time.Second)),
+		Samples:  len(rtts),
+		NormDiff: (hi - lo) / hi,
 	}
 	return v, nil
 }

@@ -93,7 +93,7 @@ func (ip *IPv4) Unmarshal(b []byte) error {
 		return ErrTruncated
 	}
 	if b[0]>>4 != 4 {
-		return fmt.Errorf("pcap: IP version %d", b[0]>>4)
+		return fmt.Errorf("%w: IP version %d", ErrNotTCP, b[0]>>4)
 	}
 	ihl := int(b[0]&0x0f) * 4
 	if ihl < IPv4HeaderLen || len(b) < ihl {

@@ -171,6 +171,10 @@ var (
 	// impossible: larger than MaxFrameBytes, larger than the file's snap
 	// length, or larger than the original packet length.
 	ErrImpossibleLength = errors.New("pcap: impossible record length")
+
+	// ErrUnsupportedLinkType marks well-formed files whose frames are not
+	// Ethernet, the only link layer the parser understands.
+	ErrUnsupportedLinkType = errors.New("pcap: unsupported link type")
 )
 
 // Reader parses libpcap files of Ethernet/IPv4/TCP frames. Both
@@ -216,7 +220,7 @@ func (r *Reader) readHeader() error {
 		return fmt.Errorf("%w: %#x", ErrBadMagic, binary.LittleEndian.Uint32(hdr[0:4]))
 	}
 	if lt := r.order.Uint32(hdr[20:24]); lt != linkTypeEthernet {
-		return fmt.Errorf("pcap: unsupported link type %d", lt)
+		return fmt.Errorf("%w %d", ErrUnsupportedLinkType, lt)
 	}
 	r.snapLen = r.order.Uint32(hdr[16:20])
 	r.started = true

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Edge-case coverage for the numeric kernels: the features are fragile
+// ratios, so every helper must behave predictably on empty, single-sample,
+// constant, and NaN/Inf inputs instead of silently propagating garbage.
+
+func TestEdgeEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Errorf("Mean(nil) = %v", Mean(nil))
+	}
+	if Variance(nil) != 0 {
+		t.Errorf("Variance(nil) = %v", Variance(nil))
+	}
+	if CoV(nil) != 0 {
+		t.Errorf("CoV(nil) = %v", CoV(nil))
+	}
+	if _, err := CoVChecked(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("CoVChecked(nil) err = %v, want ErrEmpty", err)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Errorf("Quantile(nil) = %v", Quantile(nil, 0.5))
+	}
+	if CDF(nil) != nil {
+		t.Errorf("CDF(nil) = %v", CDF(nil))
+	}
+	if Histogram(nil, 4) != nil {
+		t.Errorf("Histogram(nil) = %v", Histogram(nil, 4))
+	}
+}
+
+func TestEdgeSingleSample(t *testing.T) {
+	xs := []float64{3.5}
+	if Mean(xs) != 3.5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Variance(xs) != 0 { // fewer than 2 samples: variance defined as 0
+		t.Errorf("Variance = %v", Variance(xs))
+	}
+	if c, err := CoVChecked(xs); err != nil || c != 0 {
+		t.Errorf("CoVChecked = %v, %v", c, err)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if Quantile(xs, q) != 3.5 {
+			t.Errorf("Quantile(q=%v) = %v", q, Quantile(xs, q))
+		}
+	}
+	cdf := CDF(xs)
+	if len(cdf) != 1 || cdf[0].X != 3.5 || cdf[0].P != 1 {
+		t.Errorf("CDF = %v", cdf)
+	}
+}
+
+func TestEdgeAllIdentical(t *testing.T) {
+	xs := []float64{7, 7, 7, 7}
+	if Variance(xs) != 0 || StdDev(xs) != 0 {
+		t.Errorf("Variance = %v StdDev = %v", Variance(xs), StdDev(xs))
+	}
+	if c, err := CoVChecked(xs); err != nil || c != 0 {
+		t.Errorf("CoVChecked = %v, %v", c, err)
+	}
+	if q := Quantile(xs, 0.37); q != 7 {
+		t.Errorf("Quantile = %v", q)
+	}
+	cdf := CDF(xs)
+	if len(cdf) != 1 || cdf[0].X != 7 || cdf[0].P != 1 {
+		t.Errorf("CDF should collapse duplicates: %v", cdf)
+	}
+	h := Histogram(xs, 3)
+	if h[0] != 4 || h[1] != 0 || h[2] != 0 {
+		t.Errorf("Histogram degenerate range: %v", h)
+	}
+}
+
+func TestEdgeZeroMean(t *testing.T) {
+	xs := []float64{-1, 1}
+	if _, err := CoVChecked(xs); !errors.Is(err, ErrZeroMean) {
+		t.Errorf("CoVChecked zero-mean err = %v, want ErrZeroMean", err)
+	}
+	if CoV(xs) != 0 {
+		t.Errorf("CoV zero-mean = %v, want 0", CoV(xs))
+	}
+}
+
+func TestEdgeNaNInf(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+
+	if !math.IsNaN(Mean([]float64{1, nan})) {
+		t.Errorf("Mean with NaN = %v, want NaN", Mean([]float64{1, nan}))
+	}
+	// CoV must not leak NaN/Inf into the feature vector: the checked form
+	// reports the degenerate mean, the plain form collapses to 0.
+	if _, err := CoVChecked([]float64{1, nan}); !errors.Is(err, ErrZeroMean) {
+		t.Errorf("CoVChecked NaN err = %v, want ErrZeroMean", err)
+	}
+	if _, err := CoVChecked([]float64{1, inf}); !errors.Is(err, ErrZeroMean) {
+		t.Errorf("CoVChecked Inf err = %v, want ErrZeroMean", err)
+	}
+	if c := CoV([]float64{1, nan}); c != 0 {
+		t.Errorf("CoV NaN = %v, want 0", c)
+	}
+
+	// Order statistics with NaN are sort-dependent but must not panic,
+	// and Histogram must route NaN bounds to the degenerate bucket rather
+	// than divide by a NaN width.
+	_ = Quantile([]float64{nan, 1, 2}, 0.5)
+	_ = CDF([]float64{nan, 1, 2})
+	h := Histogram([]float64{nan, nan}, 4)
+	if h[0] != 2 {
+		t.Errorf("Histogram all-NaN = %v, want degenerate single bucket", h)
+	}
+
+	var w Welford
+	w.Add(1)
+	w.Add(nan)
+	if !math.IsNaN(w.Mean()) {
+		t.Errorf("Welford mean with NaN = %v", w.Mean())
+	}
+}
+
+func TestWelfordEdges(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Variance() != 0 || w.CoV() != 0 {
+		t.Errorf("zero-value Welford: n=%d mean=%v var=%v cov=%v", w.N(), w.Mean(), w.Variance(), w.CoV())
+	}
+	w.Add(5)
+	if w.Variance() != 0 { // single sample
+		t.Errorf("single-sample variance = %v", w.Variance())
+	}
+	for i := 0; i < 3; i++ {
+		w.Add(5)
+	}
+	if w.Variance() != 0 || w.CoV() != 0 {
+		t.Errorf("identical samples: var=%v cov=%v", w.Variance(), w.CoV())
+	}
+	if w.Min() != 5 || w.Max() != 5 {
+		t.Errorf("min=%v max=%v", w.Min(), w.Max())
+	}
+}

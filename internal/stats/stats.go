@@ -11,6 +11,10 @@ import (
 // ErrEmpty is returned by operations that need at least one sample.
 var ErrEmpty = errors.New("stats: empty sample set")
 
+// ErrZeroMean is returned by CoVChecked when the sample mean is zero (or
+// not finite), which makes the coefficient of variation undefined.
+var ErrZeroMean = errors.New("stats: zero or non-finite mean, CoV undefined")
+
 // Mean returns the arithmetic mean, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -40,14 +44,31 @@ func Variance(xs []float64) float64 {
 // StdDev returns the population standard deviation.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
-// CoV returns the coefficient of variation (stddev/mean), 0 when the mean
-// is 0.
+// CoV returns the coefficient of variation (stddev/mean), 0 when it is
+// undefined. Production callers that must distinguish "no variation" from
+// "undefined" should use CoVChecked.
 func CoV(xs []float64) float64 {
-	m := Mean(xs)
-	if m == 0 {
+	c, err := CoVChecked(xs)
+	if err != nil {
 		return 0
 	}
-	return StdDev(xs) / m
+	return c
+}
+
+// CoVChecked returns the coefficient of variation (stddev/mean). Unlike
+// CoV it reports degenerate input explicitly instead of collapsing it to
+// 0: ErrEmpty for no samples, ErrZeroMean when the mean is zero or not
+// finite (the ratio would be NaN/Inf and would poison every downstream
+// decision-tree comparison).
+func CoVChecked(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := Mean(xs)
+	if m == 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+		return 0, ErrZeroMean
+	}
+	return StdDev(xs) / m, nil
 }
 
 // Min returns the smallest value; it panics on empty input.
@@ -122,7 +143,7 @@ func CDF(xs []float64) []CDFPoint {
 	var out []CDFPoint
 	n := float64(len(s))
 	for i := 0; i < len(s); i++ {
-		if i+1 < len(s) && s[i+1] == s[i] {
+		if i+1 < len(s) && s[i+1] == s[i] { //sigcheck:ignore floatsafe -- exact dedup of adjacent sorted duplicates is intentional
 			continue
 		}
 		out = append(out, CDFPoint{X: s[i], P: float64(i+1) / n})
@@ -138,7 +159,9 @@ func Histogram(xs []float64, n int) []int {
 	}
 	lo, hi := Min(xs), Max(xs)
 	counts := make([]int, n)
-	if hi == lo {
+	// Not-greater (rather than ==) also routes NaN bounds into the
+	// degenerate single-bucket path instead of dividing by a NaN width.
+	if !(hi > lo) {
 		counts[0] = len(xs)
 		return counts
 	}

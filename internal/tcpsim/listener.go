@@ -12,6 +12,7 @@ type Listener struct {
 	cfg     Config
 	onConn  func(*Sender)
 	conns   map[netem.FlowKey]*Sender // keyed by sender->client flow
+	order   []*Sender                 // senders in creation order
 	accepts uint64
 }
 
@@ -32,13 +33,11 @@ func Listen(host *netem.Host, port netem.Port, cfg Config, onConn func(*Sender))
 // Accepted returns the number of connections established so far.
 func (l *Listener) Accepted() uint64 { return l.accepts }
 
-// Conns returns the senders created so far (including finished ones).
+// Conns returns the senders created so far (including finished ones), in
+// creation order — map iteration here would leak the runtime's randomized
+// order into per-connection aggregates.
 func (l *Listener) Conns() []*Sender {
-	out := make([]*Sender, 0, len(l.conns))
-	for _, s := range l.conns {
-		out = append(out, s)
-	}
-	return out
+	return append([]*Sender(nil), l.order...)
 }
 
 // Input implements netem.Receiver: demultiplex to per-connection senders.
@@ -57,6 +56,7 @@ func (l *Listener) Input(p *netem.Packet) {
 			}
 		}
 		l.conns[key] = s
+		l.order = append(l.order, s)
 	}
 	s.Input(p)
 }
@@ -65,4 +65,10 @@ func (l *Listener) Input(p *netem.Packet) {
 // long-running workload generators.
 func (l *Listener) Forget(s *Sender) {
 	delete(l.conns, s.flow)
+	for i, c := range l.order {
+		if c == s {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			break
+		}
+	}
 }
