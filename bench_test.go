@@ -23,6 +23,7 @@ import (
 	"tcpsig/internal/flowrtt"
 	"tcpsig/internal/mlab"
 	"tcpsig/internal/netem"
+	"tcpsig/internal/obs"
 	"tcpsig/internal/sim"
 	"tcpsig/internal/stats"
 	"tcpsig/internal/tcpsim"
@@ -462,6 +463,67 @@ func BenchmarkEngineEvents(b *testing.B) {
 		b.Fatalf("ran %d events", n)
 	}
 }
+
+// benchNetemEnqueue drives the link admission/serialization hot path:
+// packets are pushed through a gigabit link and the engine drains
+// deliveries (and buffer releases — the dequeue path) every 256 sends.
+func benchNetemEnqueue(b *testing.B, sink *obs.Sink) {
+	eng := sim.NewEngine(1)
+	obs.Attach(eng, sink)
+	net := netem.New(eng)
+	src := net.NewHost("src")
+	dst := net.NewHost("dst")
+	toDst, _ := net.Connect(src, dst,
+		netem.LinkConfig{RateBps: 1e9, Queue: netem.NewDropTail(1 << 20)},
+		netem.LinkConfig{RateBps: 1e9})
+	flow := netem.FlowKey{SrcAddr: src.Addr(), DstAddr: dst.Addr(), SrcPort: 1, DstPort: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		toDst.Send(&netem.Packet{Flow: flow, Size: 1500})
+		if i%256 == 255 {
+			eng.Run()
+		}
+	}
+}
+
+// BenchmarkNetemEnqueue is the disabled-sink baseline: the observability
+// layer must cost ~nothing here (a nil check per event).
+func BenchmarkNetemEnqueue(b *testing.B) { benchNetemEnqueue(b, nil) }
+
+// BenchmarkNetemEnqueueTraced measures the same path with tracing on.
+func BenchmarkNetemEnqueueTraced(b *testing.B) {
+	benchNetemEnqueue(b, &obs.Sink{Trace: obs.NewTracer(0)})
+}
+
+// benchSenderStep runs a short emulated transfer — the TCP sender's
+// ACK-clocked send/receive stepping dominates — with or without a sink.
+func benchSenderStep(b *testing.B, attach bool) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(int64(i + 1))
+		if attach {
+			obs.Attach(eng, &obs.Sink{Trace: obs.NewTracer(0), Metrics: obs.NewRegistry()})
+		}
+		net := netem.New(eng)
+		client := net.NewHost("client")
+		server := net.NewHost("server")
+		q := netem.NewDropTailDepth(20e6, 100*time.Millisecond)
+		net.Connect(server, client,
+			netem.LinkConfig{RateBps: 20e6, Delay: 20 * time.Millisecond, Queue: q},
+			netem.LinkConfig{RateBps: 100e6, Delay: 20 * time.Millisecond})
+		d := tcpsim.StartDownload(client, server, 40000, 80, tcpsim.Config{}, 0, 2*time.Second)
+		eng.Run()
+		if !d.Receiver.Done() {
+			b.Fatal("transfer incomplete")
+		}
+		b.SetBytes(d.Receiver.BytesReceived())
+	}
+}
+
+// BenchmarkSenderStep is the disabled-sink sender hot-path baseline.
+func BenchmarkSenderStep(b *testing.B) { benchSenderStep(b, false) }
+
+// BenchmarkSenderStepTraced measures the sender with tracing and metrics on.
+func BenchmarkSenderStepTraced(b *testing.B) { benchSenderStep(b, true) }
 
 // BenchmarkNDTTest measures one emulated NDT measurement including TSLP
 // probes (the mlab substrate's unit of work).

@@ -8,6 +8,8 @@
 //	ccsig classify -model model.json -server 10.0.0.2 trace.pcap...
 //	ccsig inspect -model model.json
 //	ccsig faults [-quick] [-faults ge-loss,flap,...]
+//	ccsig trace [-seed N] [-cong N] -o trace.json
+//	ccsig metrics [-seed N] [-scenario both]
 //
 // train fits the decision tree on emulated controlled experiments
 // reproducing the paper's testbed; classify analyzes pcap files captured at
@@ -15,7 +17,11 @@
 // flow; inspect prints the tree; faults re-runs the controlled experiments
 // under injected network faults (bursty loss, link flaps, reordering,
 // duplication, corruption) and reports how the signature's accuracy holds
-// up per regime.
+// up per regime; trace runs one instrumented experiment and exports a
+// Perfetto-compatible Chrome trace (plus optional CSV time series);
+// metrics runs instrumented experiments and prints their metric
+// snapshots. trace and metrics output is a pure function of the seed:
+// re-running with the same flags is byte-identical.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 func main() {
 	if len(os.Args) < 2 {
 		usage()
+		os.Exit(2)
 	}
 	switch os.Args[1] {
 	case "train":
@@ -44,24 +51,56 @@ func main() {
 		summarizeCmd(os.Args[2:])
 	case "faults":
 		faultsCmd(os.Args[2:])
-	default:
+	case "trace":
+		traceCmd(os.Args[2:])
+	case "metrics":
+		metricsCmd(os.Args[2:])
+	case "help", "-h", "-help", "--help":
 		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "ccsig: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage:
-  ccsig train [-quick] [-runs N] [-threshold F] [-seed N] [-data in.csv] [-export-data out.csv] -o model.json
-  ccsig classify -model model.json -server IPv4 trace.pcap...
-  ccsig summarize -server IPv4 trace.pcap...
-  ccsig inspect -model model.json
-  ccsig faults [-quick] [-runs N] [-threshold F] [-seed N] [-faults name,name,...]
+	fmt.Fprintf(os.Stderr, `usage: ccsig <command> [flags]
+
+commands:
+  train      fit the decision tree on emulated controlled experiments
+  classify   classify flows in server-side pcap captures
+  summarize  print per-flow slow-start statistics from pcap captures
+  inspect    print a trained model's decision tree
+  faults     measure accuracy under injected network faults
+  trace      run one instrumented experiment, export a Chrome/Perfetto trace
+  metrics    run instrumented experiments, print metric snapshots
+  help       show this message
+
+run 'ccsig <command> -h' for per-command flags
 `)
+}
+
+// newFlagSet builds a flag set with consistent usage output. Bad flags
+// exit with status 2 (flag.ExitOnError) after printing the synopsis.
+func newFlagSet(name, synopsis string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ccsig %s %s\n\nflags:\n", name, synopsis)
+		fs.PrintDefaults()
+	}
+	return fs
+}
+
+// badUsage reports a usage error for a subcommand and exits 2.
+func badUsage(fs *flag.FlagSet, msg string) {
+	fmt.Fprintf(os.Stderr, "ccsig %s: %s\n\n", fs.Name(), msg)
+	fs.Usage()
 	os.Exit(2)
 }
 
 func trainCmd(args []string) {
-	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	fs := newFlagSet("train", "[-quick] [-runs N] [-threshold F] [-seed N] [-data in.csv] [-export-data out.csv] [-v] -o model.json")
 	quick := fs.Bool("quick", false, "small parameter grid (seconds instead of minutes)")
 	runs := fs.Int("runs", 0, "runs per parameter combination (default 10, paper used 50)")
 	threshold := fs.Float64("threshold", 0.8, "slow-start throughput labeling threshold")
@@ -124,12 +163,15 @@ func trainCmd(args []string) {
 }
 
 func classifyCmd(args []string) {
-	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	fs := newFlagSet("classify", "[-model model.json] -server IPv4 trace.pcap...")
 	modelPath := fs.String("model", "", "model file from 'ccsig train' (default: train a quick model)")
 	server := fs.String("server", "", "server IPv4 address (data sender) in the capture")
 	fs.Parse(args)
-	if *server == "" || fs.NArg() == 0 {
-		usage()
+	if *server == "" {
+		badUsage(fs, "-server is required")
+	}
+	if fs.NArg() == 0 {
+		badUsage(fs, "no pcap files given")
 	}
 
 	var clf *tcpsig.Classifier
@@ -178,11 +220,14 @@ func classifyCmd(args []string) {
 }
 
 func summarizeCmd(args []string) {
-	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	fs := newFlagSet("summarize", "-server IPv4 trace.pcap...")
 	server := fs.String("server", "", "server IPv4 address (data sender) in the capture")
 	fs.Parse(args)
-	if *server == "" || fs.NArg() == 0 {
-		usage()
+	if *server == "" {
+		badUsage(fs, "-server is required")
+	}
+	if fs.NArg() == 0 {
+		badUsage(fs, "no pcap files given")
 	}
 	exit := 0
 	for _, path := range fs.Args() {
@@ -214,7 +259,7 @@ func summarizeCmd(args []string) {
 }
 
 func inspectCmd(args []string) {
-	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	fs := newFlagSet("inspect", "[-model model.json]")
 	modelPath := fs.String("model", "model.json", "model file")
 	fs.Parse(args)
 	clf, err := tcpsig.LoadFile(*modelPath)
@@ -226,7 +271,7 @@ func inspectCmd(args []string) {
 }
 
 func faultsCmd(args []string) {
-	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	fs := newFlagSet("faults", "[-quick] [-runs N] [-threshold F] [-seed N] [-faults name,name,...] [-v]")
 	quick := fs.Bool("quick", false, "small parameter grid (seconds instead of minutes)")
 	runs := fs.Int("runs", 0, "runs per parameter combination and scenario")
 	threshold := fs.Float64("threshold", 0.8, "slow-start throughput labeling threshold")

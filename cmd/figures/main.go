@@ -4,6 +4,7 @@
 // Usage:
 //
 //	figures [-scale quick|full|paper] [-only fig1,fig3,...] [-seed N]
+//	        [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // Experiments: fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, multiplexing,
 // tslp-accuracy, feature-ablation, depth-ablation, cc-ablation.
@@ -18,15 +19,28 @@ import (
 	"tcpsig/internal/core"
 	"tcpsig/internal/experiments"
 	"tcpsig/internal/mlab"
+	"tcpsig/internal/obs"
 	"tcpsig/internal/stats"
 	"tcpsig/internal/testbed"
 )
+
+// stopProfiles flushes any active profiles; exit routes every early exit
+// through it so profile files are complete even on failure paths.
+var stopProfiles = func() {}
+
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick, full, or paper")
 	only := flag.String("only", "", "comma-separated experiment subset (default all)")
 	seed := flag.Int64("seed", 1, "random seed")
 	progress := flag.Bool("progress", false, "print progress for long sweeps")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -41,6 +55,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
 	}
+
+	stop, err := obs.StartProfiles(*cpuprofile, *memprofile, *traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	stopProfiles = stop
+	defer stopProfiles()
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -135,7 +157,7 @@ func (r *runner) sweep() {
 	clf, err := experiments.TrainOnResults(r.sweepResults, 0.8)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "training failed: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 	r.clf = clf
 	fmt.Fprintf(os.Stderr, "sweep: %d valid runs; model:\n%s", len(r.sweepResults), clf.Tree)

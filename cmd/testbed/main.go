@@ -6,6 +6,7 @@
 // Usage:
 //
 //	testbed [-runs N] [-threshold F] [-seed N] [-quick] [-csv]
+//	        [-cpuprofile f] [-memprofile f] [-trace f]
 package main
 
 import (
@@ -17,8 +18,18 @@ import (
 
 	"tcpsig/internal/dtree"
 	"tcpsig/internal/features"
+	"tcpsig/internal/obs"
 	"tcpsig/internal/testbed"
 )
+
+// stopProfiles flushes any active profiles; exit routes every early exit
+// through it so profile files are complete even on failure paths.
+var stopProfiles = func() {}
+
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
 
 func main() {
 	runs := flag.Int("runs", 5, "runs per parameter combination (paper: 50)")
@@ -26,7 +37,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "reduced parameter grid")
 	csv := flag.Bool("csv", false, "emit per-run CSV instead of a summary")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	stop, err := obs.StartProfiles(*cpuprofile, *memprofile, *traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "testbed:", err)
+		os.Exit(1)
+	}
+	stopProfiles = stop
+	defer stopProfiles()
 
 	opt := testbed.SweepOptions{
 		RunsPerConfig: *runs,
@@ -78,7 +100,7 @@ func main() {
 	tree, err := dtree.Train(train, dtree.Options{MaxDepth: 4, MinLeaf: 2, FeatureNames: features.Names()})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Println("\ndecision tree:")
 	fmt.Print(tree.String())

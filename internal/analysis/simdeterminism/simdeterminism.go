@@ -20,6 +20,11 @@ var Packages = []string{
 	"internal/tcpsim",
 	"internal/faults",
 	"internal/experiments",
+	// The observability layer promises byte-identical same-seed output, so
+	// it is held to the same standard: events may carry only virtual time.
+	// (Its profiling helpers observe the host process, not the simulation,
+	// and use runtime/pprof — which this analyzer does not flag.)
+	"internal/obs",
 }
 
 // wallClock is the set of time functions that read the host clock or block
@@ -42,7 +47,7 @@ var randAllowed = map[string]bool{
 var Analyzer = &analysis.Analyzer{
 	Name: "simdeterminism",
 	Doc: "forbid wall-clock time and global math/rand in simulation packages\n\n" +
-		"Inside internal/{sim,netem,tcpsim,faults,experiments} every random draw\n" +
+		"Inside internal/{sim,netem,tcpsim,faults,experiments,obs} every random draw\n" +
 		"must come from an injected *rand.Rand and every timestamp from the sim\n" +
 		"clock; time.Now/Since/Sleep and the global math/rand functions make\n" +
 		"runs irreproducible.",

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"math/rand"
+	"time"
+)
+
+// The observability layer may only stamp events with virtual time: a trace
+// or metric derived from the wall clock would break byte-identical
+// same-seed output.
+
+func badTimestamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func badSampling() bool {
+	return rand.Float64() < 0.01 // want `global rand\.Float64 draws from the shared seed`
+}
+
+func goodVirtual(at time.Duration, rng *rand.Rand) (float64, bool) {
+	_ = at.Microseconds() // allowed: virtual timestamps are durations
+	return at.Seconds(), rng.Float64() < 0.01
+}

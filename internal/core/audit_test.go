@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tcpsig/internal/features"
+	"tcpsig/internal/obs"
+)
+
+// TestVerdictAuditPopulated enforces the audit contract: every classified
+// verdict (Class >= 0) explains itself with the full decision path.
+func TestVerdictAuditPopulated(t *testing.T) {
+	c := trainToy(t)
+	for _, vec := range []features.Vector{
+		{NormDiff: 0.7, CoV: 0.4, MinRTT: 20 * time.Millisecond, MaxRTT: 120 * time.Millisecond},
+		{NormDiff: 0.05, CoV: 0.02, MinRTT: 100 * time.Millisecond, MaxRTT: 110 * time.Millisecond},
+	} {
+		v := c.ClassifyFeatures(vec)
+		if v.Audit == nil {
+			t.Fatalf("verdict for %+v has no audit", vec)
+		}
+		pt := v.Audit.Path
+		if len(pt.Steps) == 0 {
+			t.Errorf("audit path for %+v has no steps (toy tree is not a single leaf)", vec)
+		}
+		if pt.Label != v.Class || pt.Proba != v.Confidence {
+			t.Errorf("audit leaf (%d, %v) disagrees with verdict (%d, %v)",
+				pt.Label, pt.Proba, v.Class, v.Confidence)
+		}
+		if pt.LeafTotal <= 0 {
+			t.Errorf("audit leaf histogram empty: %+v", pt)
+		}
+		// Each recorded step must be internally consistent and name a
+		// real feature.
+		x := vec.Values()
+		for i, s := range pt.Steps {
+			if s.Left != (s.Value <= s.Threshold) {
+				t.Errorf("step %d direction inconsistent: %+v", i, s)
+			}
+			if s.Feature < 0 || s.Feature >= len(x) || s.Value != x[s.Feature] {
+				t.Errorf("step %d value %v does not match input feature %d", i, s.Value, s.Feature)
+			}
+			if s.Name == "" {
+				t.Errorf("step %d has no feature name", i)
+			}
+		}
+		if s := v.Audit.String(); !strings.Contains(s, "leaf class=") {
+			t.Errorf("audit string %q lacks leaf summary", s)
+		}
+	}
+	var nilAudit *Audit
+	if nilAudit.String() != "<no audit>" {
+		t.Error("nil audit String() changed")
+	}
+}
+
+// TestVerdictAuditViaRTTs checks the audit survives the RTT entry point,
+// including the degraded (too-few-samples) path.
+func TestVerdictAuditViaRTTs(t *testing.T) {
+	c := trainToy(t)
+	ramp := make([]time.Duration, 0, 12)
+	for i := 0; i < 12; i++ {
+		ramp = append(ramp, time.Duration(20+i*9)*time.Millisecond)
+	}
+	v, err := c.ClassifyRTTs(ramp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Audit == nil || len(v.Audit.Path.Steps) == 0 {
+		t.Fatal("full-confidence verdict lacks audit path")
+	}
+	// Degraded but classifiable: 4 samples < floor of 10, still audited.
+	v, err = c.ClassifyRTTs(ramp[:4])
+	if err == nil {
+		t.Fatal("expected too-few-samples error")
+	}
+	if v.Class < 0 {
+		t.Fatal("expected a degraded verdict, got outright failure")
+	}
+	if v.Audit == nil {
+		t.Error("degraded verdict lacks audit")
+	}
+}
+
+// TestClassifierMetrics checks the classification counters a sink collects.
+func TestClassifierMetrics(t *testing.T) {
+	c := trainToy(t)
+	reg := obs.NewRegistry()
+	c.Obs = &obs.Sink{Metrics: reg}
+
+	c.ClassifyFeatures(features.Vector{NormDiff: 0.7, CoV: 0.4})
+	c.ClassifyFeatures(features.Vector{NormDiff: 0.05, CoV: 0.02})
+	c.ClassifyFeatures(features.Vector{NormDiff: 0.05, CoV: 0.02})
+	if _, err := c.ClassifyRTTs([]time.Duration{time.Millisecond}); err == nil {
+		t.Fatal("expected error")
+	}
+
+	if got := reg.Counter("core.verdicts.total").Value(); got != 3 {
+		t.Errorf("verdicts.total = %d, want 3", got)
+	}
+	if got := reg.Counter("core.verdicts.class.self-induced").Value(); got != 1 {
+		t.Errorf("self-induced count = %d, want 1", got)
+	}
+	if got := reg.Counter("core.verdicts.class.external").Value(); got != 2 {
+		t.Errorf("external count = %d, want 2", got)
+	}
+	if got := reg.Counter("core.failures.too-few-samples").Value(); got != 1 {
+		t.Errorf("too-few-samples count = %d, want 1", got)
+	}
+	if got := reg.Histogram("core.confidence", nil).Count(); got != 3 {
+		t.Errorf("confidence observations = %d, want 3", got)
+	}
+}

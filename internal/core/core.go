@@ -16,6 +16,7 @@ import (
 	"tcpsig/internal/features"
 	"tcpsig/internal/flowrtt"
 	"tcpsig/internal/netem"
+	"tcpsig/internal/obs"
 )
 
 // Class labels, matching testbed conventions.
@@ -95,6 +96,27 @@ type Verdict struct {
 	// Flow carries the underlying trace analysis when the verdict came
 	// from a trace (nil when classifying raw RTTs).
 	Flow *flowrtt.FlowInfo
+
+	// Audit records how the decision tree reached this verdict. It is
+	// populated on every classified verdict (Class >= 0) and nil only when
+	// classification failed outright.
+	Audit *Audit
+}
+
+// Audit explains a verdict: the feature values the tree saw and every
+// threshold comparison on the decision path down to the leaf.
+type Audit struct {
+	// Path is the decision-tree walk: per-step feature name, threshold,
+	// input value and direction, plus the leaf's training histogram.
+	Path dtree.PathTrace
+}
+
+// String renders the audit as a one-line decision path.
+func (a *Audit) String() string {
+	if a == nil {
+		return "<no audit>"
+	}
+	return a.Path.String()
 }
 
 // CapacityEstimate returns an estimate of the bottleneck-link line rate in
@@ -129,6 +151,11 @@ type Classifier struct {
 	// MinSamples is the slow-start RTT sample validity floor (default
 	// 10, as in the paper).
 	MinSamples int
+
+	// Obs, when non-nil, receives classification metrics (verdict counts
+	// by class, failure counts by reason, a confidence histogram). It is
+	// runtime-only state and is not persisted with the model.
+	Obs *obs.Sink
 }
 
 // TrainOptions configures Train.
@@ -156,16 +183,24 @@ func Train(examples []dtree.Example, opt TrainOptions) (*Classifier, error) {
 	return &Classifier{Tree: tree, Threshold: opt.Threshold, MinSamples: flowrtt.MinSlowStartSamples}, nil
 }
 
-// ClassifyFeatures classifies a precomputed feature vector.
+// ClassifyFeatures classifies a precomputed feature vector. The returned
+// verdict carries a full audit of the decision path.
 func (c *Classifier) ClassifyFeatures(v features.Vector) Verdict {
 	x := v.Values()
-	class := c.Tree.Predict(x)
-	proba := c.Tree.PredictProba(x)
-	conf := 0.0
-	if class < len(proba) {
-		conf = proba[class]
+	pt := c.Tree.PredictTrace(x)
+	if reg := c.Obs.M(); reg != nil {
+		reg.Counter("core.verdicts.total").Inc()
+		reg.Counter("core.verdicts.class." + ClassName(pt.Label)).Inc()
+		reg.Histogram("core.confidence", obs.LinearBuckets(0.1, 0.1, 10)).Observe(pt.Proba)
 	}
-	return Verdict{Class: class, Confidence: conf, Features: v}
+	return Verdict{Class: pt.Label, Confidence: pt.Proba, Features: v, Audit: &Audit{Path: pt}}
+}
+
+// countReason tallies a classification failure or degradation by reason.
+func (c *Classifier) countReason(r Reason) {
+	if reg := c.Obs.M(); reg != nil && r != ReasonNone {
+		reg.Counter("core.failures." + string(r)).Inc()
+	}
 }
 
 // minSamples returns the configured validity floor with the paper default.
@@ -184,19 +219,23 @@ func (c *Classifier) degradedFromRTTs(rtts []time.Duration) (Verdict, error) {
 	min := c.minSamples()
 	err := fmt.Errorf("%w: got %d slow-start samples (need %d)", ErrTooFewSamples, len(rtts), min)
 	if len(rtts) < 2 {
+		c.countReason(ReasonTooFewSamples)
 		return Verdict{Class: -1, Reason: ReasonTooFewSamples}, err
 	}
 	v, ferr := features.FromRTTs(rtts, 2)
 	if errors.Is(ferr, features.ErrDegenerate) {
+		c.countReason(ReasonDegenerate)
 		return Verdict{Class: -1, Reason: ReasonDegenerate},
 			fmt.Errorf("%w: cannot compute features", ErrDegenerateRTTs)
 	}
 	if ferr != nil {
+		c.countReason(ReasonTooFewSamples)
 		return Verdict{Class: -1, Reason: ReasonTooFewSamples}, err
 	}
 	verdict := c.ClassifyFeatures(v)
 	verdict.Confidence *= float64(len(rtts)) / float64(min)
 	verdict.Reason = ReasonTooFewSamples
+	c.countReason(ReasonTooFewSamples)
 	return verdict, err
 }
 
@@ -220,10 +259,12 @@ func (c *Classifier) ClassifyRTTs(rtts []time.Duration) (Verdict, error) {
 func (c *Classifier) ClassifyTrace(records []netem.CaptureRecord, flow netem.FlowKey) (Verdict, error) {
 	info, err := flowrtt.Analyze(records, flow)
 	if err != nil {
+		c.countReason(ReasonNoData)
 		return Verdict{Class: -1, Reason: ReasonNoData}, err
 	}
 	ss := info.SlowStartRTTs()
 	if len(ss) == 0 && info.HasRetransmit {
+		c.countReason(ReasonNoSlowStart)
 		return Verdict{Class: -1, Reason: ReasonNoSlowStart, Flow: info},
 			fmt.Errorf("%w (first retransmission at %v)", ErrNoSlowStart, info.FirstRetransmitAt)
 	}
@@ -234,6 +275,7 @@ func (c *Classifier) ClassifyTrace(records []netem.CaptureRecord, flow netem.Flo
 	}
 	v, err := features.FromRTTs(ss, c.minSamples())
 	if err != nil {
+		c.countReason(ReasonTooFewSamples)
 		return Verdict{Class: -1, Reason: ReasonTooFewSamples, Flow: info}, err
 	}
 	verdict := c.ClassifyFeatures(v)

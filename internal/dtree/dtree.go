@@ -203,6 +203,105 @@ func (t *Tree) Predict(x []float64) int {
 	return n.label
 }
 
+// PathStep records one internal-node comparison taken while classifying
+// an input: which feature was compared against which threshold, the
+// input's value, and which way the walk went.
+type PathStep struct {
+	// Feature is the feature index compared; Name is its label when the
+	// tree was trained with FeatureNames ("x<idx>" otherwise).
+	Feature int
+	Name    string
+
+	// Threshold is the split point; Value is the input's feature value.
+	// The walk goes left iff Value <= Threshold.
+	Threshold float64
+	Value     float64
+	Left      bool
+}
+
+// PathTrace is the full audit record of one classification: every
+// comparison from the root down plus the leaf's class histogram.
+type PathTrace struct {
+	Steps []PathStep
+	Label int
+
+	// Proba is the predicted-class fraction at the leaf (the classifier's
+	// confidence in Label).
+	Proba float64
+
+	// LeafCounts/LeafTotal are the training-set class histogram at the
+	// leaf the input fell into.
+	LeafCounts []int
+	LeafTotal  int
+}
+
+// PredictTrace classifies x and records the decision path, for audit
+// records and misclassification analysis. It visits exactly the nodes
+// Predict does.
+func (t *Tree) PredictTrace(x []float64) PathTrace {
+	n := t.root
+	var steps []PathStep
+	for !n.leaf && n.left != nil {
+		step := PathStep{
+			Feature:   n.feature,
+			Name:      t.featureName(n.feature),
+			Threshold: n.threshold,
+			Value:     x[n.feature],
+			Left:      x[n.feature] <= n.threshold,
+		}
+		steps = append(steps, step)
+		if step.Left {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	pt := PathTrace{
+		Steps:      steps,
+		Label:      n.label,
+		LeafCounts: append([]int(nil), n.counts...),
+		LeafTotal:  n.total,
+	}
+	if n.total > 0 && n.label < len(n.counts) {
+		pt.Proba = float64(n.counts[n.label]) / float64(n.total)
+	}
+	return pt
+}
+
+func (t *Tree) featureName(f int) string {
+	if f < len(t.opt.FeatureNames) {
+		return t.opt.FeatureNames[f]
+	}
+	return fmt.Sprintf("x%d", f)
+}
+
+// String renders the trace as "name<=thr:value:L > ..." one-line form.
+func (p PathTrace) String() string {
+	var b strings.Builder
+	for i, s := range p.Steps {
+		if i > 0 {
+			b.WriteString(" > ")
+		}
+		dir := "R"
+		if s.Left {
+			dir = "L"
+		}
+		fmt.Fprintf(&b, "%s(%g)<=%g:%s", s.Name, s.Value, s.Threshold, dir)
+	}
+	if len(p.Steps) > 0 {
+		b.WriteString(" > ")
+	}
+	fmt.Fprintf(&b, "leaf class=%d (%d/%d)", p.Label, leafCount(p), p.LeafTotal)
+	return b.String()
+}
+
+func leafCount(p PathTrace) int {
+	if p.Label < len(p.LeafCounts) {
+		return p.LeafCounts[p.Label]
+	}
+	return 0
+}
+
 // PredictProba returns the class distribution at the leaf x falls into.
 func (t *Tree) PredictProba(x []float64) []float64 {
 	n := t.root

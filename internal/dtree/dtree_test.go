@@ -164,6 +164,57 @@ func TestStringRendersFeatureNames(t *testing.T) {
 	}
 }
 
+func TestPredictTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ex := linearlySeparable(rng, 200)
+	tree, err := Train(ex, Options{MaxDepth: 4, FeatureNames: []string{"normdiff", "cov"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ex {
+		pt := tree.PredictTrace(e.X)
+		// PredictTrace must agree with Predict and PredictProba exactly.
+		if got := tree.Predict(e.X); pt.Label != got {
+			t.Fatalf("PredictTrace label %d != Predict %d for %v", pt.Label, got, e.X)
+		}
+		if proba := tree.PredictProba(e.X); pt.Proba != proba[pt.Label] {
+			t.Fatalf("PredictTrace proba %v != PredictProba %v", pt.Proba, proba[pt.Label])
+		}
+		// Replaying the recorded comparisons must be self-consistent.
+		for i, s := range pt.Steps {
+			if s.Value != e.X[s.Feature] {
+				t.Fatalf("step %d records value %v, input has %v", i, s.Value, e.X[s.Feature])
+			}
+			if s.Left != (s.Value <= s.Threshold) {
+				t.Fatalf("step %d direction contradicts its comparison: %+v", i, s)
+			}
+			if s.Name != []string{"normdiff", "cov"}[s.Feature] {
+				t.Fatalf("step %d name %q for feature %d", i, s.Name, s.Feature)
+			}
+		}
+		if pt.LeafTotal <= 0 || len(pt.LeafCounts) == 0 {
+			t.Fatalf("empty leaf histogram: %+v", pt)
+		}
+	}
+	// The rendered path is one line and ends at a leaf.
+	s := tree.PredictTrace(ex[0].X).String()
+	if strings.Contains(s, "\n") || !strings.Contains(s, "leaf class=") {
+		t.Fatalf("bad trace rendering: %q", s)
+	}
+}
+
+func TestPredictTraceSingleLeaf(t *testing.T) {
+	ex := []Example{{X: []float64{0}, Label: 1}, {X: []float64{1}, Label: 1}}
+	tree, err := Train(ex, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := tree.PredictTrace([]float64{0.5})
+	if len(pt.Steps) != 0 || pt.Label != 1 || pt.Proba != 1 {
+		t.Fatalf("single-leaf trace = %+v", pt)
+	}
+}
+
 func TestKFold(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	ex := linearlySeparable(rng, 103)

@@ -3,6 +3,7 @@ package netem
 import (
 	"time"
 
+	"tcpsig/internal/obs"
 	"tcpsig/internal/sim"
 )
 
@@ -95,6 +96,12 @@ type Link struct {
 
 	stats LinkStats
 
+	// tr is the event tracer picked up from the engine's attached obs.Sink
+	// at construction time; nil when tracing is off. Emit helpers are
+	// nil-safe, but call sites that must compute arguments (buffer
+	// occupancy is an interface call) guard on tr explicitly.
+	tr *obs.Tracer
+
 	// Tap, when non-nil, observes every packet at the moment it is handed
 	// to the link (before queueing/dropping).
 	Tap func(p *Packet)
@@ -107,6 +114,7 @@ func NewLink(eng *sim.Engine, name string, cfg LinkConfig, dst Node) *Link {
 		cfg.Queue = NewDropTail(0)
 	}
 	l := &Link{Name: name, eng: eng, cfg: cfg, dst: dst}
+	l.tr = obs.FromEngine(eng).T()
 	l.deliverFn = l.deliverHead
 	return l
 }
@@ -131,7 +139,13 @@ func (l *Link) Src() Node { return l.src }
 func (l *Link) drainReleases() {
 	now := l.eng.Now()
 	for l.releaseHead < len(l.releases) && l.releases[l.releaseHead].at <= now {
-		l.cfg.Queue.Release(l.releases[l.releaseHead].size)
+		rel := l.releases[l.releaseHead]
+		l.cfg.Queue.Release(rel.size)
+		if l.tr != nil {
+			// Stamped with the true serialization-finish time, which may
+			// predate the current clock because releases drain lazily.
+			l.tr.Dequeue(rel.at, l.Name, l.cfg.Queue.Bytes(), rel.size)
+		}
 		l.releaseHead++
 	}
 	if l.releaseHead == len(l.releases) && len(l.releases) > 0 {
@@ -152,22 +166,45 @@ func (l *Link) Send(p *Packet) {
 		l.Tap(p)
 	}
 	l.drainReleases()
+	now := l.eng.Now()
 	if m, ok := l.cfg.Queue.(interface {
 		AdmitMark(size int) (bool, bool)
 	}); ok {
+		var preEarly uint64
+		if l.tr != nil {
+			if r, ok := l.cfg.Queue.(*RED); ok {
+				preEarly = r.EarlyDrops
+			}
+		}
 		admit, mark := m.AdmitMark(p.Size)
 		if !admit {
 			l.stats.QueueDrops++
+			if l.tr != nil {
+				reason := "queue"
+				if r, ok := l.cfg.Queue.(*RED); ok && r.EarlyDrops > preEarly {
+					reason = "red"
+				}
+				l.tr.Drop(now, l.Name, reason, l.cfg.Queue.Bytes(), p.Size)
+			}
 			return
 		}
 		if mark {
 			p.ECE = true
+			if l.tr != nil {
+				l.tr.ECNMark(now, l.Name, l.cfg.Queue.Bytes(), p.Size)
+			}
+		} else if l.tr != nil {
+			l.tr.Enqueue(now, l.Name, l.cfg.Queue.Bytes(), p.Size)
 		}
 	} else if !l.cfg.Queue.Admit(p.Size) {
 		l.stats.QueueDrops++
+		if l.tr != nil {
+			l.tr.Drop(now, l.Name, "queue", l.cfg.Queue.Bytes(), p.Size)
+		}
 		return
+	} else if l.tr != nil {
+		l.tr.Enqueue(now, l.Name, l.cfg.Queue.Bytes(), p.Size)
 	}
-	now := l.eng.Now()
 
 	// Analytic departure: wait for prior packets, shaping tokens, then
 	// serialize at the link rate.
@@ -193,11 +230,31 @@ func (l *Link) Send(p *Packet) {
 		l.stats.LossDrops++
 	}
 	var act FaultAction
+	faultDrop := false
 	if l.cfg.Faults != nil {
 		act = l.cfg.Faults.OnTransmit(now, p)
 		if act.Drop && !lost {
 			l.stats.FaultDrops++
 			lost = true
+			faultDrop = true
+		}
+	}
+	if l.tr != nil {
+		switch {
+		case faultDrop:
+			l.tr.Drop(now, l.Name, "fault", l.cfg.Queue.Bytes(), p.Size)
+		case lost:
+			l.tr.Drop(now, l.Name, "loss", l.cfg.Queue.Bytes(), p.Size)
+		default:
+			if act.ExtraDelay > 0 {
+				l.tr.Fault(now, l.Name, "reorder", int64(act.ExtraDelay), p.Size)
+			}
+			if act.Corrupt {
+				l.tr.Fault(now, l.Name, "corrupt", 0, p.Size)
+			}
+			if act.Duplicate {
+				l.tr.Fault(now, l.Name, "duplicate", 0, p.Size)
+			}
 		}
 	}
 	prop := l.cfg.Delay + jitterIn(l.eng.Rand(), l.cfg.Jitter)

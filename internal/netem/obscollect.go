@@ -1,0 +1,35 @@
+package netem
+
+import "tcpsig/internal/obs"
+
+// CollectMetrics snapshots every link's counters into reg under
+// "netem.link.<name>.*". It runs after (or between) simulation runs, so
+// the per-packet hot path never touches the registry. Links() iterates
+// nodes in creation order, which is deterministic, so snapshots are too.
+// Safe on a nil registry.
+func CollectMetrics(reg *obs.Registry, net *Network) {
+	if reg == nil || net == nil {
+		return
+	}
+	for _, l := range net.Links() {
+		prefix := "netem.link." + l.Name + "."
+		st := l.Stats()
+		reg.Gauge(prefix + "sent").Set(float64(st.Sent))
+		reg.Gauge(prefix + "delivered").Set(float64(st.Delivered))
+		reg.Gauge(prefix + "bytes_delivered").Set(float64(st.BytesDelivered))
+		reg.Gauge(prefix + "drops.queue").Set(float64(st.QueueDrops))
+		reg.Gauge(prefix + "drops.loss").Set(float64(st.LossDrops))
+		reg.Gauge(prefix + "drops.fault").Set(float64(st.FaultDrops))
+		reg.Gauge(prefix + "fault.corrupted").Set(float64(st.Corrupted))
+		reg.Gauge(prefix + "fault.duplicated").Set(float64(st.Duplicated))
+		reg.Gauge(prefix + "fault.reordered").Set(float64(st.Reordered))
+		if q := l.Queue(); q != nil {
+			reg.Gauge(prefix + "queue.bytes").Set(float64(q.Bytes()))
+			reg.Gauge(prefix + "queue.capacity").Set(float64(q.Capacity()))
+			if r, ok := q.(*RED); ok {
+				reg.Gauge(prefix + "queue.early_drops").Set(float64(r.EarlyDrops))
+				reg.Gauge(prefix + "queue.ecn_marks").Set(float64(r.Marks))
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tcpsig/internal/sim"
+)
+
+// tsMicros renders a virtual timestamp as Chrome-trace microseconds with
+// nanosecond precision, using pure integer formatting so output is
+// byte-identical across runs and platforms.
+func tsMicros(at sim.Time) string {
+	ns := int64(at)
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// millis renders a nanosecond count as decimal milliseconds, exactly.
+func millis(ns int64) string {
+	return fmt.Sprintf("%d.%06d", ns/1e6, ns%1e6)
+}
+
+// jsonString renders s as a JSON string literal.
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A Go string always marshals; keep the exporter total anyway.
+		return `"?"`
+	}
+	return string(b)
+}
+
+// WriteChromeTrace exports the retained events as Chrome trace-event JSON
+// (the format Perfetto and chrome://tracing load). Buffer occupancy, cwnd
+// and RTT become counter tracks; drops, marks, faults, state transitions
+// and RTO firings become instant events. Components map to trace threads
+// in first-seen order, which is deterministic because the simulation is.
+//
+// All timestamps are virtual (sim) time in microseconds; dequeue events
+// are stamped with their true serialization-finish time, so a trace may
+// contain locally out-of-order timestamps (viewers sort by ts).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"tcpsig\"}}")
+
+	tids := make(map[string]int)
+	tid := func(comp string) int {
+		id, ok := tids[comp]
+		if !ok {
+			id = len(tids) + 1
+			tids[comp] = id
+			fmt.Fprintf(bw, ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}",
+				id, jsonString(comp))
+		}
+		return id
+	}
+
+	counter := func(ev Event, name, args string) {
+		fmt.Fprintf(bw, ",\n{\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"name\":%s,\"args\":{%s}}",
+			tid(ev.Comp), tsMicros(ev.At), jsonString(name), args)
+	}
+	instant := func(ev Event, name, args string) {
+		fmt.Fprintf(bw, ",\n{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"name\":%s,\"args\":{%s}}",
+			tid(ev.Comp), tsMicros(ev.At), jsonString(name), args)
+	}
+
+	for _, ev := range t.Events() {
+		switch ev.Kind {
+		case KindEnqueue, KindDequeue, KindECNMark:
+			counter(ev, "queue_bytes", fmt.Sprintf("\"bytes\":%d", ev.V1))
+			if ev.Kind == KindECNMark {
+				instant(ev, "ecn-mark", fmt.Sprintf("\"size\":%d", ev.V2))
+			}
+		case KindDrop:
+			instant(ev, "drop "+ev.Arg, fmt.Sprintf("\"size\":%d,\"queue_bytes\":%d", ev.V2, ev.V1))
+		case KindFault:
+			args := fmt.Sprintf("\"size\":%d", ev.V2)
+			if ev.V1 > 0 {
+				args += fmt.Sprintf(",\"extra_delay_ms\":%s", millis(ev.V1))
+			}
+			instant(ev, "fault "+ev.Arg, args)
+		case KindCwnd:
+			args := fmt.Sprintf("\"cwnd\":%d", ev.V1)
+			if ev.V2 >= 0 {
+				args += fmt.Sprintf(",\"ssthresh\":%d", ev.V2)
+			}
+			counter(ev, "cwnd", args)
+		case KindState:
+			instant(ev, "state "+ev.Arg, "")
+		case KindRTO:
+			instant(ev, ev.Arg, "")
+		case KindRTT:
+			counter(ev, "rtt_ms", fmt.Sprintf("\"ms\":%s", millis(ev.V1)))
+		}
+	}
+	fmt.Fprintf(bw, "\n]}\n")
+	return bw.Flush()
+}
+
+// WriteCSV exports every retained event as a generic CSV
+// (t_us,kind,comp,arg,v1,v2) in recording order.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "t_us,kind,comp,arg,v1,v2")
+	for _, ev := range t.Events() {
+		fmt.Fprintf(bw, "%s,%s,%s,%s,%d,%d\n", tsMicros(ev.At), ev.Kind, ev.Comp, ev.Arg, ev.V1, ev.V2)
+	}
+	return bw.Flush()
+}
+
+// WriteQueueDepthCSV exports the buffer-occupancy time series
+// (t_us,link,queue_bytes) from enqueue/dequeue/mark events — the signal
+// the paper's RTT-inflation features observe indirectly.
+func (t *Tracer) WriteQueueDepthCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "t_us,link,queue_bytes")
+	for _, ev := range t.Events() {
+		switch ev.Kind {
+		case KindEnqueue, KindDequeue, KindECNMark:
+			fmt.Fprintf(bw, "%s,%s,%d\n", tsMicros(ev.At), ev.Comp, ev.V1)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCwndCSV exports the congestion-window time series
+// (t_us,flow,cwnd_bytes,ssthresh_bytes; ssthresh -1 = still infinite).
+func (t *Tracer) WriteCwndCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "t_us,flow,cwnd_bytes,ssthresh_bytes")
+	for _, ev := range t.Events() {
+		if ev.Kind != KindCwnd {
+			continue
+		}
+		fmt.Fprintf(bw, "%s,%s,%d,%d\n", tsMicros(ev.At), ev.Comp, ev.V1, ev.V2)
+	}
+	return bw.Flush()
+}

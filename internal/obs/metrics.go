@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Registry is a per-run metrics namespace. Metric objects are created on
+// first use and live for the run; lookups by name happen at registration
+// or collection time, never per sample, so the per-sample cost of a
+// counter increment or histogram observation is a few machine words.
+//
+// The registry is not goroutine-safe: the simulation is single-threaded
+// and each run owns its registry, which is also what makes snapshots
+// reproducible.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named monotonic counter, creating it on first use.
+// A nil registry returns nil, which absorbs all updates.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns nil, which absorbs all updates.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it with the
+// given upper bounds on first use (later calls reuse the existing buckets;
+// buckets must be sorted ascending). A nil registry returns nil, which
+// absorbs all observations.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(buckets)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v uint64 }
+
+// Inc adds one. Safe on nil.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n. Safe on nil.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a settable float64.
+type Gauge struct{ v float64 }
+
+// Set replaces the value. Safe on nil.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add shifts the value. Safe on nil.
+func (g *Gauge) Add(d float64) {
+	if g != nil {
+		g.v += d
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram counts observations into fixed buckets. counts[i] tallies
+// observations <= bounds[i]; the final slot is the +Inf overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	count  uint64
+	sum    float64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one sample. Safe on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// LinearBuckets returns n upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// Metric is one entry of a registry snapshot.
+type Metric struct {
+	Name string
+	Type string // "counter", "gauge" or "histogram"
+
+	// Value holds the counter or gauge reading.
+	Value float64
+
+	// Histogram fields.
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot returns every metric sorted by (type, name), a stable order
+// suitable for golden-file comparison. A nil registry yields nil.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out = append(out, Metric{Name: name, Type: "counter", Value: float64(r.counters[name].v)})
+	}
+	names = names[:0]
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out = append(out, Metric{Name: name, Type: "gauge", Value: r.gauges[name].v})
+	}
+	names = names[:0]
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.hists[name]
+		out = append(out, Metric{
+			Name: name, Type: "histogram",
+			Bounds: h.bounds, Counts: h.counts, Count: h.count, Sum: h.sum,
+		})
+	}
+	return out
+}
+
+// formatFloat renders v with the shortest exact decimal representation,
+// which is deterministic across runs and platforms.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText writes the snapshot as sorted "type name value" lines;
+// histograms carry count, sum and per-bucket cumulative-style counts.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		var err error
+		switch m.Type {
+		case "histogram":
+			var b strings.Builder
+			fmt.Fprintf(&b, "histogram %s count=%d sum=%s", m.Name, m.Count, formatFloat(m.Sum))
+			for i, c := range m.Counts {
+				bound := "+Inf"
+				if i < len(m.Bounds) {
+					bound = formatFloat(m.Bounds[i])
+				}
+				fmt.Fprintf(&b, " le=%s:%d", bound, c)
+			}
+			_, err = fmt.Fprintln(w, b.String())
+		default:
+			_, err = fmt.Fprintf(w, "%s %s %s\n", m.Type, m.Name, formatFloat(m.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

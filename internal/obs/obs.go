@@ -1,0 +1,79 @@
+// Package obs is the deterministic observability layer for the emulator
+// and the classification pipeline: a metrics registry (counters, gauges,
+// fixed-bucket histograms), a bounded structured event tracer, and
+// profiling helpers for the cmd tools.
+//
+// Two rules make the layer safe to leave threaded through the hot paths:
+//
+//   - Virtual time only. Every event and every metric is stamped with (or
+//     derived from) the sim clock, never the wall clock, so same-seed runs
+//     produce byte-identical trace and metrics output. Profiling helpers
+//     (prof.go) are the one deliberate exception: they observe the host
+//     process, not the simulation, and never feed back into it.
+//
+//   - Nil is off. A nil *Sink, *Tracer, *Registry, *Counter, *Gauge or
+//     *Histogram accepts every call as a cheap no-op, so instrumented code
+//     needs no "is observability on?" branches and a disabled sink costs a
+//     nil check per event on the hot path.
+//
+// A Sink rides on the *sim.Engine (Attach/FromEngine), so every component
+// that already holds the engine — links, queues, TCP senders — can pick up
+// its tracer at construction time without new plumbing through constructor
+// signatures.
+package obs
+
+import "tcpsig/internal/sim"
+
+// Sink bundles the per-run observability outputs. Either field may be nil
+// to disable that half independently.
+type Sink struct {
+	Trace   *Tracer
+	Metrics *Registry
+}
+
+// T returns the sink's tracer, nil when the sink is nil or tracing is off.
+func (s *Sink) T() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.Trace
+}
+
+// M returns the sink's registry, nil when the sink is nil or metrics are off.
+func (s *Sink) M() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics
+}
+
+// Attach hangs the sink on the engine so instrumented components built on
+// that engine can find it. Attaching nil detaches.
+func Attach(eng *sim.Engine, s *Sink) {
+	if s == nil {
+		eng.SetObserver(nil)
+		return
+	}
+	eng.SetObserver(s)
+}
+
+// FromEngine returns the sink attached to eng, or nil when none is.
+func FromEngine(eng *sim.Engine) *Sink {
+	if eng == nil {
+		return nil
+	}
+	s, _ := eng.Observer().(*Sink)
+	return s
+}
+
+// CollectEngine snapshots the engine's event-loop counters into gauges
+// under prefix (e.g. "sim.events.executed"). Safe on nil reg.
+func CollectEngine(reg *Registry, prefix string, eng *sim.Engine) {
+	if reg == nil || eng == nil {
+		return
+	}
+	reg.Gauge(prefix + "sim.events.executed").Set(float64(eng.Executed()))
+	reg.Gauge(prefix + "sim.events.pending").Set(float64(eng.Pending()))
+	reg.Gauge(prefix + "sim.events.pending_max").Set(float64(eng.MaxPending()))
+	reg.Gauge(prefix + "sim.now_us").Set(float64(eng.Now().Microseconds()))
+}

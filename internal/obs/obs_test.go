@@ -1,0 +1,380 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tcpsig/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Error("second Counter lookup returned a different object")
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+	h := r.Histogram("a.hist", []float64{1, 2, 3})
+	for _, v := range []float64{0.5, 1, 1.5, 2.5, 99} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("hist count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 104.5 {
+		t.Errorf("hist sum = %v, want 104.5", h.Sum())
+	}
+	// Bucket semantics: counts[i] tallies v <= bounds[i]; last is +Inf.
+	want := []uint64{2, 1, 1, 1}
+	if got := r.Snapshot()[2].Counts; !reflect.DeepEqual(got, want) {
+		t.Errorf("hist counts = %v, want %v", got, want)
+	}
+}
+
+func TestRegistrySnapshotOrder(t *testing.T) {
+	r := NewRegistry()
+	// Register deliberately out of order.
+	r.Gauge("z")
+	r.Counter("m")
+	r.Histogram("b", []float64{1})
+	r.Counter("a")
+	r.Gauge("k")
+	var got []string
+	for _, m := range r.Snapshot() {
+		got = append(got, m.Type+" "+m.Name)
+	}
+	want := []string{"counter a", "counter m", "gauge k", "gauge z", "histogram b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("snapshot order = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("drops").Add(3)
+	r.Gauge("rate").Set(0.25)
+	h := r.Histogram("rtt", LinearBuckets(10, 10, 2))
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(100)
+	var b bytes.Buffer
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "counter drops 3\n" +
+		"gauge rate 0.25\n" +
+		"histogram rtt count=3 sum=120 le=10:1 le=20:1 le=+Inf:1\n"
+	if b.String() != want {
+		t.Errorf("WriteText:\n%q\nwant:\n%q", b.String(), want)
+	}
+}
+
+func TestLinearBuckets(t *testing.T) {
+	got := LinearBuckets(0.1, 0.1, 3)
+	want := []float64{0.1, 0.2, 0.30000000000000004}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("LinearBuckets = %v, want %v", got, want)
+	}
+}
+
+// TestNilSafety calls every exported method on nil receivers; the "nil is
+// off" rule means none may panic and all reads return zero values.
+func TestNilSafety(t *testing.T) {
+	var s *Sink
+	if s.T() != nil || s.M() != nil {
+		t.Error("nil sink returned non-nil parts")
+	}
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(1)
+	r.Gauge("x").Set(1)
+	r.Gauge("x").Add(1)
+	r.Histogram("x", nil).Observe(1)
+	if r.Counter("x").Value() != 0 || r.Gauge("x").Value() != 0 ||
+		r.Histogram("x", nil).Count() != 0 || r.Histogram("x", nil).Sum() != 0 {
+		t.Error("nil registry metrics returned non-zero values")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry Snapshot != nil")
+	}
+	var tr *Tracer
+	tr.Emit(Event{})
+	tr.Enqueue(0, "l", 0, 0)
+	tr.Dequeue(0, "l", 0, 0)
+	tr.Drop(0, "l", "queue", 0, 0)
+	tr.ECNMark(0, "l", 0, 0)
+	tr.Fault(0, "l", "corrupt", 0, 0)
+	tr.Cwnd(0, "f", 0, -1)
+	tr.State(0, "f", "closed")
+	tr.RTO(0, "f", "rto")
+	tr.RTT(0, "f", 0)
+	if tr.Enabled() || tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil tracer is not fully off")
+	}
+	FromEngine(nil)
+	CollectEngine(nil, "", nil)
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 7; i++ {
+		tr.Emit(Event{At: sim.Time(i), Kind: KindEnqueue})
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", tr.Dropped())
+	}
+	var got []int64
+	for _, ev := range tr.Events() {
+		got = append(got, int64(ev.At))
+	}
+	// The ring keeps the newest 4 events in recording order.
+	want := []int64{3, 4, 5, 6}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Events times = %v, want %v", got, want)
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	if got := cap(NewTracer(0).buf); got != DefaultTracerEvents {
+		t.Errorf("default capacity = %d, want %d", got, DefaultTracerEvents)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindEnqueue: "enqueue", KindDequeue: "dequeue", KindDrop: "drop",
+		KindECNMark: "ecn-mark", KindFault: "fault", KindCwnd: "cwnd",
+		KindState: "state", KindRTO: "rto", KindRTT: "rtt",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Error("out-of-range Kind did not stringify as unknown")
+	}
+}
+
+// sampleTrace builds one event of every kind with awkward values: a
+// component name needing JSON escaping, sub-microsecond timestamps, an
+// infinite ssthresh and a reorder delay.
+func sampleTrace() *Tracer {
+	tr := NewTracer(16)
+	tr.Enqueue(1500*time.Nanosecond, `up"link`, 3000, 1500)
+	tr.ECNMark(2*time.Microsecond, `up"link`, 4500, 1500)
+	tr.Drop(3*time.Microsecond, `up"link`, "queue", 4500, 1500)
+	tr.Dequeue(2500*time.Nanosecond, `up"link`, 3000, 1500)
+	tr.Fault(4*time.Microsecond, `up"link`, "reorder", int64(1500*time.Microsecond), 1500)
+	tr.Cwnd(5*time.Microsecond, "flow 1:80>2:9000", 14600, -1)
+	tr.State(5*time.Microsecond, "flow 1:80>2:9000", "established")
+	tr.RTO(6*time.Millisecond, "flow 1:80>2:9000", "tlp")
+	tr.RTT(7*time.Millisecond, "flow 1:80>2:9000", 40100*time.Microsecond)
+	return tr
+}
+
+// TestWriteChromeTraceGolden pins the exact exporter output. The golden
+// file is the contract for "byte-identical across runs": any byte-level
+// change to the format is visible in this diff.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := sampleTrace().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("chrome trace differs from %s:\n got:\n%s\nwant:\n%s", golden, b.Bytes(), want)
+	}
+}
+
+// TestExportDeterministic re-exports the same tracer and a same-content
+// rebuilt tracer; all writers must produce identical bytes each time.
+func TestExportDeterministic(t *testing.T) {
+	writers := []struct {
+		name string
+		fn   func(*Tracer) ([]byte, error)
+	}{
+		{"chrome", func(tr *Tracer) ([]byte, error) {
+			var b bytes.Buffer
+			err := tr.WriteChromeTrace(&b)
+			return b.Bytes(), err
+		}},
+		{"csv", func(tr *Tracer) ([]byte, error) {
+			var b bytes.Buffer
+			err := tr.WriteCSV(&b)
+			return b.Bytes(), err
+		}},
+		{"queue-csv", func(tr *Tracer) ([]byte, error) {
+			var b bytes.Buffer
+			err := tr.WriteQueueDepthCSV(&b)
+			return b.Bytes(), err
+		}},
+		{"cwnd-csv", func(tr *Tracer) ([]byte, error) {
+			var b bytes.Buffer
+			err := tr.WriteCwndCSV(&b)
+			return b.Bytes(), err
+		}},
+	}
+	a, b := sampleTrace(), sampleTrace()
+	for _, w := range writers {
+		out1, err := w.fn(a)
+		if err != nil {
+			t.Fatalf("%s: %v", w.name, err)
+		}
+		out2, err := w.fn(a)
+		if err != nil {
+			t.Fatalf("%s re-export: %v", w.name, err)
+		}
+		out3, err := w.fn(b)
+		if err != nil {
+			t.Fatalf("%s rebuilt: %v", w.name, err)
+		}
+		if !bytes.Equal(out1, out2) {
+			t.Errorf("%s: re-export of the same tracer differs", w.name)
+		}
+		if !bytes.Equal(out1, out3) {
+			t.Errorf("%s: export of an identically built tracer differs", w.name)
+		}
+	}
+}
+
+func TestWriteCSVContents(t *testing.T) {
+	var b bytes.Buffer
+	if err := sampleTrace().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("got %d lines, want 10 (header + 9 events)", len(lines))
+	}
+	if lines[0] != "t_us,kind,comp,arg,v1,v2" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if want := `1.500,enqueue,up"link,,3000,1500`; lines[1] != want {
+		t.Errorf("line 1 = %q, want %q", lines[1], want)
+	}
+	if want := `5.000,cwnd,flow 1:80>2:9000,,14600,-1`; lines[6] != want {
+		t.Errorf("line 6 = %q, want %q", lines[6], want)
+	}
+}
+
+func TestQueueAndCwndCSVFilter(t *testing.T) {
+	var q, c bytes.Buffer
+	tr := sampleTrace()
+	if err := tr.WriteQueueDepthCSV(&q); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCwndCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	// enqueue + ecn-mark + dequeue = 3 queue-depth points (+ header).
+	if n := strings.Count(q.String(), "\n"); n != 4 {
+		t.Errorf("queue CSV has %d lines, want 4:\n%s", n, q.String())
+	}
+	if n := strings.Count(c.String(), "\n"); n != 2 {
+		t.Errorf("cwnd CSV has %d lines, want 2:\n%s", n, c.String())
+	}
+}
+
+func TestSinkAttachRoundTrip(t *testing.T) {
+	eng := sim.NewEngine(1)
+	if FromEngine(eng) != nil {
+		t.Error("fresh engine already has a sink")
+	}
+	s := &Sink{Trace: NewTracer(8), Metrics: NewRegistry()}
+	Attach(eng, s)
+	if FromEngine(eng) != s {
+		t.Error("FromEngine did not return the attached sink")
+	}
+	Attach(eng, nil)
+	if FromEngine(eng) != nil {
+		t.Error("detach left a sink attached")
+	}
+}
+
+func TestCollectEngine(t *testing.T) {
+	eng := sim.NewEngine(1)
+	eng.At(time.Millisecond, func() {})
+	eng.At(2*time.Millisecond, func() {})
+	eng.Run()
+	reg := NewRegistry()
+	CollectEngine(reg, "p.", eng)
+	if got := reg.Gauge("p.sim.events.executed").Value(); got != 2 {
+		t.Errorf("executed = %v, want 2", got)
+	}
+	if got := reg.Gauge("p.sim.events.pending_max").Value(); got != 2 {
+		t.Errorf("pending_max = %v, want 2", got)
+	}
+	if got := reg.Gauge("p.sim.now_us").Value(); got != 2000 {
+		t.Errorf("now_us = %v, want 2000", got)
+	}
+}
+
+func TestStartProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	rt := filepath.Join(dir, "rt.trace")
+	stop, err := StartProfiles(cpu, mem, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // must be idempotent
+	for _, p := range []string{cpu, mem, rt} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	// All-empty arguments: a no-op stop.
+	stop, err = StartProfiles("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	// A failure after CPU profiling started must unwind it, so a fresh
+	// start succeeds (StartCPUProfile errors while one is active).
+	if _, err := StartProfiles(cpu, "", filepath.Join(dir, "no/such/dir/x")); err == nil {
+		t.Error("StartProfiles with bad trace path did not fail")
+	}
+	stop, err = StartProfiles(cpu, "", "")
+	if err != nil {
+		t.Fatalf("CPU profiling not released after failed start: %v", err)
+	}
+	stop()
+}

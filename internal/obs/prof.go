@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfiles starts the requested host-process profiles: a CPU profile,
+// a heap profile written at stop, and a runtime execution trace. Empty
+// paths disable the corresponding profile. The returned stop function
+// flushes and closes everything and must run before process exit (callers
+// with os.Exit paths should route them through a helper that calls stop).
+//
+// Profiling observes the host process, not the simulation: it is the one
+// part of this package allowed to touch wall-clock-adjacent runtime state,
+// and it never feeds back into simulation behaviour.
+func StartProfiles(cpuFile, memFile, traceFile string) (stop func(), err error) {
+	var closers []func()
+	fail := func(err error) (func(), error) {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+		return nil, err
+	}
+
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return fail(fmt.Errorf("cpu profile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("cpu profile: %w", err))
+		}
+		closers = append(closers, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return fail(fmt.Errorf("runtime trace: %w", err))
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("runtime trace: %w", err))
+		}
+		closers = append(closers, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+
+	if memFile != "" {
+		closers = append(closers, func() {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+			}
+		})
+	}
+
+	return func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}, nil
+}

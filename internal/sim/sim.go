@@ -39,7 +39,14 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 
-	executed uint64
+	executed   uint64
+	maxPending int
+
+	// obs is an opaque slot for an attached observability sink. The engine
+	// never looks inside it; holding it as `any` here lets higher layers
+	// (internal/obs and the components it instruments) share one attachment
+	// point without an import cycle through this package.
+	obs any
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -59,6 +66,16 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Pending returns the number of events still queued.
 func (e *Engine) Pending() int { return len(e.q) }
 
+// MaxPending returns the high-water mark of the event queue length.
+func (e *Engine) MaxPending() int { return e.maxPending }
+
+// SetObserver attaches an opaque observer (e.g. an *obs.Sink) to the
+// engine. nil detaches.
+func (e *Engine) SetObserver(o any) { e.obs = o }
+
+// Observer returns the attached observer, or nil.
+func (e *Engine) Observer() any { return e.obs }
+
 func (e *Engine) less(i, j int) bool {
 	if e.q[i].at != e.q[j].at {
 		return e.q[i].at < e.q[j].at
@@ -68,6 +85,9 @@ func (e *Engine) less(i, j int) bool {
 
 func (e *Engine) push(ev schedEvent) {
 	e.q = append(e.q, ev)
+	if len(e.q) > e.maxPending {
+		e.maxPending = len(e.q)
+	}
 	i := len(e.q) - 1
 	for i > 0 {
 		p := (i - 1) / 4

@@ -1,0 +1,26 @@
+package tcpsim
+
+import "tcpsig/internal/obs"
+
+// CollectMetrics snapshots a sender's counters into reg under prefix
+// (e.g. "tcpsim.test_flow."). It runs after the simulation, keeping the
+// per-segment hot path free of registry lookups. Safe on nil reg or s.
+func CollectMetrics(reg *obs.Registry, prefix string, s *Sender) {
+	if reg == nil || s == nil {
+		return
+	}
+	st := s.Stats()
+	reg.Gauge(prefix + "bytes_sent").Set(float64(st.BytesSent))
+	reg.Gauge(prefix + "bytes_acked").Set(float64(st.BytesAcked))
+	reg.Gauge(prefix + "segments_sent").Set(float64(st.SegmentsSent))
+	reg.Gauge(prefix + "retransmits").Set(float64(st.Retransmits))
+	reg.Gauge(prefix + "fast_retransmits").Set(float64(st.FastRetransmits))
+	reg.Gauge(prefix + "timeouts").Set(float64(st.Timeouts))
+	reg.Gauge(prefix + "tlp_probes").Set(float64(st.TLPProbes))
+	reg.Gauge(prefix + "ecn_reductions").Set(float64(st.ECNReductions))
+	reg.Gauge(prefix + "slow_start_rtt_samples").Set(float64(st.SlowStartRTTCount))
+	reg.Gauge(prefix + "slow_start_mbps").Set(st.SlowStartThroughputBps() / 1e6)
+	reg.Gauge(prefix + "sender_limited_ms").Set(float64(st.SenderLimited.Milliseconds()))
+	reg.Gauge(prefix + "receiver_limited_ms").Set(float64(st.ReceiverLimited.Milliseconds()))
+	reg.Gauge(prefix + "congestion_limited_ms").Set(float64(st.CongestionLimited.Milliseconds()))
+}

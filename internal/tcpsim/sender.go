@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tcpsig/internal/netem"
+	"tcpsig/internal/obs"
 	"tcpsig/internal/sim"
 )
 
@@ -150,6 +151,12 @@ type Sender struct {
 	stats  SenderStats
 	onDone func(*Sender)
 	done   bool
+
+	// Observability: tr/comp record cwnd, state, RTO and RTT events; rttHist
+	// aggregates RTT samples across the run's flows. All nil-safe when off.
+	tr      *obs.Tracer
+	comp    string
+	rttHist *obs.Histogram
 }
 
 func newSender(eng *sim.Engine, host *netem.Host, flow netem.FlowKey, cfg Config) *Sender {
@@ -172,7 +179,28 @@ func newSender(eng *sim.Engine, host *netem.Host, flow netem.FlowKey, cfg Config
 	s.ecnRecover = s.iss
 	s.dataEnd = s.iss + 1 // +1 for the SYN
 	s.stats.SlowStartRTTMin = time.Duration(1<<62 - 1)
+	if snk := obs.FromEngine(eng); snk != nil {
+		s.tr = snk.T()
+		if s.tr != nil {
+			s.comp = "flow " + flow.String()
+		}
+		s.rttHist = snk.M().Histogram("tcpsim.rtt_ms", obs.LinearBuckets(5, 5, 60))
+	}
 	return s
+}
+
+// traceCwnd records the congestion window after a CC update; ssthresh is
+// reported as -1 while still "infinite" (initial MaxFloat64), because an
+// out-of-range float-to-int conversion is implementation-defined.
+func (s *Sender) traceCwnd() {
+	if s.tr == nil {
+		return
+	}
+	ssB := int64(-1)
+	if ss := s.cc.Ssthresh(); ss < 1e15 {
+		ssB = int64(ss)
+	}
+	s.tr.Cwnd(s.eng.Now(), s.comp, int64(s.cc.Cwnd()), ssB)
 }
 
 // Stats returns a snapshot of the sender counters.
@@ -264,6 +292,8 @@ func (s *Sender) Input(p *netem.Packet) {
 		if seqGEQ(ack, s.iss+1) {
 			s.state = stEstablished
 			s.stats.EstablishedAt = s.eng.Now()
+			s.tr.State(s.eng.Now(), s.comp, "established")
+			s.traceCwnd()
 			s.sndUna = s.iss + 1
 			s.timer.Stop()
 			if s.stopAt == -1 {
@@ -292,6 +322,7 @@ func (s *Sender) Input(p *netem.Packet) {
 		s.stats.ECNReductions++
 		s.noteCwndOnlyLoss()
 		s.cc.OnLoss(LossECN, s.pipeBytes())
+		s.traceCwnd()
 	}
 
 	switch {
@@ -497,6 +528,8 @@ func (s *Sender) onNewAck(ack uint32) {
 	if rtt > 0 {
 		s.rto.Sample(rtt)
 		s.recordSlowStartRTT(rtt)
+		s.tr.RTT(s.eng.Now(), s.comp, rtt)
+		s.rttHist.Observe(rtt.Seconds() * 1e3)
 	}
 	if rateSample > 0 {
 		s.cc.DeliveryRateSample(rateSample, rtt)
@@ -528,6 +561,8 @@ func (s *Sender) onNewAck(ack uint32) {
 			s.dupAcks = 0
 			s.retxOut = 0
 			s.cc.OnExitRecovery()
+			s.tr.State(s.eng.Now(), s.comp, "recovery-exit")
+			s.traceCwnd()
 		} else if s.cfg.DisableSACK && !s.cfg.DisableNewReno {
 			// Partial ACK: the next hole is lost too (RFC 6582).
 			// With SACK, trySend's hole repair covers this.
@@ -536,6 +571,7 @@ func (s *Sender) onNewAck(ack uint32) {
 	} else {
 		s.dupAcks = 0
 		s.cc.OnAck(int(newly), rtt, flightBefore)
+		s.traceCwnd()
 	}
 
 	s.tlpFired = false
@@ -579,6 +615,7 @@ func (s *Sender) sendTLPProbe() {
 	s.tlpArmed = false
 	s.tlpFired = true
 	s.stats.TLPProbes++
+	s.tr.RTO(s.eng.Now(), s.comp, "tlp")
 	if s.state == stFinSent {
 		// Tail is the FIN.
 		s.noteLoss()
@@ -649,6 +686,8 @@ func (s *Sender) enterRecovery() {
 	s.noteLoss()
 	s.stats.FastRetransmits++
 	s.cc.OnLoss(LossFastRetransmit, s.pipeBytes())
+	s.tr.State(s.eng.Now(), s.comp, "recovery")
+	s.traceCwnd()
 	if s.cfg.DisableSACK || len(s.sacked) == 0 {
 		s.retransmitFront()
 	} else {
@@ -680,7 +719,10 @@ func (s *Sender) onRTO() {
 	}
 	s.stats.Timeouts++
 	s.noteLoss()
+	s.tr.RTO(s.eng.Now(), s.comp, "rto")
 	s.cc.OnLoss(LossTimeout, s.pipeBytes())
+	s.tr.State(s.eng.Now(), s.comp, "loss-recovery")
+	s.traceCwnd()
 	s.rto.Backoff()
 	s.inRecovery = false
 	s.dupAcks = 0
@@ -888,6 +930,7 @@ func (s *Sender) trySend() {
 	// FIN when the app is done and everything queued has been sent.
 	if s.closed && s.state == stEstablished && s.sndNxt == s.dataEnd {
 		s.state = stFinSent
+		s.tr.State(s.eng.Now(), s.comp, "fin-sent")
 		s.sendPacket(s.sndNxt, 0, netem.FlagFIN|netem.FlagACK, 0, false)
 		s.sndNxt++
 		if !s.timer.Armed() {
@@ -902,6 +945,7 @@ func (s *Sender) maybeFinish(ack uint32) {
 	if s.state == stFinSent && seqGEQ(ack, s.sndNxt) && !s.done {
 		s.done = true
 		s.state = stClosed
+		s.tr.State(s.eng.Now(), s.comp, "closed")
 		s.stats.DoneAt = s.eng.Now()
 		s.accumulateLimited()
 		s.timer.Stop()

@@ -1,10 +1,12 @@
 package testbed
 
 import (
+	"fmt"
 	"time"
 
 	"tcpsig/internal/dtree"
 	"tcpsig/internal/netem"
+	"tcpsig/internal/obs"
 	"tcpsig/internal/tcpsim"
 )
 
@@ -54,6 +56,22 @@ type SweepOptions struct {
 
 	// Progress, when non-nil, is called after each run.
 	Progress func(done, total int)
+
+	// Metrics, when non-nil, accumulates per-cell summaries across the
+	// sweep: run/valid/invalid counters and feature histograms keyed by
+	// the cell's parameters and scenario. This is sweep-level aggregation;
+	// it is separate from any per-run Config.Obs sink.
+	Metrics *obs.Registry
+}
+
+// cellName formats one grid cell's metric-name prefix deterministically.
+func cellName(rate, loss float64, lat, buf time.Duration, cong int) string {
+	scen := "self"
+	if cong > 0 {
+		scen = "external"
+	}
+	return fmt.Sprintf("sweep.cell{rate=%gM,loss=%g,lat=%s,buf=%s,scen=%s}",
+		rate, loss, lat, buf, scen)
 }
 
 func (o SweepOptions) withDefaults() SweepOptions {
@@ -126,8 +144,23 @@ func Sweep(opt SweepOptions) []*Result {
 							if opt.Progress != nil {
 								opt.Progress(done, total)
 							}
+							cell := ""
+							if opt.Metrics != nil {
+								cell = cellName(rate, loss, lat, buf, cong)
+								opt.Metrics.Counter(cell + ".runs").Inc()
+							}
 							if err != nil {
+								opt.Metrics.Counter(cell + ".invalid").Inc()
 								continue
+							}
+							if opt.Metrics != nil {
+								opt.Metrics.Counter(cell + ".valid").Inc()
+								opt.Metrics.Histogram(cell+".normdiff", obs.LinearBuckets(0.1, 0.1, 10)).
+									Observe(res.Features.NormDiff)
+								opt.Metrics.Histogram(cell+".cov", obs.LinearBuckets(0.05, 0.05, 10)).
+									Observe(res.Features.CoV)
+								opt.Metrics.Histogram(cell+".slowstart_mbps", obs.LinearBuckets(5, 5, 12)).
+									Observe(res.SlowStartBps / 1e6)
 							}
 							out = append(out, res)
 						}

@@ -19,6 +19,7 @@ import (
 	"tcpsig/internal/features"
 	"tcpsig/internal/flowrtt"
 	"tcpsig/internal/netem"
+	"tcpsig/internal/obs"
 	"tcpsig/internal/sim"
 	"tcpsig/internal/tcpsim"
 	"tcpsig/internal/trafficgen"
@@ -97,6 +98,12 @@ type Config struct {
 	// stressing the test flow with hostile path dynamics (see
 	// internal/faults and SweepFaults).
 	Faults func(seed int64) netem.FaultInjector
+
+	// Obs, when non-nil, is attached to the run's engine before topology
+	// construction: links and senders emit trace events into it, and run
+	// summary metrics are collected into its registry at the end. A nil
+	// sink leaves the hot paths at their uninstrumented cost.
+	Obs *obs.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +159,9 @@ func (r *Result) Label(threshold float64) int {
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	eng := sim.NewEngine(cfg.Seed)
+	if cfg.Obs != nil {
+		obs.Attach(eng, cfg.Obs)
+	}
 	net := netem.New(eng)
 
 	// Nodes.
@@ -284,6 +294,14 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.CongFlows > 0 {
 		res.Scenario = External
 	}
-	_ = dl
+	if reg := cfg.Obs.M(); reg != nil {
+		netem.CollectMetrics(reg, net)
+		obs.CollectEngine(reg, "", eng)
+		tcpsim.CollectMetrics(reg, "tcpsim.test_flow.", dl.Sender())
+		reg.Gauge("testbed.slow_start_mbps").Set(res.SlowStartBps / 1e6)
+		reg.Gauge("testbed.flow_mbps").Set(res.FlowBps / 1e6)
+		reg.Gauge("testbed.slow_start_rtt_samples").Set(float64(len(info.SlowStartRTTs())))
+		reg.Gauge("testbed.scenario").Set(float64(res.Scenario))
+	}
 	return res, nil
 }
