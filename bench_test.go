@@ -41,7 +41,7 @@ var (
 func fixtures(b *testing.B) ([]*testbed.Result, *core.Classifier) {
 	b.Helper()
 	fixtureOnce.Do(func() {
-		fixtureResults = experiments.SweepResults(experiments.Quick, 1, nil)
+		fixtureResults = experiments.SweepResults(experiments.Quick, 1, 0, nil)
 		m, err := experiments.TrainOnResults(fixtureResults, 0.8)
 		if err != nil {
 			panic(err)
@@ -70,7 +70,7 @@ func medianCDF(c []stats.CDFPoint) float64 {
 // signature CDFs for self-induced vs external congestion.
 func BenchmarkFig1RTTSignatures(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig1(experiments.Quick, int64(i+1))
+		r := experiments.Fig1(experiments.Quick, int64(i+1), 0)
 		b.ReportMetric(medianCDF(r.MaxMinDiffMs[testbed.SelfInduced]), "self-maxmin-ms")
 		b.ReportMetric(medianCDF(r.MaxMinDiffMs[testbed.External]), "ext-maxmin-ms")
 		b.ReportMetric(medianCDF(r.CoV[testbed.SelfInduced]), "self-cov")
@@ -119,7 +119,7 @@ func BenchmarkMultiplexing(b *testing.B) {
 	_, clf := fixtures(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Multiplexing(clf, experiments.Quick, int64(i*1000+7))
+		rows := experiments.Multiplexing(clf, experiments.Quick, int64(i*1000+7), 0)
 		for _, row := range rows {
 			if row.CongFlows == 100 {
 				b.ReportMetric(row.FracExpected, "ext-frac-100flows")
@@ -137,7 +137,7 @@ func BenchmarkMultiplexing(b *testing.B) {
 // BenchmarkFig5Diurnal regenerates Figure 5: diurnal NDT throughput.
 func BenchmarkFig5Diurnal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tests := experiments.DisputeData(experiments.Quick, int64(i*100+50), nil)
+		tests := experiments.DisputeData(experiments.Quick, int64(i*100+50), 0, nil)
 		rows := experiments.Fig5(tests)
 		// Report the Cogent/Comcast Jan-Feb peak vs off-peak gap.
 		for _, row := range rows {
@@ -162,7 +162,7 @@ var (
 func disputeData(b *testing.B) []mlab.DisputeTest {
 	b.Helper()
 	disputeOnce.Do(func() {
-		disputeTests = experiments.DisputeData(experiments.Quick, 2000, nil)
+		disputeTests = experiments.DisputeData(experiments.Quick, 2000, 0, nil)
 	})
 	if len(disputeTests) == 0 {
 		b.Fatal("dispute fixture empty")
@@ -226,7 +226,7 @@ func BenchmarkFig9SelfTrained(b *testing.B) {
 // timeline with congestion episodes.
 func BenchmarkFig6TSLP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tests := experiments.TSLPData(experiments.Quick, int64(i*10+3000), nil)
+		tests := experiments.TSLPData(experiments.Quick, int64(i*10+3000), 0, nil)
 		pts := experiments.Fig6(tests)
 		var congFar, cleanFar float64
 		var nc, nn int
@@ -255,7 +255,7 @@ func BenchmarkTSLP2017Accuracy(b *testing.B) {
 	_, clf := fixtures(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tests := experiments.TSLPData(experiments.Quick, int64(i*10+3000), nil)
+		tests := experiments.TSLPData(experiments.Quick, int64(i*10+3000), 0, nil)
 		acc := experiments.EvalTSLP(tests, clf)
 		b.ReportMetric(acc.AccSelf(), "self-accuracy")
 		b.ReportMetric(acc.AccExt(), "ext-accuracy")
@@ -298,7 +298,7 @@ func BenchmarkFeatureAblation(b *testing.B) {
 // BenchmarkBBRAblation regenerates the §6 congestion-control/AQM ablation.
 func BenchmarkBBRAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.CCAblation(experiments.Quick, int64(i*100+11))
+		rows := experiments.CCAblation(experiments.Quick, int64(i*100+11), 0)
 		for _, row := range rows {
 			switch row.Variant {
 			case "reno":

@@ -7,7 +7,7 @@
 //	ccsig train [-quick] [-runs N] [-threshold F] -o model.json
 //	ccsig classify -model model.json -server 10.0.0.2 trace.pcap...
 //	ccsig inspect -model model.json
-//	ccsig faults [-quick] [-faults ge-loss,flap,...]
+//	ccsig faults [-quick] [-faults ge-loss,flap,...] [-j N]
 //	ccsig trace [-seed N] [-cong N] -o trace.json
 //	ccsig metrics [-seed N] [-scenario both]
 //
@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"tcpsig"
+	"tcpsig/internal/parallel"
 	"tcpsig/internal/testbed"
 )
 
@@ -271,16 +272,17 @@ func inspectCmd(args []string) {
 }
 
 func faultsCmd(args []string) {
-	fs := newFlagSet("faults", "[-quick] [-runs N] [-threshold F] [-seed N] [-faults name,name,...] [-v]")
+	fs := newFlagSet("faults", "[-quick] [-runs N] [-threshold F] [-seed N] [-faults name,name,...] [-j N] [-v]")
 	quick := fs.Bool("quick", false, "small parameter grid (seconds instead of minutes)")
 	runs := fs.Int("runs", 0, "runs per parameter combination and scenario")
 	threshold := fs.Float64("threshold", 0.8, "slow-start throughput labeling threshold")
 	seed := fs.Int64("seed", 1, "random seed")
 	names := fs.String("faults", "", "comma-separated fault regimes to test (default: all)")
+	jobs := fs.Int("j", 0, "parallel sim runs (0 = all cores, 1 = serial; output is identical either way)")
 	verbose := fs.Bool("v", false, "print progress")
 	fs.Parse(args)
 
-	sw := testbed.SweepOptions{RunsPerConfig: *runs, Seed: *seed}
+	sw := testbed.SweepOptions{RunsPerConfig: *runs, Seed: *seed, Workers: parallel.Workers(*jobs)}
 	if *quick {
 		sw.Rates = []float64{50}
 		sw.Losses = []float64{0}

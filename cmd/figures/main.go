@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-scale quick|full|paper] [-only fig1,fig3,...] [-seed N]
+//	figures [-scale quick|full|paper] [-only fig1,fig3,...] [-seed N] [-j N]
 //	        [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // Experiments: fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, multiplexing,
@@ -20,6 +20,7 @@ import (
 	"tcpsig/internal/experiments"
 	"tcpsig/internal/mlab"
 	"tcpsig/internal/obs"
+	"tcpsig/internal/parallel"
 	"tcpsig/internal/stats"
 	"tcpsig/internal/testbed"
 )
@@ -38,6 +39,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment subset (default all)")
 	seed := flag.Int64("seed", 1, "random seed")
 	progress := flag.Bool("progress", false, "print progress for long sweeps")
+	jobs := flag.Int("j", 0, "parallel sim runs (0 = all cores, 1 = serial; output is identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -77,7 +79,7 @@ func main() {
 		prog = func(done, total int) { fmt.Fprintf(os.Stderr, "\r%d/%d", done, total) }
 	}
 
-	r := &runner{scale: scale, seed: *seed, progress: prog}
+	r := &runner{scale: scale, seed: *seed, workers: parallel.Workers(*jobs), progress: prog}
 
 	if sel("fig1") {
 		r.fig1()
@@ -136,6 +138,7 @@ func main() {
 type runner struct {
 	scale    experiments.Scale
 	seed     int64
+	workers  int
 	progress func(done, total int)
 
 	sweepResults []*testbed.Result
@@ -153,7 +156,7 @@ func (r *runner) sweep() {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "running controlled-experiment sweep...\n")
-	r.sweepResults = experiments.SweepResults(r.scale, r.seed, r.progress)
+	r.sweepResults = experiments.SweepResults(r.scale, r.seed, r.workers, r.progress)
 	clf, err := experiments.TrainOnResults(r.sweepResults, 0.8)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "training failed: %v\n", err)
@@ -168,7 +171,7 @@ func (r *runner) dispute() {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "generating Dispute2014 dataset...\n")
-	r.disputeTests = experiments.DisputeData(r.scale, r.seed+10000, r.progress)
+	r.disputeTests = experiments.DisputeData(r.scale, r.seed+10000, r.workers, r.progress)
 	fmt.Fprintf(os.Stderr, "dispute2014: %d tests\n", len(r.disputeTests))
 }
 
@@ -181,7 +184,7 @@ func (r *runner) tslp() {
 	if r.progress != nil {
 		p = func(done int) { fmt.Fprintf(os.Stderr, "\r%d", done) }
 	}
-	r.tslpTests = experiments.TSLPData(r.scale, r.seed+20000, p)
+	r.tslpTests = experiments.TSLPData(r.scale, r.seed+20000, r.workers, p)
 	fmt.Fprintf(os.Stderr, "tslp2017: %d tests\n", len(r.tslpTests))
 }
 
@@ -194,7 +197,7 @@ func printCDF(name string, cdf []stats.CDFPoint) {
 
 func (r *runner) fig1() {
 	r.header("Figure 1: slow-start RTT signatures (20 Mbps access, 100 ms buffer)")
-	res := experiments.Fig1(r.scale, r.seed)
+	res := experiments.Fig1(r.scale, r.seed, r.workers)
 	printCDF("fig1a max-min RTT (ms), self-induced", res.MaxMinDiffMs[testbed.SelfInduced])
 	printCDF("fig1a max-min RTT (ms), external", res.MaxMinDiffMs[testbed.External])
 	printCDF("fig1b CoV, self-induced", res.CoV[testbed.SelfInduced])
@@ -270,7 +273,7 @@ func (r *runner) fig9() {
 func (r *runner) multiplexing() {
 	r.header("Section 3.3: multiplexing")
 	fmt.Println("variant            frac-expected  runs")
-	for _, row := range experiments.Multiplexing(r.clf, r.scale, r.seed+30000) {
+	for _, row := range experiments.Multiplexing(r.clf, r.scale, r.seed+30000, r.workers) {
 		name := fmt.Sprintf("cong-flows=%d", row.CongFlows)
 		if row.AccessCross > 0 {
 			name = fmt.Sprintf("access-cross=%d", row.AccessCross)
@@ -306,7 +309,7 @@ func (r *runner) depthAblation() {
 func (r *runner) ccAblation() {
 	r.header("Ablation: congestion control & AQM (§6 limitations)")
 	fmt.Println("variant    normdiff  cov    minRTT(ms)  maxRTT(ms)  valid/runs")
-	for _, row := range experiments.CCAblation(r.scale, r.seed+40000) {
+	for _, row := range experiments.CCAblation(r.scale, r.seed+40000, r.workers) {
 		fmt.Printf("%-10s %8.3f  %.3f  %10.1f  %10.1f  %d/%d\n",
 			row.Variant, row.NormDiff, row.CoV, row.MinRTTms, row.MaxRTTms, row.ValidRuns, row.Runs)
 	}

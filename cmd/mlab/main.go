@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	mlab dispute [-scale quick|full|paper] [-seed N]   # §4.1/§5.1-5.3
-//	mlab tslp    [-scale quick|full|paper] [-seed N]   # §4.2/§5.4
+//	mlab dispute [-scale quick|full|paper] [-seed N] [-j N]   # §4.1/§5.1-5.3
+//	mlab tslp    [-scale quick|full|paper] [-seed N] [-j N]   # §4.2/§5.4
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 
 	"tcpsig/internal/experiments"
 	"tcpsig/internal/mlab"
+	"tcpsig/internal/parallel"
 )
 
 func main() {
@@ -32,8 +33,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  mlab dispute [-scale quick|full|paper] [-seed N]
-  mlab tslp    [-scale quick|full|paper] [-seed N]
+  mlab dispute [-scale quick|full|paper] [-seed N] [-j N]
+  mlab tslp    [-scale quick|full|paper] [-seed N] [-j N]
 `)
 	os.Exit(2)
 }
@@ -56,16 +57,18 @@ func disputeCmd(args []string) {
 	fs := flag.NewFlagSet("dispute", flag.ExitOnError)
 	scaleFlag := fs.String("scale", "quick", "quick, full, or paper")
 	seed := fs.Int64("seed", 1, "random seed")
+	jobs := fs.Int("j", 0, "parallel sim runs (0 = all cores, 1 = serial)")
 	fs.Parse(args)
 	scale := parseScale(*scaleFlag)
+	workers := parallel.Workers(*jobs)
 
-	results := experiments.SweepResults(scale, *seed, nil)
+	results := experiments.SweepResults(scale, *seed, workers, nil)
 	clf, err := experiments.TrainOnResults(results, 0.8)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
-	tests := experiments.DisputeData(scale, *seed+10000, func(done, total int) {
+	tests := experiments.DisputeData(scale, *seed+10000, workers, func(done, total int) {
 		fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
 	})
 	fmt.Fprintf(os.Stderr, "\n%d NDT tests\n", len(tests))
@@ -104,16 +107,18 @@ func tslpCmd(args []string) {
 	fs := flag.NewFlagSet("tslp", flag.ExitOnError)
 	scaleFlag := fs.String("scale", "quick", "quick, full, or paper")
 	seed := fs.Int64("seed", 1, "random seed")
+	jobs := fs.Int("j", 0, "parallel sim runs (0 = all cores, 1 = serial)")
 	fs.Parse(args)
 	scale := parseScale(*scaleFlag)
+	workers := parallel.Workers(*jobs)
 
-	results := experiments.SweepResults(scale, *seed, nil)
+	results := experiments.SweepResults(scale, *seed, workers, nil)
 	clf, err := experiments.TrainOnResults(results, 0.8)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
-	tests := experiments.TSLPData(scale, *seed+20000, func(done int) {
+	tests := experiments.TSLPData(scale, *seed+20000, workers, func(done int) {
 		fmt.Fprintf(os.Stderr, "\r%d", done)
 	})
 	fmt.Fprintf(os.Stderr, "\n%d tests\n", len(tests))

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	testbed [-runs N] [-threshold F] [-seed N] [-quick] [-csv]
+//	testbed [-runs N] [-threshold F] [-seed N] [-quick] [-csv] [-j N]
 //	        [-cpuprofile f] [-memprofile f] [-trace f]
 package main
 
@@ -19,6 +19,7 @@ import (
 	"tcpsig/internal/dtree"
 	"tcpsig/internal/features"
 	"tcpsig/internal/obs"
+	"tcpsig/internal/parallel"
 	"tcpsig/internal/testbed"
 )
 
@@ -37,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "reduced parameter grid")
 	csv := flag.Bool("csv", false, "emit per-run CSV instead of a summary")
+	jobs := flag.Int("j", 0, "parallel sim runs (0 = all cores, 1 = serial; output is identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -53,6 +55,7 @@ func main() {
 	opt := testbed.SweepOptions{
 		RunsPerConfig: *runs,
 		Seed:          *seed,
+		Workers:       parallel.Workers(*jobs),
 		Progress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
 		},

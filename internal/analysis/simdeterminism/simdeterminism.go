@@ -25,6 +25,10 @@ var Packages = []string{
 	// (Its profiling helpers observe the host process, not the simulation,
 	// and use runtime/pprof — which this analyzer does not flag.)
 	"internal/obs",
+	// The parallel executor promises byte-identical output at every worker
+	// count; a wall-clock read or global rand draw there (say, for backoff
+	// or work stealing) would be invisible in the results until it wasn't.
+	"internal/parallel",
 }
 
 // wallClock is the set of time functions that read the host clock or block

@@ -1,0 +1,20 @@
+package parallel
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()     // want `time\.Now reads the wall clock`
+	_ = rand.Int63n(8) // want `global rand\.Int63n draws from the shared seed`
+	select {
+	case <-time.After(time.Second): // want `time\.After reads the wall clock`
+	default:
+	}
+}
+
+func good(rng *rand.Rand) {
+	_ = rng.Int63n(8) // allowed: method on injected *rand.Rand
+	_ = 10 * time.Millisecond
+}

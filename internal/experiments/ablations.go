@@ -109,8 +109,10 @@ type VariantRow struct {
 // CCAblation measures the self-induced signature under Reno, CUBIC and the
 // BBR-like controller (the paper notes latency-based congestion control can
 // confound the technique) plus a RED-queue variant (§6 claims AQM keeps the
-// signature as long as RTT still rises).
-func CCAblation(scale Scale, seed int64) []VariantRow {
+// signature as long as RTT still rises). The runs fan out over workers
+// (0/1 = serial) with byte-identical output; seeds derive from the flat
+// (variant, repetition) index, matching the historical shared counter.
+func CCAblation(scale Scale, seed int64, workers int) []VariantRow {
 	runs := 3
 	if scale >= Full {
 		runs = 8
@@ -135,25 +137,34 @@ func CCAblation(scale Scale, seed int64) []VariantRow {
 		{name: "reno+red", red: true},
 		{name: "reno+ecn", ecn: true},
 	}
+	specs := make([]testbed.Config, 0, len(variants)*runs)
+	for _, v := range variants {
+		for i := 0; i < runs; i++ {
+			specs = append(specs, testbed.Config{
+				Access: base, TransCross: true, Duration: 5 * time.Second,
+				Seed: seed + 1 + int64(len(specs)), CC: v.cc, RED: v.red, ECN: v.ecn,
+			})
+		}
+	}
+	outcomes := runAll(specs, workers)
+
 	var out []VariantRow
+	idx := 0
 	for _, v := range variants {
 		row := VariantRow{Variant: v.name, Scenario: testbed.SelfInduced}
 		var nd, cov, maxMs, minMs float64
 		for i := 0; i < runs; i++ {
-			seed++
-			res, err := testbed.Run(testbed.Config{
-				Access: base, TransCross: true, Duration: 5 * time.Second,
-				Seed: seed, CC: v.cc, RED: v.red, ECN: v.ecn,
-			})
+			o := outcomes[idx]
+			idx++
 			row.Runs++
-			if err != nil {
+			if o.err != nil {
 				continue
 			}
 			row.ValidRuns++
-			nd += res.Features.NormDiff
-			cov += res.Features.CoV
-			maxMs += float64(res.Features.MaxRTT) / float64(time.Millisecond)
-			minMs += float64(res.Features.MinRTT) / float64(time.Millisecond)
+			nd += o.res.Features.NormDiff
+			cov += o.res.Features.CoV
+			maxMs += float64(o.res.Features.MaxRTT) / float64(time.Millisecond)
+			minMs += float64(o.res.Features.MinRTT) / float64(time.Millisecond)
 		}
 		if row.ValidRuns > 0 {
 			n := float64(row.ValidRuns)

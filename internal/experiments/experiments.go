@@ -14,9 +14,31 @@ import (
 	"tcpsig/internal/dtree"
 	"tcpsig/internal/features"
 	"tcpsig/internal/mlab"
+	"tcpsig/internal/parallel"
 	"tcpsig/internal/stats"
 	"tcpsig/internal/testbed"
 )
+
+// runOut is the outcome of one planned emulator run.
+type runOut struct {
+	res *testbed.Result
+	err error
+}
+
+// runAll executes the planned configs across workers (0/1 = serial,
+// negative = GOMAXPROCS) and returns the outcomes slotted by plan index,
+// so every aggregation below consumes them in the order the serial loops
+// did.
+func runAll(specs []testbed.Config, workers int) []runOut {
+	out := make([]runOut, len(specs))
+	parallel.ForEachOrdered(len(specs), parallel.OptWorkers(workers),
+		func(i int) runOut {
+			res, err := testbed.Run(specs[i])
+			return runOut{res: res, err: err}
+		},
+		func(i int, v runOut) { out[i] = v })
+	return out
+}
 
 // Scale selects how much work an experiment runs.
 type Scale int
@@ -55,12 +77,9 @@ type Fig1Result struct {
 	Runs int
 }
 
-// Fig1 reproduces Figure 1: the paper's illustrative setup of a 20 Mbps
-// access link with a 100 ms buffer and 20 ms latency behind the 950 Mbps /
-// 50 ms interconnect, run with and without interconnect congestion.
-func Fig1(scale Scale, seed int64) Fig1Result {
-	runs := 4
-	dur := 5 * time.Second
+// fig1Params returns the run count and per-test duration for a scale.
+func fig1Params(scale Scale) (runs int, dur time.Duration) {
+	runs, dur = 4, 5*time.Second
 	switch scale {
 	case Full:
 		runs = 15
@@ -69,12 +88,16 @@ func Fig1(scale Scale, seed int64) Fig1Result {
 		runs = 50
 		dur = 10 * time.Second
 	}
-	var out Fig1Result
-	var diffs [2][]float64
-	var covs [2][]float64
+	return runs, dur
+}
+
+// fig1Plan expands Fig1's run list — both scenarios, runs repetitions
+// each — deriving every seed from the flat run index so run i carries the
+// same base+1+i value the historical shared counter assigned it.
+func fig1Plan(runs int, dur time.Duration, seed int64) []testbed.Config {
+	specs := make([]testbed.Config, 0, 2*runs)
 	for _, scenario := range []int{testbed.SelfInduced, testbed.External} {
 		for i := 0; i < runs; i++ {
-			seed++
 			cfg := testbed.Config{
 				Access: testbed.AccessParams{
 					RateMbps: 20,
@@ -84,21 +107,38 @@ func Fig1(scale Scale, seed int64) Fig1Result {
 				},
 				TransCross: true,
 				Duration:   dur,
-				Seed:       seed,
+				Seed:       seed + 1 + int64(len(specs)),
 			}
 			if scenario == testbed.External {
 				cfg.CongFlows = 100
 				cfg.WarmUp = 4 * time.Second
 			}
-			res, err := testbed.Run(cfg)
-			if err != nil {
-				continue
-			}
-			out.Runs++
-			diffMs := float64(res.Features.MaxRTT-res.Features.MinRTT) / float64(time.Millisecond)
-			diffs[scenario] = append(diffs[scenario], diffMs)
-			covs[scenario] = append(covs[scenario], res.Features.CoV)
+			specs = append(specs, cfg)
 		}
+	}
+	return specs
+}
+
+// Fig1 reproduces Figure 1: the paper's illustrative setup of a 20 Mbps
+// access link with a 100 ms buffer and 20 ms latency behind the 950 Mbps /
+// 50 ms interconnect, run with and without interconnect congestion. The
+// runs fan out over workers (0/1 = serial) with byte-identical output at
+// every worker count.
+func Fig1(scale Scale, seed int64, workers int) Fig1Result {
+	runs, dur := fig1Params(scale)
+	specs := fig1Plan(runs, dur, seed)
+	var out Fig1Result
+	var diffs [2][]float64
+	var covs [2][]float64
+	for _, v := range runAll(specs, workers) {
+		if v.err != nil {
+			continue
+		}
+		res := v.res
+		out.Runs++
+		diffMs := float64(res.Features.MaxRTT-res.Features.MinRTT) / float64(time.Millisecond)
+		diffs[res.Scenario] = append(diffs[res.Scenario], diffMs)
+		covs[res.Scenario] = append(covs[res.Scenario], res.Features.CoV)
 	}
 	for class := 0; class < 2; class++ {
 		out.MaxMinDiffMs[class] = stats.CDF(diffs[class])
@@ -123,9 +163,11 @@ type ThresholdPoint struct {
 }
 
 // SweepResults runs the §3.1 controlled-experiment grid once so Fig3, Fig4
-// and model training can share it.
-func SweepResults(scale Scale, seed int64, progress func(done, total int)) []*testbed.Result {
-	opt := testbed.SweepOptions{Seed: seed, Progress: progress}
+// and model training can share it. workers fans the grid's runs out
+// concurrently (0/1 = serial, negative = GOMAXPROCS) without changing a
+// byte of the output.
+func SweepResults(scale Scale, seed int64, workers int, progress func(done, total int)) []*testbed.Result {
+	opt := testbed.SweepOptions{Seed: seed, Workers: workers, Progress: progress}
 	switch scale {
 	case Quick:
 		opt.Rates = []float64{20}
@@ -233,8 +275,11 @@ type MultiplexPoint struct {
 
 // Multiplexing reproduces §3.3: external-congestion detection as TGCong
 // concurrency drops (100/50/20/10), and self-induced detection with 1/2/5
-// competing access flows, on a 50 Mbps access link.
-func Multiplexing(clf *core.Classifier, scale Scale, seed int64) []MultiplexPoint {
+// competing access flows, on a 50 Mbps access link. The runs fan out over
+// workers with byte-identical output at every worker count; each run's
+// seed is derived from its flat plan index (cong groups first, then
+// access-cross groups), reproducing the historical shared counter.
+func Multiplexing(clf *core.Classifier, scale Scale, seed int64, workers int) []MultiplexPoint {
 	runs := 3
 	dur := 5 * time.Second
 	switch scale {
@@ -244,53 +289,68 @@ func Multiplexing(clf *core.Classifier, scale Scale, seed int64) []MultiplexPoin
 		runs = 25
 		dur = 10 * time.Second
 	}
-	var out []MultiplexPoint
 	base := testbed.AccessParams{
 		RateMbps: 50,
 		Latency:  20 * time.Millisecond,
 		Jitter:   2 * time.Millisecond,
 		Buffer:   100 * time.Millisecond,
 	}
-	for _, cong := range []int{100, 50, 20, 10} {
+	congGroups := []int{100, 50, 20, 10}
+	crossGroups := []int{1, 2, 5}
+	specs := make([]testbed.Config, 0, (len(congGroups)+len(crossGroups))*runs)
+	for _, cong := range congGroups {
+		for i := 0; i < runs; i++ {
+			specs = append(specs, testbed.Config{
+				Access: base, CongFlows: cong, TransCross: true,
+				Duration: dur, WarmUp: 4 * time.Second,
+				Seed: seed + 1 + int64(len(specs)),
+			})
+		}
+	}
+	for _, cross := range crossGroups {
+		for i := 0; i < runs; i++ {
+			specs = append(specs, testbed.Config{
+				Access: base, AccessCrossFlows: cross, TransCross: true,
+				Duration: dur, Seed: seed + 1 + int64(len(specs)),
+			})
+		}
+	}
+	outcomes := runAll(specs, workers)
+
+	var out []MultiplexPoint
+	idx := 0
+	for _, cong := range congGroups {
 		match, total := 0, 0
 		for i := 0; i < runs; i++ {
-			seed++
-			res, err := testbed.Run(testbed.Config{
-				Access: base, CongFlows: cong, TransCross: true,
-				Duration: dur, WarmUp: 4 * time.Second, Seed: seed,
-			})
-			if err != nil {
+			v := outcomes[idx]
+			idx++
+			if v.err != nil {
 				continue
 			}
 			// Evaluate against the labeling rule, as the paper's
 			// accuracy numbers do: runs whose slow start reached the
 			// access threshold despite cross traffic are the
 			// expected confusion, not classifier errors.
-			if res.Label(0.8) != testbed.External {
+			if v.res.Label(0.8) != testbed.External {
 				continue
 			}
 			total++
-			v := clf.ClassifyFeatures(res.Features)
-			if v.Class == core.External {
+			if clf.ClassifyFeatures(v.res.Features).Class == core.External {
 				match++
 			}
 		}
 		out = append(out, MultiplexPoint{CongFlows: cong, FracExpected: frac(match, total), Runs: total})
 	}
-	for _, cross := range []int{1, 2, 5} {
+	for _, cross := range crossGroups {
 		match, total := 0, 0
 		for i := 0; i < runs; i++ {
-			seed++
-			res, err := testbed.Run(testbed.Config{
-				Access: base, AccessCrossFlows: cross, TransCross: true,
-				Duration: dur, Seed: seed,
-			})
-			if err != nil {
+			v := outcomes[idx]
+			idx++
+			if v.err != nil {
 				continue
 			}
 			total++
-			v := clf.ClassifyFeatures(res.Features)
-			if v.Class == core.SelfInduced {
+			if clf.ClassifyFeatures(v.res.Features).Class == core.SelfInduced {
 				match++
 			}
 		}
@@ -302,9 +362,10 @@ func Multiplexing(clf *core.Classifier, scale Scale, seed int64) []MultiplexPoin
 // ---------------------------------------------------------------------------
 // Figures 5, 7, 8, 9: Dispute2014.
 
-// DisputeData generates the Dispute2014 dataset at the requested scale.
-func DisputeData(scale Scale, seed int64, progress func(done, total int)) []mlab.DisputeTest {
-	opt := mlab.DisputeOptions{Seed: seed, Progress: progress}
+// DisputeData generates the Dispute2014 dataset at the requested scale,
+// fanning the NDT runs out over workers (0/1 = serial).
+func DisputeData(scale Scale, seed int64, workers int, progress func(done, total int)) []mlab.DisputeTest {
+	opt := mlab.DisputeOptions{Seed: seed, Workers: workers, Progress: progress}
 	switch scale {
 	case Quick:
 		opt.TestsPerCell = 1
@@ -550,9 +611,10 @@ func Fig9(tests []mlab.DisputeTest, seed int64) []Fig7Row {
 // ---------------------------------------------------------------------------
 // Figure 6 & §5.4: TSLP2017.
 
-// TSLPData generates the TSLP2017 campaign at the requested scale.
-func TSLPData(scale Scale, seed int64, progress func(done int)) []mlab.TSLPTest {
-	opt := mlab.TSLPOptions{Seed: seed, Progress: progress}
+// TSLPData generates the TSLP2017 campaign at the requested scale,
+// fanning the NDT runs out over workers (0/1 = serial).
+func TSLPData(scale Scale, seed int64, workers int, progress func(done int)) []mlab.TSLPTest {
+	opt := mlab.TSLPOptions{Seed: seed, Workers: workers, Progress: progress}
 	switch scale {
 	case Quick:
 		opt.Days = 3

@@ -14,7 +14,7 @@ import (
 
 func sweepOnce(t *testing.T) []*testbed.Result {
 	t.Helper()
-	results := SweepResults(Quick, 1000, nil)
+	results := SweepResults(Quick, 1000, 0, nil)
 	if len(results) < 12 {
 		t.Fatalf("quick sweep yielded only %d results", len(results))
 	}
@@ -37,7 +37,7 @@ func TestFig1Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("emulation")
 	}
-	r := Fig1(Quick, 1)
+	r := Fig1(Quick, 1, 0)
 	if r.Runs < 6 {
 		t.Fatalf("only %d runs", r.Runs)
 	}
@@ -147,7 +147,7 @@ func TestDisputePipelineShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tests := DisputeData(Quick, 2000, nil)
+	tests := DisputeData(Quick, 2000, 0, nil)
 	if len(tests) < 20 {
 		t.Fatalf("dispute data too small: %d", len(tests))
 	}
@@ -223,7 +223,7 @@ func TestTSLPPipelineShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tests := TSLPData(Quick, 3000, nil)
+	tests := TSLPData(Quick, 3000, 0, nil)
 	if len(tests) < 30 {
 		t.Fatalf("tslp data too small: %d", len(tests))
 	}
@@ -272,7 +272,7 @@ func TestMultiplexingShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows := Multiplexing(clf, Quick, 4000)
+	rows := Multiplexing(clf, Quick, 4000, 0)
 	var at100, at10 float64
 	for _, r := range rows {
 		if r.CongFlows == 100 {
@@ -299,7 +299,7 @@ func TestCCAblationShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("emulation")
 	}
-	rows := CCAblation(Quick, 5000)
+	rows := CCAblation(Quick, 5000, 0)
 	byName := map[string]VariantRow{}
 	for _, r := range rows {
 		if r.ValidRuns == 0 {

@@ -201,3 +201,32 @@ func TestChainMergesActions(t *testing.T) {
 		t.Fatalf("merged action %+v", act)
 	}
 }
+
+// TestLinkFlapNegativePhase checks the Euclidean wrap in IsDown: a negative
+// phase is exactly equivalent to the same phase shifted up by whole periods,
+// never a shifted-by-one-cycle or always-up schedule.
+func TestLinkFlapNegativePhase(t *testing.T) {
+	neg := NewLinkFlap(2*time.Second, 150*time.Millisecond, -700*time.Millisecond)
+	pos := NewLinkFlap(2*time.Second, 150*time.Millisecond, 1300*time.Millisecond)
+	var downs int
+	for at := sim.Time(0); at < 6*time.Second; at += 10 * time.Millisecond {
+		n, p := neg.IsDown(at), pos.IsDown(at)
+		if n != p {
+			t.Fatalf("IsDown(%v): phase -700ms gives %v, phase +1300ms gives %v", at, n, p)
+		}
+		if n {
+			downs++
+		}
+	}
+	if downs == 0 {
+		t.Fatal("negative-phase flap never went down")
+	}
+	// Spot-check one outage edge: with phase -700 ms the first cycle's
+	// outage covers [2550 ms, 2700 ms).
+	if neg.IsDown(2500 * time.Millisecond) {
+		t.Error("down at 2500ms, outage should start at 2550ms")
+	}
+	if !neg.IsDown(2600 * time.Millisecond) {
+		t.Error("up at 2600ms, inside the outage")
+	}
+}

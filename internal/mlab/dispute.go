@@ -3,6 +3,8 @@ package mlab
 import (
 	"math/rand"
 	"time"
+
+	"tcpsig/internal/parallel"
 )
 
 // Period distinguishes the two Dispute2014 timeframes.
@@ -120,8 +122,16 @@ type DisputeOptions struct {
 	// Seed drives the whole dataset deterministically.
 	Seed int64
 
-	// Progress, when non-nil, is called after every test.
+	// Progress, when non-nil, is called after every test, always in test
+	// order and never concurrently, regardless of Workers.
 	Progress func(done, total int)
+
+	// Workers is the number of NDT tests emulated concurrently. 0 or 1
+	// runs serially (the legacy path); negative means GOMAXPROCS. The
+	// dataset is byte-identical at every worker count: all shared-rng
+	// draws happen in a serial planning pass, and results are collected
+	// in test order.
+	Workers int
 }
 
 func (o DisputeOptions) withDefaults() DisputeOptions {
@@ -170,23 +180,26 @@ type DisputeTest struct {
 	Result *NDTResult
 }
 
-// GenerateDispute2014 synthesizes the dataset. Affected cells get diurnal
-// interconnect congestion; every cell also gets occasional transient
-// congestion episodes whose probability scales with the diurnal load,
-// modeling the background noise of a crowdsourced dataset.
-func GenerateDispute2014(opt DisputeOptions) []DisputeTest {
-	opt = opt.withDefaults()
+// disputeSpec is one planned NDT test: its cell coordinates plus the path
+// parameters, with every shared-rng draw already resolved.
+type disputeSpec struct {
+	test DisputeTest // Result still nil
+	path PathParams
+}
+
+// planDispute2014 walks the grid serially, consuming the shared rng in
+// exactly the order the historical generator did and assigning each test
+// the seed the old `seed++` counter gave it (base+1+index in nesting
+// order). All randomness is resolved here; executing the planned tests is
+// then embarrassingly parallel.
+func planDispute2014(opt DisputeOptions) []disputeSpec {
 	rng := rand.New(rand.NewSource(opt.Seed))
-	var out []DisputeTest
-	done := 0
-	total := opt.Total()
-	seed := opt.Seed
+	specs := make([]disputeSpec, 0, opt.Total())
 	for _, site := range opt.Sites {
 		for _, isp := range opt.ISPs {
 			for _, period := range []Period{JanFeb, MarApr} {
 				for _, hour := range opt.Hours {
 					for k := 0; k < opt.TestsPerCell; k++ {
-						seed++
 						load := diurnalLoad(hour)
 						cong := 0
 						if Affected(site, isp, period) {
@@ -204,35 +217,65 @@ func GenerateDispute2014(opt DisputeOptions) []DisputeTest {
 							}
 						}
 						plan := samplePlan(rng)
-						res, err := RunNDT(PathParams{
-							AccessMbps:    plan,
-							AccessLatency: time.Duration(10+rng.Intn(30)) * time.Millisecond,
-							AccessBuffer:  time.Duration(40+rng.Intn(120)) * time.Millisecond,
-							CongFlows:     cong,
-							Duration:      opt.Duration,
-							Seed:          seed,
-						})
-						done++
-						if opt.Progress != nil {
-							opt.Progress(done, total)
-						}
-						if err != nil {
-							continue
-						}
-						out = append(out, DisputeTest{
-							Site:      site,
-							ISP:       isp,
-							Period:    period,
-							Hour:      hour,
-							PlanMbps:  plan,
-							Congested: cong > 0,
-							Result:    res,
+						specs = append(specs, disputeSpec{
+							test: DisputeTest{
+								Site:      site,
+								ISP:       isp,
+								Period:    period,
+								Hour:      hour,
+								PlanMbps:  plan,
+								Congested: cong > 0,
+							},
+							path: PathParams{
+								AccessMbps:    plan,
+								AccessLatency: time.Duration(10+rng.Intn(30)) * time.Millisecond,
+								AccessBuffer:  time.Duration(40+rng.Intn(120)) * time.Millisecond,
+								CongFlows:     cong,
+								Duration:      opt.Duration,
+								Seed:          opt.Seed + 1 + int64(len(specs)),
+							},
 						})
 					}
 				}
 			}
 		}
 	}
+	return specs
+}
+
+// ndtOut is one executed NDT test.
+type ndtOut struct {
+	res *NDTResult
+	err error
+}
+
+// GenerateDispute2014 synthesizes the dataset. Affected cells get diurnal
+// interconnect congestion; every cell also gets occasional transient
+// congestion episodes whose probability scales with the diurnal load,
+// modeling the background noise of a crowdsourced dataset. Tests execute
+// across opt.Workers concurrently with byte-identical output at every
+// worker count.
+func GenerateDispute2014(opt DisputeOptions) []DisputeTest {
+	opt = opt.withDefaults()
+	specs := planDispute2014(opt)
+	total := len(specs)
+	out := make([]DisputeTest, 0, total)
+	parallel.ForEachOrdered(total, parallel.OptWorkers(opt.Workers),
+		func(i int) ndtOut {
+			res, err := RunNDT(specs[i].path)
+			return ndtOut{res: res, err: err}
+		},
+		func(i int, v ndtOut) {
+			if opt.Progress != nil {
+				opt.Progress(i+1, total)
+			}
+			if v.err != nil {
+				return
+			}
+			t := specs[i].test
+			t.Result = v.res
+			out = append(out, t)
+		})
 	return out
 }
 

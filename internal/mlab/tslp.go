@@ -3,6 +3,8 @@ package mlab
 import (
 	"math/rand"
 	"time"
+
+	"tcpsig/internal/parallel"
 )
 
 // TSLPOptions configures the targeted 2017 experiment: periodic NDT tests
@@ -32,8 +34,14 @@ type TSLPOptions struct {
 	// Seed drives everything.
 	Seed int64
 
-	// Progress, when non-nil, is called after each test.
+	// Progress, when non-nil, is called after each test, always in test
+	// order and never concurrently, regardless of Workers.
 	Progress func(done int)
+
+	// Workers is the number of tests emulated concurrently. 0 or 1 runs
+	// serially (the legacy path); negative means GOMAXPROCS. Output is
+	// byte-identical at every worker count.
+	Workers int
 }
 
 func (o TSLPOptions) withDefaults() TSLPOptions {
@@ -119,15 +127,20 @@ func tslpPath(o TSLPOptions, congested bool, seed int64) PathParams {
 	}
 }
 
-// GenerateTSLP2017 runs the campaign: an episode schedule is drawn per day
-// (evening hours, 1-3 hours long), then tests execute on the paper's cadence
-// with in-emulation TSLP probes.
-func GenerateTSLP2017(opt TSLPOptions) []TSLPTest {
-	opt = opt.withDefaults()
+// tslpSpec is one planned campaign test with its shared-rng draws already
+// resolved.
+type tslpSpec struct {
+	test TSLPTest // Result still nil
+	path PathParams
+}
+
+// planTSLP2017 draws every day's episode window serially (consuming the
+// shared rng in the historical order) and expands the test cadence into a
+// flat list, assigning each test the seed the old `seed++` counter gave
+// it (base+1+index).
+func planTSLP2017(opt TSLPOptions) []tslpSpec {
 	rng := rand.New(rand.NewSource(opt.Seed))
-	var out []TSLPTest
-	seed := opt.Seed
-	done := 0
+	var specs []tslpSpec
 	for day := 0; day < opt.Days; day++ {
 		// Draw the day's episode window.
 		episodeStart, episodeEnd := -1, -1
@@ -141,22 +154,11 @@ func GenerateTSLP2017(opt TSLPOptions) []TSLPTest {
 				cadence = opt.PeakEvery
 			}
 			for min := 0; min < 60; min += int(cadence / time.Minute) {
-				seed++
 				congested := hour >= episodeStart && hour < episodeEnd
-				res, err := RunNDT(tslpPath(opt, congested, seed))
-				done++
-				if opt.Progress != nil {
-					opt.Progress(done)
-				}
-				if err != nil {
-					continue
-				}
-				out = append(out, TSLPTest{
-					Day:       day,
-					Hour:      hour,
-					Minute:    min,
-					Congested: congested,
-					Result:    res,
+				seed := opt.Seed + 1 + int64(len(specs))
+				specs = append(specs, tslpSpec{
+					test: TSLPTest{Day: day, Hour: hour, Minute: min, Congested: congested},
+					path: tslpPath(opt, congested, seed),
 				})
 				if cadence >= time.Hour {
 					break
@@ -164,5 +166,32 @@ func GenerateTSLP2017(opt TSLPOptions) []TSLPTest {
 			}
 		}
 	}
+	return specs
+}
+
+// GenerateTSLP2017 runs the campaign: an episode schedule is drawn per day
+// (evening hours, 1-3 hours long), then tests execute on the paper's cadence
+// with in-emulation TSLP probes, fanned out across opt.Workers with
+// byte-identical output at every worker count.
+func GenerateTSLP2017(opt TSLPOptions) []TSLPTest {
+	opt = opt.withDefaults()
+	specs := planTSLP2017(opt)
+	out := make([]TSLPTest, 0, len(specs))
+	parallel.ForEachOrdered(len(specs), parallel.OptWorkers(opt.Workers),
+		func(i int) ndtOut {
+			res, err := RunNDT(specs[i].path)
+			return ndtOut{res: res, err: err}
+		},
+		func(i int, v ndtOut) {
+			if opt.Progress != nil {
+				opt.Progress(i + 1)
+			}
+			if v.err != nil {
+				return
+			}
+			t := specs[i].test
+			t.Result = v.res
+			out = append(out, t)
+		})
 	return out
 }

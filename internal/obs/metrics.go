@@ -15,7 +15,10 @@ import (
 //
 // The registry is not goroutine-safe: the simulation is single-threaded
 // and each run owns its registry, which is also what makes snapshots
-// reproducible.
+// reproducible. Parallel sweeps give every run its own registry and fold
+// them together with Merge on a single goroutine (see internal/parallel).
+//
+// The zero value is ready to use; NewRegistry remains for symmetry.
 type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -31,6 +34,12 @@ func NewRegistry() *Registry {
 	}
 }
 
+// BucketConflictCounter is the counter that records Histogram lookups
+// whose buckets disagreed with the name's registered buckets. A nonzero
+// value means some observations were filed into buckets their caller did
+// not ask for.
+const BucketConflictCounter = "obs.histogram_bucket_conflict"
+
 // Counter returns the named monotonic counter, creating it on first use.
 // A nil registry returns nil, which absorbs all updates.
 func (r *Registry) Counter(name string) *Counter {
@@ -39,6 +48,9 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	c, ok := r.counters[name]
 	if !ok {
+		if r.counters == nil {
+			r.counters = make(map[string]*Counter)
+		}
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -53,6 +65,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	}
 	g, ok := r.gauges[name]
 	if !ok {
+		if r.gauges == nil {
+			r.gauges = make(map[string]*Gauge)
+		}
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -60,19 +75,39 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the named fixed-bucket histogram, creating it with the
-// given upper bounds on first use (later calls reuse the existing buckets;
-// buckets must be sorted ascending). A nil registry returns nil, which
-// absorbs all observations.
+// given upper bounds on first use (buckets must be sorted ascending). A
+// later call with *different* buckets still returns the registered
+// histogram — the name owns its buckets — but the mismatch is recorded in
+// the BucketConflictCounter so it cannot pass silently: the second
+// caller's observations would otherwise land in buckets it never asked
+// for. A nil registry returns nil, which absorbs all observations.
 func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
 	h, ok := r.hists[name]
 	if !ok {
+		if r.hists == nil {
+			r.hists = make(map[string]*Histogram)
+		}
 		h = newHistogram(buckets)
 		r.hists[name] = h
+	} else if !equalBounds(h.bounds, buckets) {
+		r.Counter(BucketConflictCounter).Inc()
 	}
 	return h
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Counter is a monotonically increasing uint64.
@@ -164,6 +199,62 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return h.sum
+}
+
+// Merge folds src into r, visiting metric names in sorted order so the
+// operation is deterministic:
+//
+//   - counters add,
+//   - histograms with identical buckets add bucket counts, totals and
+//     sums; a bucket mismatch leaves r's histogram untouched and is
+//     recorded in r's BucketConflictCounter,
+//   - gauges take src's value (last-merge-wins, matching the overwrite
+//     semantics of serial collection order).
+//
+// Merging per-run registries in run order reproduces a serial sweep's
+// metric fold exactly when each run observes a given histogram at most
+// once (the sweep aggregation pattern); with several observations per
+// run, bucket counts and totals still match but a histogram's float sum
+// may differ from the serial fold in the last bits, since addition is
+// reassociated. Safe when either registry is nil (nil src is a no-op;
+// merging into a nil r drops the data, like every other nil-registry
+// update).
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	for _, name := range sortedNames(src.counters) {
+		r.Counter(name).Add(src.counters[name].v)
+	}
+	for _, name := range sortedNames(src.gauges) {
+		r.Gauge(name).Set(src.gauges[name].v)
+	}
+	for _, name := range sortedNames(src.hists) {
+		sh := src.hists[name]
+		h, ok := r.hists[name]
+		if !ok {
+			// First sight of this histogram: adopt src's buckets, then
+			// fold below.
+			h = r.Histogram(name, sh.bounds)
+		} else if !equalBounds(h.bounds, sh.bounds) {
+			r.Counter(BucketConflictCounter).Inc()
+			continue
+		}
+		for i, c := range sh.counts {
+			h.counts[i] += c
+		}
+		h.count += sh.count
+		h.sum += sh.sum
+	}
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // LinearBuckets returns n upper bounds start, start+width, ...

@@ -1,0 +1,99 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestOrderedDelivery checks that collect sees every index exactly once,
+// in increasing order, at several worker counts including ones larger
+// than the job count.
+func TestOrderedDelivery(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 3, 8, n + 5} {
+		var got []int
+		ForEachOrdered(n, workers, func(i int) int { return i * i }, func(i, v int) {
+			if v != i*i {
+				t.Fatalf("workers=%d: collect(%d) got %d, want %d", workers, i, v, i*i)
+			}
+			got = append(got, i)
+		})
+		if len(got) != n {
+			t.Fatalf("workers=%d: collected %d results, want %d", workers, len(got), n)
+		}
+		for i, idx := range got {
+			if idx != i {
+				t.Fatalf("workers=%d: delivery order broken at position %d: got index %d", workers, i, idx)
+			}
+		}
+	}
+}
+
+// TestMatchesSerial checks that an order-sensitive fold (string
+// concatenation) is identical between the serial path and a heavily
+// parallel one.
+func TestMatchesSerial(t *testing.T) {
+	fn := func(i int) byte { return byte('a' + i%26) }
+	run := func(workers int) string {
+		var b []byte
+		ForEachOrdered(500, workers, fn, func(i int, v byte) { b = append(b, v) })
+		return string(b)
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 8, 16} {
+		if got := run(workers); got != serial {
+			t.Fatalf("workers=%d output differs from serial", workers)
+		}
+	}
+}
+
+// TestEdgeCases: zero and single-element inputs must not hang or spawn
+// goroutines that outlive the call.
+func TestEdgeCases(t *testing.T) {
+	ForEachOrdered(0, 8, func(i int) int { t.Fatal("fn called for n=0"); return 0 },
+		func(i, v int) { t.Fatal("collect called for n=0") })
+
+	calls := 0
+	ForEachOrdered(1, 8, func(i int) int { return 7 }, func(i, v int) {
+		if i != 0 || v != 7 {
+			t.Fatalf("got (%d,%d), want (0,7)", i, v)
+		}
+		calls++
+	})
+	if calls != 1 {
+		t.Fatalf("collect called %d times, want 1", calls)
+	}
+}
+
+// TestEveryJobRunsOnce counts fn invocations under contention.
+func TestEveryJobRunsOnce(t *testing.T) {
+	const n = 1000
+	var ran [n]atomic.Int32
+	ForEachOrdered(n, 8, func(i int) struct{} {
+		ran[i].Add(1)
+		return struct{}{}
+	}, func(i int, _ struct{}) {})
+	for i := range ran {
+		if c := ran[i].Load(); c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestWorkers pins the flag-normalization rule.
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-3); got != want {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, want)
+	}
+}

@@ -43,8 +43,13 @@ func DefaultFaultRegimes() []FaultRegime {
 			Description: "link flaps: 150 ms outage every 2 s",
 			Factory: func(seed int64) netem.FaultInjector {
 				// Phase from the seed so outages land at different
-				// points of slow start across runs.
-				phase := time.Duration(seed%20) * 100 * time.Millisecond
+				// points of slow start across runs. The non-negative mod
+				// keeps the phase in [0, Period) for negative seeds too;
+				// since Go's seed%20 differs from the Euclidean mod by
+				// exactly 20 (one whole 2 s period), the schedule is
+				// unchanged for every seed that ever produced one —
+				// LinkFlap.IsDown wraps negative offsets the same way.
+				phase := time.Duration((seed%20+20)%20) * 100 * time.Millisecond
 				return faults.NewLinkFlap(2*time.Second, 150*time.Millisecond, phase)
 			},
 		},

@@ -6,6 +6,7 @@ import (
 
 	"tcpsig/internal/faults"
 	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
 )
 
 // quickFaultSweep is a small grid at 50 Mbps access, where external
@@ -119,5 +120,45 @@ func TestFaultedSweepDeterministicAndPerturbed(t *testing.T) {
 	}
 	if !perturbed {
 		t.Fatal("Gilbert-Elliott regime left every run identical to the clean sweep")
+	}
+}
+
+// TestFlapRegimeNegativeSeed is the satellite-3 regression: the flap
+// regime's phase derivation must stay in [0, Period) for negative seeds and
+// — because Go's % differs from the Euclidean mod by exactly one whole
+// 2 s period there — produce the same outage schedule the historical
+// seed%20 formula did for every seed.
+func TestFlapRegimeNegativeSeed(t *testing.T) {
+	var flap FaultRegime
+	for _, r := range DefaultFaultRegimes() {
+		if r.Name == "flap" {
+			flap = r
+		}
+	}
+	if flap.Factory == nil {
+		t.Fatal("no flap regime registered")
+	}
+	for _, seed := range []int64{-1, -7, -20, -39, 0, 7, 19} {
+		inj := flap.Factory(seed)
+		lf, ok := inj.(*faults.LinkFlap)
+		if !ok {
+			t.Fatalf("seed %d: flap factory built %T, want *faults.LinkFlap", seed, inj)
+		}
+		if lf.Phase < 0 || lf.Phase >= lf.Period {
+			t.Errorf("seed %d: phase %v outside [0, %v)", seed, lf.Phase, lf.Period)
+		}
+		// The historical schedule used phase seed%20*100ms directly
+		// (negative for negative seeds); IsDown must agree everywhere.
+		old := faults.NewLinkFlap(lf.Period, lf.Down, time.Duration(seed%20)*100*time.Millisecond)
+		for at := sim.Time(0); at < 6*time.Second; at += 25 * time.Millisecond {
+			if lf.IsDown(at) != old.IsDown(at) {
+				t.Fatalf("seed %d: schedule diverges from historical phase at %v", seed, at)
+			}
+		}
+		// Seeds congruent mod 20 must share a schedule.
+		other := flap.Factory(seed + 20).(*faults.LinkFlap)
+		if other.Phase != lf.Phase {
+			t.Errorf("seed %d and %d: phases %v vs %v", seed, seed+20, lf.Phase, other.Phase)
+		}
 	}
 }

@@ -1,0 +1,81 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSweepSeedGolden pins the exact per-run seed sequence the sweep
+// assigns. The serial code historically incremented a shared counter before
+// each run (so run i carried base+1+i, in rate > loss > latency > buffer >
+// scenario > repetition nesting order); the index-derived refactor must
+// reproduce that sequence forever, because published results key on these
+// seeds.
+func TestSweepSeedGolden(t *testing.T) {
+	opt := SweepOptions{
+		Rates:         []float64{10, 20},
+		Losses:        []float64{0},
+		Latencies:     []time.Duration{20 * time.Millisecond},
+		Buffers:       []time.Duration{20 * time.Millisecond, 50 * time.Millisecond},
+		RunsPerConfig: 2,
+		CongFlows:     3,
+		Duration:      time.Second,
+		Seed:          100,
+	}.withDefaults()
+	specs := opt.plan()
+
+	if want := opt.Total(); len(specs) != want {
+		t.Fatalf("plan has %d runs, Total says %d", len(specs), want)
+	}
+
+	// Reference: the historical shared counter, incremented before each run.
+	seed := opt.Seed
+	ref := make([]int64, 0, len(specs))
+	for range opt.Rates {
+		for range opt.Losses {
+			for range opt.Latencies {
+				for range opt.Buffers {
+					for s := 0; s < 2; s++ {
+						for r := 0; r < opt.RunsPerConfig; r++ {
+							seed++
+							ref = append(ref, seed)
+						}
+					}
+				}
+			}
+		}
+	}
+	for i, sp := range specs {
+		if sp.cfg.Seed != ref[i] {
+			t.Errorf("run %d: seed %d, historical counter gave %d", i, sp.cfg.Seed, ref[i])
+		}
+		if got := sweepSeed(opt.Seed, i); sp.cfg.Seed != got {
+			t.Errorf("run %d: seed %d, sweepSeed(base,i) gives %d", i, sp.cfg.Seed, got)
+		}
+	}
+
+	// Pin absolute values so a change to the nesting order (which would
+	// silently reassign seeds to different cells) also fails.
+	golden := []struct {
+		i    int
+		seed int64
+		buf  time.Duration
+		cong int
+	}{
+		{0, 101, 20 * time.Millisecond, 0},  // rate 10, first self run
+		{2, 103, 20 * time.Millisecond, 3},  // rate 10, first external run
+		{4, 105, 50 * time.Millisecond, 0},  // second buffer
+		{8, 109, 20 * time.Millisecond, 0},  // rate 20
+		{15, 116, 50 * time.Millisecond, 3}, // last run
+	}
+	for _, g := range golden {
+		sp := specs[g.i]
+		if sp.cfg.Seed != g.seed || sp.cfg.Access.Buffer != g.buf || sp.cfg.CongFlows != g.cong {
+			t.Errorf("run %d: seed=%d buf=%s cong=%d, want seed=%d buf=%s cong=%d",
+				g.i, sp.cfg.Seed, sp.cfg.Access.Buffer, sp.cfg.CongFlows, g.seed, g.buf, g.cong)
+		}
+	}
+	if last := specs[len(specs)-1].cfg.Seed; last != opt.Seed+int64(len(specs)) {
+		t.Errorf("last seed %d, want base+total = %d", last, opt.Seed+int64(len(specs)))
+	}
+}

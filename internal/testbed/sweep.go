@@ -7,6 +7,7 @@ import (
 	"tcpsig/internal/dtree"
 	"tcpsig/internal/netem"
 	"tcpsig/internal/obs"
+	"tcpsig/internal/parallel"
 	"tcpsig/internal/tcpsim"
 )
 
@@ -54,8 +55,17 @@ type SweepOptions struct {
 	// through to every Config (see Config.Faults and SweepFaults).
 	Faults func(seed int64) netem.FaultInjector
 
-	// Progress, when non-nil, is called after each run.
+	// Progress, when non-nil, is called after each run, always in run
+	// order and never concurrently, regardless of Workers.
 	Progress func(done, total int)
+
+	// Workers is the number of runs executed concurrently. 0 or 1 runs
+	// the grid serially (the legacy path); negative means GOMAXPROCS.
+	// Every worker count produces byte-identical output: run seeds are
+	// derived from grid position, results are collected in run order, and
+	// metrics are folded in run order (see DESIGN.md, "Concurrency
+	// model").
+	Workers int
 
 	// Metrics, when non-nil, accumulates per-cell summaries across the
 	// sweep: run/valid/invalid counters and feature histograms keyed by
@@ -105,22 +115,31 @@ func (o SweepOptions) Total() int {
 	return len(o.Rates) * len(o.Losses) * len(o.Latencies) * len(o.Buffers) * o.RunsPerConfig * 2
 }
 
-// Sweep runs the full grid for both scenarios and returns every valid
-// result. Runs whose flows fail the 10-sample validity filter are skipped,
-// exactly as the paper discards them.
-func Sweep(opt SweepOptions) []*Result {
-	opt = opt.withDefaults()
-	var out []*Result
-	seed := opt.Seed
-	done := 0
-	total := opt.Total()
-	for _, rate := range opt.Rates {
-		for _, loss := range opt.Losses {
-			for _, lat := range opt.Latencies {
-				for _, buf := range opt.Buffers {
-					for _, cong := range []int{0, opt.CongFlows} {
-						for run := 0; run < opt.RunsPerConfig; run++ {
-							seed++
+// sweepSeed derives a run's seed purely from its flat grid index (nesting
+// order: rate, loss, latency, buffer, scenario, repetition). The serial
+// code historically incremented a shared counter before each run, so run
+// i carried base+1+i; deriving the same value from the index keeps every
+// published seed stable while freeing the runs from execution order.
+func sweepSeed(base int64, index int) int64 {
+	return base + 1 + int64(index)
+}
+
+// sweepRun is one planned grid cell execution.
+type sweepRun struct {
+	cfg  Config
+	cell string // metric-name prefix for the run's cell
+}
+
+// plan expands the grid into the flat run list, assigning seeds by index.
+// opt must already have defaults applied.
+func (o SweepOptions) plan() []sweepRun {
+	specs := make([]sweepRun, 0, o.Total())
+	for _, rate := range o.Rates {
+		for _, loss := range o.Losses {
+			for _, lat := range o.Latencies {
+				for _, buf := range o.Buffers {
+					for _, cong := range []int{0, o.CongFlows} {
+						for run := 0; run < o.RunsPerConfig; run++ {
 							cfg := Config{
 								Access: AccessParams{
 									RateMbps: rate,
@@ -131,45 +150,82 @@ func Sweep(opt SweepOptions) []*Result {
 								},
 								CongFlows:  cong,
 								TransCross: true,
-								Duration:   opt.Duration,
-								Seed:       seed,
-								CC:         opt.CC,
-								Faults:     opt.Faults,
+								Duration:   o.Duration,
+								Seed:       sweepSeed(o.Seed, len(specs)),
+								CC:         o.CC,
+								Faults:     o.Faults,
 							}
 							if cong > 0 {
 								cfg.WarmUp = 4 * time.Second
 							}
-							res, err := Run(cfg)
-							done++
-							if opt.Progress != nil {
-								opt.Progress(done, total)
-							}
-							cell := ""
-							if opt.Metrics != nil {
-								cell = cellName(rate, loss, lat, buf, cong)
-								opt.Metrics.Counter(cell + ".runs").Inc()
-							}
-							if err != nil {
-								opt.Metrics.Counter(cell + ".invalid").Inc()
-								continue
-							}
-							if opt.Metrics != nil {
-								opt.Metrics.Counter(cell + ".valid").Inc()
-								opt.Metrics.Histogram(cell+".normdiff", obs.LinearBuckets(0.1, 0.1, 10)).
-									Observe(res.Features.NormDiff)
-								opt.Metrics.Histogram(cell+".cov", obs.LinearBuckets(0.05, 0.05, 10)).
-									Observe(res.Features.CoV)
-								opt.Metrics.Histogram(cell+".slowstart_mbps", obs.LinearBuckets(5, 5, 12)).
-									Observe(res.SlowStartBps / 1e6)
-							}
-							out = append(out, res)
+							specs = append(specs, sweepRun{cfg: cfg, cell: cellName(rate, loss, lat, buf, cong)})
 						}
 					}
 				}
 			}
 		}
 	}
+	return specs
+}
+
+// sweepOut is the full outcome of one run: the result (or error) plus the
+// run's private metrics registry, folded into the sweep registry by the
+// ordered collector.
+type sweepOut struct {
+	res *Result
+	err error
+	reg *obs.Registry
+}
+
+// Sweep runs the full grid for both scenarios and returns every valid
+// result. Runs whose flows fail the 10-sample validity filter are skipped,
+// exactly as the paper discards them. With Workers > 1 the runs execute
+// concurrently but all output — result order, Progress calls, the Metrics
+// registry — is byte-identical to the serial sweep.
+func Sweep(opt SweepOptions) []*Result {
+	opt = opt.withDefaults()
+	specs := opt.plan()
+	total := len(specs)
+	out := make([]*Result, 0, total)
+	parallel.ForEachOrdered(total, parallel.OptWorkers(opt.Workers),
+		func(i int) sweepOut {
+			var reg *obs.Registry
+			if opt.Metrics != nil {
+				reg = obs.NewRegistry()
+			}
+			return runSweepCell(specs[i], reg)
+		},
+		func(i int, v sweepOut) {
+			if opt.Progress != nil {
+				opt.Progress(i+1, total)
+			}
+			opt.Metrics.Merge(v.reg)
+			if v.err == nil {
+				out = append(out, v.res)
+			}
+		})
 	return out
+}
+
+// runSweepCell executes one planned run and records its per-cell metrics
+// into reg (nil disables metrics; every registry call is nil-safe, so an
+// invalid run without a registry is counted nowhere instead of panicking
+// as the old unguarded sweep-level counter update did).
+func runSweepCell(sp sweepRun, reg *obs.Registry) sweepOut {
+	res, err := Run(sp.cfg)
+	reg.Counter(sp.cell + ".runs").Inc()
+	if err != nil {
+		reg.Counter(sp.cell + ".invalid").Inc()
+		return sweepOut{err: err, reg: reg}
+	}
+	reg.Counter(sp.cell + ".valid").Inc()
+	reg.Histogram(sp.cell+".normdiff", obs.LinearBuckets(0.1, 0.1, 10)).
+		Observe(res.Features.NormDiff)
+	reg.Histogram(sp.cell+".cov", obs.LinearBuckets(0.05, 0.05, 10)).
+		Observe(res.Features.CoV)
+	reg.Histogram(sp.cell+".slowstart_mbps", obs.LinearBuckets(5, 5, 12)).
+		Observe(res.SlowStartBps / 1e6)
+	return sweepOut{res: res, reg: reg}
 }
 
 // Dataset converts sweep results into labeled training examples using the
