@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"tcpsig/internal/conformance"
+	"tcpsig/internal/parallel"
+)
+
+// conformanceCmd runs the tier-2 statistical conformance suite (or, with
+// -generate, regenerates its tolerance bands). The suite re-runs the
+// paper's quick-scale experiments and checks the headline results against
+// versioned tolerance bands plus structural invariants; the JSON report is
+// a pure function of the seed.
+func conformanceCmd(args []string) {
+	fs := newFlagSet("conformance", "[-seed N] [-j N] [-o out.json] [-expected bands.json] [-v] | -generate [-seeds 1,2,3]")
+	seed := fs.Int64("seed", 1, "suite seed (the report is byte-identical per seed)")
+	jobs := fs.Int("j", 0, "parallel sim runs (0 = all cores, 1 = serial; output is identical either way)")
+	out := fs.String("o", "", "write the JSON report (or, with -generate, the bands) here instead of stdout")
+	expectedPath := fs.String("expected", "", "tolerance-band JSON to evaluate against (default: embedded quick-scale baseline)")
+	generate := fs.Bool("generate", false, "regenerate tolerance bands from -seeds instead of running the suite")
+	seedList := fs.String("seeds", "1,2,3", "comma-separated seeds for -generate")
+	checkList := fs.String("checks", "", "comma-separated check names to run (default: all)")
+	verbose := fs.Bool("v", false, "print stage progress to stderr")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		badUsage(fs, "unexpected arguments")
+	}
+	workers := parallel.Workers(*jobs)
+	var onlyChecks []string
+	if *checkList != "" {
+		for _, c := range strings.Split(*checkList, ",") {
+			onlyChecks = append(onlyChecks, strings.TrimSpace(c))
+		}
+	}
+
+	write := func(render func(f io.Writer) error) {
+		f := os.Stdout
+		if *out != "" {
+			var err error
+			f, err = os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+		}
+		if err := render(f); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *generate {
+		var seeds []int64
+		for _, s := range strings.Split(*seedList, ",") {
+			n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				badUsage(fs, fmt.Sprintf("bad -seeds entry %q", s))
+			}
+			seeds = append(seeds, n)
+		}
+		exp, err := conformance.GenerateExpectedFrom(func(seed int64) conformance.Source {
+			return &conformance.EmulatedSource{Seed: seed, Workers: workers}
+		}, seeds, onlyChecks...)
+		if err != nil {
+			fatal(err)
+		}
+		write(exp.WriteJSON)
+		return
+	}
+
+	opt := conformance.Options{Seed: *seed, Workers: workers, Checks: onlyChecks}
+	if *verbose {
+		opt.Source = &conformance.EmulatedSource{
+			Seed:    *seed,
+			Workers: workers,
+			Progress: func(stage string) {
+				fmt.Fprintf(os.Stderr, "conformance: running %s...\n", stage)
+			},
+		}
+	}
+	if *expectedPath != "" {
+		f, err := os.Open(*expectedPath)
+		if err != nil {
+			fatal(err)
+		}
+		var exp conformance.Expected
+		err = json.NewDecoder(f).Decode(&exp)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *expectedPath, err))
+		}
+		opt.Expected = &exp
+	}
+
+	rep, err := conformance.Run(opt)
+	if err != nil {
+		fatal(err)
+	}
+	write(func(f io.Writer) error {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		_, err = f.Write(b)
+		return err
+	})
+	fmt.Fprint(os.Stderr, rep.Summary())
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}

@@ -8,6 +8,7 @@
 //	ccsig classify -model model.json -server 10.0.0.2 trace.pcap...
 //	ccsig inspect -model model.json
 //	ccsig faults [-quick] [-faults ge-loss,flap,...] [-j N]
+//	ccsig conformance [-seed N] [-j N] [-o report.json]
 //	ccsig trace [-seed N] [-cong N] -o trace.json
 //	ccsig metrics [-seed N] [-scenario both]
 //
@@ -52,6 +53,8 @@ func main() {
 		summarizeCmd(os.Args[2:])
 	case "faults":
 		faultsCmd(os.Args[2:])
+	case "conformance":
+		conformanceCmd(os.Args[2:])
 	case "trace":
 		traceCmd(os.Args[2:])
 	case "metrics":
@@ -74,6 +77,7 @@ commands:
   summarize  print per-flow slow-start statistics from pcap captures
   inspect    print a trained model's decision tree
   faults     measure accuracy under injected network faults
+  conformance  run the tier-2 statistical conformance suite, emit a JSON report
   trace      run one instrumented experiment, export a Chrome/Perfetto trace
   metrics    run instrumented experiments, print metric snapshots
   help       show this message

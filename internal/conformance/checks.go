@@ -1,0 +1,448 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tcpsig/internal/core"
+	"tcpsig/internal/experiments"
+	"tcpsig/internal/features"
+	"tcpsig/internal/mlab"
+	"tcpsig/internal/netem"
+	"tcpsig/internal/stats"
+	"tcpsig/internal/testbed"
+)
+
+// Checks returns the conformance assertion sets, in report order. Every
+// check is a pure function of its Data (and the suite seed), so the same
+// seed always yields a byte-identical report.
+func Checks() []Check {
+	return []Check{
+		{Name: "fig1-separation", Run: checkFig1},
+		{Name: "cv-accuracy", Run: checkCVAccuracy},
+		{Name: "dispute-fig7", Run: checkFig7},
+		{Name: "dispute-fig8", Run: checkFig8},
+		{Name: "dispute-fig9", Run: checkFig9},
+		{Name: "bbr-limitation", Run: checkBBR},
+		{Name: "physical-invariants", Run: checkPhysical},
+		{Name: "metamorphic", Run: checkMetamorphic},
+	}
+}
+
+// cdfQuantile returns the q-quantile of an empirical CDF: the smallest X
+// whose cumulative probability reaches q.
+func cdfQuantile(points []stats.CDFPoint, q float64) float64 {
+	for _, p := range points {
+		if p.P >= q {
+			return p.X
+		}
+	}
+	if len(points) == 0 {
+		return math.NaN()
+	}
+	return points[len(points)-1].X
+}
+
+// cdfShapeViolations validates the structural invariants of an empirical
+// CDF: non-empty, X strictly increasing, P strictly increasing and ending
+// at 1.
+func cdfShapeViolations(name string, points []stats.CDFPoint) []string {
+	var out []string
+	if len(points) == 0 {
+		return []string{name + ": empty CDF"}
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].X <= points[i-1].X {
+			out = append(out, fmt.Sprintf("%s: X not strictly increasing at index %d (%.6g after %.6g)", name, i, points[i].X, points[i-1].X))
+			break
+		}
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].P <= points[i-1].P {
+			out = append(out, fmt.Sprintf("%s: P not strictly increasing at index %d", name, i))
+			break
+		}
+	}
+	if last := points[len(points)-1].P; math.Abs(last-1) > 1e-9 {
+		out = append(out, fmt.Sprintf("%s: CDF ends at %.6g, want 1", name, last))
+	}
+	return out
+}
+
+// checkFig1 pins the paper's headline separation (Fig 1): the self-induced
+// class shows a high RTT coefficient of variation and a high normalized
+// max−min difference; under external congestion the minimum RTT is already
+// elevated, so both ratios stay low even when the absolute RTT range is
+// comparable (§2.3 — which is why the direction assertions are on CoV and
+// NormDiff, while the absolute range medians are banded only). The
+// structural directions hold regardless of bands, so a mutant that
+// collapses the classes fails even against regenerated bands.
+func checkFig1(d *Data) ([]Measurement, []string, error) {
+	res, err := d.Fig1()
+	if err != nil {
+		return nil, nil, err
+	}
+	var violations []string
+	violations = append(violations, cdfShapeViolations("maxmin-diff.self", res.MaxMinDiffMs[testbed.SelfInduced])...)
+	violations = append(violations, cdfShapeViolations("maxmin-diff.ext", res.MaxMinDiffMs[testbed.External])...)
+	violations = append(violations, cdfShapeViolations("cov.self", res.CoV[testbed.SelfInduced])...)
+	violations = append(violations, cdfShapeViolations("cov.ext", res.CoV[testbed.External])...)
+	if len(violations) > 0 {
+		return nil, violations, nil
+	}
+
+	diffSelf := cdfQuantile(res.MaxMinDiffMs[testbed.SelfInduced], 0.5)
+	diffExt := cdfQuantile(res.MaxMinDiffMs[testbed.External], 0.5)
+	covSelf := cdfQuantile(res.CoV[testbed.SelfInduced], 0.5)
+	covExt := cdfQuantile(res.CoV[testbed.External], 0.5)
+	if covSelf <= covExt {
+		violations = append(violations, fmt.Sprintf("median CoV: self %.4g <= external %.4g (classes not separated)", covSelf, covExt))
+	}
+
+	// NormDiff separation measured on the sweep's per-run features, the
+	// values the classifier actually consumes.
+	results, err := d.Sweep()
+	if err != nil {
+		return nil, nil, err
+	}
+	var nd [2][]float64
+	for _, r := range results {
+		nd[r.Scenario] = append(nd[r.Scenario], r.Features.NormDiff)
+	}
+	if len(nd[testbed.SelfInduced]) == 0 || len(nd[testbed.External]) == 0 {
+		violations = append(violations, "sweep produced no runs for one of the classes")
+		return nil, violations, nil
+	}
+	ndSelf := stats.Median(nd[testbed.SelfInduced])
+	ndExt := stats.Median(nd[testbed.External])
+	if ndSelf <= ndExt {
+		violations = append(violations, fmt.Sprintf("median NormDiff: self %.4g <= external %.4g (classes not separated)", ndSelf, ndExt))
+	}
+
+	ms := []Measurement{
+		{Name: "runs", Value: float64(res.Runs), Shape: Floor},
+		{Name: "maxmin-diff-ms.self.median", Value: diffSelf, Shape: Floor, AbsPad: 5, RelPad: 0.2},
+		{Name: "maxmin-diff-ms.ext.median", Value: diffExt, Shape: Ceiling, AbsPad: 40, RelPad: 0.4},
+		{Name: "cov.self.median", Value: covSelf, Shape: Floor, AbsPad: 0.02, RelPad: 0.2},
+		{Name: "cov.ext.median", Value: covExt, Shape: Ceiling, AbsPad: 0.02, RelPad: 0.2},
+		{Name: "cov.separation", Value: covSelf - covExt, Shape: Floor, AbsPad: 0.02, RelPad: 0.2},
+		{Name: "normdiff.self.median", Value: ndSelf, Shape: Floor, AbsPad: 0.05, RelPad: 0.2},
+		{Name: "normdiff.ext.median", Value: ndExt, Shape: Ceiling, AbsPad: 0.05, RelPad: 0.2},
+		{Name: "normdiff.separation", Value: ndSelf - ndExt, Shape: Floor, AbsPad: 0.05, RelPad: 0.2},
+	}
+	return ms, violations, nil
+}
+
+// checkCVAccuracy pins the paper's cross-validated classifier accuracy
+// (§3.2 reports >90% under 10-fold CV at full scale): the mean and the
+// worst fold must stay above their floors. A hard structural floor of 0.6
+// on the mean catches a coin-flip classifier even when bands were
+// regenerated from a broken baseline.
+func checkCVAccuracy(d *Data) ([]Measurement, []string, error) {
+	results, err := d.Sweep()
+	if err != nil {
+		return nil, nil, err
+	}
+	cv, err := experiments.CVAccuracy(results, 0.8, 10, d.Seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cross-validation: %w", err)
+	}
+	var violations []string
+	if cv.Mean < 0.6 {
+		violations = append(violations, fmt.Sprintf("mean 10-fold CV accuracy %.3f below the 0.6 sanity floor (classifier no better than chance)", cv.Mean))
+	}
+	ms := []Measurement{
+		{Name: "examples", Value: float64(len(testbed.Dataset(results, 0.8))), Shape: Floor, AbsPad: 4},
+		{Name: "mean", Value: cv.Mean, Shape: Floor, AbsPad: 0.06},
+		{Name: "min-fold", Value: cv.Min, Shape: Floor, AbsPad: 0.15},
+	}
+	return ms, violations, nil
+}
+
+// fig7Groups averages FracSelf over the affected-peak rows (Cogent paths in
+// Jan-Feb, where the dispute congests the interconnect: flows should
+// classify external) and the off-peak rows (Mar-Apr, where the access link
+// is the bottleneck: flows should classify self-induced).
+func fig7Groups(rows []experiments.Fig7Row) (affectedPeak, offPeak float64, nAff, nOff int) {
+	for _, r := range rows {
+		switch {
+		case r.Period == mlab.JanFeb && mlab.Affected(r.Site, r.ISP, r.Period):
+			affectedPeak += r.FracSelf
+			nAff++
+		case r.Period == mlab.MarApr:
+			offPeak += r.FracSelf
+			nOff++
+		}
+	}
+	if nAff > 0 {
+		affectedPeak /= float64(nAff)
+	}
+	if nOff > 0 {
+		offPeak /= float64(nOff)
+	}
+	return affectedPeak, offPeak, nAff, nOff
+}
+
+// fig7Style evaluates the Fig 7 / Fig 9 dispute shape shared by both
+// checks: affected peak-hour cells mostly external, off-peak cells mostly
+// self-induced, with the gap between them open.
+func fig7Style(rows []experiments.Fig7Row) ([]Measurement, []string) {
+	affected, offpeak, nAff, nOff := fig7Groups(rows)
+	var violations []string
+	if nAff == 0 {
+		violations = append(violations, "no affected peak-hour rows (grid lost the dispute combos)")
+	}
+	if nOff == 0 {
+		violations = append(violations, "no off-peak rows")
+	}
+	if len(violations) > 0 {
+		return nil, violations
+	}
+	if offpeak <= affected {
+		violations = append(violations, fmt.Sprintf("off-peak self-induced fraction %.3f <= affected peak fraction %.3f (dispute signal inverted or absent)", offpeak, affected))
+	}
+	ms := []Measurement{
+		{Name: "rows", Value: float64(len(rows)), Shape: Floor},
+		{Name: "affected-peak.fracself.mean", Value: affected, Shape: Ceiling, AbsPad: 0.1},
+		{Name: "offpeak.fracself.mean", Value: offpeak, Shape: Floor, AbsPad: 0.1},
+		{Name: "separation", Value: offpeak - affected, Shape: Floor, AbsPad: 0.1},
+	}
+	return ms, violations
+}
+
+// checkFig7 classifies the dispute dataset with the testbed-trained model
+// and asserts the Fig 7 shape.
+func checkFig7(d *Data) ([]Measurement, []string, error) {
+	tests, err := d.Dispute()
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := d.Model()
+	if err != nil {
+		return nil, nil, err
+	}
+	ms, violations := fig7Style(experiments.Fig7(tests, model))
+	return ms, violations, nil
+}
+
+// checkFig8 asserts the Fig 8 throughput split: within each (transit, ISP,
+// period) cell that has both classes, flows classified self-induced achieve
+// a higher median throughput than flows classified external — the
+// self-induced ones filled their own access link, the external ones were
+// throttled by the congested interconnect.
+func checkFig8(d *Data) ([]Measurement, []string, error) {
+	tests, err := d.Dispute()
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := d.Model()
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := experiments.Fig8(tests, model)
+	var gaps []float64
+	higher := 0
+	for _, r := range rows {
+		if r.NSelf == 0 || r.NExt == 0 {
+			continue
+		}
+		gaps = append(gaps, r.MedianSelf-r.MedianExt)
+		if r.MedianSelf > r.MedianExt {
+			higher++
+		}
+	}
+	var violations []string
+	if len(gaps) == 0 {
+		violations = append(violations, "no Fig 8 cells with both classes present")
+		return nil, violations, nil
+	}
+	meanGap := stats.Mean(gaps)
+	if meanGap <= 0 {
+		violations = append(violations, fmt.Sprintf("mean per-cell throughput gap %.3f Mbps <= 0: flows classified self-induced are not the faster ones", meanGap))
+	}
+	ms := []Measurement{
+		{Name: "cells", Value: float64(len(gaps)), Shape: Floor, AbsPad: 6},
+		{Name: "median-gap-mbps.mean", Value: meanGap, Shape: Floor, AbsPad: 1, RelPad: 0.25},
+		{Name: "cells-self-faster.frac", Value: float64(higher) / float64(len(gaps)), Shape: Floor, AbsPad: 0.15},
+	}
+	return ms, violations, nil
+}
+
+// checkFig9 repeats the Fig 7 shape with models trained on the M-Lab data
+// itself (leave-one-combo-out, §5.3): the dispute signal must survive
+// swapping the testbed-trained model for field-trained ones.
+func checkFig9(d *Data) ([]Measurement, []string, error) {
+	tests, err := d.Dispute()
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := experiments.Fig9(tests, d.Seed)
+	if len(rows) == 0 {
+		return nil, []string{"Fig 9 produced no rows (leave-one-combo-out training pools too small)"}, nil
+	}
+	ms, violations := fig7Style(rows)
+	return ms, violations, nil
+}
+
+// checkBBR pins the §6 limitation: a latency-based controller (the
+// BBR-like variant) backs off before filling the bottleneck buffer, so its
+// self-induced runs lack the RTT ramp and the technique degrades. Reno's
+// self-induced NormDiff must stay high, BBR's low, and the model trained on
+// loss-based traffic must recognize Reno's signature.
+func checkBBR(d *Data) ([]Measurement, []string, error) {
+	rows, err := d.Variants()
+	if err != nil {
+		return nil, nil, err
+	}
+	byName := map[string]experiments.VariantRow{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+	}
+	var violations []string
+	reno, okR := byName["reno"]
+	bbr, okB := byName["bbr"]
+	if !okR || reno.ValidRuns == 0 {
+		violations = append(violations, "no valid reno ablation runs")
+	}
+	if !okB || bbr.ValidRuns == 0 {
+		violations = append(violations, "no valid bbr ablation runs")
+	}
+	if len(violations) > 0 {
+		return nil, violations, nil
+	}
+	if reno.NormDiff <= bbr.NormDiff {
+		violations = append(violations, fmt.Sprintf("reno self-induced NormDiff %.3f <= bbr %.3f: the §6 limitation direction is gone", reno.NormDiff, bbr.NormDiff))
+	}
+	model, err := d.Model()
+	if err != nil {
+		return nil, nil, err
+	}
+	renoVerdict := model.ClassifyFeatures(features.Vector{NormDiff: reno.NormDiff, CoV: reno.CoV})
+	if renoVerdict.Class != core.SelfInduced {
+		violations = append(violations, "model misclassifies the mean reno self-induced signature as external")
+	}
+	bbrVerdict := model.ClassifyFeatures(features.Vector{NormDiff: bbr.NormDiff, CoV: bbr.CoV})
+	bbrExternal := 0.0
+	if bbrVerdict.Class == core.External {
+		bbrExternal = 1
+	}
+	ms := []Measurement{
+		{Name: "reno.normdiff", Value: reno.NormDiff, Shape: Floor, AbsPad: 0.05, RelPad: 0.2},
+		{Name: "bbr.normdiff", Value: bbr.NormDiff, Shape: Ceiling, AbsPad: 0.05, RelPad: 0.2},
+		{Name: "normdiff.gap", Value: reno.NormDiff - bbr.NormDiff, Shape: Floor, AbsPad: 0.05, RelPad: 0.2},
+		{Name: "cov.gap", Value: reno.CoV - bbr.CoV, Shape: Floor, AbsPad: 0.05, RelPad: 0.2},
+		{Name: "bbr-classified-external", Value: bbrExternal, Shape: Floor},
+	}
+	return ms, violations, nil
+}
+
+// checkPhysical runs the randomized scenario matrix plus the clean
+// doubling-cadence scenario through the TCP/netem invariant harness
+// (property.go). Any physical-law violation is structural; the
+// measurements guard against the harness silently going blind (scenarios
+// that stop producing samples would pass a violations-only check).
+func checkPhysical(d *Data) ([]Measurement, []string, error) {
+	scenarios := GenScenarios(d.Seed, 8)
+	scenarios = append(scenarios, CleanScenario(d.Seed+989))
+	var violations []string
+	var cwndSamples, rttSamples, quiescent int
+	for _, sc := range scenarios {
+		res, err := RunScenario(sc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		violations = append(violations, res.Violations...)
+		cwndSamples += res.CwndSamples
+		rttSamples += res.RTTSamples
+		if res.Quiescent {
+			quiescent++
+		}
+	}
+	ms := []Measurement{
+		{Name: "scenarios", Value: float64(len(scenarios)), Shape: Floor},
+		{Name: "quiescent-frac", Value: float64(quiescent) / float64(len(scenarios)), Shape: Floor},
+		{Name: "rtt-samples.total", Value: float64(rttSamples), Shape: Floor, RelPad: 0.3},
+		{Name: "cwnd-samples.total", Value: float64(cwndSamples), Shape: Floor, RelPad: 0.3},
+	}
+	return ms, violations, nil
+}
+
+// checkMetamorphic asserts the classifier's verdict is invariant under
+// trace transformations that provably preserve the congestion signature: a
+// constant time shift (exact), a uniform clock-rate rescale (NormDiff and
+// CoV are scale-free), and an order-preserving jitter-sized time warp.
+// Non-exact relations are enforced only when the feature movement stays
+// inside the verdict's decision-path margins (see metamorphic.go), so a
+// trace that happens to sit on a tree threshold skips rather than flakes.
+func checkMetamorphic(d *Data) ([]Measurement, []string, error) {
+	model, err := d.Model()
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := d.Trace()
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := model.ClassifyTrace(tr.Records, tr.Flow)
+	if err != nil {
+		return nil, nil, fmt.Errorf("classifying the base trace: %w", err)
+	}
+	var violations []string
+	if base.Class != core.SelfInduced {
+		violations = append(violations, fmt.Sprintf("clean self-induced trace classified %s", core.ClassName(base.Class)))
+	}
+	margins := base.Margins()
+
+	enforced, skipped := 0, 0
+
+	// Exact relations: a constant shift changes no RTT, so class and
+	// features must match exactly.
+	for _, shift := range []struct {
+		name string
+		d    time.Duration
+	}{{"shift+1s", time.Second}, {"shift+137ms", 137 * time.Millisecond}} {
+		v, err := model.ClassifyTrace(TimeShift(tr.Records, shift.d), tr.Flow)
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("%s: classification failed: %v", shift.name, err))
+			continue
+		}
+		enforced++
+		if v.Class != base.Class || !featuresClose(base.Features, v.Features, 0) {
+			violations = append(violations, fmt.Sprintf("%s: verdict or features changed under a constant time shift (class %s -> %s, normdiff %.9g -> %.9g)",
+				shift.name, core.ClassName(base.Class), core.ClassName(v.Class), base.Features.NormDiff, v.Features.NormDiff))
+		}
+	}
+
+	// Margin-guarded relations: rescale and warp move features by FP
+	// noise (rescale) or up to the warp amplitude; enforce equality only
+	// when the movement provably cannot cross a threshold on the path.
+	guarded := func(name string, records []netem.CaptureRecord) {
+		v, err := model.ClassifyTrace(records, tr.Flow)
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("%s: classification failed: %v", name, err))
+			return
+		}
+		if !withinMargins(margins, base.Features, v.Features) {
+			skipped++
+			return
+		}
+		enforced++
+		if v.Class != base.Class {
+			violations = append(violations, fmt.Sprintf("%s: verdict flipped %s -> %s despite features inside every decision margin",
+				name, core.ClassName(base.Class), core.ClassName(v.Class)))
+		}
+	}
+	guarded("rescale×1.01", RescaleTimestamps(tr.Records, 1.01))
+	guarded("rescale×0.99", RescaleTimestamps(tr.Records, 0.99))
+	for i := int64(0); i < 3; i++ {
+		guarded(fmt.Sprintf("warp-2%%#%d", i), WarpTimestamps(tr.Records, d.Seed+100+i, 0.02))
+	}
+
+	ms := []Measurement{
+		{Name: "relations-enforced", Value: float64(enforced), Shape: Floor},
+		{Name: "relations-skipped", Value: float64(skipped), Shape: Ceiling},
+		{Name: "base.rtt-samples", Value: float64(base.Features.Samples), Shape: Floor, RelPad: 0.3},
+	}
+	return ms, violations, nil
+}

@@ -1,0 +1,334 @@
+// Package conformance is the tier-2 statistical regression suite: it pins
+// the paper's headline results — the Fig 1 feature separation, the Fig 7/8/9
+// dispute shapes, cross-validated classifier accuracy, and the §6 BBR
+// limitation — with tolerance bands instead of byte goldens, so a refactor
+// that silently flattens the slow-start ramp or shifts a threshold fails
+// even when every tier-1 determinism test stays green.
+//
+// The suite runs through `go test -tags conformance ./internal/conformance`
+// and through `ccsig conformance`, which emits the machine-readable Report.
+// Expected bands live in testdata/expected/<scale>.json, generated from
+// several seeds by GenerateExpected (see EXPERIMENTS.md "Conformance" for
+// the regeneration path). Checks also carry structural assertions (CDF
+// monotonicity, physical invariants, metamorphic relations) that fail
+// regardless of bands.
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Shape declares which side(s) of a measurement a band constrains.
+type Shape int
+
+// Band shapes.
+const (
+	// Interval bands the value on both sides.
+	Interval Shape = iota
+	// Floor bands the value from below only (quality floors: accuracy,
+	// separation gaps).
+	Floor
+	// Ceiling bands the value from above only (violation counts,
+	// degradation fractions).
+	Ceiling
+)
+
+// Measurement is one scalar a check reports. Shape and the pads are used
+// only when deriving bands with GenerateExpected; evaluation consults the
+// versioned Expected bands.
+type Measurement struct {
+	// Name keys the band as "<check>.<name>".
+	Name string
+
+	Value float64
+
+	Shape Shape
+
+	// AbsPad and RelPad widen the generated band beyond the across-seed
+	// extremes: pad = max(AbsPad, RelPad*|extreme|).
+	AbsPad float64
+	RelPad float64
+}
+
+// Band is the versioned tolerance interval for one measurement. Nil sides
+// are unconstrained.
+type Band struct {
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+}
+
+// Contains reports whether v satisfies the band. NaN never passes.
+func (b Band) Contains(v float64) bool {
+	if math.IsNaN(v) {
+		return false
+	}
+	if b.Min != nil && v < *b.Min {
+		return false
+	}
+	if b.Max != nil && v > *b.Max {
+		return false
+	}
+	return true
+}
+
+func (b Band) String() string {
+	lo, hi := "-inf", "+inf"
+	if b.Min != nil {
+		lo = fmt.Sprintf("%.4g", *b.Min)
+	}
+	if b.Max != nil {
+		hi = fmt.Sprintf("%.4g", *b.Max)
+	}
+	return "[" + lo + ", " + hi + "]"
+}
+
+// Expected is the versioned per-scale baseline.
+type Expected struct {
+	// Scale names the experiment scale the bands were generated at.
+	Scale string `json:"scale"`
+
+	// Seeds records which seeds produced the bands.
+	Seeds []int64 `json:"seeds"`
+
+	// Bands maps "<check>.<measurement>" to its tolerance interval.
+	Bands map[string]Band `json:"bands"`
+}
+
+// Check is one conformance assertion set. Run returns banded measurements
+// plus structural violations; violations fail the check regardless of
+// bands.
+type Check struct {
+	Name string
+	Run  func(d *Data) ([]Measurement, []string, error)
+}
+
+// MeasurementReport is one evaluated measurement in the JSON report.
+type MeasurementReport struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Band  Band    `json:"band"`
+	Pass  bool    `json:"pass"`
+	Note  string  `json:"note,omitempty"`
+}
+
+// CheckReport is one check's outcome.
+type CheckReport struct {
+	Name         string              `json:"name"`
+	Pass         bool                `json:"pass"`
+	Measurements []MeasurementReport `json:"measurements,omitempty"`
+	Violations   []string            `json:"violations,omitempty"`
+	Err          string              `json:"error,omitempty"`
+}
+
+// Report is the machine-readable suite outcome. It deliberately carries no
+// wall-clock timestamp: the same seed must produce a byte-identical report.
+type Report struct {
+	Suite  string        `json:"suite"`
+	Scale  string        `json:"scale"`
+	Seed   int64         `json:"seed"`
+	Source string        `json:"source"`
+	Pass   bool          `json:"pass"`
+	Checks []CheckReport `json:"checks"`
+}
+
+// Options configures a suite run.
+type Options struct {
+	// Seed drives every emulation in the suite.
+	Seed int64
+
+	// Workers is the sweep parallelism (0 = all cores, 1 = serial); the
+	// results are byte-identical at every worker count.
+	Workers int
+
+	// Source supplies the experiment data. Nil uses the emulated source
+	// (real simulations at quick scale).
+	Source Source
+
+	// Expected supplies the tolerance bands. Nil loads the embedded
+	// quick-scale baseline.
+	Expected *Expected
+
+	// Checks restricts the run to the named checks (nil = all). Unknown
+	// names are an error.
+	Checks []string
+}
+
+// selectChecks resolves a name filter against the registered checks,
+// preserving report order.
+func selectChecks(only []string) ([]Check, error) {
+	all := Checks()
+	if len(only) == 0 {
+		return all, nil
+	}
+	byName := map[string]Check{}
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	want := map[string]bool{}
+	for _, n := range only {
+		if _, ok := byName[n]; !ok {
+			return nil, fmt.Errorf("conformance: unknown check %q", n)
+		}
+		want[n] = true
+	}
+	var out []Check
+	for _, c := range all {
+		if want[c.Name] {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// Run executes every check against the source and evaluates the
+// measurements against the expected bands.
+func Run(opt Options) (*Report, error) {
+	src := opt.Source
+	if src == nil {
+		src = &EmulatedSource{Seed: opt.Seed, Workers: opt.Workers}
+	}
+	exp := opt.Expected
+	if exp == nil {
+		var err error
+		exp, err = LoadExpected("quick")
+		if err != nil {
+			return nil, fmt.Errorf("conformance: loading expected bands: %w", err)
+		}
+	}
+	checks, err := selectChecks(opt.Checks)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Suite: "conformance", Scale: exp.Scale, Seed: opt.Seed, Source: src.Name(), Pass: true}
+	data := NewData(src, opt.Seed)
+	for _, chk := range checks {
+		cr := evalCheck(chk, data, exp)
+		if !cr.Pass {
+			rep.Pass = false
+		}
+		rep.Checks = append(rep.Checks, cr)
+	}
+	return rep, nil
+}
+
+func evalCheck(chk Check, data *Data, exp *Expected) CheckReport {
+	cr := CheckReport{Name: chk.Name, Pass: true}
+	ms, violations, err := chk.Run(data)
+	if err != nil {
+		cr.Err = err.Error()
+		cr.Pass = false
+		return cr
+	}
+	cr.Violations = violations
+	if len(violations) > 0 {
+		cr.Pass = false
+	}
+	for _, m := range ms {
+		mr := MeasurementReport{Name: m.Name, Value: m.Value, Pass: true}
+		band, ok := exp.Bands[chk.Name+"."+m.Name]
+		if !ok {
+			mr.Note = "no band recorded; informational"
+			cr.Measurements = append(cr.Measurements, mr)
+			continue
+		}
+		mr.Band = band
+		mr.Pass = band.Contains(m.Value)
+		if !mr.Pass {
+			cr.Pass = false
+		}
+		cr.Measurements = append(cr.Measurements, mr)
+	}
+	return cr
+}
+
+// GenerateExpected runs the full suite once per seed on the emulated source
+// and derives a tolerance band for every measurement from the across-seed
+// extremes plus each measurement's declared padding. It fails if any seed
+// produces a structural violation or a check error: bands must only ever be
+// regenerated from a healthy baseline.
+func GenerateExpected(seeds []int64, workers int) (*Expected, error) {
+	return GenerateExpectedFrom(func(seed int64) Source {
+		return &EmulatedSource{Seed: seed, Workers: workers}
+	}, seeds)
+}
+
+// GenerateExpectedFrom is GenerateExpected over an arbitrary source
+// constructor; the test-the-tests harness uses it to derive bands from a
+// cheap synthetic source and prove the suite fails on mutants of it. A
+// non-empty `only` restricts generation to the named checks.
+func GenerateExpectedFrom(mk func(seed int64) Source, seeds []int64, only ...string) (*Expected, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("conformance: GenerateExpected needs at least one seed")
+	}
+	checks, err := selectChecks(only)
+	if err != nil {
+		return nil, err
+	}
+	type obs struct {
+		vals     []float64
+		shape    Shape
+		abs, rel float64
+	}
+	seen := map[string]*obs{}
+	for _, seed := range seeds {
+		data := NewData(mk(seed), seed)
+		for _, chk := range checks {
+			ms, violations, err := chk.Run(data)
+			if err != nil {
+				return nil, fmt.Errorf("conformance: seed %d check %s: %w", seed, chk.Name, err)
+			}
+			if len(violations) > 0 {
+				return nil, fmt.Errorf("conformance: seed %d check %s: structural violations: %v", seed, chk.Name, violations)
+			}
+			for _, m := range ms {
+				key := chk.Name + "." + m.Name
+				o, ok := seen[key]
+				if !ok {
+					o = &obs{shape: m.Shape, abs: m.AbsPad, rel: m.RelPad}
+					seen[key] = o
+				}
+				o.vals = append(o.vals, m.Value)
+			}
+		}
+	}
+	exp := &Expected{Scale: "quick", Seeds: append([]int64(nil), seeds...), Bands: map[string]Band{}}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		o := seen[key]
+		lo, hi := o.vals[0], o.vals[0]
+		for _, v := range o.vals[1:] {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		exp.Bands[key] = deriveBand(o.shape, lo, hi, o.abs, o.rel)
+	}
+	return exp, nil
+}
+
+func deriveBand(shape Shape, lo, hi, absPad, relPad float64) Band {
+	pad := func(extreme float64) float64 {
+		p := relPad * math.Abs(extreme)
+		return math.Max(absPad, p)
+	}
+	var b Band
+	switch shape {
+	case Floor:
+		v := lo - pad(lo)
+		b.Min = &v
+	case Ceiling:
+		v := hi + pad(hi)
+		b.Max = &v
+	default:
+		mn := lo - pad(lo)
+		mx := hi + pad(hi)
+		b.Min = &mn
+		b.Max = &mx
+	}
+	return b
+}

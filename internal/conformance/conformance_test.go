@@ -1,0 +1,531 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"tcpsig/internal/core"
+	"tcpsig/internal/experiments"
+	"tcpsig/internal/features"
+	"tcpsig/internal/flowrtt"
+	"tcpsig/internal/mlab"
+	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
+	"tcpsig/internal/stats"
+	"tcpsig/internal/tcpsim"
+	"tcpsig/internal/testbed"
+)
+
+// ---------------------------------------------------------------------------
+// Band machinery.
+
+func f64(v float64) *float64 { return &v }
+
+func TestBandContains(t *testing.T) {
+	cases := []struct {
+		band Band
+		v    float64
+		want bool
+	}{
+		{Band{}, 42, true},
+		{Band{Min: f64(1)}, 0.5, false},
+		{Band{Min: f64(1)}, 1, true},
+		{Band{Max: f64(2)}, 2.5, false},
+		{Band{Max: f64(2)}, 2, true},
+		{Band{Min: f64(1), Max: f64(2)}, 1.5, true},
+		{Band{}, math.NaN(), false},
+	}
+	for i, c := range cases {
+		if got := c.band.Contains(c.v); got != c.want {
+			t.Errorf("case %d: %s.Contains(%v) = %v, want %v", i, c.band, c.v, got, c.want)
+		}
+	}
+}
+
+func TestDeriveBand(t *testing.T) {
+	b := deriveBand(Floor, 0.8, 0.9, 0.05, 0)
+	if b.Min == nil || b.Max != nil || *b.Min != 0.75 {
+		t.Fatalf("floor band = %s, want [0.75, +inf]", b)
+	}
+	b = deriveBand(Ceiling, 0.1, 0.2, 0, 0.5)
+	if b.Max == nil || b.Min != nil || math.Abs(*b.Max-0.3) > 1e-12 {
+		t.Fatalf("ceiling band = %s, want [-inf, 0.3]", b)
+	}
+	b = deriveBand(Interval, -1, 2, 0.5, 0)
+	if b.Min == nil || b.Max == nil || *b.Min != -1.5 || *b.Max != 2.5 {
+		t.Fatalf("interval band = %s, want [-1.5, 2.5]", b)
+	}
+	// The pad is max(abs, rel*|extreme|) per side.
+	b = deriveBand(Interval, 10, 100, 1, 0.2)
+	if *b.Min != 10-2 || *b.Max != 100+20 {
+		t.Fatalf("interval band = %s, want [8, 120]", b)
+	}
+}
+
+func TestCDFQuantileAndShape(t *testing.T) {
+	cdf := stats.CDF([]float64{1, 2, 2, 3, 4})
+	if v := cdfQuantile(cdf, 0.5); v != 2 {
+		t.Fatalf("median = %v, want 2", v)
+	}
+	if v := cdfQuantile(cdf, 1); v != 4 {
+		t.Fatalf("q1 = %v, want 4", v)
+	}
+	if got := cdfShapeViolations("ok", cdf); len(got) != 0 {
+		t.Fatalf("valid CDF flagged: %v", got)
+	}
+	bad := []stats.CDFPoint{{X: 2, P: 0.5}, {X: 1, P: 1}}
+	if got := cdfShapeViolations("bad", bad); len(got) == 0 {
+		t.Fatal("non-monotone X not flagged")
+	}
+	trunc := []stats.CDFPoint{{X: 1, P: 0.25}, {X: 2, P: 0.5}}
+	if got := cdfShapeViolations("trunc", trunc); len(got) == 0 {
+		t.Fatal("CDF not ending at 1 not flagged")
+	}
+	if got := cdfShapeViolations("empty", nil); len(got) == 0 {
+		t.Fatal("empty CDF not flagged")
+	}
+}
+
+// TestEmbeddedBaseline checks the shipped quick-scale bands: they load,
+// and every band key refers to a registered check.
+func TestEmbeddedBaseline(t *testing.T) {
+	exp, err := LoadExpected("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Scale != "quick" || len(exp.Seeds) == 0 {
+		t.Fatalf("baseline metadata: scale=%q seeds=%v", exp.Scale, exp.Seeds)
+	}
+	known := map[string]bool{}
+	for _, c := range Checks() {
+		known[c.Name] = true
+	}
+	for key := range exp.Bands {
+		name, _, ok := strings.Cut(key, ".")
+		if !ok || !known[name] {
+			t.Errorf("band %q does not match any registered check", key)
+		}
+	}
+	if _, err := LoadExpected("no-such-scale"); err == nil {
+		t.Fatal("unknown scale should error")
+	}
+}
+
+func TestSelectChecksUnknown(t *testing.T) {
+	if _, err := selectChecks([]string{"no-such-check"}); err == nil {
+		t.Fatal("unknown check name should error")
+	}
+	picked, err := selectChecks([]string{"cv-accuracy", "fig1-separation"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Report order is registration order, not request order.
+	if len(picked) != 2 || picked[0].Name != "fig1-separation" || picked[1].Name != "cv-accuracy" {
+		t.Fatalf("selected %v", picked)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Static source: a cheap, simulation-free Source with the paper's shapes
+// baked in, so the test-the-tests harness can prove the suite catches
+// mutants without paying for emulation.
+
+type staticSource struct{ seed int64 }
+
+func (s *staticSource) Name() string { return "static" }
+
+func (s *staticSource) Sweep() ([]*testbed.Result, error) {
+	rng := rand.New(rand.NewSource(s.seed))
+	var out []*testbed.Result
+	for i := 0; i < 12; i++ {
+		cfg := testbed.Config{}
+		cfg.Access.RateMbps = 20
+		out = append(out, &testbed.Result{
+			Config: cfg,
+			Features: features.Vector{
+				NormDiff: 0.75 + 0.15*rng.Float64(),
+				CoV:      0.40 + 0.15*rng.Float64(),
+				MinRTT:   20 * time.Millisecond,
+				MaxRTT:   120 * time.Millisecond,
+			},
+			SlowStartBps: 19e6,
+			Scenario:     testbed.SelfInduced,
+		})
+		out = append(out, &testbed.Result{
+			Config: cfg,
+			Features: features.Vector{
+				NormDiff: 0.10 + 0.15*rng.Float64(),
+				CoV:      0.03 + 0.05*rng.Float64(),
+				MinRTT:   80 * time.Millisecond,
+				MaxRTT:   110 * time.Millisecond,
+			},
+			SlowStartBps: 4e6,
+			Scenario:     testbed.External,
+		})
+	}
+	return out, nil
+}
+
+func (s *staticSource) Fig1() (experiments.Fig1Result, error) {
+	rng := rand.New(rand.NewSource(s.seed + 1))
+	var res experiments.Fig1Result
+	var diffs, covs [2][]float64
+	for i := 0; i < 8; i++ {
+		diffs[testbed.SelfInduced] = append(diffs[testbed.SelfInduced], 85+20*rng.Float64())
+		covs[testbed.SelfInduced] = append(covs[testbed.SelfInduced], 0.40+0.12*rng.Float64())
+		diffs[testbed.External] = append(diffs[testbed.External], 30+30*rng.Float64())
+		covs[testbed.External] = append(covs[testbed.External], 0.03+0.06*rng.Float64())
+		res.Runs += 2
+	}
+	for class := 0; class < 2; class++ {
+		res.MaxMinDiffMs[class] = stats.CDF(diffs[class])
+		res.CoV[class] = stats.CDF(covs[class])
+	}
+	return res, nil
+}
+
+// staticNDT fabricates an NDT result passing the paper's Web100 filter.
+func staticNDT(rng *rand.Rand, extLike bool) *mlab.NDTResult {
+	r := &mlab.NDTResult{
+		Flow:          &flowrtt.FlowInfo{},
+		FeaturesValid: true,
+		Web100:        tcpsim.SenderStats{CongestionLimited: 9 * time.Second},
+	}
+	if extLike {
+		r.Features = features.Vector{NormDiff: 0.10 + 0.1*rng.Float64(), CoV: 0.03 + 0.04*rng.Float64()}
+		r.ThroughputBps = 4e6 + 1e6*rng.Float64()
+	} else {
+		r.Features = features.Vector{NormDiff: 0.70 + 0.2*rng.Float64(), CoV: 0.40 + 0.1*rng.Float64()}
+		r.ThroughputBps = 18e6 + 2e6*rng.Float64()
+	}
+	return r
+}
+
+func (s *staticSource) Dispute() ([]mlab.DisputeTest, error) {
+	rng := rand.New(rand.NewSource(s.seed + 2))
+	sites := []mlab.Site{{Transit: "Cogent", City: "LAX"}, {Transit: "Level3", City: "ATL"}}
+	isps := []string{"Comcast", "TimeWarner", "Cox"}
+	hours := []int{1, 2, 3, 17, 18, 19}
+	var tests []mlab.DisputeTest
+	for _, site := range sites {
+		for _, isp := range isps {
+			for _, period := range []mlab.Period{mlab.JanFeb, mlab.MarApr} {
+				for _, hour := range hours {
+					for k := 0; k < 8; k++ {
+						congested := mlab.Affected(site, isp, period) && mlab.PeakHour(hour)
+						// One transient uncongested test per congested
+						// cell so Fig 8 sees mixed cells.
+						extLike := congested && k > 0
+						tests = append(tests, mlab.DisputeTest{
+							Site: site, ISP: isp, Period: period, Hour: hour,
+							PlanMbps:  20,
+							Congested: congested,
+							Result:    staticNDT(rng, extLike),
+						})
+					}
+				}
+			}
+		}
+	}
+	return tests, nil
+}
+
+func (s *staticSource) Variants() ([]experiments.VariantRow, error) {
+	return []experiments.VariantRow{
+		{Variant: "reno", NormDiff: 0.82, CoV: 0.47, Runs: 3, ValidRuns: 3},
+		{Variant: "bbr", NormDiff: 0.22, CoV: 0.06, Runs: 3, ValidRuns: 3},
+	}, nil
+}
+
+func (s *staticSource) Model() (*core.Classifier, error) {
+	results, err := s.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	return experiments.TrainOnResults(results, 0.8)
+}
+
+func (s *staticSource) Trace() (*TraceData, error) {
+	return nil, fmt.Errorf("static source has no trace; filter out the metamorphic check")
+}
+
+// cheapChecks are the checks the static source supports without running
+// any simulation.
+var cheapChecks = []string{
+	"fig1-separation", "cv-accuracy",
+	"dispute-fig7", "dispute-fig8", "dispute-fig9",
+	"bbr-limitation",
+}
+
+func staticBands(t *testing.T) *Expected {
+	t.Helper()
+	exp, err := GenerateExpectedFrom(func(seed int64) Source {
+		return &staticSource{seed: seed}
+	}, []int64{11, 12}, cheapChecks...)
+	if err != nil {
+		t.Fatalf("generating static bands: %v", err)
+	}
+	return exp
+}
+
+func runStatic(t *testing.T, src Source, exp *Expected) *Report {
+	t.Helper()
+	rep, err := Run(Options{Seed: 11, Source: src, Expected: exp, Checks: cheapChecks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func checkByName(t *testing.T, rep *Report, name string) CheckReport {
+	t.Helper()
+	for _, c := range rep.Checks {
+		if c.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("check %q missing from report", name)
+	return CheckReport{}
+}
+
+// TestSuitePassesHealthyStaticSource is the baseline for the mutant tests:
+// bands generated from the static source accept the static source.
+func TestSuitePassesHealthyStaticSource(t *testing.T) {
+	exp := staticBands(t)
+	rep := runStatic(t, &staticSource{seed: 11}, exp)
+	if !rep.Pass {
+		t.Fatalf("healthy static source failed:\n%s", rep.Summary())
+	}
+	if len(rep.Checks) != len(cheapChecks) {
+		t.Fatalf("ran %d checks, want %d", len(rep.Checks), len(cheapChecks))
+	}
+}
+
+// TestSuiteCatchesFlattenedRTTs is the test-the-tests proof for the
+// flattened-RTT mutant: a refactor that silently removes the slow-start
+// ramp must fail the Fig 1 separation and CV-accuracy checks even though
+// every run still "succeeds".
+func TestSuiteCatchesFlattenedRTTs(t *testing.T) {
+	exp := staticBands(t)
+	rep := runStatic(t, FlattenRTTs(&staticSource{seed: 11}), exp)
+	if rep.Pass {
+		t.Fatalf("flattened-RTT mutant passed the suite:\n%s", rep.Summary())
+	}
+	if c := checkByName(t, rep, "fig1-separation"); c.Pass {
+		t.Errorf("fig1-separation did not catch the flattened ramp:\n%s", rep.Summary())
+	}
+	if c := checkByName(t, rep, "cv-accuracy"); c.Pass {
+		t.Errorf("cv-accuracy did not catch the flattened ramp:\n%s", rep.Summary())
+	}
+}
+
+// TestSuiteCatchesBadModel proves a known-bad (label-flipped) model fails
+// the dispute checks: the Fig 7 direction inverts.
+func TestSuiteCatchesBadModel(t *testing.T) {
+	exp := staticBands(t)
+	rep := runStatic(t, BadModel(&staticSource{seed: 11}), exp)
+	if rep.Pass {
+		t.Fatalf("bad-model mutant passed the suite:\n%s", rep.Summary())
+	}
+	if c := checkByName(t, rep, "dispute-fig7"); c.Pass {
+		t.Errorf("dispute-fig7 did not catch the flipped model:\n%s", rep.Summary())
+	}
+}
+
+// TestGenerateExpectedRejectsMutants: bands must never be regenerated from
+// a baseline with structural violations, so a broken tree cannot launder
+// its own tolerance bands.
+func TestGenerateExpectedRejectsMutants(t *testing.T) {
+	_, err := GenerateExpectedFrom(func(seed int64) Source {
+		return FlattenRTTs(&staticSource{seed: seed})
+	}, []int64{11}, "fig1-separation")
+	if err == nil {
+		t.Fatal("generation from a flattened-RTT source should fail")
+	}
+}
+
+// TestReportDeterminism: the same seed and source produce byte-identical
+// JSON reports.
+func TestReportDeterminism(t *testing.T) {
+	exp := staticBands(t)
+	a, err := json.Marshal(runStatic(t, &staticSource{seed: 11}, exp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(runStatic(t, &staticSource{seed: 11}, exp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("same-seed reports differ")
+	}
+}
+
+// TestRunErrorsBecomeCheckFailures: a source error fails the check but
+// still yields a structured report.
+func TestRunErrorsBecomeCheckFailures(t *testing.T) {
+	exp := staticBands(t)
+	rep, err := Run(Options{Seed: 11, Source: &staticSource{seed: 11}, Expected: exp, Checks: []string{"metamorphic"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("metamorphic check should fail on a trace-less source")
+	}
+	c := checkByName(t, rep, "metamorphic")
+	if c.Err == "" {
+		t.Fatal("check error not recorded in the report")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic transforms.
+
+func sampleRecords() []netem.CaptureRecord {
+	out := make([]netem.CaptureRecord, 10)
+	for i := range out {
+		out[i].At = sim.Time(i*i) * sim.Time(time.Millisecond)
+	}
+	return out
+}
+
+func TestTimeShiftPreservesGaps(t *testing.T) {
+	rec := sampleRecords()
+	shifted := TimeShift(rec, 3*time.Second)
+	for i := range rec {
+		if shifted[i].At-rec[i].At != sim.Time(3*time.Second) {
+			t.Fatalf("record %d shifted by %v", i, shifted[i].At-rec[i].At)
+		}
+	}
+	// Input untouched.
+	if rec[1].At != sim.Time(time.Millisecond) {
+		t.Fatal("TimeShift mutated its input")
+	}
+}
+
+func TestRescaleTimestamps(t *testing.T) {
+	rec := sampleRecords()
+	scaled := RescaleTimestamps(rec, 1.5)
+	for i := 1; i < len(scaled); i++ {
+		if scaled[i].At <= scaled[i-1].At {
+			t.Fatal("rescale broke record order")
+		}
+	}
+	want := 1.5 * float64(rec[3].At)
+	if got := float64(scaled[3].At); got < want-1 || got > want+1 {
+		t.Fatalf("record 3 at %v, want ~%v", got, want)
+	}
+}
+
+func TestWarpTimestampsOrderPreserving(t *testing.T) {
+	rec := sampleRecords()
+	for _, amp := range []float64{0.02, 0.3} {
+		warped := WarpTimestamps(rec, 7, amp)
+		for i := 1; i < len(warped); i++ {
+			if warped[i].At < warped[i-1].At {
+				t.Fatalf("amp=%v: warp broke record order at %d", amp, i)
+			}
+		}
+	}
+	// Same seed, same warp.
+	a := WarpTimestamps(rec, 9, 0.1)
+	b := WarpTimestamps(rec, 9, 0.1)
+	for i := range a {
+		if a[i].At != b[i].At {
+			t.Fatal("warp is not deterministic per seed")
+		}
+	}
+}
+
+func TestWithinMargins(t *testing.T) {
+	base := features.Vector{NormDiff: 0.5, CoV: 0.3}
+	margins := []float64{0.1, math.Inf(1)}
+	if !withinMargins(margins, base, features.Vector{NormDiff: 0.55, CoV: 0.9}) {
+		t.Fatal("movement inside the finite margin (and any movement on an untested feature) should pass")
+	}
+	if withinMargins(margins, base, features.Vector{NormDiff: 0.61, CoV: 0.3}) {
+		t.Fatal("movement beyond the margin should fail")
+	}
+	if withinMargins([]float64{1e-9, math.Inf(1)}, base, base) {
+		t.Fatal("margins below the FP guard must force a skip")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Property harness.
+
+func TestGenScenariosDeterministic(t *testing.T) {
+	a := GenScenarios(5, 10)
+	b := GenScenarios(5, 10)
+	if len(a) != 10 {
+		t.Fatalf("got %d scenarios", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scenario %d differs across identical seeds", i)
+		}
+	}
+	c := GenScenarios(6, 10)
+	same := 0
+	for i := range a {
+		if a[i].Name == c[i].Name {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical scenario matrices")
+	}
+}
+
+// TestRunScenarioCleanInvariants runs the clean doubling scenario once in
+// tier-1: no violations, a quiescent engine, and a captured trace.
+func TestRunScenarioCleanInvariants(t *testing.T) {
+	res, err := RunScenario(CleanScenario(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("clean scenario violated invariants: %v", res.Violations)
+	}
+	if !res.Quiescent {
+		t.Fatal("engine not quiescent after drain")
+	}
+	if len(res.Records) == 0 || res.RTTSamples == 0 || res.CwndSamples == 0 {
+		t.Fatalf("scenario produced no data: records=%d rtt=%d cwnd=%d", len(res.Records), res.RTTSamples, res.CwndSamples)
+	}
+}
+
+// TestRunScenarioCatchesMutants is the property-harness half of
+// test-the-tests: physically impossible inputs must be flagged.
+func TestRunScenarioCatchesMutants(t *testing.T) {
+	// A propagation delay claimed higher than the scenario actually used
+	// puts every measured RTT below the floor.
+	sc := CleanScenario(3)
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := flowrtt.Flows(res.Records)
+	if len(flows) == 0 {
+		t.Fatal("no flows captured")
+	}
+	info, err := flowrtt.Analyze(res.Records, flows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := 2 * (sc.Delay + 50*time.Millisecond)
+	below := 0
+	for _, s := range info.Samples {
+		if s.RTT < floor {
+			below++
+		}
+	}
+	if below == 0 {
+		t.Fatal("inflated floor should catch samples (harness would be blind)")
+	}
+}

@@ -1,0 +1,89 @@
+package conformance
+
+import (
+	"embed"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The expected bands ship inside the binary so `ccsig conformance` and the
+// tagged test suite need no working directory. Regeneration path (see
+// EXPERIMENTS.md "Conformance"):
+//
+//	go run ./cmd/ccsig conformance -generate -seeds 1,2,3 \
+//	    -o internal/conformance/testdata/expected/quick.json
+//
+//go:embed testdata/expected
+var expectedFS embed.FS
+
+// LoadExpected returns the versioned tolerance bands for a scale
+// ("quick" is the only scale shipped today).
+func LoadExpected(scale string) (*Expected, error) {
+	b, err := expectedFS.ReadFile("testdata/expected/" + scale + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("conformance: no expected bands for scale %q: %w", scale, err)
+	}
+	var e Expected
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, fmt.Errorf("conformance: corrupt expected bands for scale %q: %w", scale, err)
+	}
+	if len(e.Bands) == 0 {
+		return nil, fmt.Errorf("conformance: expected bands for scale %q are empty", scale)
+	}
+	return &e, nil
+}
+
+// WriteJSON writes the baseline in the versioned on-disk format: indented,
+// keys sorted (encoding/json sorts map keys), trailing newline. The output
+// is a pure function of the bands so regeneration diffs stay minimal.
+func (e *Expected) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Summary renders the report as a human-readable pass/fail table, one line
+// per check plus one per failed measurement or violation.
+func (r *Report) Summary() string {
+	out := fmt.Sprintf("conformance %s: seed=%d source=%s scale=%s\n", verdictWord(r.Pass), r.Seed, r.Source, r.Scale)
+	for _, c := range r.Checks {
+		out += fmt.Sprintf("  %-22s %s\n", c.Name, verdictWord(c.Pass))
+		if c.Err != "" {
+			out += fmt.Sprintf("    error: %s\n", c.Err)
+		}
+		for _, v := range c.Violations {
+			out += fmt.Sprintf("    violation: %s\n", v)
+		}
+		for _, m := range c.Measurements {
+			if !m.Pass {
+				out += fmt.Sprintf("    %s = %.4g outside %s\n", m.Name, m.Value, m.Band)
+			}
+		}
+	}
+	return out
+}
+
+func verdictWord(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// FailedChecks lists the names of failing checks, sorted.
+func (r *Report) FailedChecks() []string {
+	var out []string
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, c.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,104 @@
+package conformance
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"tcpsig/internal/features"
+	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
+)
+
+// The metamorphic relations: transformations of a trace that provably must
+// not change the classifier's verdict. NormDiff = (max−min)/max and
+// CoV = stddev/mean are exactly invariant under any uniform rescaling of
+// the RTTs, and trivially invariant under a constant time shift. Floating
+// point breaks "exactly" near a decision threshold, so every non-exact
+// relation is guarded by the verdict's decision-path margins: the relation
+// is only enforced when the feature movement is provably too small to cross
+// any threshold on the path (see dtree.PathTrace.Margins).
+
+// marginGuardEps is the minimum decision margin we trust: below it, a
+// feature sits so close to a threshold that FP rounding alone could flip
+// the comparison, so the relation is skipped rather than enforced.
+const marginGuardEps = 1e-6
+
+// TimeShift returns the records with every timestamp moved by d. Relative
+// timing — and therefore every RTT sample — is unchanged.
+func TimeShift(records []netem.CaptureRecord, d time.Duration) []netem.CaptureRecord {
+	out := make([]netem.CaptureRecord, len(records))
+	for i, r := range records {
+		r.At += sim.Time(d)
+		out[i] = r
+	}
+	return out
+}
+
+// RescaleTimestamps multiplies every timestamp by k (k near 1: a clock-rate
+// error within jitter). Record order is preserved for k > 0, and every RTT
+// scales uniformly by k, leaving both features invariant in real
+// arithmetic.
+func RescaleTimestamps(records []netem.CaptureRecord, k float64) []netem.CaptureRecord {
+	out := make([]netem.CaptureRecord, len(records))
+	for i, r := range records {
+		r.At = sim.Time(float64(r.At) * k)
+		out[i] = r
+	}
+	return out
+}
+
+// WarpTimestamps applies a seeded monotone time warp: each inter-record gap
+// is stretched by an independent factor in [1-amp, 1+amp]. Record order —
+// and in particular ACK order — is preserved exactly; RTTs move by at most
+// a factor of amp.
+func WarpTimestamps(records []netem.CaptureRecord, seed int64, amp float64) []netem.CaptureRecord {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]netem.CaptureRecord, len(records))
+	var prevIn, prevOut sim.Time
+	for i, r := range records {
+		gap := r.At - prevIn
+		prevIn = r.At
+		scale := 1 + amp*(2*rng.Float64()-1)
+		warped := sim.Time(float64(gap) * scale)
+		if warped < 0 {
+			warped = 0
+		}
+		prevOut += warped
+		r.At = prevOut
+		out[i] = r
+	}
+	return out
+}
+
+// withinMargins reports whether the feature movement from base to perturbed
+// stays strictly inside every finite decision margin, i.e. whether the
+// perturbed input provably walks the same decision path. It returns false
+// (skip) when any tested margin is below marginGuardEps.
+func withinMargins(margins []float64, base, perturbed features.Vector) bool {
+	bv, pv := base.Values(), perturbed.Values()
+	for i := range bv {
+		if i >= len(margins) || math.IsInf(margins[i], 1) {
+			continue
+		}
+		if margins[i] < marginGuardEps {
+			return false
+		}
+		if math.Abs(pv[i]-bv[i]) >= margins[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// featuresClose reports whether two vectors agree to within tol on every
+// classified feature.
+func featuresClose(a, b features.Vector, tol float64) bool {
+	av, bv := a.Values(), b.Values()
+	for i := range av {
+		if math.Abs(av[i]-bv[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

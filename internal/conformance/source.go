@@ -1,0 +1,316 @@
+package conformance
+
+import (
+	"fmt"
+	"time"
+
+	"tcpsig/internal/core"
+	"tcpsig/internal/experiments"
+	"tcpsig/internal/mlab"
+	"tcpsig/internal/netem"
+	"tcpsig/internal/testbed"
+)
+
+// TraceData is one captured flow the metamorphic checks perturb.
+type TraceData struct {
+	Records []netem.CaptureRecord
+	Flow    netem.FlowKey
+}
+
+// Source supplies the experiment data the checks consume. The emulated
+// source runs the real simulation pipeline; test-the-tests mutants wrap a
+// source and corrupt one aspect of it to prove the suite catches the
+// corresponding regression.
+type Source interface {
+	Name() string
+
+	// Sweep returns the parameter-sweep results the classifier trains on.
+	Sweep() ([]*testbed.Result, error)
+
+	// Fig1 returns the headline RTT-signature CDFs.
+	Fig1() (experiments.Fig1Result, error)
+
+	// Dispute returns the synthetic 2014-dispute dataset.
+	Dispute() ([]mlab.DisputeTest, error)
+
+	// Variants returns the congestion-control ablation rows (§6).
+	Variants() ([]experiments.VariantRow, error)
+
+	// Model returns the trained classifier under test.
+	Model() (*core.Classifier, error)
+
+	// Trace returns one captured self-induced flow for trace-level
+	// metamorphic perturbations.
+	Trace() (*TraceData, error)
+}
+
+// Data memoizes a Source so checks can share expensive emulations; every
+// accessor runs its emulation at most once.
+type Data struct {
+	// Seed is the suite seed, used by checks that need their own
+	// deterministic randomness (cross-validation shuffles, time warps).
+	Seed int64
+
+	src Source
+
+	sweep    memo[[]*testbed.Result]
+	fig1     memo[experiments.Fig1Result]
+	dispute  memo[[]mlab.DisputeTest]
+	variants memo[[]experiments.VariantRow]
+	model    memo[*core.Classifier]
+	trace    memo[*TraceData]
+}
+
+type memo[T any] struct {
+	done bool
+	v    T
+	err  error
+}
+
+func fill[T any](m *memo[T], f func() (T, error)) (T, error) {
+	if !m.done {
+		m.v, m.err = f()
+		m.done = true
+	}
+	return m.v, m.err
+}
+
+// NewData wraps a source for the given suite seed.
+func NewData(src Source, seed int64) *Data {
+	return &Data{Seed: seed, src: src}
+}
+
+// Sweep returns the memoized sweep results.
+func (d *Data) Sweep() ([]*testbed.Result, error) {
+	return fill(&d.sweep, d.src.Sweep)
+}
+
+// Fig1 returns the memoized Fig 1 CDFs.
+func (d *Data) Fig1() (experiments.Fig1Result, error) {
+	return fill(&d.fig1, d.src.Fig1)
+}
+
+// Dispute returns the memoized dispute dataset.
+func (d *Data) Dispute() ([]mlab.DisputeTest, error) {
+	return fill(&d.dispute, d.src.Dispute)
+}
+
+// Variants returns the memoized CC-ablation rows.
+func (d *Data) Variants() ([]experiments.VariantRow, error) {
+	return fill(&d.variants, d.src.Variants)
+}
+
+// Model returns the memoized classifier.
+func (d *Data) Model() (*core.Classifier, error) {
+	return fill(&d.model, d.src.Model)
+}
+
+// Trace returns the memoized captured flow.
+func (d *Data) Trace() (*TraceData, error) {
+	return fill(&d.trace, d.src.Trace)
+}
+
+// EmulatedSource runs the real quick-scale experiment pipeline. Its dispute
+// grid is larger than the experiments-package quick grid: two affected
+// combos and eight hours so the Fig 9 leave-one-combo-out training pools
+// stay above dtree's minimum, at a per-test duration short enough for CI.
+type EmulatedSource struct {
+	Seed    int64
+	Workers int
+
+	// Progress, when non-nil, receives coarse stage announcements.
+	Progress func(stage string)
+}
+
+// Name implements Source.
+func (s *EmulatedSource) Name() string { return "emulated" }
+
+func (s *EmulatedSource) announce(stage string) {
+	if s.Progress != nil {
+		s.Progress(stage)
+	}
+}
+
+// Sweep implements Source.
+func (s *EmulatedSource) Sweep() ([]*testbed.Result, error) {
+	s.announce("sweep")
+	results := experiments.SweepResults(experiments.Quick, s.Seed, s.Workers, nil)
+	if len(results) == 0 {
+		return nil, fmt.Errorf("conformance: quick sweep produced no results")
+	}
+	return results, nil
+}
+
+// Fig1 implements Source.
+func (s *EmulatedSource) Fig1() (experiments.Fig1Result, error) {
+	s.announce("fig1")
+	res := experiments.Fig1(experiments.Quick, s.Seed, s.Workers)
+	if res.Runs == 0 {
+		return res, fmt.Errorf("conformance: Fig1 produced no valid runs")
+	}
+	return res, nil
+}
+
+// DisputeGrid is the conformance dispute configuration for a seed: a grid
+// sized so every Fig 9 leave-one-combo-out pool trains (two affected Cogent
+// combos, eight eval-window hours, three tests per cell).
+func DisputeGrid(seed, workers int) mlab.DisputeOptions {
+	return mlab.DisputeOptions{
+		Sites: []mlab.Site{
+			{Transit: "Cogent", City: "LAX"},
+			{Transit: "Level3", City: "ATL"},
+		},
+		ISPs:         []string{"Comcast", "TimeWarner", "Cox"},
+		Hours:        []int{1, 3, 5, 7, 17, 19, 21, 23},
+		TestsPerCell: 3,
+		Duration:     4 * time.Second,
+		Seed:         int64(seed),
+		Workers:      workers,
+	}
+}
+
+// Dispute implements Source.
+func (s *EmulatedSource) Dispute() ([]mlab.DisputeTest, error) {
+	s.announce("dispute")
+	opt := DisputeGrid(int(s.Seed), s.Workers)
+	opt.Seed = s.Seed
+	tests := mlab.GenerateDispute2014(opt)
+	if len(tests) == 0 {
+		return nil, fmt.Errorf("conformance: dispute generation produced no tests")
+	}
+	return tests, nil
+}
+
+// Variants implements Source.
+func (s *EmulatedSource) Variants() ([]experiments.VariantRow, error) {
+	s.announce("variants")
+	rows := experiments.CCAblation(experiments.Quick, s.Seed, s.Workers)
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("conformance: CC ablation produced no rows")
+	}
+	return rows, nil
+}
+
+// Model implements Source. It trains on this source's own sweep with the
+// paper's 0.8 threshold.
+func (s *EmulatedSource) Model() (*core.Classifier, error) {
+	results, err := s.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	return experiments.TrainOnResults(results, 0.8)
+}
+
+// Trace implements Source: a clean self-induced run captured at the
+// server.
+func (s *EmulatedSource) Trace() (*TraceData, error) {
+	s.announce("trace")
+	res, err := RunScenario(CleanScenario(s.Seed))
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Records) == 0 {
+		return nil, fmt.Errorf("conformance: trace scenario captured no packets")
+	}
+	return &TraceData{Records: res.Records, Flow: res.Flow}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Test-the-tests mutants. Each wraps a source and corrupts one aspect; the
+// tier-1 harness tests prove the suite fails on them.
+
+// FlattenRTTs returns a mutant source whose slow-start RTT signal never
+// ramps: every feature collapses toward zero, as if a refactor had broken
+// the queue-filling dynamics the technique measures. The fig1-separation
+// and cv-accuracy checks must fail on it.
+func FlattenRTTs(inner Source) Source { return &flattenSource{inner: inner} }
+
+type flattenSource struct{ inner Source }
+
+func (f *flattenSource) Name() string { return f.inner.Name() + "+flatten" }
+
+func (f *flattenSource) Sweep() ([]*testbed.Result, error) {
+	results, err := f.inner.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*testbed.Result, 0, len(results))
+	for i, r := range results {
+		cp := *r
+		// Degenerate, class-independent features: a flat RTT ramp with a
+		// whisper of per-run variation so training still sees distinct
+		// points.
+		eps := float64(i%7) * 1e-4
+		cp.Features.NormDiff = 0.01 + eps
+		cp.Features.CoV = 0.005 + eps
+		cp.Features.MaxRTT = cp.Features.MinRTT + time.Millisecond
+		out = append(out, &cp)
+	}
+	return out, nil
+}
+
+func (f *flattenSource) Fig1() (experiments.Fig1Result, error) {
+	res, err := f.inner.Fig1()
+	if err != nil {
+		return res, err
+	}
+	// Both classes collapse onto the same flat signature.
+	for class := 0; class < 2; class++ {
+		for i := range res.MaxMinDiffMs[class] {
+			res.MaxMinDiffMs[class][i].X = 1 + 1e-3*float64(i)
+		}
+		for i := range res.CoV[class] {
+			res.CoV[class][i].X = 0.005 + 1e-5*float64(i)
+		}
+	}
+	return res, nil
+}
+
+func (f *flattenSource) Dispute() ([]mlab.DisputeTest, error)        { return f.inner.Dispute() }
+func (f *flattenSource) Variants() ([]experiments.VariantRow, error) { return f.inner.Variants() }
+func (f *flattenSource) Trace() (*TraceData, error)                  { return f.inner.Trace() }
+
+func (f *flattenSource) Model() (*core.Classifier, error) {
+	results, err := f.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	return experiments.TrainOnResults(results, 0.8)
+}
+
+// BadModel returns a mutant source whose classifier was trained on flipped
+// labels — a known-bad model. The dispute checks must fail on it.
+func BadModel(inner Source) Source { return &badModelSource{inner: inner} }
+
+type badModelSource struct{ inner Source }
+
+func (b *badModelSource) Name() string { return b.inner.Name() + "+badmodel" }
+
+func (b *badModelSource) Sweep() ([]*testbed.Result, error)           { return b.inner.Sweep() }
+func (b *badModelSource) Fig1() (experiments.Fig1Result, error)       { return b.inner.Fig1() }
+func (b *badModelSource) Dispute() ([]mlab.DisputeTest, error)        { return b.inner.Dispute() }
+func (b *badModelSource) Variants() ([]experiments.VariantRow, error) { return b.inner.Variants() }
+func (b *badModelSource) Trace() (*TraceData, error)                  { return b.inner.Trace() }
+
+func (b *badModelSource) Model() (*core.Classifier, error) {
+	results, err := b.inner.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	// Invert the scenario ground truth before training: the resulting
+	// tree answers exactly backwards.
+	flipped := make([]*testbed.Result, 0, len(results))
+	for _, r := range results {
+		cp := *r
+		cp.Scenario = 1 - cp.Scenario
+		// Keep the threshold label consistent with the flipped scenario
+		// so testbed.Dataset does not filter everything out.
+		if cp.Scenario == testbed.SelfInduced {
+			cp.SlowStartBps = cp.Config.Access.RateMbps * 1e6
+		} else {
+			cp.SlowStartBps = 0
+		}
+		flipped = append(flipped, &cp)
+	}
+	return experiments.TrainOnResults(flipped, 0.8)
+}

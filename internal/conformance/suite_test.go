@@ -1,0 +1,60 @@
+//go:build conformance
+
+package conformance
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The tier-2 suite: real quick-scale emulations checked against the
+// embedded tolerance bands. Run with
+//
+//	go test -tags conformance ./internal/conformance
+//
+// It is deliberately excluded from tier-1 (several minutes of simulation);
+// CI runs it in a dedicated job.
+
+func runSuite(t *testing.T, seed int64) *Report {
+	t.Helper()
+	rep, err := Run(Options{Seed: seed})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return rep
+}
+
+// TestSuitePassesSeed1 runs the full suite at seed 1 (a band-generation
+// seed) and additionally proves the report is a pure function of the seed.
+func TestSuitePassesSeed1(t *testing.T) {
+	rep := runSuite(t, 1)
+	if !rep.Pass {
+		t.Fatalf("conformance suite failed at seed 1:\n%s", rep.Summary())
+	}
+	if len(rep.Checks) != len(Checks()) {
+		t.Fatalf("ran %d checks, want %d", len(rep.Checks), len(Checks()))
+	}
+
+	again := runSuite(t, 1)
+	a, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("same-seed reports are not byte-identical")
+	}
+}
+
+// TestSuitePassesSeed5 runs the suite at a seed outside the band-generation
+// set: the tolerance bands must hold for unseen seeds, not just the ones
+// they were derived from.
+func TestSuitePassesSeed5(t *testing.T) {
+	rep := runSuite(t, 5)
+	if !rep.Pass {
+		t.Fatalf("conformance suite failed at seed 5:\n%s", rep.Summary())
+	}
+}

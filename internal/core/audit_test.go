@@ -113,3 +113,28 @@ func TestClassifierMetrics(t *testing.T) {
 		t.Errorf("confidence observations = %d, want 3", got)
 	}
 }
+
+// TestVerdictMargins checks the margin accessor the metamorphic conformance
+// tests rely on: finite margins bound how far a feature can move without
+// changing the decision path, and an un-audited verdict has no margins.
+func TestVerdictMargins(t *testing.T) {
+	c := trainToy(t)
+	vec := features.Vector{NormDiff: 0.7, CoV: 0.4, MinRTT: 20 * time.Millisecond, MaxRTT: 120 * time.Millisecond}
+	v := c.ClassifyFeatures(vec)
+	m := v.Margins()
+	if len(m) != len(features.Names()) {
+		t.Fatalf("len(margins) = %d, want %d", len(m), len(features.Names()))
+	}
+	for _, s := range v.Audit.Path.Steps {
+		d := s.Value - s.Threshold
+		if d < 0 {
+			d = -d
+		}
+		if m[s.Feature] > d {
+			t.Fatalf("margin[%d]=%v exceeds a step distance %v", s.Feature, m[s.Feature], d)
+		}
+	}
+	if (Verdict{}).Margins() != nil {
+		t.Fatal("verdict without audit should have nil margins")
+	}
+}

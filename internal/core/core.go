@@ -119,6 +119,19 @@ func (a *Audit) String() string {
 	return a.Path.String()
 }
 
+// Margins returns, per feature, the smallest absolute distance between the
+// feature's value and any decision-tree threshold compared against it on the
+// way to this verdict (+Inf for features the path never tested). A
+// perturbation smaller than every finite margin cannot change the verdict;
+// the metamorphic conformance tests use this to pick provably-safe
+// perturbation sizes. Returns nil when the verdict carries no audit.
+func (v Verdict) Margins() []float64 {
+	if v.Audit == nil {
+		return nil
+	}
+	return v.Audit.Path.Margins(len(features.Names()))
+}
+
 // CapacityEstimate returns an estimate of the bottleneck-link line rate in
 // bits/second, derived from the goodput the flow achieved by the end of
 // slow start (§2.3: for self-induced congestion, the slow-start rate tracks

@@ -458,6 +458,83 @@ func TrainTestSplit(rng *rand.Rand, examples []Example, trainFrac float64) (trai
 	return shuffled[:cut], shuffled[cut:]
 }
 
+// CVResult summarizes a k-fold cross-validation run.
+type CVResult struct {
+	// K is the fold count actually used.
+	K int
+
+	// Folds holds the held-out accuracy of each fold, in fold order.
+	Folds []float64
+
+	// Mean and Min aggregate Folds; Min is the worst fold, the number a
+	// conformance floor should compare against when it must hold
+	// per-split rather than on average.
+	Mean float64
+	Min  float64
+}
+
+// ErrTooFewForCV is returned when the dataset cannot fill every fold.
+var ErrTooFewForCV = errors.New("dtree: fewer examples than folds")
+
+// CrossValidate runs k-fold cross-validation: examples are shuffled with
+// rng into k folds, and for each fold a tree is trained on the other k-1
+// and evaluated on the held-out one. It is the evaluation protocol behind
+// the paper's "10-fold cross-validation" accuracy claims.
+func CrossValidate(rng *rand.Rand, examples []Example, k int, opt Options) (CVResult, error) {
+	if k < 2 {
+		return CVResult{}, fmt.Errorf("dtree: cross-validation needs k >= 2, got %d", k)
+	}
+	if len(examples) < k {
+		return CVResult{}, fmt.Errorf("%w: %d examples, %d folds", ErrTooFewForCV, len(examples), k)
+	}
+	folds := KFold(rng, examples, k)
+	res := CVResult{K: k, Min: 1}
+	for i := range folds {
+		train := make([]Example, 0, len(examples)-len(folds[i]))
+		for j := range folds {
+			if j != i {
+				train = append(train, folds[j]...)
+			}
+		}
+		tree, err := Train(train, opt)
+		if err != nil {
+			return CVResult{}, fmt.Errorf("dtree: fold %d: %w", i, err)
+		}
+		acc := tree.Evaluate(folds[i]).Accuracy()
+		res.Folds = append(res.Folds, acc)
+		res.Mean += acc
+		if acc < res.Min {
+			res.Min = acc
+		}
+	}
+	res.Mean /= float64(len(res.Folds))
+	return res, nil
+}
+
+// Margins returns, for each of n feature indices, the smallest absolute
+// distance |Value - Threshold| over the path's comparisons of that feature.
+// Features the path never tested get +Inf: no perturbation of them alone
+// can change this verdict. A perturbation of feature f strictly smaller
+// than Margins(n)[f], with all other features held fixed, provably cannot
+// flip any comparison on the path and therefore cannot change the label —
+// the soundness guard the metamorphic conformance tests rely on.
+func (p PathTrace) Margins(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Inf(1)
+	}
+	for _, s := range p.Steps {
+		if s.Feature < 0 || s.Feature >= n {
+			continue
+		}
+		d := math.Abs(s.Value - s.Threshold)
+		if d < out[s.Feature] {
+			out[s.Feature] = d
+		}
+	}
+	return out
+}
+
 // KFold partitions examples into k shuffled folds for cross-validation.
 func KFold(rng *rand.Rand, examples []Example, k int) [][]Example {
 	if k <= 0 {

@@ -1,6 +1,8 @@
 package dtree
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -290,5 +292,88 @@ func TestSingleClass(t *testing.T) {
 	}
 	if tree.Depth() != 0 {
 		t.Fatal("pure node should not split")
+	}
+}
+
+func TestCrossValidateSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ex := linearlySeparable(rng, 200)
+	res, err := CrossValidate(rand.New(rand.NewSource(7)), ex, 10, Options{MaxDepth: 4, MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 10 || len(res.Folds) != 10 {
+		t.Fatalf("K=%d folds=%d, want 10/10", res.K, len(res.Folds))
+	}
+	if res.Mean < 0.95 {
+		t.Fatalf("mean CV accuracy %.3f on separable data, want >= 0.95", res.Mean)
+	}
+	if res.Min > res.Mean {
+		t.Fatalf("Min %.3f > Mean %.3f", res.Min, res.Mean)
+	}
+	// Same seed must reproduce the exact fold accuracies.
+	again, err := CrossValidate(rand.New(rand.NewSource(7)), ex, 10, Options{MaxDepth: 4, MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Folds {
+		if res.Folds[i] != again.Folds[i] {
+			t.Fatalf("fold %d accuracy differs across identical seeds: %v vs %v", i, res.Folds[i], again.Folds[i])
+		}
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ex := linearlySeparable(rng, 5)
+	if _, err := CrossValidate(rng, ex, 10, Options{}); !errors.Is(err, ErrTooFewForCV) {
+		t.Fatalf("err = %v, want ErrTooFewForCV", err)
+	}
+	if _, err := CrossValidate(rng, ex, 1, Options{}); err == nil {
+		t.Fatal("k=1 should error")
+	}
+}
+
+func TestPathTraceMargins(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ex := linearlySeparable(rng, 400)
+	tree, err := Train(ex, Options{MaxDepth: 4, MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.9, 0.5}
+	pt := tree.PredictTrace(x)
+	m := pt.Margins(2)
+	if len(m) != 2 {
+		t.Fatalf("len(margins) = %d, want 2", len(m))
+	}
+	for _, s := range pt.Steps {
+		d := math.Abs(s.Value - s.Threshold)
+		if d < m[s.Feature]-1e-12 {
+			t.Fatalf("margin[%d]=%v larger than observed step distance %v", s.Feature, m[s.Feature], d)
+		}
+	}
+	// Nudging a feature by strictly less than its margin cannot flip the
+	// verdict: every comparison keeps its direction.
+	for f := 0; f < 2; f++ {
+		if math.IsInf(m[f], 1) || m[f] == 0 {
+			continue
+		}
+		for _, d := range []float64{m[f] * 0.5, -m[f] * 0.5} {
+			y := []float64{x[0], x[1]}
+			y[f] += d
+			if tree.Predict(y) != pt.Label {
+				t.Fatalf("verdict flipped under sub-margin perturbation %v on feature %d", d, f)
+			}
+		}
+	}
+	// An untested feature has an infinite margin.
+	single := PathTrace{Steps: []PathStep{{Feature: 0, Threshold: 0.5, Value: 0.7}}}
+	got := single.Margins(2)
+	if got[0] != 0.2 && math.Abs(got[0]-0.2) > 1e-12 {
+		t.Fatalf("margin[0] = %v, want 0.2", got[0])
+	}
+	if !math.IsInf(got[1], 1) {
+		t.Fatalf("margin[1] = %v, want +Inf", got[1])
 	}
 }

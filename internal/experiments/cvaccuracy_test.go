@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"tcpsig/internal/dtree"
+	"tcpsig/internal/features"
+	"tcpsig/internal/testbed"
+)
+
+// syntheticResults fabricates sweep results whose features sit squarely in
+// the two regimes' measured ranges (EXPERIMENTS.md Fig 4), with slow-start
+// throughput consistent with the scenario so Dataset keeps every run.
+func syntheticResults(n int) []*testbed.Result {
+	var out []*testbed.Result
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n)
+		cfg := testbed.Config{}
+		cfg.Access.RateMbps = 20
+		out = append(out, &testbed.Result{
+			Config:       cfg,
+			Features:     features.Vector{NormDiff: 0.55 + 0.3*frac, CoV: 0.25 + 0.2*frac},
+			SlowStartBps: 19e6,
+			Scenario:     testbed.SelfInduced,
+		})
+		out = append(out, &testbed.Result{
+			Config:       cfg,
+			Features:     features.Vector{NormDiff: 0.10 + 0.3*frac, CoV: 0.03 + 0.1*frac},
+			SlowStartBps: 5e6,
+			Scenario:     testbed.External,
+		})
+	}
+	return out
+}
+
+func TestCVAccuracySeparableRegimes(t *testing.T) {
+	results := syntheticResults(15) // 30 labeled examples
+	res, err := CVAccuracy(results, 0.8, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 10 || len(res.Folds) != 10 {
+		t.Fatalf("K=%d folds=%d, want 10/10", res.K, len(res.Folds))
+	}
+	if res.Mean < 0.9 {
+		t.Fatalf("mean CV accuracy %.3f on cleanly separated regimes, want >= 0.9", res.Mean)
+	}
+	again, err := CVAccuracy(results, 0.8, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Folds {
+		if res.Folds[i] != again.Folds[i] {
+			t.Fatalf("fold %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestCVAccuracyTooFew(t *testing.T) {
+	results := syntheticResults(3) // 6 examples < 10 folds
+	if _, err := CVAccuracy(results, 0.8, 10, 1); !errors.Is(err, dtree.ErrTooFewForCV) {
+		t.Fatalf("err = %v, want ErrTooFewForCV", err)
+	}
+}

@@ -254,6 +254,19 @@ func TrainOnResults(results []*testbed.Result, threshold float64) (*core.Classif
 	return core.Train(ds, core.TrainOptions{MaxDepth: 4, MinLeaf: 2, Threshold: threshold})
 }
 
+// CVAccuracy runs seeded k-fold cross-validation over the labelled dataset
+// derived from sweep results, with the same tree hyperparameters as the
+// paper's classifier (depth 4, min leaf 2). The conformance suite pins its
+// per-regime accuracy floors on the result.
+func CVAccuracy(results []*testbed.Result, threshold float64, k int, seed int64) (dtree.CVResult, error) {
+	ds := testbed.Dataset(results, threshold)
+	return dtree.CrossValidate(newRand(seed), ds, k, dtree.Options{
+		MaxDepth:     4,
+		MinLeaf:      2,
+		FeatureNames: features.Names(),
+	})
+}
+
 // ---------------------------------------------------------------------------
 // Section 3.3: multiplexing.
 

@@ -1,0 +1,60 @@
+package netem
+
+import (
+	"testing"
+
+	"tcpsig/internal/sim"
+)
+
+func TestDropTailPeak(t *testing.T) {
+	q := NewDropTail(3000)
+	if q.Peak() != 0 {
+		t.Fatalf("fresh queue peak = %d, want 0", q.Peak())
+	}
+	q.Admit(1500)
+	q.Admit(1500)
+	if q.Peak() != 3000 {
+		t.Fatalf("peak = %d, want 3000", q.Peak())
+	}
+	// Rejected admissions and releases must not move the high-water mark.
+	if q.Admit(1) {
+		t.Fatal("over-capacity admit succeeded")
+	}
+	q.Release(1500)
+	q.Admit(500)
+	if q.Peak() != 3000 {
+		t.Fatalf("peak after drain = %d, want 3000", q.Peak())
+	}
+	if q.Peak() > q.Capacity() {
+		t.Fatalf("peak %d exceeds capacity %d", q.Peak(), q.Capacity())
+	}
+}
+
+func TestREDPeakBoundedByCapacity(t *testing.T) {
+	for _, ecn := range []bool{false, true} {
+		eng := sim.NewEngine(1)
+		red := NewRED(eng, 10000, 2000, 6000, 0.2, 10e6)
+		red.ECN = ecn
+		peakSeen := 0
+		for i := 0; i < 200; i++ {
+			red.Admit(1500)
+			if red.Bytes() > peakSeen {
+				peakSeen = red.Bytes()
+			}
+			if i%3 == 0 && red.Bytes() >= 1500 {
+				red.Release(1500)
+			}
+		}
+		if red.Peak() != peakSeen {
+			t.Fatalf("ecn=%v: Peak() = %d, want observed max %d", ecn, red.Peak(), peakSeen)
+		}
+		// Capacity overflow always drops, even with ECN marking enabled,
+		// so the high-water mark can never exceed the physical buffer.
+		if red.Peak() > red.Capacity() {
+			t.Fatalf("ecn=%v: peak %d exceeds capacity %d", ecn, red.Peak(), red.Capacity())
+		}
+	}
+}
+
+var _ PeakQueue = (*DropTail)(nil)
+var _ PeakQueue = (*RED)(nil)

@@ -26,11 +26,23 @@ func BufferBytes(rateBps float64, depth time.Duration) int {
 	return int(rateBps / 8 * depth.Seconds())
 }
 
+// PeakQueue is the optional occupancy-high-water-mark interface. Both
+// built-in disciplines implement it; the conformance suite uses it to
+// assert that queue depth never exceeded the configured buffer size.
+type PeakQueue interface {
+	Queue
+
+	// Peak returns the maximum byte occupancy ever reached after an
+	// admission.
+	Peak() int
+}
+
 // DropTail is a FIFO byte-limited buffer, the default discipline everywhere
 // in the paper's testbed.
 type DropTail struct {
 	capBytes int
 	bytes    int
+	peak     int
 
 	// Drops counts packets rejected by Admit.
 	Drops uint64
@@ -55,6 +67,9 @@ func (q *DropTail) Admit(size int) bool {
 		return false
 	}
 	q.bytes += size
+	if q.bytes > q.peak {
+		q.peak = q.bytes
+	}
 	return true
 }
 
@@ -66,6 +81,9 @@ func (q *DropTail) Bytes() int { return q.bytes }
 
 // Capacity implements Queue.
 func (q *DropTail) Capacity() int { return q.capBytes }
+
+// Peak implements PeakQueue.
+func (q *DropTail) Peak() int { return q.peak }
 
 // RED implements Random Early Detection (Floyd & Jacobson '93): packets are
 // dropped probabilistically as the EWMA of the queue occupancy moves between
@@ -91,6 +109,7 @@ type RED struct {
 	Marks uint64
 
 	bytes int
+	peak  int
 	avg   float64
 	count int // packets since last drop
 
@@ -173,6 +192,9 @@ func (q *RED) admit(size int, mark *bool) bool {
 		q.Marks++
 		*mark = true
 		q.bytes += size
+		if q.bytes > q.peak {
+			q.peak = q.bytes
+		}
 		return true
 	}
 	if drop {
@@ -184,6 +206,9 @@ func (q *RED) admit(size int, mark *bool) bool {
 		return false
 	}
 	q.bytes += size
+	if q.bytes > q.peak {
+		q.peak = q.bytes
+	}
 	return true
 }
 
@@ -201,6 +226,9 @@ func (q *RED) Bytes() int { return q.bytes }
 
 // Capacity implements Queue.
 func (q *RED) Capacity() int { return q.capBytes }
+
+// Peak implements PeakQueue.
+func (q *RED) Peak() int { return q.peak }
 
 // TokenBucket meters departures at a sustained rate with a burst allowance,
 // matching the paper's tc token-bucket shaper (5 KByte burst).

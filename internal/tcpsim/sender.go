@@ -209,6 +209,10 @@ func (s *Sender) Stats() SenderStats { return s.stats }
 // CC returns the connection's congestion controller (read-only use).
 func (s *Sender) CC() CongestionControl { return s.cc }
 
+// InSlowStart reports whether the congestion controller is still in its
+// exponential-growth phase.
+func (s *Sender) InSlowStart() bool { return s.cc.InSlowStart() }
+
 // Flow returns the sender->receiver flow key.
 func (s *Sender) Flow() netem.FlowKey { return s.flow }
 
