@@ -2,12 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"tcpsig/internal/checkpoint"
 	"tcpsig/internal/conformance"
 	"tcpsig/internal/parallel"
 )
@@ -16,9 +18,11 @@ import (
 // -generate, regenerates its tolerance bands). The suite re-runs the
 // paper's quick-scale experiments and checks the headline results against
 // versioned tolerance bands plus structural invariants; the JSON report is
-// a pure function of the seed.
+// a pure function of the seed. With -checkpoint the suite's emulation
+// stages persist completed chunks, so an interrupted run (exit 3) resumes
+// with -resume instead of recomputing.
 func conformanceCmd(args []string) {
-	fs := newFlagSet("conformance", "[-seed N] [-j N] [-o out.json] [-expected bands.json] [-v] | -generate [-seeds 1,2,3]")
+	fs := newFlagSet("conformance", "[-seed N] [-j N] [-o out.json] [-expected bands.json] [-checkpoint DIR] [-resume] [-chunk N] [-v] | -generate [-seeds 1,2,3]")
 	seed := fs.Int64("seed", 1, "suite seed (the report is byte-identical per seed)")
 	jobs := fs.Int("j", 0, "parallel sim runs (0 = all cores, 1 = serial; output is identical either way)")
 	out := fs.String("o", "", "write the JSON report (or, with -generate, the bands) here instead of stdout")
@@ -26,10 +30,19 @@ func conformanceCmd(args []string) {
 	generate := fs.Bool("generate", false, "regenerate tolerance bands from -seeds instead of running the suite")
 	seedList := fs.String("seeds", "1,2,3", "comma-separated seeds for -generate")
 	checkList := fs.String("checks", "", "comma-separated check names to run (default: all)")
+	ckptDir := fs.String("checkpoint", "", "persist the suite's sweep progress under this directory")
+	resume := fs.Bool("resume", false, "continue an interrupted suite run from -checkpoint")
+	chunk := fs.Int("chunk", 0, "runs per checkpoint chunk (0 = default)")
 	verbose := fs.Bool("v", false, "print stage progress to stderr")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		badUsage(fs, "unexpected arguments")
+	}
+	if *resume && *ckptDir == "" {
+		badUsage(fs, "-resume requires -checkpoint")
+	}
+	if *generate && *ckptDir != "" {
+		badUsage(fs, "-checkpoint does not apply to -generate")
 	}
 	workers := parallel.Workers(*jobs)
 	var onlyChecks []string
@@ -39,17 +52,14 @@ func conformanceCmd(args []string) {
 		}
 	}
 
+	// The report and the bands are written atomically: a crash mid-write
+	// never clobbers a previous good file with a torn one.
 	write := func(render func(f io.Writer) error) {
-		f := os.Stdout
-		if *out != "" {
-			var err error
-			f, err = os.Create(*out)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
+		path := *out
+		if path == "" {
+			path = "-"
 		}
-		if err := render(f); err != nil {
+		if err := checkpoint.WriteFileAtomic(path, render); err != nil {
 			fatal(err)
 		}
 	}
@@ -73,15 +83,16 @@ func conformanceCmd(args []string) {
 		return
 	}
 
+	spec := checkpointSpec(*ckptDir, *resume, *chunk)
 	opt := conformance.Options{Seed: *seed, Workers: workers, Checks: onlyChecks}
-	if *verbose {
-		opt.Source = &conformance.EmulatedSource{
-			Seed:    *seed,
-			Workers: workers,
-			Progress: func(stage string) {
+	if *verbose || spec != nil {
+		src := &conformance.EmulatedSource{Seed: *seed, Workers: workers, Checkpoint: spec}
+		if *verbose {
+			src.Progress = func(stage string) {
 				fmt.Fprintf(os.Stderr, "conformance: running %s...\n", stage)
-			},
+			}
 		}
+		opt.Source = src
 	}
 	if *expectedPath != "" {
 		f, err := os.Open(*expectedPath)
@@ -99,6 +110,10 @@ func conformanceCmd(args []string) {
 
 	rep, err := conformance.Run(opt)
 	if err != nil {
+		if errors.Is(err, checkpoint.ErrInterrupted) {
+			fmt.Fprintf(os.Stderr, "\nccsig conformance: %v\nresume with: ccsig conformance -checkpoint %s -resume (plus the same flags)\n", err, *ckptDir)
+			os.Exit(3)
+		}
 		fatal(err)
 	}
 	write(func(f io.Writer) error {

@@ -26,16 +26,34 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"tcpsig"
+	"tcpsig/internal/checkpoint"
 	"tcpsig/internal/parallel"
 	"tcpsig/internal/testbed"
 )
+
+// checkpointSpec installs the signal discipline for a long-running
+// subcommand and builds its checkpoint root (nil when dir is empty: the
+// sweep runs in memory and the first signal exits immediately).
+func checkpointSpec(dir string, resume bool, chunk int) *checkpoint.Spec {
+	intr := checkpoint.NotifyInterrupt(dir != "", nil)
+	if dir == "" {
+		return nil
+	}
+	return &checkpoint.Spec{
+		Dir: dir, Resume: resume, ChunkSize: chunk,
+		Interrupt: intr,
+		Log:       func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -145,14 +163,12 @@ func trainCmd(args []string) {
 	}
 
 	if *dataOut != "" {
-		f, ferr := os.Create(*dataOut)
-		if ferr != nil {
-			fatal(ferr)
-		}
-		if err := tcpsig.WriteExamplesCSV(f, examples); err != nil {
+		err := checkpoint.WriteFileAtomic(*dataOut, func(w io.Writer) error {
+			return tcpsig.WriteExamplesCSV(w, examples)
+		})
+		if err != nil {
 			fatal(err)
 		}
-		f.Close()
 		fmt.Printf("dataset written to %s (%d examples)\n", *dataOut, len(examples))
 	}
 
@@ -276,17 +292,24 @@ func inspectCmd(args []string) {
 }
 
 func faultsCmd(args []string) {
-	fs := newFlagSet("faults", "[-quick] [-runs N] [-threshold F] [-seed N] [-faults name,name,...] [-j N] [-v]")
+	fs := newFlagSet("faults", "[-quick] [-runs N] [-threshold F] [-seed N] [-faults name,name,...] [-j N] [-checkpoint DIR] [-resume] [-chunk N] [-v]")
 	quick := fs.Bool("quick", false, "small parameter grid (seconds instead of minutes)")
 	runs := fs.Int("runs", 0, "runs per parameter combination and scenario")
 	threshold := fs.Float64("threshold", 0.8, "slow-start throughput labeling threshold")
 	seed := fs.Int64("seed", 1, "random seed")
 	names := fs.String("faults", "", "comma-separated fault regimes to test (default: all)")
 	jobs := fs.Int("j", 0, "parallel sim runs (0 = all cores, 1 = serial; output is identical either way)")
+	ckptDir := fs.String("checkpoint", "", "persist per-regime sweep progress under this directory")
+	resume := fs.Bool("resume", false, "continue an interrupted run from -checkpoint")
+	chunk := fs.Int("chunk", 0, "runs per checkpoint chunk (0 = default)")
 	verbose := fs.Bool("v", false, "print progress")
 	fs.Parse(args)
+	if *resume && *ckptDir == "" {
+		badUsage(fs, "-resume requires -checkpoint")
+	}
 
-	sw := testbed.SweepOptions{RunsPerConfig: *runs, Seed: *seed, Workers: parallel.Workers(*jobs)}
+	spec := checkpointSpec(*ckptDir, *resume, *chunk)
+	sw := testbed.SweepOptions{RunsPerConfig: *runs, Seed: *seed, Workers: parallel.Workers(*jobs), Checkpoint: spec}
 	if *quick {
 		sw.Rates = []float64{50}
 		sw.Losses = []float64{0}
@@ -326,6 +349,10 @@ func faultsCmd(args []string) {
 	}
 	report, err := testbed.SweepFaults(opt)
 	if err != nil {
+		if errors.Is(err, checkpoint.ErrInterrupted) {
+			fmt.Fprintf(os.Stderr, "\nccsig faults: %v\nresume with: ccsig faults -checkpoint %s -resume (plus the same flags)\n", err, *ckptDir)
+			os.Exit(3)
+		}
 		fatal(err)
 	}
 	fmt.Printf("classifier trained on clean sweep (threshold %.2f):\n%s\n", report.Threshold, report.Tree.String())

@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"tcpsig/internal/checkpoint"
 	"tcpsig/internal/obs"
 	"tcpsig/internal/testbed"
 )
@@ -163,20 +164,8 @@ func metricsCmd(args []string) {
 }
 
 // writeOutput writes via fn to path: "-" means stdout, "" skips entirely.
+// File output is staged and renamed into place, so a crash mid-write never
+// leaves a torn artifact where a complete one (or nothing) should be.
 func writeOutput(path string, fn func(io.Writer) error) error {
-	if path == "" {
-		return nil
-	}
-	if path == "-" {
-		return fn(os.Stdout)
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return checkpoint.WriteFileAtomic(path, fn)
 }

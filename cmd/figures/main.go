@@ -4,18 +4,27 @@
 // Usage:
 //
 //	figures [-scale quick|full|paper] [-only fig1,fig3,...] [-seed N] [-j N]
+//	        [-checkpoint DIR] [-resume] [-chunk N]
 //	        [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // Experiments: fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, multiplexing,
 // tslp-accuracy, feature-ablation, depth-ablation, cc-ablation.
+//
+// With -checkpoint every emulation stage (sweep, fig1, dispute, tslp,
+// multiplexing, variants) persists completed chunks under DIR; an
+// interrupted run continues with -resume, replaying finished stages and
+// chunks. SIGINT/SIGTERM drain gracefully and exit 3 (resumable); a second
+// signal exits immediately.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"tcpsig/internal/checkpoint"
 	"tcpsig/internal/core"
 	"tcpsig/internal/experiments"
 	"tcpsig/internal/mlab"
@@ -40,10 +49,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	progress := flag.Bool("progress", false, "print progress for long sweeps")
 	jobs := flag.Int("j", 0, "parallel sim runs (0 = all cores, 1 = serial; output is identical either way)")
+	ckptDir := flag.String("checkpoint", "", "persist per-stage sweep progress under this directory")
+	resume := flag.Bool("resume", false, "continue an interrupted run from -checkpoint")
+	chunk := flag.Int("chunk", 0, "runs per checkpoint chunk (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "figures: -resume requires -checkpoint")
+		os.Exit(2)
+	}
 
 	var scale experiments.Scale
 	switch *scaleFlag {
@@ -79,7 +95,17 @@ func main() {
 		prog = func(done, total int) { fmt.Fprintf(os.Stderr, "\r%d/%d", done, total) }
 	}
 
-	r := &runner{scale: scale, seed: *seed, workers: parallel.Workers(*jobs), progress: prog}
+	intr := checkpoint.NotifyInterrupt(*ckptDir != "", func() { stopProfiles() })
+	var spec *checkpoint.Spec
+	if *ckptDir != "" {
+		spec = &checkpoint.Spec{
+			Dir: *ckptDir, Resume: *resume, ChunkSize: *chunk,
+			Interrupt: intr,
+			Log:       func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		}
+	}
+
+	r := &runner{scale: scale, seed: *seed, workers: parallel.Workers(*jobs), progress: prog, ckpt: spec, ckptDir: *ckptDir}
 
 	if sel("fig1") {
 		r.fig1()
@@ -140,6 +166,8 @@ type runner struct {
 	seed     int64
 	workers  int
 	progress func(done, total int)
+	ckpt     *checkpoint.Spec
+	ckptDir  string
 
 	sweepResults []*testbed.Result
 	clf          *core.Classifier
@@ -151,12 +179,34 @@ func (r *runner) header(title string) {
 	fmt.Printf("\n=== %s (scale=%s) ===\n", title, r.scale)
 }
 
+// exec builds the checkpoint-aware executor for one stage; seed varies by
+// stage (the historical per-stage offsets), the checkpoint root is shared.
+func (r *runner) exec(seed int64) experiments.Exec {
+	return experiments.Exec{Scale: r.scale, Seed: seed, Workers: r.workers, Checkpoint: r.ckpt}
+}
+
+// check routes a stage failure to the right exit: a graceful drain exits 3
+// with the resume invocation, anything else exits 1.
+func (r *runner) check(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, checkpoint.ErrInterrupted) {
+		fmt.Fprintf(os.Stderr, "\nfigures: %v\nresume with: figures -checkpoint %s -resume (plus the same flags)\n", err, r.ckptDir)
+		exit(3)
+	}
+	fmt.Fprintf(os.Stderr, "\nfigures: %v\n", err)
+	exit(1)
+}
+
 func (r *runner) sweep() {
 	if r.sweepResults != nil {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "running controlled-experiment sweep...\n")
-	r.sweepResults = experiments.SweepResults(r.scale, r.seed, r.workers, r.progress)
+	results, err := r.exec(r.seed).SweepResults(r.progress)
+	r.check(err)
+	r.sweepResults = results
 	clf, err := experiments.TrainOnResults(r.sweepResults, 0.8)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "training failed: %v\n", err)
@@ -171,7 +221,9 @@ func (r *runner) dispute() {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "generating Dispute2014 dataset...\n")
-	r.disputeTests = experiments.DisputeData(r.scale, r.seed+10000, r.workers, r.progress)
+	tests, err := r.exec(r.seed + 10000).DisputeData(r.progress)
+	r.check(err)
+	r.disputeTests = tests
 	fmt.Fprintf(os.Stderr, "dispute2014: %d tests\n", len(r.disputeTests))
 }
 
@@ -184,7 +236,9 @@ func (r *runner) tslp() {
 	if r.progress != nil {
 		p = func(done int) { fmt.Fprintf(os.Stderr, "\r%d", done) }
 	}
-	r.tslpTests = experiments.TSLPData(r.scale, r.seed+20000, r.workers, p)
+	tests, err := r.exec(r.seed + 20000).TSLPData(p)
+	r.check(err)
+	r.tslpTests = tests
 	fmt.Fprintf(os.Stderr, "tslp2017: %d tests\n", len(r.tslpTests))
 }
 
@@ -197,7 +251,8 @@ func printCDF(name string, cdf []stats.CDFPoint) {
 
 func (r *runner) fig1() {
 	r.header("Figure 1: slow-start RTT signatures (20 Mbps access, 100 ms buffer)")
-	res := experiments.Fig1(r.scale, r.seed, r.workers)
+	res, err := r.exec(r.seed).Fig1()
+	r.check(err)
 	printCDF("fig1a max-min RTT (ms), self-induced", res.MaxMinDiffMs[testbed.SelfInduced])
 	printCDF("fig1a max-min RTT (ms), external", res.MaxMinDiffMs[testbed.External])
 	printCDF("fig1b CoV, self-induced", res.CoV[testbed.SelfInduced])
@@ -273,7 +328,9 @@ func (r *runner) fig9() {
 func (r *runner) multiplexing() {
 	r.header("Section 3.3: multiplexing")
 	fmt.Println("variant            frac-expected  runs")
-	for _, row := range experiments.Multiplexing(r.clf, r.scale, r.seed+30000, r.workers) {
+	rows, err := r.exec(r.seed + 30000).Multiplexing(r.clf)
+	r.check(err)
+	for _, row := range rows {
 		name := fmt.Sprintf("cong-flows=%d", row.CongFlows)
 		if row.AccessCross > 0 {
 			name = fmt.Sprintf("access-cross=%d", row.AccessCross)
@@ -309,7 +366,9 @@ func (r *runner) depthAblation() {
 func (r *runner) ccAblation() {
 	r.header("Ablation: congestion control & AQM (§6 limitations)")
 	fmt.Println("variant    normdiff  cov    minRTT(ms)  maxRTT(ms)  valid/runs")
-	for _, row := range experiments.CCAblation(r.scale, r.seed+40000, r.workers) {
+	rows, err := r.exec(r.seed + 40000).CCAblation()
+	r.check(err)
+	for _, row := range rows {
 		fmt.Printf("%-10s %8.3f  %.3f  %10.1f  %10.1f  %d/%d\n",
 			row.Variant, row.NormDiff, row.CoV, row.MinRTTms, row.MaxRTTms, row.ValidRuns, row.Runs)
 	}

@@ -3,15 +3,22 @@
 //
 // Usage:
 //
-//	mlab dispute [-scale quick|full|paper] [-seed N] [-j N]   # §4.1/§5.1-5.3
-//	mlab tslp    [-scale quick|full|paper] [-seed N] [-j N]   # §4.2/§5.4
+//	mlab dispute [-scale quick|full|paper] [-seed N] [-j N] [-checkpoint DIR] [-resume] [-chunk N]   # §4.1/§5.1-5.3
+//	mlab tslp    [-scale quick|full|paper] [-seed N] [-j N] [-checkpoint DIR] [-resume] [-chunk N]   # §4.2/§5.4
+//
+// With -checkpoint the training sweep and the dataset generation persist
+// completed chunks under DIR; an interrupted run continues with -resume.
+// SIGINT/SIGTERM drain gracefully and exit 3 (resumable); a second signal
+// exits immediately.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"tcpsig/internal/checkpoint"
 	"tcpsig/internal/experiments"
 	"tcpsig/internal/mlab"
 	"tcpsig/internal/parallel"
@@ -33,8 +40,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  mlab dispute [-scale quick|full|paper] [-seed N] [-j N]
-  mlab tslp    [-scale quick|full|paper] [-seed N] [-j N]
+  mlab dispute [-scale quick|full|paper] [-seed N] [-j N] [-checkpoint DIR] [-resume] [-chunk N]
+  mlab tslp    [-scale quick|full|paper] [-seed N] [-j N] [-checkpoint DIR] [-resume] [-chunk N]
 `)
 	os.Exit(2)
 }
@@ -53,24 +60,81 @@ func parseScale(s string) experiments.Scale {
 	return 0
 }
 
+// mlabFlags is the flag block the two subcommands share.
+type mlabFlags struct {
+	scaleFlag *string
+	seed      *int64
+	jobs      *int
+	ckptDir   *string
+	resume    *bool
+	chunk     *int
+}
+
+func addFlags(fs *flag.FlagSet) mlabFlags {
+	return mlabFlags{
+		scaleFlag: fs.String("scale", "quick", "quick, full, or paper"),
+		seed:      fs.Int64("seed", 1, "random seed"),
+		jobs:      fs.Int("j", 0, "parallel sim runs (0 = all cores, 1 = serial)"),
+		ckptDir:   fs.String("checkpoint", "", "persist sweep progress under this directory"),
+		resume:    fs.Bool("resume", false, "continue an interrupted run from -checkpoint"),
+		chunk:     fs.Int("chunk", 0, "runs per checkpoint chunk (0 = default)"),
+	}
+}
+
+// spec installs the signal discipline and builds the checkpoint root (nil
+// when -checkpoint is unset).
+func (f mlabFlags) spec(cmd string) *checkpoint.Spec {
+	if *f.resume && *f.ckptDir == "" {
+		fmt.Fprintf(os.Stderr, "mlab %s: -resume requires -checkpoint\n", cmd)
+		os.Exit(2)
+	}
+	intr := checkpoint.NotifyInterrupt(*f.ckptDir != "", nil)
+	if *f.ckptDir == "" {
+		return nil
+	}
+	return &checkpoint.Spec{
+		Dir: *f.ckptDir, Resume: *f.resume, ChunkSize: *f.chunk,
+		Interrupt: intr,
+		Log:       func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	}
+}
+
+// check routes a stage failure to the right exit: a graceful drain exits 3
+// with the resume invocation, anything else exits 1.
+func (f mlabFlags) check(cmd string, err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, checkpoint.ErrInterrupted) {
+		fmt.Fprintf(os.Stderr, "\nmlab %s: %v\nresume with: mlab %s -checkpoint %s -resume (plus the same flags)\n",
+			cmd, err, cmd, *f.ckptDir)
+		os.Exit(3)
+	}
+	fmt.Fprintf(os.Stderr, "\nmlab %s: %v\n", cmd, err)
+	os.Exit(1)
+}
+
 func disputeCmd(args []string) {
 	fs := flag.NewFlagSet("dispute", flag.ExitOnError)
-	scaleFlag := fs.String("scale", "quick", "quick, full, or paper")
-	seed := fs.Int64("seed", 1, "random seed")
-	jobs := fs.Int("j", 0, "parallel sim runs (0 = all cores, 1 = serial)")
+	f := addFlags(fs)
 	fs.Parse(args)
-	scale := parseScale(*scaleFlag)
-	workers := parallel.Workers(*jobs)
+	scale := parseScale(*f.scaleFlag)
+	workers := parallel.Workers(*f.jobs)
+	spec := f.spec("dispute")
 
-	results := experiments.SweepResults(scale, *seed, workers, nil)
+	ex := experiments.Exec{Scale: scale, Seed: *f.seed, Workers: workers, Checkpoint: spec}
+	results, err := ex.SweepResults(nil)
+	f.check("dispute", err)
 	clf, err := experiments.TrainOnResults(results, 0.8)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
-	tests := experiments.DisputeData(scale, *seed+10000, workers, func(done, total int) {
+	ex.Seed = *f.seed + 10000
+	tests, err := ex.DisputeData(func(done, total int) {
 		fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
 	})
+	f.check("dispute", err)
 	fmt.Fprintf(os.Stderr, "\n%d NDT tests\n", len(tests))
 
 	fmt.Println("\n-- diurnal throughput (Figure 5) --")
@@ -97,7 +161,7 @@ func disputeCmd(args []string) {
 	}
 
 	fmt.Println("\n-- dispute-trained model (Figure 9) --")
-	for _, row := range experiments.Fig9(tests, *seed) {
+	for _, row := range experiments.Fig9(tests, *f.seed) {
 		fmt.Printf("%-15s %-11s %-8s frac-self=%.2f n=%d\n",
 			row.Site.Transit+"/"+row.Site.City, row.ISP, row.Period, row.FracSelf, row.N)
 	}
@@ -105,22 +169,25 @@ func disputeCmd(args []string) {
 
 func tslpCmd(args []string) {
 	fs := flag.NewFlagSet("tslp", flag.ExitOnError)
-	scaleFlag := fs.String("scale", "quick", "quick, full, or paper")
-	seed := fs.Int64("seed", 1, "random seed")
-	jobs := fs.Int("j", 0, "parallel sim runs (0 = all cores, 1 = serial)")
+	f := addFlags(fs)
 	fs.Parse(args)
-	scale := parseScale(*scaleFlag)
-	workers := parallel.Workers(*jobs)
+	scale := parseScale(*f.scaleFlag)
+	workers := parallel.Workers(*f.jobs)
+	spec := f.spec("tslp")
 
-	results := experiments.SweepResults(scale, *seed, workers, nil)
+	ex := experiments.Exec{Scale: scale, Seed: *f.seed, Workers: workers, Checkpoint: spec}
+	results, err := ex.SweepResults(nil)
+	f.check("tslp", err)
 	clf, err := experiments.TrainOnResults(results, 0.8)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
-	tests := experiments.TSLPData(scale, *seed+20000, workers, func(done int) {
+	ex.Seed = *f.seed + 20000
+	tests, err := ex.TSLPData(func(done int) {
 		fmt.Fprintf(os.Stderr, "\r%d", done)
 	})
+	f.check("tslp", err)
 	fmt.Fprintf(os.Stderr, "\n%d tests\n", len(tests))
 
 	var labeledSelf, labeledExt int

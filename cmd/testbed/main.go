@@ -5,17 +5,28 @@
 //
 // Usage:
 //
-//	testbed [-runs N] [-threshold F] [-seed N] [-quick] [-csv] [-j N]
+//	testbed [-runs N] [-threshold F] [-seed N] [-quick] [-csv] [-o file] [-j N]
+//	        [-checkpoint DIR] [-resume] [-chunk N]
 //	        [-cpuprofile f] [-memprofile f] [-trace f]
+//
+// With -checkpoint the sweep persists each completed chunk of runs under
+// DIR; a killed or interrupted sweep continues with -resume, replaying
+// verified chunks instead of recomputing them, and the final output is
+// byte-identical to an uninterrupted run. SIGINT/SIGTERM drain gracefully
+// (finish the in-flight chunk, flush the manifest, exit 3); a second
+// signal exits immediately.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"time"
 
+	"tcpsig/internal/checkpoint"
 	"tcpsig/internal/dtree"
 	"tcpsig/internal/features"
 	"tcpsig/internal/obs"
@@ -38,11 +49,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "reduced parameter grid")
 	csv := flag.Bool("csv", false, "emit per-run CSV instead of a summary")
+	outFile := flag.String("o", "", "with -csv, write the CSV atomically to this file instead of stdout")
 	jobs := flag.Int("j", 0, "parallel sim runs (0 = all cores, 1 = serial; output is identical either way)")
+	ckptDir := flag.String("checkpoint", "", "persist sweep progress under this directory")
+	resume := flag.Bool("resume", false, "continue an interrupted sweep from -checkpoint")
+	chunk := flag.Int("chunk", 0, "runs per checkpoint chunk (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+	if *outFile != "" && !*csv {
+		fmt.Fprintln(os.Stderr, "testbed: -o requires -csv")
+		os.Exit(2)
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "testbed: -resume requires -checkpoint")
+		os.Exit(2)
+	}
 
 	stop, err := obs.StartProfiles(*cpuprofile, *memprofile, *traceFile)
 	if err != nil {
@@ -52,10 +75,23 @@ func main() {
 	stopProfiles = stop
 	defer stopProfiles()
 
+	// With a checkpoint the first signal drains (the sweep stays
+	// resumable); without one it just flushes profiles and exits.
+	intr := checkpoint.NotifyInterrupt(*ckptDir != "", func() { stopProfiles() })
+	var spec *checkpoint.Spec
+	if *ckptDir != "" {
+		spec = &checkpoint.Spec{
+			Dir: *ckptDir, Name: "sweep", Resume: *resume, ChunkSize: *chunk,
+			Interrupt: intr,
+			Log:       func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		}
+	}
+
 	opt := testbed.SweepOptions{
 		RunsPerConfig: *runs,
 		Seed:          *seed,
 		Workers:       parallel.Workers(*jobs),
+		Checkpoint:    spec,
 		Progress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
 		},
@@ -67,13 +103,26 @@ func main() {
 		opt.Buffers = []time.Duration{20 * time.Millisecond, 100 * time.Millisecond}
 		opt.Duration = 5 * time.Second
 	}
-	results := testbed.Sweep(opt)
-	fmt.Fprintf(os.Stderr, "\n%d valid runs\n", len(results))
 
+	// In CSV mode rows stream to the output as chunks complete, so no run
+	// ever holds the whole dataset in memory; with -o the file is staged
+	// and only published whole.
+	var csvOut io.Writer = os.Stdout
+	var staged *checkpoint.AtomicFile
+	nStreamed := 0
 	if *csv {
-		fmt.Println("scenario,rate_mbps,loss,latency_ms,buffer_ms,normdiff,cov,slowstart_mbps,flow_mbps,label")
-		for _, r := range results {
-			fmt.Printf("%s,%.0f,%.4f,%.0f,%.0f,%.4f,%.4f,%.2f,%.2f,%s\n",
+		if *outFile != "" {
+			staged, err = checkpoint.CreateAtomic(*outFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "testbed:", err)
+				exit(1)
+			}
+			csvOut = staged
+		}
+		fmt.Fprintln(csvOut, "scenario,rate_mbps,loss,latency_ms,buffer_ms,normdiff,cov,slowstart_mbps,flow_mbps,label")
+		opt.Stream = func(r *testbed.Result) {
+			nStreamed++
+			fmt.Fprintf(csvOut, "%s,%.0f,%.4f,%.0f,%.0f,%.4f,%.4f,%.2f,%.2f,%s\n",
 				testbed.ClassName(r.Scenario),
 				r.Config.Access.RateMbps,
 				r.Config.Access.Loss,
@@ -83,8 +132,31 @@ func main() {
 				r.SlowStartBps/1e6, r.FlowBps/1e6,
 				testbed.ClassName(r.Label(*threshold)))
 		}
+	}
+
+	results, err := testbed.SweepCheckpointed(opt)
+	if err != nil {
+		staged.Abort()
+		if errors.Is(err, checkpoint.ErrInterrupted) {
+			fmt.Fprintf(os.Stderr, "\ntestbed: %v\nresume with: testbed -checkpoint %s -resume (plus the same flags)\n", err, *ckptDir)
+			exit(3)
+		}
+		fmt.Fprintln(os.Stderr, "\ntestbed:", err)
+		exit(1)
+	}
+
+	if *csv {
+		fmt.Fprintf(os.Stderr, "\n%d valid runs\n", nStreamed)
+		if staged != nil {
+			if err := staged.Commit(); err != nil {
+				fmt.Fprintln(os.Stderr, "testbed:", err)
+				exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "CSV written to %s\n", *outFile)
+		}
 		return
 	}
+	fmt.Fprintf(os.Stderr, "\n%d valid runs\n", len(results))
 
 	ds := testbed.Dataset(results, *threshold)
 	var nSelf, nExt int

@@ -24,6 +24,7 @@ import (
 // sentinel. The rule only fires in packages that actually declare Err*
 // sentinels, so it cannot demand taxonomy where none exists.
 var Packages = []string{
+	"internal/checkpoint",
 	"internal/core",
 	"internal/flowrtt",
 	"internal/pcap",
@@ -33,9 +34,10 @@ var Packages = []string{
 var Analyzer = &analysis.Analyzer{
 	Name: "errtaxonomy",
 	Doc: "enforce typed error sentinels and Verdict.Reason propagation\n\n" +
-		"In internal/{core,flowrtt,pcap} every fmt.Errorf must wrap a package\n" +
-		"sentinel with %w and function-local errors.New is forbidden; everywhere,\n" +
-		"assigning a Verdict-returning call's error to _ drops the Reason code.",
+		"In internal/{checkpoint,core,flowrtt,pcap} every fmt.Errorf must wrap a\n" +
+		"package sentinel with %w and function-local errors.New is forbidden;\n" +
+		"everywhere, assigning a Verdict-returning call's error to _ drops the\n" +
+		"Reason code.",
 	Run: run,
 }
 

@@ -8,5 +8,5 @@ import (
 )
 
 func TestErrTaxonomy(t *testing.T) {
-	analysistest.RunWithSuggestedFixes(t, "testdata", errtaxonomy.Analyzer, "internal/core", "nosentinel")
+	analysistest.RunWithSuggestedFixes(t, "testdata", errtaxonomy.Analyzer, "internal/core", "internal/checkpoint", "nosentinel")
 }

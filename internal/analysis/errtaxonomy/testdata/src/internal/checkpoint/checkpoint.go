@@ -1,0 +1,38 @@
+// Package checkpoint mimics the real internal/checkpoint error surface:
+// recovery sentinels that callers dispatch on with errors.Is to decide
+// between "resume", "refuse", and "recompute". The taxonomy rules must
+// hold here exactly as in the ingestion packages — an unwrapped error from
+// the resume path would strand a CLI unable to tell a resumable interrupt
+// from corruption.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Checkpoint recovery sentinels, as the real package declares them.
+var (
+	ErrCorrupt     = errors.New("checkpoint artifact corrupt")
+	ErrInterrupted = errors.New("interrupted; checkpoint is resumable")
+)
+
+func wrapsCorrupt(chunk int) error {
+	return fmt.Errorf("chunk %d: payload digest mismatch: %w", chunk, ErrCorrupt) // allowed: wraps a sentinel
+}
+
+func wrapsInterrupted(done, total int) error {
+	return fmt.Errorf("stopped before chunk %d/%d: %w", done, total, ErrInterrupted) // allowed
+}
+
+func adhocResumeError(dir string) error {
+	return fmt.Errorf("cannot resume from %s", dir) // want `does not wrap a typed sentinel`
+}
+
+func localSentinel() error {
+	return errors.New("manifest torn") // want `function-local errors\.New mints an untyped error`
+}
+
+func fixedMessage() error {
+	return fmt.Errorf("checkpoint directory busy") // want `fmt\.Errorf with no format verbs`
+}

@@ -1,0 +1,105 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicFile stages a write to path through a sibling temp file. Commit
+// publishes it with fsync + rename + directory fsync, so readers only
+// ever observe the old file or the complete new one — never a torn
+// half-write. This is the write discipline every durable artifact in the
+// repo goes through (chunk artifacts, CSV outputs, reports, saved
+// models); the manifest is the one exception, being append-only by
+// design.
+type AtomicFile struct {
+	f    *os.File
+	path string
+	tmp  string
+}
+
+// CreateAtomic stages an atomic write to path. The temp file lives in the
+// same directory (rename must not cross filesystems) under path + ".tmp".
+func CreateAtomic(path string) (*AtomicFile, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: staging %s: %w", path, err)
+	}
+	return &AtomicFile{f: f, path: path, tmp: tmp}, nil
+}
+
+// Write appends to the staged file.
+func (a *AtomicFile) Write(p []byte) (int, error) {
+	return a.f.Write(p)
+}
+
+// Commit makes the staged content durable and publishes it under the
+// final name. On error the temp file is removed and the destination is
+// untouched.
+func (a *AtomicFile) Commit() error {
+	if err := a.f.Sync(); err != nil {
+		a.Abort()
+		return fmt.Errorf("checkpoint: syncing %s: %w", a.tmp, err)
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.tmp)
+		a.f = nil
+		return fmt.Errorf("checkpoint: closing %s: %w", a.tmp, err)
+	}
+	a.f = nil
+	if err := os.Rename(a.tmp, a.path); err != nil {
+		os.Remove(a.tmp)
+		return fmt.Errorf("checkpoint: publishing %s: %w", a.path, err)
+	}
+	return syncDir(filepath.Dir(a.path))
+}
+
+// Abort discards the staged write. It is a no-op after Commit and on a
+// nil receiver, so it can sit in a defer next to an explicit Commit.
+func (a *AtomicFile) Abort() {
+	if a == nil || a.f == nil {
+		return
+	}
+	a.f.Close()
+	os.Remove(a.tmp)
+	a.f = nil
+}
+
+// syncDir flushes a directory so a just-renamed entry survives power
+// loss, not just process death.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: opening directory %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing directory %s: %w", dir, err)
+	}
+	return nil
+}
+
+// WriteFileAtomic streams fn's output into path atomically: on success
+// the file appears complete in one rename; on error nothing replaces an
+// existing file and the temp file is removed. "-" writes to stdout and
+// "" is a no-op, matching the CLI output-path conventions.
+func WriteFileAtomic(path string, fn func(io.Writer) error) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return fn(os.Stdout)
+	}
+	a, err := CreateAtomic(path)
+	if err != nil {
+		return err
+	}
+	defer a.Abort()
+	if err := fn(a); err != nil {
+		return fmt.Errorf("checkpoint: writing %s: %w", path, err)
+	}
+	return a.Commit()
+}

@@ -1,0 +1,110 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicPublishesWholeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "hello\nworld\n")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello\nworld\n" {
+		t.Fatalf("content %q", data)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+// errRender is the injected render failure; package-level because the
+// errtaxonomy analyzer (rightly) forbids function-local errors.New here.
+var errRender = errors.New("render failed")
+
+func TestWriteFileAtomicFailureKeepsOldFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := os.WriteFile(path, []byte("previous good content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errRender
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		fmt.Fprint(w, "half-written garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v, want wrapped render failure", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "previous good content" {
+		t.Fatalf("old file clobbered: %q", data)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestWriteFileAtomicConventions(t *testing.T) {
+	// "" is a no-op and must not invoke fn's writer against nil.
+	called := false
+	if err := WriteFileAtomic("", func(w io.Writer) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error(`fn called for path ""`)
+	}
+}
+
+func TestAtomicFileAbort(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "staged.txt")
+	a, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(a, "doomed")
+	a.Abort()
+	a.Abort() // idempotent
+	var nilFile *AtomicFile
+	nilFile.Abort() // nil-safe
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("aborted write published: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("aborted temp survives: %v", err)
+	}
+}
+
+func TestAtomicFileCommitThenAbortIsNoop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "staged.txt")
+	a, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(a, "kept")
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	a.Abort()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "kept" {
+		t.Fatalf("content %q", data)
+	}
+}

@@ -1,0 +1,288 @@
+// Package checkpoint is the crash-safe sweep runtime: it executes a run
+// plan in fixed-size chunks of indices on top of parallel.ForEachOrdered,
+// persists every completed chunk as a digest-verified artifact through
+// atomic temp/fsync/rename writes, and records it in an append-only
+// manifest. A killed sweep resumes by replaying verified chunks and
+// recomputing only the torn tail. Because every run is a pure function of
+// its index (see internal/parallel), a resumed sweep's outputs are
+// byte-identical to an uninterrupted one at any worker count — the
+// crash-injection harness in crash_test.go proves exactly that.
+//
+// Layout under Spec.Dir: each stage owns Dir/<Name>/ holding MANIFEST
+// plus one chunk-NNNNNN.ckpt artifact per completed chunk. The manifest
+// is append-only text — a header line binding the plan identity, then one
+// CRC-guarded record per chunk — so a torn append is detected by its
+// broken tail, never misread. See DESIGN.md, "Crash safety & resume".
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tcpsig/internal/parallel"
+)
+
+// Error sentinels. Callers dispatch with errors.Is: ErrExists and
+// ErrMismatch are operator errors (wrong directory or wrong flags),
+// ErrCorrupt marks damaged state that was detected and either healed by
+// recomputation or refused, and ErrInterrupted is the resumable
+// graceful-drain exit.
+var (
+	// ErrExists reports a checkpoint directory that already holds a
+	// manifest when Resume was not requested; refusing it keeps two sweeps
+	// from silently interleaving artifacts.
+	ErrExists = errors.New("checkpoint directory already in use (pass -resume to continue it)")
+
+	// ErrMismatch reports a manifest whose identity, span, or recorded
+	// digest contradicts the current plan: resuming would stitch two
+	// different sweeps together.
+	ErrMismatch = errors.New("checkpoint does not match this run plan")
+
+	// ErrCorrupt reports a chunk artifact that failed verification
+	// (unreadable, torn, or digest mismatch).
+	ErrCorrupt = errors.New("checkpoint artifact corrupt")
+
+	// ErrInterrupted reports a graceful-drain stop: everything completed
+	// so far is durable and the sweep resumes with Resume.
+	ErrInterrupted = errors.New("interrupted; checkpoint is resumable")
+)
+
+// DefaultChunkSize is how many run indices a chunk spans when
+// Spec.ChunkSize is zero.
+const DefaultChunkSize = 64
+
+// Spec configures checkpointed execution. A nil Spec (or empty Dir)
+// disables checkpointing: Run degrades to plain parallel.ForEachOrdered
+// with no disk traffic and no codec round-trip.
+type Spec struct {
+	// Dir is the checkpoint root; each stage persists under Dir/<Name>/.
+	Dir string
+
+	// Name isolates one stage of a multi-stage pipeline (for example
+	// "sweep", "dispute", "faults-clean"). Empty defaults to "sweep".
+	Name string
+
+	// Resume continues from an existing manifest, replaying verified
+	// chunks and recomputing damaged ones. Without it an existing
+	// manifest is refused with ErrExists.
+	Resume bool
+
+	// ChunkSize is the number of run indices per chunk (default
+	// DefaultChunkSize). It is bound into the manifest header, so a
+	// resume must use the size the checkpoint was started with.
+	ChunkSize int
+
+	// Interrupt, when non-nil, is polled between chunks; once triggered,
+	// Run stops before starting the next chunk and returns
+	// ErrInterrupted with everything completed so far durable.
+	Interrupt *Interrupt
+
+	// Log, when non-nil, receives one line per resume decision (chunk
+	// replayed, chunk recomputed, stale temp removed).
+	Log func(format string, args ...any)
+}
+
+// Stage returns a copy of s naming one stage of a multi-stage pipeline.
+// Nil-safe: a nil receiver stays nil, so disabled checkpointing
+// propagates through plumbing untouched.
+func (s *Spec) Stage(name string) *Spec {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Name = name
+	return &c
+}
+
+func (s *Spec) logf(format string, args ...any) {
+	if s != nil && s.Log != nil {
+		s.Log(format, args...)
+	}
+}
+
+// Run executes run(i) for every i in [0, n) and hands each result to
+// collect(i, v) in strictly increasing index order, exactly like
+// parallel.ForEachOrdered, while persisting progress in chunks.
+//
+// identity is a deterministic description of the plan (seeds, grid,
+// durations — never pointers or wall-clock times); its digest is bound
+// into the manifest header so a resume against different parameters fails
+// with ErrMismatch instead of merging two different sweeps.
+//
+// T must round-trip losslessly through encoding/json. Every chunk's
+// results pass through the artifact codec even when computed live, so
+// collect always observes the decoded form: a replayed chunk is
+// indistinguishable from a recomputed one, which is what makes resumed
+// output byte-identical.
+func Run[T any](spec *Spec, identity string, n, workers int, run func(i int) T, collect func(i int, v T)) error {
+	workers = parallel.OptWorkers(workers)
+	if spec == nil || spec.Dir == "" {
+		parallel.ForEachOrdered(n, workers, run, collect)
+		return nil
+	}
+	size := spec.ChunkSize
+	if size <= 0 {
+		size = DefaultChunkSize
+	}
+	name := spec.Name
+	if name == "" {
+		name = "sweep"
+	}
+	dir := filepath.Join(spec.Dir, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: creating %s: %w", dir, err)
+	}
+	header := manifestHeader(name, identityID(identity), n, size)
+	mpath := filepath.Join(dir, manifestName)
+
+	lm, err := loadManifest(mpath, header)
+	if err != nil {
+		return err
+	}
+	if lm != nil && !spec.Resume {
+		return fmt.Errorf("checkpoint: %s: %w", dir, ErrExists)
+	}
+	records := map[int]record{}
+	if lm != nil {
+		records = lm.records
+		spec.logf("checkpoint: %s: resuming, %d chunk(s) recorded", dir, len(records))
+		// Drop any torn record tail so appends start on a line boundary.
+		if err := os.Truncate(mpath, lm.validLen); err != nil {
+			return fmt.Errorf("checkpoint: truncating manifest tail: %w", err)
+		}
+	}
+	removeTemps(dir, spec)
+
+	var mf *os.File
+	if lm == nil {
+		mf, err = os.OpenFile(mpath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("checkpoint: creating manifest: %w", err)
+		}
+		if _, err := mf.WriteString(header + "\n"); err != nil {
+			mf.Close()
+			return fmt.Errorf("checkpoint: writing manifest header: %w", err)
+		}
+		if err := mf.Sync(); err != nil {
+			mf.Close()
+			return fmt.Errorf("checkpoint: syncing manifest: %w", err)
+		}
+	} else {
+		mf, err = os.OpenFile(mpath, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("checkpoint: opening manifest for append: %w", err)
+		}
+	}
+	defer mf.Close()
+
+	chunks := (n + size - 1) / size
+	for c := 0; c < chunks; c++ {
+		if spec.Interrupt.Interrupted() {
+			return fmt.Errorf("checkpoint: %s: stopped before chunk %d/%d: %w", name, c+1, chunks, ErrInterrupted)
+		}
+		lo, hi := c*size, (c+1)*size
+		if hi > n {
+			hi = n
+		}
+		var payload []byte
+		rec, have := records[c]
+		if have {
+			if rec.Lo != lo || rec.Hi != hi {
+				return fmt.Errorf("checkpoint: %s: chunk %d spans [%d,%d) in the manifest, [%d,%d) in this plan: %w",
+					name, c, rec.Lo, rec.Hi, lo, hi, ErrMismatch)
+			}
+			payload, err = readChunk(dir, name, rec)
+			if err != nil {
+				spec.logf("checkpoint: %s: chunk %d: %v; recomputing", name, c, err)
+				payload = nil
+			} else {
+				spec.logf("checkpoint: %s: chunk %d/%d: replayed %d run(s)", name, c+1, chunks, hi-lo)
+			}
+		}
+		if payload == nil {
+			payload, err = computeChunk(lo, hi, workers, run)
+			if err != nil {
+				return err
+			}
+			digest, werr := writeChunk(dir, name, c, lo, hi, payload)
+			if werr != nil {
+				return werr
+			}
+			if have {
+				// A recorded chunk's artifact was damaged and recomputed;
+				// determinism demands the recomputation reproduce the
+				// recorded digest, or this manifest is not ours.
+				if digest != rec.Digest {
+					return fmt.Errorf("checkpoint: %s: chunk %d: recomputed digest %s, manifest records %s: %w",
+						name, c, digest, rec.Digest, ErrMismatch)
+				}
+			} else if err := appendRecord(mf, record{Chunk: c, Lo: lo, Hi: hi, File: chunkFile(c), Digest: digest}); err != nil {
+				return err
+			}
+		}
+		if err := replay(payload, lo, hi, collect); err != nil {
+			return fmt.Errorf("checkpoint: %s: chunk %d: %w", name, c, err)
+		}
+	}
+	return nil
+}
+
+// computeChunk executes runs [lo, hi) with intra-chunk parallelism and
+// encodes their results, in index order, as a JSON array of per-run
+// documents — the chunk artifact payload.
+func computeChunk[T any](lo, hi, workers int, run func(i int) T) ([]byte, error) {
+	items := make([]json.RawMessage, 0, hi-lo)
+	var encErr error
+	parallel.ForEachOrdered(hi-lo, workers,
+		func(i int) T { return run(lo + i) },
+		func(i int, v T) {
+			b, err := json.Marshal(v)
+			if err != nil && encErr == nil {
+				encErr = fmt.Errorf("checkpoint: encoding run %d: %w", lo+i, err)
+			}
+			items = append(items, b)
+		})
+	if encErr != nil {
+		return nil, encErr
+	}
+	return json.Marshal(items)
+}
+
+// replay decodes a chunk payload and streams it through collect. Payloads
+// arrive digest-verified, so a decode failure here means the codec broke,
+// not the disk.
+func replay[T any](payload []byte, lo, hi int, collect func(i int, v T)) error {
+	var items []T
+	if err := json.Unmarshal(payload, &items); err != nil {
+		return fmt.Errorf("decoding chunk payload: %w", err)
+	}
+	if len(items) != hi-lo {
+		return fmt.Errorf("chunk payload holds %d run(s), plan says %d: %w", len(items), hi-lo, ErrCorrupt)
+	}
+	for i, v := range items {
+		collect(lo+i, v)
+	}
+	return nil
+}
+
+// identityID digests the plan identity into the short id bound into the
+// manifest header.
+func identityID(identity string) string {
+	return digestHex([]byte(identity))[:16]
+}
+
+// removeTemps clears temp files staged by a crashed writer; they are
+// never valid state, only garbage a rename never published.
+func removeTemps(dir string, spec *Spec) {
+	tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		return
+	}
+	for _, t := range tmps {
+		spec.logf("checkpoint: removing stale temp file %s", t)
+		os.Remove(t)
+	}
+}

@@ -1,0 +1,350 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// item is the per-run document the tests persist; it must round-trip
+// through JSON exactly, like every real checkpoint payload.
+type item struct {
+	I int    `json:"i"`
+	V string `json:"v"`
+}
+
+// runFn is the deterministic pure-function-of-index workload.
+func runFn(i int) item {
+	return item{I: i, V: fmt.Sprintf("run-%d", i*i)}
+}
+
+// sweep executes a checkpointed run of n items and returns the collected
+// results plus how many indices were actually computed (vs replayed).
+func sweep(t *testing.T, spec *Spec, identity string, n, workers int) ([]item, int64) {
+	t.Helper()
+	out, computed, err := sweepErr(spec, identity, n, workers)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return out, computed
+}
+
+func sweepErr(spec *Spec, identity string, n, workers int) ([]item, int64, error) {
+	var computed atomic.Int64
+	out := make([]item, 0, n)
+	err := Run(spec, identity, n, workers,
+		func(i int) item { computed.Add(1); return runFn(i) },
+		func(i int, v item) { out = append(out, v) })
+	return out, computed.Load(), err
+}
+
+func wantItems(t *testing.T, got []item, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("collected %d items, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != runFn(i) {
+			t.Fatalf("item %d = %+v, want %+v", i, v, runFn(i))
+		}
+	}
+}
+
+func TestRunWithoutSpecIsPlainSweep(t *testing.T) {
+	for _, spec := range []*Spec{nil, {}} {
+		out, computed, err := sweepErr(spec, "id", 7, 3)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		wantItems(t, out, 7)
+		if computed != 7 {
+			t.Fatalf("computed %d runs, want 7", computed)
+		}
+	}
+}
+
+func TestFreshRunPersistsChunks(t *testing.T) {
+	dir := t.TempDir()
+	spec := &Spec{Dir: dir, Name: "stage", ChunkSize: 4}
+	out, computed := sweep(t, spec, "plan-v1", 10, 2)
+	wantItems(t, out, 10)
+	if computed != 10 {
+		t.Fatalf("computed %d, want 10", computed)
+	}
+	for _, f := range []string{"MANIFEST", "chunk-000000.ckpt", "chunk-000001.ckpt", "chunk-000002.ckpt"} {
+		if _, err := os.Stat(filepath.Join(dir, "stage", f)); err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "stage", "chunk-000003.ckpt")); err == nil {
+		t.Error("unexpected fourth chunk for 10 runs at chunk size 4")
+	}
+}
+
+func TestResumeReplaysWithoutRecomputing(t *testing.T) {
+	dir := t.TempDir()
+	spec := &Spec{Dir: dir, ChunkSize: 3}
+	first, _ := sweep(t, spec, "plan", 8, 4)
+
+	re := &Spec{Dir: dir, ChunkSize: 3, Resume: true}
+	second, computed := sweep(t, re, "plan", 8, 4)
+	if computed != 0 {
+		t.Fatalf("resume recomputed %d runs, want 0", computed)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("resumed item %d = %+v, first run had %+v", i, second[i], first[i])
+		}
+	}
+}
+
+func TestExistingCheckpointRefusedWithoutResume(t *testing.T) {
+	dir := t.TempDir()
+	spec := &Spec{Dir: dir, ChunkSize: 3}
+	sweep(t, spec, "plan", 6, 1)
+	if _, _, err := sweepErr(spec, "plan", 6, 1); !errors.Is(err, ErrExists) {
+		t.Fatalf("second run without Resume: %v, want ErrExists", err)
+	}
+}
+
+func TestIdentityMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	sweep(t, &Spec{Dir: dir, ChunkSize: 3}, "plan seed=1", 6, 1)
+	_, _, err := sweepErr(&Spec{Dir: dir, ChunkSize: 3, Resume: true}, "plan seed=2", 6, 1)
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("resume with different identity: %v, want ErrMismatch", err)
+	}
+}
+
+func TestChunkSizeMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	sweep(t, &Spec{Dir: dir, ChunkSize: 3}, "plan", 6, 1)
+	_, _, err := sweepErr(&Spec{Dir: dir, ChunkSize: 2, Resume: true}, "plan", 6, 1)
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("resume with different chunk size: %v, want ErrMismatch", err)
+	}
+}
+
+func TestDamagedArtifactRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	spec := &Spec{Dir: dir, ChunkSize: 3}
+	sweep(t, spec, "plan", 9, 2)
+
+	// Flip one payload byte of the middle chunk: digest verification must
+	// reject it and resume must recompute exactly that chunk's span.
+	path := filepath.Join(dir, "sweep", chunkFile(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, computed := sweep(t, &Spec{Dir: dir, ChunkSize: 3, Resume: true}, "plan", 9, 2)
+	wantItems(t, out, 9)
+	if computed != 3 {
+		t.Fatalf("resume recomputed %d runs, want exactly the damaged chunk's 3", computed)
+	}
+}
+
+func TestRecomputedDigestMustMatchManifest(t *testing.T) {
+	dir := t.TempDir()
+	sweep(t, &Spec{Dir: dir, ChunkSize: 3}, "plan", 6, 1)
+	if err := os.Remove(filepath.Join(dir, "sweep", chunkFile(1))); err != nil {
+		t.Fatal(err)
+	}
+	// Same identity, different workload: the recomputed chunk's digest
+	// contradicts the manifest record, which must be refused, not merged.
+	var out []item
+	err := Run(&Spec{Dir: dir, ChunkSize: 3, Resume: true}, "plan", 6, 1,
+		func(i int) item { return item{I: i, V: "not the original workload"} },
+		func(i int, v item) { out = append(out, v) })
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("divergent recomputation: %v, want ErrMismatch", err)
+	}
+}
+
+func TestTornManifestTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	sweep(t, &Spec{Dir: dir, ChunkSize: 2}, "plan", 8, 1)
+
+	// Tear the last record mid-line, as a crash during append would.
+	mpath := filepath.Join(dir, "sweep", manifestName)
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mpath, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, computed := sweep(t, &Spec{Dir: dir, ChunkSize: 2, Resume: true}, "plan", 8, 1)
+	wantItems(t, out, 8)
+	if computed != 2 {
+		t.Fatalf("resume recomputed %d runs, want the torn record's 2", computed)
+	}
+}
+
+func TestTornManifestHeaderIsFreshStart(t *testing.T) {
+	dir := t.TempDir()
+	stage := filepath.Join(dir, "sweep")
+	if err := os.MkdirAll(stage, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A header that never got its newline can hold no valid records.
+	if err := os.WriteFile(filepath.Join(stage, manifestName), []byte("ccsig-manifest v1 na"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, computed := sweep(t, &Spec{Dir: dir, ChunkSize: 2, Resume: true}, "plan", 4, 1)
+	wantItems(t, out, 4)
+	if computed != 4 {
+		t.Fatalf("computed %d, want all 4 after torn header", computed)
+	}
+}
+
+func TestStaleTempFilesRemoved(t *testing.T) {
+	dir := t.TempDir()
+	stage := filepath.Join(dir, "sweep")
+	if err := os.MkdirAll(stage, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(stage, chunkFile(0)+".tmp")
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sweep(t, &Spec{Dir: dir, ChunkSize: 2}, "plan", 4, 1)
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived: %v", err)
+	}
+}
+
+func TestInterruptDrainsBetweenChunks(t *testing.T) {
+	dir := t.TempDir()
+	intr := &Interrupt{}
+	var out []item
+	ran := 0
+	err := Run(&Spec{Dir: dir, ChunkSize: 2, Interrupt: intr}, "plan", 8, 1,
+		func(i int) item {
+			ran++
+			if i == 3 { // fires inside chunk 1; the chunk still completes
+				intr.Trigger()
+			}
+			return runFn(i)
+		},
+		func(i int, v item) { out = append(out, v) })
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run: %v, want ErrInterrupted", err)
+	}
+	if ran != 4 || len(out) != 4 {
+		t.Fatalf("drain ran %d runs and collected %d, want 4 and 4 (in-flight chunk finished, next never started)", ran, len(out))
+	}
+
+	resumed, computed := sweep(t, &Spec{Dir: dir, ChunkSize: 2, Resume: true}, "plan", 8, 1)
+	wantItems(t, resumed, 8)
+	if computed != 4 {
+		t.Fatalf("resume recomputed %d runs, want the remaining 4", computed)
+	}
+}
+
+// TestWorkerCountInvariance is the core determinism claim: the on-disk
+// checkpoint — manifest bytes and every artifact — is byte-identical at
+// any worker count.
+func TestWorkerCountInvariance(t *testing.T) {
+	dirs := map[int]string{1: t.TempDir(), 8: t.TempDir()}
+	for workers, dir := range dirs {
+		out, _ := sweep(t, &Spec{Dir: dir, ChunkSize: 3}, "plan", 10, workers)
+		wantItems(t, out, 10)
+	}
+	a := readTree(t, filepath.Join(dirs[1], "sweep"))
+	b := readTree(t, filepath.Join(dirs[8], "sweep"))
+	if len(a) != len(b) {
+		t.Fatalf("j1 wrote %d files, j8 wrote %d", len(a), len(b))
+	}
+	for name, want := range a {
+		if got, ok := b[name]; !ok {
+			t.Errorf("j8 missing %s", name)
+		} else if got != want {
+			t.Errorf("%s differs between j1 and j8:\nj1: %q\nj8: %q", name, want, got)
+		}
+	}
+}
+
+// readTree loads every file under dir keyed by relative path.
+func readTree(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		out[rel] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCollectOrderIsStrictlyIncreasing(t *testing.T) {
+	dir := t.TempDir()
+	last := -1
+	err := Run(&Spec{Dir: dir, ChunkSize: 3}, "plan", 10, 4,
+		runFn,
+		func(i int, v item) {
+			if i != last+1 {
+				t.Fatalf("collect saw index %d after %d", i, last)
+			}
+			last = i
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 9 {
+		t.Fatalf("collect stopped at %d, want 9", last)
+	}
+}
+
+func TestStageIsolatesDirectories(t *testing.T) {
+	dir := t.TempDir()
+	root := &Spec{Dir: dir, ChunkSize: 2}
+	sweep(t, root.Stage("alpha"), "plan-a", 4, 1)
+	sweep(t, root.Stage("beta"), "plan-b", 4, 1)
+	for _, name := range []string{"alpha", "beta"} {
+		if _, err := os.Stat(filepath.Join(dir, name, manifestName)); err != nil {
+			t.Errorf("stage %s has no manifest: %v", name, err)
+		}
+	}
+	var nilSpec *Spec
+	if nilSpec.Stage("gamma") != nil {
+		t.Error("nil spec's Stage must stay nil")
+	}
+}
+
+func TestManifestRecordRoundTrip(t *testing.T) {
+	r := record{Chunk: 12, Lo: 36, Hi: 48, File: chunkFile(12), Digest: strings.Repeat("ab", 32)}
+	line := formatRecord(r)
+	got, ok := parseRecord(line)
+	if !ok || got != r {
+		t.Fatalf("parseRecord(%q) = %+v, %v; want %+v", line, got, ok, r)
+	}
+	for cut := 1; cut < len(line); cut += 7 {
+		if _, ok := parseRecord(line[:len(line)-cut]); ok {
+			t.Errorf("truncated record (cut %d) parsed as valid", cut)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// chunkFile names chunk idx's artifact within its stage directory.
+func chunkFile(idx int) string {
+	return fmt.Sprintf("chunk-%06d.ckpt", idx)
+}
+
+// digestHex is the content digest rule: sha256 over the artifact payload
+// (the JSON result array, excluding the header line), hex-encoded.
+func digestHex(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// chunkHeader renders an artifact's first line. It repeats the stage
+// name, chunk span, payload length and digest so an artifact is
+// self-describing and cross-checked against its manifest record on load.
+func chunkHeader(name string, idx, lo, hi, payloadLen int, digest string) string {
+	return fmt.Sprintf("ccsig-chunk v1 name=%s chunk=%d lo=%d hi=%d payload=%d sha256=%s",
+		name, idx, lo, hi, payloadLen, digest)
+}
+
+// writeChunk atomically writes chunk idx's artifact and returns the
+// payload digest. The payload goes down in two halves with a crash point
+// between them, so the injection harness can leave a torn temp file for
+// resume to sweep up.
+func writeChunk(dir, name string, idx, lo, hi int, payload []byte) (string, error) {
+	digest := digestHex(payload)
+	path := filepath.Join(dir, chunkFile(idx))
+	a, err := CreateAtomic(path)
+	if err != nil {
+		return "", err
+	}
+	defer a.Abort()
+	if _, err := fmt.Fprintf(a, "%s\n", chunkHeader(name, idx, lo, hi, len(payload), digest)); err != nil {
+		return "", fmt.Errorf("checkpoint: writing %s: %w", path, err)
+	}
+	half := len(payload) / 2
+	if _, err := a.Write(payload[:half]); err != nil {
+		return "", fmt.Errorf("checkpoint: writing %s: %w", path, err)
+	}
+	crashPoint("mid-artifact", idx)
+	if _, err := a.Write(payload[half:]); err != nil {
+		return "", fmt.Errorf("checkpoint: writing %s: %w", path, err)
+	}
+	if err := a.Commit(); err != nil {
+		return "", err
+	}
+	crashPoint("after-artifact", idx)
+	return digest, nil
+}
+
+// readChunk loads chunk r's artifact and verifies it end to end: the
+// file name must be the canonical one for the index (a manifest is never
+// trusted to point elsewhere), the header must restate the manifest
+// record exactly, and the payload must hash to the recorded digest. Any
+// deviation is ErrCorrupt, telling the caller to recompute the chunk
+// rather than merge garbage.
+func readChunk(dir, name string, r record) ([]byte, error) {
+	if r.File != chunkFile(r.Chunk) {
+		return nil, fmt.Errorf("checkpoint: chunk %d: manifest names artifact %q, expected %q: %w",
+			r.Chunk, r.File, chunkFile(r.Chunk), ErrCorrupt)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, r.File))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: chunk %d: %w: %v", r.Chunk, ErrCorrupt, err)
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("checkpoint: chunk %d: artifact header never terminated: %w", r.Chunk, ErrCorrupt)
+	}
+	payload := data[nl+1:]
+	want := chunkHeader(name, r.Chunk, r.Lo, r.Hi, len(payload), r.Digest)
+	if string(data[:nl]) != want {
+		return nil, fmt.Errorf("checkpoint: chunk %d: artifact header disagrees with manifest record: %w", r.Chunk, ErrCorrupt)
+	}
+	if digestHex(payload) != r.Digest {
+		return nil, fmt.Errorf("checkpoint: chunk %d: payload digest mismatch: %w", r.Chunk, ErrCorrupt)
+	}
+	return payload, nil
+}

@@ -1,0 +1,40 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+)
+
+// CrashEnv, when set to "<site>:<chunk>", SIGKILLs the process the moment
+// execution reaches that fault point — no deferred cleanup, no signal
+// handler, the hardest crash a machine can deliver short of power loss.
+// It exists for the crash-injection harness (crash_test.go and the CI
+// crash-resume job); production runs never set it.
+//
+// Sites:
+//
+//	mid-artifact   between the two halves of a chunk artifact's payload
+//	               write: a torn temp file, nothing published
+//	after-artifact artifact renamed into place, manifest record missing
+//	mid-manifest   between the two halves of a manifest record append:
+//	               a torn manifest tail
+//	after-chunk    record appended and synced; the next chunk never runs
+const CrashEnv = "CCSIG_CRASHPOINT"
+
+// crashPoint kills the process outright if CrashEnv names this site and
+// chunk index.
+func crashPoint(site string, chunk int) {
+	spec := os.Getenv(CrashEnv)
+	if spec == "" {
+		return
+	}
+	if spec != fmt.Sprintf("%s:%d", site, chunk) {
+		return
+	}
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		panic(err)
+	}
+	p.Kill()
+	select {} // SIGKILL delivery can lag an instruction or two; go no further
+}

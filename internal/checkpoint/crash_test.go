@@ -1,0 +1,132 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// The crash-injection harness re-execs the test binary as a child that
+// runs a small checkpointed sweep, SIGKILLs it at an exact fault point via
+// CCSIG_CRASHPOINT, resumes it, and proves the final state — every
+// checkpoint byte and the collected results — is identical to a run that
+// was never interrupted. This is the package's acceptance test: kill -9 at
+// any fault point must cost progress, never correctness.
+
+const (
+	crashHelperEnv = "CHECKPOINT_CRASH_HELPER"
+	helperN        = 10
+	helperChunk    = 3
+)
+
+// TestCrashHelper is the child process body; it only runs when re-execed
+// with the helper env vars set.
+func TestCrashHelper(t *testing.T) {
+	dir := os.Getenv(crashHelperEnv)
+	if dir == "" {
+		t.Skip("helper mode only")
+	}
+	workers, _ := strconv.Atoi(os.Getenv("CHECKPOINT_CRASH_WORKERS"))
+	resume := os.Getenv("CHECKPOINT_CRASH_RESUME") == "1"
+	spec := &Spec{Dir: dir, ChunkSize: helperChunk, Resume: resume}
+	var out []item
+	err := Run(spec, "crash-harness plan v1", helperN, workers,
+		runFn,
+		func(i int, v item) { out = append(out, v) })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	// The collected results are part of the byte-identity contract too.
+	b, err := json.Marshal(out)
+	if err != nil {
+		os.Exit(1)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "results.json"), b, 0o644); err != nil {
+		os.Exit(1)
+	}
+}
+
+// runHelper re-execs this test binary in helper mode. crashpoint, when
+// non-empty, is the CCSIG_CRASHPOINT spec that will SIGKILL the child.
+func runHelper(t *testing.T, dir string, workers int, resume bool, crashpoint string) error {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashHelper$", "-test.v=false")
+	cmd.Env = append(os.Environ(),
+		crashHelperEnv+"="+dir,
+		"CHECKPOINT_CRASH_WORKERS="+strconv.Itoa(workers),
+	)
+	if resume {
+		cmd.Env = append(cmd.Env, "CHECKPOINT_CRASH_RESUME=1")
+	}
+	if crashpoint != "" {
+		cmd.Env = append(cmd.Env, CrashEnv+"="+crashpoint)
+	}
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("helper exited: %w (output: %s)", err, out)
+	}
+	return nil
+}
+
+func TestCrashAtEveryFaultPointResumesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec harness")
+	}
+	sites := []string{"mid-artifact", "after-artifact", "mid-manifest", "after-chunk"}
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("j%d", workers), func(t *testing.T) {
+			// Reference: the same sweep, never interrupted.
+			refDir := t.TempDir()
+			if err := runHelper(t, refDir, workers, false, ""); err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			ref := readTree(t, refDir)
+
+			for _, site := range sites {
+				for _, chunk := range []int{0, 1} {
+					t.Run(fmt.Sprintf("%s-%d", site, chunk), func(t *testing.T) {
+						dir := t.TempDir()
+						spec := fmt.Sprintf("%s:%d", site, chunk)
+						if err := runHelper(t, dir, workers, false, spec); err == nil {
+							t.Fatalf("crash at %s did not kill the child", spec)
+						}
+						if err := runHelper(t, dir, workers, true, ""); err != nil {
+							t.Fatalf("resume after %s: %v", spec, err)
+						}
+						got := readTree(t, dir)
+						if len(got) != len(ref) {
+							t.Fatalf("resumed tree has %d files, reference %d", len(got), len(ref))
+						}
+						for name, want := range ref {
+							if got[name] != want {
+								t.Errorf("after crash at %s, %s differs from the uninterrupted run", spec, name)
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestCrashThenFreshRunIsRefused pins the operator guard: a crashed
+// checkpoint must not be silently overwritten without -resume.
+func TestCrashThenFreshRunIsRefused(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec harness")
+	}
+	dir := t.TempDir()
+	if err := runHelper(t, dir, 1, false, "after-chunk:0"); err == nil {
+		t.Fatal("crash did not kill the child")
+	}
+	err := runHelper(t, dir, 1, false, "")
+	if err == nil {
+		t.Fatal("fresh run over a crashed checkpoint succeeded, want ErrExists refusal")
+	}
+}

@@ -1,0 +1,131 @@
+package checkpoint
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// manifestName is the per-stage manifest file name.
+const manifestName = "MANIFEST"
+
+// record is one committed chunk in the manifest.
+type record struct {
+	Chunk  int
+	Lo, Hi int    // run-index span [Lo, Hi)
+	File   string // artifact file name within the stage directory
+	Digest string // sha256 hex of the artifact payload
+}
+
+// manifestHeader renders the manifest's first line. Every field that
+// shapes the run plan — stage name, identity digest, run count, chunk
+// size — is bound in, so a resume with different parameters is refused
+// before any chunk is touched.
+func manifestHeader(name, id string, n, chunkSize int) string {
+	return fmt.Sprintf("ccsig-manifest v1 name=%s id=%s n=%d chunk=%d", name, id, n, chunkSize)
+}
+
+// formatRecord renders one manifest record:
+//
+//	chunk <idx> <lo> <hi> <file> <sha256> <crc32>
+//
+// The trailing CRC-32 (IEEE) covers everything before it, so a record
+// torn by a crash mid-append fails the checksum and is discarded instead
+// of being misread.
+func formatRecord(r record) string {
+	body := fmt.Sprintf("chunk %d %d %d %s %s", r.Chunk, r.Lo, r.Hi, r.File, r.Digest)
+	return fmt.Sprintf("%s %08x", body, crc32.ChecksumIEEE([]byte(body)))
+}
+
+// parseRecord parses one manifest line, reporting ok only for a complete,
+// checksum-valid record.
+func parseRecord(line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) != 7 || fields[0] != "chunk" {
+		return record{}, false
+	}
+	crc, err := strconv.ParseUint(fields[6], 16, 32)
+	if err != nil {
+		return record{}, false
+	}
+	body := strings.Join(fields[:6], " ")
+	if crc32.ChecksumIEEE([]byte(body)) != uint32(crc) {
+		return record{}, false
+	}
+	idx, err1 := strconv.Atoi(fields[1])
+	lo, err2 := strconv.Atoi(fields[2])
+	hi, err3 := strconv.Atoi(fields[3])
+	if err1 != nil || err2 != nil || err3 != nil || idx < 0 || lo < 0 || hi < lo {
+		return record{}, false
+	}
+	return record{Chunk: idx, Lo: lo, Hi: hi, File: fields[4], Digest: fields[5]}, true
+}
+
+// loadedManifest is the usable state recovered from an existing manifest.
+type loadedManifest struct {
+	records  map[int]record
+	validLen int64 // byte length of the valid prefix (header + whole records)
+}
+
+// loadManifest reads an existing manifest. A missing file — or one whose
+// header line never completed, which can hold no valid records — loads as
+// nil (fresh start). A complete header that differs from wantHeader is
+// ErrMismatch. Records are consumed in order up to the first torn or
+// checksum-invalid line; everything after that point is dropped and will
+// be recomputed.
+func loadManifest(path, wantHeader string) (*loadedManifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("checkpoint: reading manifest: %w", err)
+	}
+	text := string(data)
+	nl := strings.IndexByte(text, '\n')
+	if nl < 0 {
+		return nil, nil
+	}
+	if text[:nl] != wantHeader {
+		return nil, fmt.Errorf("checkpoint: manifest header %q, this plan needs %q: %w", text[:nl], wantHeader, ErrMismatch)
+	}
+	lm := &loadedManifest{records: map[int]record{}, validLen: int64(nl) + 1}
+	rest := text[nl+1:]
+	for len(rest) > 0 {
+		n := strings.IndexByte(rest, '\n')
+		if n < 0 {
+			break // torn tail: no terminating newline
+		}
+		r, ok := parseRecord(rest[:n])
+		if !ok {
+			break // torn or corrupt record; drop it and everything after
+		}
+		lm.records[r.Chunk] = r
+		lm.validLen += int64(n) + 1
+		rest = rest[n+1:]
+	}
+	return lm, nil
+}
+
+// appendRecord appends one committed-chunk record and syncs the manifest.
+// The line is written in two halves with a crash point between them so
+// the injection harness can manufacture exactly the torn tail that
+// loadManifest must survive.
+func appendRecord(f *os.File, r record) error {
+	line := formatRecord(r) + "\n"
+	half := len(line) / 2
+	if _, err := f.WriteString(line[:half]); err != nil {
+		return fmt.Errorf("checkpoint: appending manifest record: %w", err)
+	}
+	crashPoint("mid-manifest", r.Chunk)
+	if _, err := f.WriteString(line[half:]); err != nil {
+		return fmt.Errorf("checkpoint: appending manifest record: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing manifest: %w", err)
+	}
+	crashPoint("after-chunk", r.Chunk)
+	return nil
+}

@@ -15,9 +15,12 @@
 package conformance
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+
+	"tcpsig/internal/checkpoint"
 )
 
 // Shape declares which side(s) of a measurement a band constrains.
@@ -204,7 +207,10 @@ func Run(opt Options) (*Report, error) {
 	rep := &Report{Suite: "conformance", Scale: exp.Scale, Seed: opt.Seed, Source: src.Name(), Pass: true}
 	data := NewData(src, opt.Seed)
 	for _, chk := range checks {
-		cr := evalCheck(chk, data, exp)
+		cr, err := evalCheck(chk, data, exp)
+		if err != nil {
+			return nil, err
+		}
 		if !cr.Pass {
 			rep.Pass = false
 		}
@@ -213,13 +219,19 @@ func Run(opt Options) (*Report, error) {
 	return rep, nil
 }
 
-func evalCheck(chk Check, data *Data, exp *Expected) CheckReport {
+func evalCheck(chk Check, data *Data, exp *Expected) (CheckReport, error) {
 	cr := CheckReport{Name: chk.Name, Pass: true}
 	ms, violations, err := chk.Run(data)
 	if err != nil {
+		// A graceful drain is not a failing check: abort the suite so the
+		// CLI can report the run as resumable instead of writing a report
+		// that looks like a regression.
+		if errors.Is(err, checkpoint.ErrInterrupted) {
+			return cr, err
+		}
 		cr.Err = err.Error()
 		cr.Pass = false
-		return cr
+		return cr, nil
 	}
 	cr.Violations = violations
 	if len(violations) > 0 {
@@ -240,7 +252,7 @@ func evalCheck(chk Check, data *Data, exp *Expected) CheckReport {
 		}
 		cr.Measurements = append(cr.Measurements, mr)
 	}
-	return cr
+	return cr, nil
 }
 
 // GenerateExpected runs the full suite once per seed on the emulated source

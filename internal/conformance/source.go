@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"tcpsig/internal/checkpoint"
 	"tcpsig/internal/core"
 	"tcpsig/internal/experiments"
 	"tcpsig/internal/mlab"
@@ -120,6 +121,12 @@ type EmulatedSource struct {
 
 	// Progress, when non-nil, receives coarse stage announcements.
 	Progress func(stage string)
+
+	// Checkpoint, when non-nil with a Dir, persists each stage's sweep
+	// chunks ("sweep", "fig1", "dispute", "variants") so an interrupted
+	// conformance run resumes instead of recomputing (see
+	// internal/checkpoint).
+	Checkpoint *checkpoint.Spec
 }
 
 // Name implements Source.
@@ -131,10 +138,18 @@ func (s *EmulatedSource) announce(stage string) {
 	}
 }
 
+// exec builds the checkpoint-aware executor the stages share.
+func (s *EmulatedSource) exec() experiments.Exec {
+	return experiments.Exec{Scale: experiments.Quick, Seed: s.Seed, Workers: s.Workers, Checkpoint: s.Checkpoint}
+}
+
 // Sweep implements Source.
 func (s *EmulatedSource) Sweep() ([]*testbed.Result, error) {
 	s.announce("sweep")
-	results := experiments.SweepResults(experiments.Quick, s.Seed, s.Workers, nil)
+	results, err := s.exec().SweepResults(nil)
+	if err != nil {
+		return nil, err
+	}
 	if len(results) == 0 {
 		return nil, fmt.Errorf("conformance: quick sweep produced no results")
 	}
@@ -144,7 +159,10 @@ func (s *EmulatedSource) Sweep() ([]*testbed.Result, error) {
 // Fig1 implements Source.
 func (s *EmulatedSource) Fig1() (experiments.Fig1Result, error) {
 	s.announce("fig1")
-	res := experiments.Fig1(experiments.Quick, s.Seed, s.Workers)
+	res, err := s.exec().Fig1()
+	if err != nil {
+		return res, err
+	}
 	if res.Runs == 0 {
 		return res, fmt.Errorf("conformance: Fig1 produced no valid runs")
 	}
@@ -174,7 +192,11 @@ func (s *EmulatedSource) Dispute() ([]mlab.DisputeTest, error) {
 	s.announce("dispute")
 	opt := DisputeGrid(int(s.Seed), s.Workers)
 	opt.Seed = s.Seed
-	tests := mlab.GenerateDispute2014(opt)
+	opt.Checkpoint = s.Checkpoint.Stage("dispute")
+	tests, err := mlab.Dispute2014(opt)
+	if err != nil {
+		return nil, err
+	}
 	if len(tests) == 0 {
 		return nil, fmt.Errorf("conformance: dispute generation produced no tests")
 	}
@@ -184,7 +206,10 @@ func (s *EmulatedSource) Dispute() ([]mlab.DisputeTest, error) {
 // Variants implements Source.
 func (s *EmulatedSource) Variants() ([]experiments.VariantRow, error) {
 	s.announce("variants")
-	rows := experiments.CCAblation(experiments.Quick, s.Seed, s.Workers)
+	rows, err := s.exec().CCAblation()
+	if err != nil {
+		return nil, err
+	}
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("conformance: CC ablation produced no rows")
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -113,8 +114,19 @@ type VariantRow struct {
 // (0/1 = serial) with byte-identical output; seeds derive from the flat
 // (variant, repetition) index, matching the historical shared counter.
 func CCAblation(scale Scale, seed int64, workers int) []VariantRow {
+	// Without a checkpoint, Exec.CCAblation has no failure mode.
+	out, _ := Exec{Scale: scale, Seed: seed, Workers: workers}.CCAblation()
+	return out
+}
+
+// CCAblation is the checkpoint-aware form (stage "variants"). The CC
+// constructors are function values the checkpoint identity cannot
+// describe, so the variant list itself — names in order — stands in for
+// them; changing the list changes the identity and refuses a stale
+// resume.
+func (e Exec) CCAblation() ([]VariantRow, error) {
 	runs := 3
-	if scale >= Full {
+	if e.Scale >= Full {
 		runs = 8
 	}
 	base := testbed.AccessParams{
@@ -137,16 +149,22 @@ func CCAblation(scale Scale, seed int64, workers int) []VariantRow {
 		{name: "reno+red", red: true},
 		{name: "reno+ecn", ecn: true},
 	}
+	names := make([]string, 0, len(variants))
 	specs := make([]testbed.Config, 0, len(variants)*runs)
 	for _, v := range variants {
+		names = append(names, v.name)
 		for i := 0; i < runs; i++ {
 			specs = append(specs, testbed.Config{
 				Access: base, TransCross: true, Duration: 5 * time.Second,
-				Seed: seed + 1 + int64(len(specs)), CC: v.cc, RED: v.red, ECN: v.ecn,
+				Seed: e.Seed + 1 + int64(len(specs)), CC: v.cc, RED: v.red, ECN: v.ecn,
 			})
 		}
 	}
-	outcomes := runAll(specs, workers)
+	identity := fmt.Sprintf("experiments.CCAblation v1 seed=%d runs=%d variants=%v", e.Seed, runs, names)
+	outcomes, err := e.runAll(specs, "variants", identity)
+	if err != nil {
+		return nil, err
+	}
 
 	var out []VariantRow
 	idx := 0
@@ -175,5 +193,5 @@ func CCAblation(scale Scale, seed int64, workers int) []VariantRow {
 		}
 		out = append(out, row)
 	}
-	return out
+	return out, nil
 }

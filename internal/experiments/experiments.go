@@ -125,25 +125,8 @@ func fig1Plan(runs int, dur time.Duration, seed int64) []testbed.Config {
 // runs fan out over workers (0/1 = serial) with byte-identical output at
 // every worker count.
 func Fig1(scale Scale, seed int64, workers int) Fig1Result {
-	runs, dur := fig1Params(scale)
-	specs := fig1Plan(runs, dur, seed)
-	var out Fig1Result
-	var diffs [2][]float64
-	var covs [2][]float64
-	for _, v := range runAll(specs, workers) {
-		if v.err != nil {
-			continue
-		}
-		res := v.res
-		out.Runs++
-		diffMs := float64(res.Features.MaxRTT-res.Features.MinRTT) / float64(time.Millisecond)
-		diffs[res.Scenario] = append(diffs[res.Scenario], diffMs)
-		covs[res.Scenario] = append(covs[res.Scenario], res.Features.CoV)
-	}
-	for class := 0; class < 2; class++ {
-		out.MaxMinDiffMs[class] = stats.CDF(diffs[class])
-		out.CoV[class] = stats.CDF(covs[class])
-	}
+	// Without a checkpoint, Exec.Fig1 has no failure mode.
+	out, _ := Exec{Scale: scale, Seed: seed, Workers: workers}.Fig1()
 	return out
 }
 
@@ -167,24 +150,7 @@ type ThresholdPoint struct {
 // concurrently (0/1 = serial, negative = GOMAXPROCS) without changing a
 // byte of the output.
 func SweepResults(scale Scale, seed int64, workers int, progress func(done, total int)) []*testbed.Result {
-	opt := testbed.SweepOptions{Seed: seed, Workers: workers, Progress: progress}
-	switch scale {
-	case Quick:
-		opt.Rates = []float64{20}
-		opt.Losses = []float64{0}
-		opt.Latencies = []time.Duration{20 * time.Millisecond}
-		// Include the paper's smallest buffer so quick models still see
-		// low-CoV self-induced examples.
-		opt.Buffers = []time.Duration{20 * time.Millisecond, 100 * time.Millisecond}
-		opt.RunsPerConfig = 5
-		opt.Duration = 5 * time.Second
-	case Full:
-		opt.RunsPerConfig = 6
-		opt.Duration = 5 * time.Second
-	case Paper:
-		opt.RunsPerConfig = 50
-	}
-	return testbed.Sweep(opt)
+	return testbed.Sweep(sweepOpts(scale, seed, workers, progress))
 }
 
 // Fig3 evaluates precision/recall across labeling thresholds with a 70/30
@@ -293,82 +259,8 @@ type MultiplexPoint struct {
 // seed is derived from its flat plan index (cong groups first, then
 // access-cross groups), reproducing the historical shared counter.
 func Multiplexing(clf *core.Classifier, scale Scale, seed int64, workers int) []MultiplexPoint {
-	runs := 3
-	dur := 5 * time.Second
-	switch scale {
-	case Full:
-		runs = 8
-	case Paper:
-		runs = 25
-		dur = 10 * time.Second
-	}
-	base := testbed.AccessParams{
-		RateMbps: 50,
-		Latency:  20 * time.Millisecond,
-		Jitter:   2 * time.Millisecond,
-		Buffer:   100 * time.Millisecond,
-	}
-	congGroups := []int{100, 50, 20, 10}
-	crossGroups := []int{1, 2, 5}
-	specs := make([]testbed.Config, 0, (len(congGroups)+len(crossGroups))*runs)
-	for _, cong := range congGroups {
-		for i := 0; i < runs; i++ {
-			specs = append(specs, testbed.Config{
-				Access: base, CongFlows: cong, TransCross: true,
-				Duration: dur, WarmUp: 4 * time.Second,
-				Seed: seed + 1 + int64(len(specs)),
-			})
-		}
-	}
-	for _, cross := range crossGroups {
-		for i := 0; i < runs; i++ {
-			specs = append(specs, testbed.Config{
-				Access: base, AccessCrossFlows: cross, TransCross: true,
-				Duration: dur, Seed: seed + 1 + int64(len(specs)),
-			})
-		}
-	}
-	outcomes := runAll(specs, workers)
-
-	var out []MultiplexPoint
-	idx := 0
-	for _, cong := range congGroups {
-		match, total := 0, 0
-		for i := 0; i < runs; i++ {
-			v := outcomes[idx]
-			idx++
-			if v.err != nil {
-				continue
-			}
-			// Evaluate against the labeling rule, as the paper's
-			// accuracy numbers do: runs whose slow start reached the
-			// access threshold despite cross traffic are the
-			// expected confusion, not classifier errors.
-			if v.res.Label(0.8) != testbed.External {
-				continue
-			}
-			total++
-			if clf.ClassifyFeatures(v.res.Features).Class == core.External {
-				match++
-			}
-		}
-		out = append(out, MultiplexPoint{CongFlows: cong, FracExpected: frac(match, total), Runs: total})
-	}
-	for _, cross := range crossGroups {
-		match, total := 0, 0
-		for i := 0; i < runs; i++ {
-			v := outcomes[idx]
-			idx++
-			if v.err != nil {
-				continue
-			}
-			total++
-			if clf.ClassifyFeatures(v.res.Features).Class == core.SelfInduced {
-				match++
-			}
-		}
-		out = append(out, MultiplexPoint{AccessCross: cross, FracExpected: frac(match, total), Runs: total})
-	}
+	// Without a checkpoint, Exec.Multiplexing has no failure mode.
+	out, _ := Exec{Scale: scale, Seed: seed, Workers: workers}.Multiplexing(clf)
 	return out
 }
 
@@ -378,23 +270,7 @@ func Multiplexing(clf *core.Classifier, scale Scale, seed int64, workers int) []
 // DisputeData generates the Dispute2014 dataset at the requested scale,
 // fanning the NDT runs out over workers (0/1 = serial).
 func DisputeData(scale Scale, seed int64, workers int, progress func(done, total int)) []mlab.DisputeTest {
-	opt := mlab.DisputeOptions{Seed: seed, Workers: workers, Progress: progress}
-	switch scale {
-	case Quick:
-		opt.TestsPerCell = 1
-		opt.Hours = []int{3, 5, 18, 21}
-		opt.Duration = 5 * time.Second
-		opt.Sites = []mlab.Site{{Transit: "Cogent", City: "LAX"}, {Transit: "Level3", City: "ATL"}}
-		opt.ISPs = []string{"Comcast", "Cox"}
-	case Full:
-		opt.TestsPerCell = 2
-		opt.Hours = []int{1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23}
-		opt.Duration = 5 * time.Second
-	case Paper:
-		opt.TestsPerCell = 4
-		opt.Duration = 10 * time.Second
-	}
-	return mlab.GenerateDispute2014(opt)
+	return mlab.GenerateDispute2014(disputeOpts(scale, seed, workers, progress))
 }
 
 // Fig5Row is one diurnal series: mean throughput by hour.
@@ -627,21 +503,7 @@ func Fig9(tests []mlab.DisputeTest, seed int64) []Fig7Row {
 // TSLPData generates the TSLP2017 campaign at the requested scale,
 // fanning the NDT runs out over workers (0/1 = serial).
 func TSLPData(scale Scale, seed int64, workers int, progress func(done int)) []mlab.TSLPTest {
-	opt := mlab.TSLPOptions{Seed: seed, Workers: workers, Progress: progress}
-	switch scale {
-	case Quick:
-		opt.Days = 3
-		opt.Duration = 8 * time.Second
-		opt.OffPeakEvery = 4 * time.Hour
-		opt.PeakEvery = 30 * time.Minute
-		opt.EpisodeProb = 0.6
-	case Full:
-		opt.Days = 10
-		opt.PeakEvery = 30 * time.Minute
-	case Paper:
-		opt.Days = 75
-	}
-	return mlab.GenerateTSLP2017(opt)
+	return mlab.GenerateTSLP2017(tslpOpts(scale, seed, workers, progress))
 }
 
 // Fig6Point is one timeline sample of Figure 6.

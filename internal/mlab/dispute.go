@@ -1,10 +1,11 @@
 package mlab
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
-	"tcpsig/internal/parallel"
+	"tcpsig/internal/checkpoint"
 )
 
 // Period distinguishes the two Dispute2014 timeframes.
@@ -132,6 +133,11 @@ type DisputeOptions struct {
 	// draws happen in a serial planning pass, and results are collected
 	// in test order.
 	Workers int
+
+	// Checkpoint, when non-nil with a Dir, persists completed chunks of
+	// the campaign and lets Dispute2014 resume from them (see
+	// internal/checkpoint). GenerateDispute2014 ignores it.
+	Checkpoint *checkpoint.Spec
 }
 
 func (o DisputeOptions) withDefaults() DisputeOptions {
@@ -243,39 +249,63 @@ func planDispute2014(opt DisputeOptions) []disputeSpec {
 	return specs
 }
 
-// ndtOut is one executed NDT test.
-type ndtOut struct {
-	res *NDTResult
-	err error
+// ndtRecord is the persisted form of one executed NDT test: its result,
+// or its error reduced to a string. It rides inside checkpoint chunk
+// artifacts, so it must round-trip losslessly through JSON.
+type ndtRecord struct {
+	Res *NDTResult `json:"res,omitempty"`
+	Err string     `json:"err,omitempty"`
 }
 
-// GenerateDispute2014 synthesizes the dataset. Affected cells get diurnal
+// disputeIdentity describes the campaign plan for the checkpoint
+// manifest: everything that shapes the test list, nothing transient.
+func disputeIdentity(o DisputeOptions) string {
+	return fmt.Sprintf("mlab.Dispute2014 v1 seed=%d percell=%d sites=%v isps=%v hours=%v dur=%s cong=%d",
+		o.Seed, o.TestsPerCell, o.Sites, o.ISPs, o.Hours, o.Duration, o.MaxCongFlows)
+}
+
+// Dispute2014 synthesizes the dataset. Affected cells get diurnal
 // interconnect congestion; every cell also gets occasional transient
 // congestion episodes whose probability scales with the diurnal load,
 // modeling the background noise of a crowdsourced dataset. Tests execute
 // across opt.Workers concurrently with byte-identical output at every
-// worker count.
-func GenerateDispute2014(opt DisputeOptions) []DisputeTest {
+// worker count; with opt.Checkpoint set, completed chunks persist on
+// disk and a resumed run replays them instead of recomputing.
+func Dispute2014(opt DisputeOptions) ([]DisputeTest, error) {
 	opt = opt.withDefaults()
 	specs := planDispute2014(opt)
 	total := len(specs)
 	out := make([]DisputeTest, 0, total)
-	parallel.ForEachOrdered(total, parallel.OptWorkers(opt.Workers),
-		func(i int) ndtOut {
+	err := checkpoint.Run(opt.Checkpoint, disputeIdentity(opt), total, opt.Workers,
+		func(i int) ndtRecord {
 			res, err := RunNDT(specs[i].path)
-			return ndtOut{res: res, err: err}
+			if err != nil {
+				return ndtRecord{Err: err.Error()}
+			}
+			return ndtRecord{Res: res}
 		},
-		func(i int, v ndtOut) {
+		func(i int, v ndtRecord) {
 			if opt.Progress != nil {
 				opt.Progress(i+1, total)
 			}
-			if v.err != nil {
+			if v.Res == nil {
 				return
 			}
 			t := specs[i].test
-			t.Result = v.res
+			t.Result = v.Res
 			out = append(out, t)
 		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GenerateDispute2014 is the legacy non-checkpointed entry point.
+func GenerateDispute2014(opt DisputeOptions) []DisputeTest {
+	opt.Checkpoint = nil
+	// Without a checkpoint, Dispute2014 has no failure mode.
+	out, _ := Dispute2014(opt)
 	return out
 }
 

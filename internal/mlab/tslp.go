@@ -1,10 +1,11 @@
 package mlab
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
-	"tcpsig/internal/parallel"
+	"tcpsig/internal/checkpoint"
 )
 
 // TSLPOptions configures the targeted 2017 experiment: periodic NDT tests
@@ -42,6 +43,11 @@ type TSLPOptions struct {
 	// serially (the legacy path); negative means GOMAXPROCS. Output is
 	// byte-identical at every worker count.
 	Workers int
+
+	// Checkpoint, when non-nil with a Dir, persists completed chunks of
+	// the campaign and lets TSLP2017 resume from them (see
+	// internal/checkpoint). GenerateTSLP2017 ignores it.
+	Checkpoint *checkpoint.Spec
 }
 
 func (o TSLPOptions) withDefaults() TSLPOptions {
@@ -169,29 +175,50 @@ func planTSLP2017(opt TSLPOptions) []tslpSpec {
 	return specs
 }
 
-// GenerateTSLP2017 runs the campaign: an episode schedule is drawn per day
+// tslpIdentity describes the campaign plan for the checkpoint manifest.
+func tslpIdentity(o TSLPOptions) string {
+	return fmt.Sprintf("mlab.TSLP2017 v1 seed=%d days=%d plan=%g offpeak=%s peak=%s episode=%g dur=%s",
+		o.Seed, o.Days, o.PlanMbps, o.OffPeakEvery, o.PeakEvery, o.EpisodeProb, o.Duration)
+}
+
+// TSLP2017 runs the campaign: an episode schedule is drawn per day
 // (evening hours, 1-3 hours long), then tests execute on the paper's cadence
 // with in-emulation TSLP probes, fanned out across opt.Workers with
-// byte-identical output at every worker count.
-func GenerateTSLP2017(opt TSLPOptions) []TSLPTest {
+// byte-identical output at every worker count. With opt.Checkpoint set,
+// completed chunks persist on disk and a resumed run replays them.
+func TSLP2017(opt TSLPOptions) ([]TSLPTest, error) {
 	opt = opt.withDefaults()
 	specs := planTSLP2017(opt)
 	out := make([]TSLPTest, 0, len(specs))
-	parallel.ForEachOrdered(len(specs), parallel.OptWorkers(opt.Workers),
-		func(i int) ndtOut {
+	err := checkpoint.Run(opt.Checkpoint, tslpIdentity(opt), len(specs), opt.Workers,
+		func(i int) ndtRecord {
 			res, err := RunNDT(specs[i].path)
-			return ndtOut{res: res, err: err}
+			if err != nil {
+				return ndtRecord{Err: err.Error()}
+			}
+			return ndtRecord{Res: res}
 		},
-		func(i int, v ndtOut) {
+		func(i int, v ndtRecord) {
 			if opt.Progress != nil {
 				opt.Progress(i + 1)
 			}
-			if v.err != nil {
+			if v.Res == nil {
 				return
 			}
 			t := specs[i].test
-			t.Result = v.res
+			t.Result = v.Res
 			out = append(out, t)
 		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GenerateTSLP2017 is the legacy non-checkpointed entry point.
+func GenerateTSLP2017(opt TSLPOptions) []TSLPTest {
+	opt.Checkpoint = nil
+	// Without a checkpoint, TSLP2017 has no failure mode.
+	out, _ := TSLP2017(opt)
 	return out
 }

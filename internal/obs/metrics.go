@@ -274,11 +274,13 @@ type Metric struct {
 	// Value holds the counter or gauge reading.
 	Value float64
 
-	// Histogram fields.
-	Bounds []float64
-	Counts []uint64
-	Count  uint64
-	Sum    float64
+	// Histogram fields. Count doubles as the exact reading for counters,
+	// which Value (a float64) cannot represent above 2^53; FromSnapshot
+	// restores counters from it.
+	Bounds []float64 `json:",omitempty"`
+	Counts []uint64  `json:",omitempty"`
+	Count  uint64    `json:",omitempty"`
+	Sum    float64   `json:",omitempty"`
 }
 
 // Snapshot returns every metric sorted by (type, name), a stable order
@@ -294,7 +296,8 @@ func (r *Registry) Snapshot() []Metric {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		out = append(out, Metric{Name: name, Type: "counter", Value: float64(r.counters[name].v)})
+		c := r.counters[name].v
+		out = append(out, Metric{Name: name, Type: "counter", Value: float64(c), Count: c})
 	}
 	names = names[:0]
 	for name := range r.gauges {

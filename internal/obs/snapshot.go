@@ -1,0 +1,40 @@
+package obs
+
+// FromSnapshot rebuilds a registry from a Snapshot, the inverse that lets
+// per-chunk metric registries ride inside checkpoint artifacts and be
+// re-merged on resume: Snapshot → JSON → FromSnapshot → Merge reproduces
+// the original fold exactly.
+//
+// Counters restore from Metric.Count (the exact uint64), falling back to
+// Value for hand-written snapshots that only set the float. A histogram
+// entry whose Counts length disagrees with its Bounds (impossible from
+// Snapshot, conceivable from a corrupted or hand-edited document) is
+// skipped rather than installed, so a later Merge can never index out of
+// range. Duplicate names keep the last entry, matching JSON object
+// semantics.
+func FromSnapshot(ms []Metric) *Registry {
+	r := NewRegistry()
+	for _, m := range ms {
+		switch m.Type {
+		case "counter":
+			c := m.Count
+			if c == 0 && m.Value > 0 {
+				c = uint64(m.Value)
+			}
+			cnt := r.Counter(m.Name)
+			cnt.v = c
+		case "gauge":
+			r.Gauge(m.Name).Set(m.Value)
+		case "histogram":
+			if len(m.Counts) != len(m.Bounds)+1 {
+				continue
+			}
+			h := newHistogram(m.Bounds)
+			copy(h.counts, m.Counts)
+			h.count = m.Count
+			h.sum = m.Sum
+			r.hists[m.Name] = h
+		}
+	}
+	return r
+}

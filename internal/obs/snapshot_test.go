@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotRoundTrip pins the checkpoint codec contract: Snapshot →
+// JSON → FromSnapshot → Snapshot must reproduce the original exactly,
+// because per-chunk registries ride inside checkpoint artifacts and are
+// re-merged on resume.
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total").Add(42)
+	// Beyond 2^53: a float64 round-trip would corrupt this, Count must not.
+	r.Counter("huge").Add(1<<60 + 1)
+	r.Gauge("queue_depth").Set(3.25)
+	r.Gauge("negative").Set(-7.5)
+	h := r.Histogram("rtt_ms", LinearBuckets(0, 10, 5))
+	for _, v := range []float64{-1, 0, 5, 12, 49.9, 50, 1000} {
+		h.Observe(v)
+	}
+
+	snap := r.Snapshot()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Metric
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	again := FromSnapshot(decoded).Snapshot()
+	if !reflect.DeepEqual(snap, again) {
+		t.Fatalf("round trip diverged:\n  original: %+v\n  restored: %+v", snap, again)
+	}
+	if got := FromSnapshot(decoded).Counter("huge").Value(); got != 1<<60+1 {
+		t.Fatalf("huge counter = %d, want %d", got, uint64(1<<60+1))
+	}
+}
+
+// TestFromSnapshotMergeEqualsDirectFold proves folding registries through
+// the snapshot codec (what a checkpoint resume does) matches folding them
+// live.
+func TestFromSnapshotMergeEqualsDirectFold(t *testing.T) {
+	mk := func(seed uint64) *Registry {
+		r := NewRegistry()
+		r.Counter("n").Add(seed)
+		r.Gauge("g").Add(float64(seed) / 4)
+		h := r.Histogram("h", []float64{1, 10})
+		h.Observe(float64(seed))
+		return r
+	}
+
+	direct := NewRegistry()
+	viaCodec := NewRegistry()
+	for seed := uint64(1); seed <= 5; seed++ {
+		direct.Merge(mk(seed))
+
+		b, err := json.Marshal(mk(seed).Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ms []Metric
+		if err := json.Unmarshal(b, &ms); err != nil {
+			t.Fatal(err)
+		}
+		viaCodec.Merge(FromSnapshot(ms))
+	}
+	if !reflect.DeepEqual(direct.Snapshot(), viaCodec.Snapshot()) {
+		t.Fatalf("codec fold diverged:\n  direct: %+v\n  codec:  %+v", direct.Snapshot(), viaCodec.Snapshot())
+	}
+}
+
+// TestFromSnapshotSkipsMalformedHistogram pins the corruption guard: a
+// histogram whose Counts disagree with its Bounds must be dropped, never
+// installed where a Merge could index out of range.
+func TestFromSnapshotSkipsMalformedHistogram(t *testing.T) {
+	r := FromSnapshot([]Metric{
+		{Name: "bad", Type: "histogram", Bounds: []float64{1, 2}, Counts: []uint64{1}},
+		{Name: "ok", Type: "histogram", Bounds: []float64{1}, Counts: []uint64{2, 3}, Count: 5, Sum: 9},
+	})
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Name != "ok" {
+		t.Fatalf("snapshot %+v, want only the well-formed histogram", snap)
+	}
+	// Merging over the restored registry must not panic.
+	other := NewRegistry()
+	other.Histogram("ok", []float64{1}).Observe(0.5)
+	r.Merge(other)
+}
+
+// TestFromSnapshotCounterFallback covers hand-written snapshots that only
+// set the float Value.
+func TestFromSnapshotCounterFallback(t *testing.T) {
+	r := FromSnapshot([]Metric{{Name: "c", Type: "counter", Value: 17}})
+	if got := r.Counter("c").Value(); got != 17 {
+		t.Fatalf("counter = %d, want 17", got)
+	}
+}

@@ -188,10 +188,17 @@ func SweepFaults(opt FaultSweepOptions) (*FaultReport, error) {
 
 	base := opt.Sweep
 	base.Faults = nil
+	// Each regime re-runs the same grid with a different injector — a
+	// function the checkpoint identity cannot describe — so every regime
+	// owns its own checkpoint stage.
+	base.Checkpoint = opt.Sweep.Checkpoint.Stage("faults-clean")
 	if opt.Progress != nil {
 		opt.Progress("clean (training)", 0, len(regimes))
 	}
-	cleanResults := Sweep(base)
+	cleanResults, err := SweepCheckpointed(base)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: clean sweep: %w", err)
+	}
 	ds := Dataset(cleanResults, threshold)
 	if len(ds) == 0 {
 		return nil, fmt.Errorf("testbed: clean sweep produced no labeled examples")
@@ -211,7 +218,11 @@ func SweepFaults(opt FaultSweepOptions) (*FaultReport, error) {
 		if regime.Factory != nil {
 			sw := opt.Sweep
 			sw.Faults = regime.Factory
-			results = Sweep(sw)
+			sw.Checkpoint = opt.Sweep.Checkpoint.Stage("faults-" + regime.Name)
+			results, err = SweepCheckpointed(sw)
+			if err != nil {
+				return nil, fmt.Errorf("testbed: %s sweep: %w", regime.Name, err)
+			}
 		}
 		rep := RegimeReport{
 			Regime:      regime.Name,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"tcpsig/internal/checkpoint"
 	"tcpsig/internal/dtree"
 	"tcpsig/internal/netem"
 	"tcpsig/internal/obs"
@@ -72,6 +73,17 @@ type SweepOptions struct {
 	// the cell's parameters and scenario. This is sweep-level aggregation;
 	// it is separate from any per-run Config.Obs sink.
 	Metrics *obs.Registry
+
+	// Checkpoint, when non-nil with a Dir, makes SweepCheckpointed
+	// persist completed chunks and resume from them (see
+	// internal/checkpoint). Sweep ignores it.
+	Checkpoint *checkpoint.Spec
+
+	// Stream, when non-nil, receives every valid result in run order as
+	// it is collected. SweepCheckpointed then returns a nil slice instead
+	// of accumulating, so arbitrarily large sweeps never hold the whole
+	// dataset in memory.
+	Stream func(*Result)
 }
 
 // cellName formats one grid cell's metric-name prefix deterministically.
@@ -205,6 +217,76 @@ func Sweep(opt SweepOptions) []*Result {
 			}
 		})
 	return out
+}
+
+// identity renders the sweep plan's deterministic description for the
+// checkpoint manifest: everything that shapes the run list, nothing that
+// doesn't round-trip (function fields like CC and Faults cannot be
+// described — pipelines that vary them must vary the checkpoint stage
+// name instead, as SweepFaults does per regime).
+func (o SweepOptions) identity() string {
+	// Whether metrics are collected changes the persisted record bytes,
+	// so it is part of the identity: resuming a -metrics sweep without
+	// -metrics must be refused, not silently mixed.
+	return fmt.Sprintf("testbed.Sweep v1 seed=%d rates=%v losses=%v lats=%v bufs=%v runs=%d cong=%d dur=%s metrics=%t",
+		o.Seed, o.Rates, o.Losses, o.Latencies, o.Buffers, o.RunsPerConfig, o.CongFlows, o.Duration, o.Metrics != nil)
+}
+
+// sweepRecord is the persisted form of one run: the result (or its error,
+// reduced to a string) plus the run's metric registry as a snapshot. It
+// must round-trip losslessly through JSON — that is the checkpoint codec
+// contract.
+type sweepRecord struct {
+	Res     *Result      `json:"res,omitempty"`
+	Err     string       `json:"err,omitempty"`
+	Metrics []obs.Metric `json:"metrics,omitempty"`
+}
+
+// SweepCheckpointed is Sweep with durable progress: runs execute in
+// chunks, every completed chunk is persisted under opt.Checkpoint, and a
+// resumed sweep replays verified chunks instead of recomputing them. All
+// collected output — result order, Progress calls, the Metrics fold,
+// Stream calls — is byte-identical to an uninterrupted run at any worker
+// count. A nil Checkpoint (or empty Dir) runs fully in memory.
+func SweepCheckpointed(opt SweepOptions) ([]*Result, error) {
+	opt = opt.withDefaults()
+	specs := opt.plan()
+	total := len(specs)
+	var out []*Result
+	err := checkpoint.Run(opt.Checkpoint, opt.identity(), total, opt.Workers,
+		func(i int) sweepRecord {
+			var reg *obs.Registry
+			if opt.Metrics != nil {
+				reg = obs.NewRegistry()
+			}
+			v := runSweepCell(specs[i], reg)
+			rec := sweepRecord{Res: v.res, Metrics: v.reg.Snapshot()}
+			if v.err != nil {
+				rec.Err = v.err.Error()
+				rec.Res = nil
+			}
+			return rec
+		},
+		func(i int, rec sweepRecord) {
+			if opt.Progress != nil {
+				opt.Progress(i+1, total)
+			}
+			if len(rec.Metrics) > 0 {
+				opt.Metrics.Merge(obs.FromSnapshot(rec.Metrics))
+			}
+			if rec.Res == nil {
+				return
+			}
+			if opt.Stream != nil {
+				opt.Stream(rec.Res)
+				return
+			}
+			out = append(out, rec.Res)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // runSweepCell executes one planned run and records its per-cell metrics

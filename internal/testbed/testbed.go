@@ -78,8 +78,11 @@ type Config struct {
 	Seed int64
 
 	// CC optionally overrides the congestion controller for the test
-	// flow (default Reno).
-	CC func() tcpsim.CongestionControl
+	// flow (default Reno). Function-valued and therefore excluded from
+	// the JSON form a checkpointed sweep persists; a sweep that varies CC
+	// must vary its checkpoint stage name instead (see
+	// SweepOptions.identity).
+	CC func() tcpsim.CongestionControl `json:"-"`
 
 	// RED switches the access-link buffer to RED instead of drop-tail
 	// (§6 AQM ablation).
@@ -96,14 +99,16 @@ type Config struct {
 	// Faults, when non-nil, builds a fault injector (seeded with the
 	// run's seed) that is attached to the access link's data direction,
 	// stressing the test flow with hostile path dynamics (see
-	// internal/faults and SweepFaults).
-	Faults func(seed int64) netem.FaultInjector
+	// internal/faults and SweepFaults). Excluded from the persisted JSON
+	// form like CC.
+	Faults func(seed int64) netem.FaultInjector `json:"-"`
 
 	// Obs, when non-nil, is attached to the run's engine before topology
 	// construction: links and senders emit trace events into it, and run
 	// summary metrics are collected into its registry at the end. A nil
-	// sink leaves the hot paths at their uninstrumented cost.
-	Obs *obs.Sink
+	// sink leaves the hot paths at their uninstrumented cost. Runtime
+	// plumbing, not a parameter: excluded from the persisted JSON form.
+	Obs *obs.Sink `json:"-"`
 }
 
 func (c Config) withDefaults() Config {

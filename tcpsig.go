@@ -24,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"tcpsig/internal/checkpoint"
 	"tcpsig/internal/core"
 	"tcpsig/internal/dtree"
 	"tcpsig/internal/features"
@@ -303,14 +304,11 @@ func (c *Classifier) ClassifyCapture(capt *netem.Capture) (map[netem.FlowKey]Ver
 // Save writes the model as JSON.
 func (c *Classifier) Save(w io.Writer) error { return c.inner.Save(w) }
 
-// SaveFile writes the model to a file.
+// SaveFile writes the model to a file atomically: the model is staged to a
+// sibling temp file and renamed into place, so an existing model is never
+// replaced by a torn half-write.
 func (c *Classifier) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return c.inner.Save(f)
+	return checkpoint.WriteFileAtomic(path, c.inner.Save)
 }
 
 // Tree renders the trained decision tree for inspection.
