@@ -1,0 +1,121 @@
+// Command escapegate enforces the escape-analysis budget for hot paths
+// (see internal/escapes and DESIGN.md "Determinism & numeric invariants").
+//
+//	go run ./cmd/escapegate            # gate ./... against escape_baseline.json
+//	go run ./cmd/escapegate -update    # regenerate the baseline
+//	go run ./cmd/escapegate -print     # dump current per-function counts
+//
+// The gate compiles the matched packages with -gcflags=-m, counts the
+// compiler's heap-escape diagnostics inside every //sigcheck:hotpath
+// function, and fails (exit 1) when any count rises above the checked-in
+// baseline. Counts that dropped, functions whose annotation was removed,
+// and a changed Go toolchain are reported as advisories: regenerate with
+// -update to lock the new state in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+
+	"tcpsig/internal/escapes"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "escape_baseline.json", "baseline file to gate against")
+	update := flag.Bool("update", false, "rewrite the baseline from the current counts")
+	print := flag.Bool("print", false, "print current per-function counts and exit")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+
+	hot, err := escapes.HotFunctions(dir, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	if len(hot) == 0 {
+		fatal(fmt.Errorf("no //sigcheck:hotpath functions found in %v", patterns))
+	}
+	sites, err := escapes.CompileEscapes(dir, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	counts := escapes.Counts(hot, sites)
+
+	if *print {
+		for _, key := range sortedKeys(counts) {
+			fmt.Printf("%4d  %s\n", counts[key], key)
+		}
+		return
+	}
+	if *update {
+		if err := escapes.WriteBaseline(*baselinePath, runtime.Version(), counts); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("escapegate: wrote %s (%d hot functions, %d total escapes)\n",
+			*baselinePath, len(counts), total(counts))
+		return
+	}
+
+	baseline, err := escapes.ReadBaseline(*baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("%w\n(run `go run ./cmd/escapegate -update` to create the baseline)", err))
+	}
+	if baseline.GoVersion != runtime.Version() {
+		fmt.Fprintf(os.Stderr, "escapegate: advisory: baseline measured with %s, running %s — regenerate if counts drift\n",
+			baseline.GoVersion, runtime.Version())
+	}
+	regressions, advisories := escapes.Diff(baseline.Counts, counts)
+	for _, d := range advisories {
+		switch {
+		case d.Current < 0:
+			fmt.Fprintf(os.Stderr, "escapegate: advisory: %s is in the baseline but no longer a hot function; run -update\n", d.Key)
+		case d.Baseline < 0:
+			fmt.Fprintf(os.Stderr, "escapegate: advisory: new hot function %s (0 escapes); run -update to record it\n", d.Key)
+		default:
+			fmt.Fprintf(os.Stderr, "escapegate: advisory: %s improved %d -> %d; run -update to lock it in\n", d.Key, d.Baseline, d.Current)
+		}
+	}
+	for _, d := range regressions {
+		if d.Baseline < 0 {
+			fmt.Fprintf(os.Stderr, "escapegate: FAIL: new hot function %s has %d heap escapes (not in baseline)\n", d.Key, d.Current)
+		} else {
+			fmt.Fprintf(os.Stderr, "escapegate: FAIL: %s has %d heap escapes, baseline allows %d\n", d.Key, d.Current, d.Baseline)
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "escapegate: %d regression(s); inspect with `go build -gcflags='-m -m' <pkg>` and either remove the allocation or deliberately run -update\n", len(regressions))
+		os.Exit(1)
+	}
+	fmt.Printf("escapegate: ok (%d hot functions, %d total escapes within budget)\n", len(counts), total(counts))
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "escapegate: %v\n", err)
+	os.Exit(1)
+}

@@ -19,8 +19,10 @@
 //	//sigcheck:ignore [analyzer-name] -- reason
 //
 // With no analyzer name the line is exempt from every analyzer. The reason
-// text is mandatory by convention (reviewers should reject bare ignores)
-// but not enforced mechanically.
+// text is mandatory and enforced mechanically: an ignore with no "--
+// reason" is itself reported, under the reserved analyzer name
+// "sigcheckignore", and that report cannot be suppressed (an ignore
+// covers its own line, so a bare ignore would otherwise exempt itself).
 package analysis
 
 import (
@@ -30,6 +32,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"tcpsig/internal/analysis/inspector"
 )
 
 // An Analyzer is one static check.
@@ -42,7 +46,18 @@ type Analyzer struct {
 
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (interface{}, error)
+
+	// FactTypes lists the Fact types this analyzer exports, one zero
+	// pointer value per type. Drivers use the list to serialize facts
+	// across package boundaries; an analyzer that exports an unlisted
+	// fact type will not see it survive a unitchecker round-trip.
+	FactTypes []Fact
 }
+
+// IgnoreAnalyzerName is the reserved analyzer name under which violations
+// of the //sigcheck:ignore contract itself (a bare ignore with no
+// "-- reason" text) are reported.
+const IgnoreAnalyzerName = "sigcheckignore"
 
 // A Pass presents one package to an Analyzer's Run function.
 type Pass struct {
@@ -52,8 +67,14 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Inspect replays a single shared traversal of Files; analyzers
+	// should dispatch through it instead of hand-rolling ast.Inspect.
+	Inspect *inspector.Inspector
+
 	// Report delivers one diagnostic.
 	Report func(Diagnostic)
+
+	facts *Facts
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -99,10 +120,31 @@ func (f Finding) String() string {
 }
 
 // RunPackage applies every analyzer to pkg, filters findings suppressed by
-// //sigcheck:ignore comments, and returns them sorted by position.
+// //sigcheck:ignore comments, and returns them sorted by position. Facts
+// stay package-local; use RunPackageFacts to thread a shared store.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
-	ignores := collectIgnores(pkg.Fset, pkg.Files)
+	return RunPackageFacts(pkg, analyzers, nil)
+}
+
+// RunPackageFacts is RunPackage with a cross-package fact store: analyzers
+// observe the facts their dependencies exported into facts and add their
+// own. Drivers must analyze packages in dependency order (imports first)
+// for facts to flow. A nil store disables fact exchange.
+func RunPackageFacts(pkg *Package, analyzers []*Analyzer, facts *Facts) ([]Finding, error) {
+	ignores, bare := collectIgnores(pkg.Fset, pkg.Files)
+	insp := inspector.New(pkg.Files)
 	var out []Finding
+	for _, pos := range bare {
+		out = append(out, Finding{
+			Analyzer: IgnoreAnalyzerName,
+			PkgPath:  pkg.PkgPath,
+			Posn:     pkg.Fset.Position(pos),
+			Diagnostic: Diagnostic{
+				Pos:     pos,
+				Message: "sigcheck:ignore without a `-- reason`: every suppression must say why",
+			},
+		})
+	}
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -110,6 +152,8 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			Inspect:   insp,
+			facts:     facts,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {
@@ -158,8 +202,13 @@ func (s ignoreSet) match(analyzer string, posn token.Position) bool {
 	return false
 }
 
-func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+// collectIgnores gathers the //sigcheck:ignore exemptions plus the
+// positions of ignores that violate the contract: no "-- reason" text
+// (other annotation comments, e.g. //sigcheck:hotpath, are not ignores
+// and are not collected here).
+func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []token.Pos) {
 	out := ignoreSet{}
+	var bare []token.Pos
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -167,9 +216,13 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 				if !ok {
 					continue
 				}
-				// Optional analyzer name up to "--" or end.
-				text, _, _ = strings.Cut(text, "--")
-				name := strings.TrimSpace(text)
+				// Optional analyzer name up to "--"; the reason after
+				// "--" is mandatory.
+				name, reason, found := strings.Cut(text, "--")
+				if !found || strings.TrimSpace(reason) == "" {
+					bare = append(bare, c.Pos())
+				}
+				name = strings.TrimSpace(name)
 				posn := fset.Position(c.Pos())
 				m := out[posn.Filename]
 				if m == nil {
@@ -183,7 +236,7 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 			}
 		}
 	}
-	return out
+	return out, bare
 }
 
 // HasPathSuffix reports whether the import path matches one of the

@@ -3,15 +3,21 @@
 // golang.org/x/tools/go/analysis/analysistest.
 //
 // A fixture lives in testdata/src/<importpath>/ and is an ordinary Go
-// package importing only the standard library (resolved with the source
-// importer, so no go command is needed). A line expecting a diagnostic
-// carries a trailing comment of the form
+// package importing the standard library (resolved with the source
+// importer, so no go command is needed) or sibling fixture packages under
+// the same testdata/src tree. Sibture imports are loaded recursively and
+// analyzed first, so facts exported by a dependency fixture are visible
+// when the analyzer runs on its importer — which is how the cross-package
+// Facts mechanism is tested. A line expecting a diagnostic carries a
+// trailing comment of the form
 //
 //	x := a / b // want `unguarded division`
 //
 // where each back- or double-quoted string is a regular expression that
 // must match the message of exactly one diagnostic reported on that line.
-// Lines without a want comment must produce no diagnostics.
+// Lines without a want comment must produce no diagnostics; want comments
+// in dependency fixtures are checked only when that dependency is itself
+// listed as a package path.
 package analysistest
 
 import (
@@ -20,6 +26,7 @@ import (
 	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -35,8 +42,9 @@ import (
 // fixture's want comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
+	l := newLoader(t, testdata, a)
 	for _, path := range pkgpaths {
-		pkg, findings := run(t, testdata, a, path)
+		pkg, findings := l.load(path)
 		if pkg == nil {
 			continue
 		}
@@ -49,8 +57,9 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string
 // file that has a sibling <name>.golden must match it byte for byte.
 func RunWithSuggestedFixes(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
+	l := newLoader(t, testdata, a)
 	for _, path := range pkgpaths {
-		pkg, findings := run(t, testdata, a, path)
+		pkg, findings := l.load(path)
 		if pkg == nil {
 			continue
 		}
@@ -59,38 +68,99 @@ func RunWithSuggestedFixes(t *testing.T, testdata string, a *analysis.Analyzer, 
 	}
 }
 
-func run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) (*analysis.Package, []analysis.Finding) {
-	t.Helper()
-	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Errorf("fixture %s: %v", pkgpath, err)
+// loader resolves fixture packages (testdata/src/<path>) recursively and
+// analyzes each exactly once, threading one fact store through the run so
+// dependency fixtures' facts are visible to their importers. Non-fixture
+// imports fall through to the standard library source importer.
+type loader struct {
+	t        *testing.T
+	testdata string
+	a        *analysis.Analyzer
+	fset     *token.FileSet
+	std      types.Importer
+	facts    *analysis.Facts
+	pkgs     map[string]*analysis.Package
+	findings map[string][]analysis.Finding
+	loading  map[string]bool
+}
+
+func newLoader(t *testing.T, testdata string, a *analysis.Analyzer) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		t:        t,
+		testdata: testdata,
+		a:        a,
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		facts:    analysis.NewFacts([]*analysis.Analyzer{a}),
+		pkgs:     map[string]*analysis.Package{},
+		findings: map[string][]analysis.Finding{},
+		loading:  map[string]bool{},
+	}
+}
+
+// Import implements types.Importer over the fixture tree: sibling fixture
+// packages are loaded (and analyzed) on demand, everything else resolves
+// from the standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(l.dir(path)); err == nil {
+		pkg, _ := l.load(path)
+		if pkg == nil {
+			return nil, fmt.Errorf("fixture dependency %s failed to load", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) dir(pkgpath string) string {
+	return filepath.Join(l.testdata, "src", filepath.FromSlash(pkgpath))
+}
+
+// load parses, type-checks and analyzes one fixture package (once; later
+// calls return the cached result).
+func (l *loader) load(pkgpath string) (*analysis.Package, []analysis.Finding) {
+	l.t.Helper()
+	if pkg, ok := l.pkgs[pkgpath]; ok {
+		return pkg, l.findings[pkgpath]
+	}
+	if l.loading[pkgpath] {
+		l.t.Errorf("fixture %s: import cycle", pkgpath)
 		return nil, nil
 	}
-	fset := token.NewFileSet()
+	l.loading[pkgpath] = true
+	defer delete(l.loading, pkgpath)
+
+	dir := l.dir(pkgpath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		l.t.Errorf("fixture %s: %v", pkgpath, err)
+		return nil, nil
+	}
 	var files []*ast.File
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
-			t.Errorf("fixture %s: %v", pkgpath, err)
+			l.t.Errorf("fixture %s: %v", pkgpath, err)
 			return nil, nil
 		}
 		files = append(files, f)
 	}
-	imp := importer.ForCompiler(fset, "source", nil)
-	pkg, err := analysis.TypeCheck(fset, pkgpath, files, imp)
+	pkg, err := analysis.TypeCheck(l.fset, pkgpath, files, l)
 	if err != nil {
-		t.Errorf("fixture %s: %v", pkgpath, err)
+		l.t.Errorf("fixture %s: %v", pkgpath, err)
 		return nil, nil
 	}
-	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	findings, err := analysis.RunPackageFacts(pkg, []*analysis.Analyzer{l.a}, l.facts)
 	if err != nil {
-		t.Errorf("fixture %s: %v", pkgpath, err)
+		l.t.Errorf("fixture %s: %v", pkgpath, err)
 		return nil, nil
 	}
+	l.pkgs[pkgpath] = pkg
+	l.findings[pkgpath] = findings
 	return pkg, findings
 }
 

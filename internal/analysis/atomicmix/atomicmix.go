@@ -1,0 +1,290 @@
+// Package atomicmix flags variables and struct fields that are accessed
+// both through sync/atomic and through plain loads or stores. Mixing the
+// two voids the atomicity guarantee: the plain access races with the
+// atomic ones, and the race detector only catches it when both sides
+// actually collide during a run. The streaming-daemon roadmap item makes
+// this the repo's most likely new bug class, so the check is mechanical.
+//
+// The analyzer exports an AtomicFact on every object it sees accessed
+// atomically. Facts cross package boundaries (internal/analysis Facts),
+// so a plain access in a downstream package to a field its dependency
+// manages with sync/atomic is flagged too — the canonical use of the
+// cross-package facts mechanism.
+//
+// A plain access whose field has a fixed-size integer type and whose file
+// already imports sync/atomic gets a suggested fix rewriting it to
+// atomic.LoadXxx / atomic.StoreXxx.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tcpsig/internal/analysis"
+)
+
+// AtomicFact marks an object (package-level variable or struct field) as
+// accessed via sync/atomic somewhere in its defining package.
+type AtomicFact struct{}
+
+// AFact marks AtomicFact as a fact type.
+func (*AtomicFact) AFact() {}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flag fields accessed both via sync/atomic and plain loads/stores\n\n" +
+		"Once any access to a variable goes through sync/atomic, every access\n" +
+		"must: a plain read or write races with the atomic ones. Exported as a\n" +
+		"fact, so cross-package mixing is caught as well.",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*AtomicFact)(nil)},
+}
+
+// access records one plain access site.
+type access struct {
+	sel    ast.Expr        // the selector or ident expression
+	assign *ast.AssignStmt // the enclosing assignment when sel is an LHS
+	write  bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	atomicObjs := map[*types.Var]bool{}
+
+	// Pass 1: atomic accesses. An atomic access is a call to a sync/atomic
+	// package function with a &obj or &x.f pointer argument.
+	pass.Inspect.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+		if !ok || pkgName.Imported().Path() != "sync/atomic" {
+			return
+		}
+		for _, arg := range call.Args {
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			if obj := addressedVar(pass, un.X); obj != nil {
+				atomicObjs[obj] = true
+			}
+		}
+	})
+
+	// Export facts for objects of this package so importers see them.
+	for obj := range atomicObjs {
+		if obj.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(obj, &AtomicFact{})
+		}
+	}
+
+	// Pass 2: plain accesses. Any use of a tracked object outside an
+	// atomic call argument; address-taking is skipped (an address may
+	// legitimately feed a sync/atomic call elsewhere).
+	plain := map[*types.Var][]access{}
+	pass.Inspect.WithStack([]ast.Node{(*ast.SelectorExpr)(nil), (*ast.Ident)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		var obj *types.Var
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			obj = fieldObject(pass, n)
+		case *ast.Ident:
+			// Only track package-level vars via bare idents; field
+			// accesses always come through a SelectorExpr.
+			if v, ok := pass.TypesInfo.Uses[n].(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				obj = v
+			}
+		}
+		if obj == nil || !tracked(pass, obj, atomicObjs) {
+			return true
+		}
+		e := n.(ast.Expr)
+		parent := stack[len(stack)-2]
+		// Climb out of the selector chain: for pkg.V the ident V is also
+		// visited; only consider the outermost node of the selection.
+		if ps, ok := parent.(*ast.SelectorExpr); ok && (ps.Sel == e || ps.X == e) {
+			return true
+		}
+		if un, ok := parent.(*ast.UnaryExpr); ok && un.Op == token.AND {
+			return true // address-taken: atomic arg or indeterminate
+		}
+		a := access{sel: e}
+		if as, ok := parent.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if lhs == e {
+					a.write = true
+					a.assign = as
+				}
+			}
+		}
+		if inc, ok := parent.(*ast.IncDecStmt); ok && inc.X == e {
+			a.write = true
+		}
+		plain[obj] = append(plain[obj], a)
+		return true
+	})
+
+	for obj, accesses := range plain {
+		local := atomicObjs[obj]
+		if !local && !pass.ImportObjectFact(obj, &AtomicFact{}) {
+			continue
+		}
+		where := "in this package"
+		if !local {
+			where = "in package " + obj.Pkg().Path()
+		}
+		for _, a := range accesses {
+			kind := "read"
+			if a.write {
+				kind = "write"
+			}
+			d := analysis.Diagnostic{
+				Pos: a.sel.Pos(),
+				End: a.sel.End(),
+				Message: "plain " + kind + " of " + describe(obj) + ", which is accessed with sync/atomic " + where +
+					"; mixing plain and atomic access races",
+			}
+			addFix(pass, &d, a, obj)
+			pass.Report(d)
+		}
+	}
+	return nil, nil
+}
+
+// addressedVar resolves &e to a package-level variable or a struct field.
+func addressedVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	case *ast.SelectorExpr:
+		return fieldObject(pass, e)
+	}
+	return nil
+}
+
+// fieldObject resolves a selector to the struct field it selects, or to a
+// qualified package-level variable (pkg.V), if either.
+func fieldObject(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	if v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v
+	}
+	return nil
+}
+
+// tracked reports whether obj is worth a fact lookup: it is accessed
+// atomically in this package, or it belongs to another package in the
+// import graph (so an imported fact may exist).
+func tracked(pass *analysis.Pass, obj *types.Var, atomicObjs map[*types.Var]bool) bool {
+	if atomicObjs[obj] {
+		return true
+	}
+	return obj.Pkg() != nil && obj.Pkg() != pass.Pkg
+}
+
+func describe(obj *types.Var) string {
+	if obj.IsField() {
+		return "field " + obj.Name()
+	}
+	return "variable " + obj.Name()
+}
+
+// atomicSuffix maps basic kinds to the sync/atomic function suffix.
+func atomicSuffix(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64:
+		return "Uint64"
+	case types.Uintptr:
+		return "Uintptr"
+	}
+	return ""
+}
+
+// addFix attaches a Load/Store rewrite when it is purely mechanical: the
+// object has a fixed-size integer type and the file already imports
+// sync/atomic (the fix cannot add imports). Reads become LoadXxx; the
+// simple single-assignment `x.f = v` becomes StoreXxx. Increments and
+// compound assignments need AddXxx with a delta and are left to the
+// author.
+func addFix(pass *analysis.Pass, d *analysis.Diagnostic, a access, obj *types.Var) {
+	suffix := atomicSuffix(obj.Type())
+	if suffix == "" {
+		return
+	}
+	atomicName := importName(pass, a.sel.Pos(), "sync/atomic")
+	if atomicName == "" {
+		return
+	}
+	expr := types.ExprString(a.sel)
+	switch {
+	case !a.write:
+		d.SuggestedFixes = []analysis.SuggestedFix{{
+			Message: "load atomically",
+			TextEdits: []analysis.TextEdit{{
+				Pos:     a.sel.Pos(),
+				End:     a.sel.End(),
+				NewText: []byte(atomicName + ".Load" + suffix + "(&" + expr + ")"),
+			}},
+		}}
+	case a.assign != nil && a.assign.Tok == token.ASSIGN && len(a.assign.Lhs) == 1 && len(a.assign.Rhs) == 1:
+		rhs := types.ExprString(a.assign.Rhs[0])
+		d.SuggestedFixes = []analysis.SuggestedFix{{
+			Message: "store atomically",
+			TextEdits: []analysis.TextEdit{{
+				Pos:     a.assign.Pos(),
+				End:     a.assign.End(),
+				NewText: []byte(atomicName + ".Store" + suffix + "(&" + expr + ", " + rhs + ")"),
+			}},
+		}}
+	}
+}
+
+// importName returns the local name under which the file enclosing pos
+// imports path, or "" when the file does not import it by a usable name.
+func importName(pass *analysis.Pass, pos token.Pos, path string) string {
+	for _, f := range pass.Files {
+		if f.Pos() <= pos && pos <= f.End() {
+			for _, imp := range f.Imports {
+				if strings.Trim(imp.Path.Value, `"`) != path {
+					continue
+				}
+				if imp.Name != nil {
+					if imp.Name.Name == "_" || imp.Name.Name == "." {
+						return ""
+					}
+					return imp.Name.Name
+				}
+				return "atomic"
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,20 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"tcpsig/internal/analysis/analysistest"
+	"tcpsig/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, "testdata", atomicmix.Analyzer, "atomicmix")
+}
+
+// TestCrossPackageFacts proves the AtomicFact round-trip: atomicmix_dep
+// manages its field with sync/atomic, atomicmix_import only does plain
+// accesses, and the diagnostics in the importer exist purely because the
+// dependency's facts were imported.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "atomicmix_dep", "atomicmix_import")
+}

@@ -1,0 +1,38 @@
+// Package atomicmix is the in-package fixture for the atomicmix analyzer.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	cold int64 // never accessed atomically; plain access stays legal
+}
+
+var total int64
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&total, 1)
+}
+
+func (c *counters) bad() {
+	c.hits = 0  // want `plain write of field hits`
+	c.hits++    // want `plain write of field hits`
+	x := c.hits // want `plain read of field hits`
+	_ = x
+	total = 5  // want `plain write of variable total`
+	y := total // want `plain read of variable total`
+	_ = y
+}
+
+func (c *counters) good() int64 {
+	v := atomic.LoadInt64(&c.hits)
+	atomic.StoreInt64(&total, v)
+	c.cold = 7
+	return c.cold + v
+}
+
+// Address-taking outside an atomic call is indeterminate, not flagged.
+func (c *counters) addr() *int64 {
+	return &c.hits
+}

@@ -1,0 +1,14 @@
+package atomicmix
+
+import "sync/atomic"
+
+var fixTotal int64
+
+func bump() {
+	atomic.AddInt64(&fixTotal, 1)
+}
+
+func readWrite() int64 {
+	fixTotal = 42   // want `plain write of variable fixTotal`
+	return fixTotal // want `plain read of variable fixTotal`
+}

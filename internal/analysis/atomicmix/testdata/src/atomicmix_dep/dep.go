@@ -1,0 +1,25 @@
+// Package atomicmix_dep is the fact-exporting half of the cross-package
+// fixture: Stats.Hits and Total are managed with sync/atomic here, and the
+// analyzer exports AtomicFacts for them.
+package atomicmix_dep
+
+import "sync/atomic"
+
+// Stats is shared with importing packages.
+type Stats struct {
+	Hits int64
+}
+
+// Total is a shared package-level counter.
+var Total int64
+
+// Inc is the sanctioned accessor.
+func (s *Stats) Inc() {
+	atomic.AddInt64(&s.Hits, 1)
+	atomic.AddInt64(&Total, 1)
+}
+
+// Read is the sanctioned reader.
+func (s *Stats) Read() int64 {
+	return atomic.LoadInt64(&s.Hits)
+}

@@ -1,0 +1,19 @@
+// Package atomicmix_import is the fact-importing half of the cross-package
+// fixture: it never touches sync/atomic itself, so only the AtomicFacts
+// exported by atomicmix_dep can tell the analyzer these accesses race.
+package atomicmix_import
+
+import "atomicmix_dep"
+
+func Snapshot(s *atomicmix_dep.Stats) int64 {
+	return s.Hits // want `plain read of field Hits, which is accessed with sync/atomic in package atomicmix_dep`
+}
+
+func Reset(s *atomicmix_dep.Stats) {
+	s.Hits = 0              // want `plain write of field Hits`
+	atomicmix_dep.Total = 0 // want `plain write of variable Total, which is accessed with sync/atomic in package atomicmix_dep`
+}
+
+func Fine(s *atomicmix_dep.Stats) int64 {
+	return s.Read()
+}

@@ -1,0 +1,253 @@
+// Package boundedgrowth flags containers that only ever grow inside
+// long-lived loops. A sweep worker, a signal pump, or an event drain loop
+// runs for the life of the process; a slice appended to or a map inserted
+// into on every iteration, with no delete, truncation, or reset anywhere
+// in the enclosing function, is a leak with a deterministic schedule.
+//
+// A loop is long-lived when it ranges over a channel, or has no condition
+// (`for { ... }`) and no exit of its own — no break targeting it and no
+// return inside it. An until-EOF loop that breaks or returns when its
+// input runs dry is bounded by the input, not the process lifetime. Growth of a container declared inside the loop body is
+// fine — it is reclaimed each iteration; only containers declared outside
+// the loop (locals, parameters, captured variables, package-level vars)
+// are judged. Any shrink evidence for the container anywhere in the
+// enclosing function — delete(m, k), clear(x), a reassignment such as
+// x = x[:0], x = nil, or x = make(...) — suppresses the diagnostic:
+// bounding policy is the author's business, this analyzer only demands
+// that one exists.
+package boundedgrowth
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tcpsig/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedgrowth",
+	Doc: "flag containers that only grow inside long-lived loops\n\n" +
+		"In a `for {}` or range-over-channel loop, appending to a slice or\n" +
+		"inserting into a map declared outside the loop leaks unless the\n" +
+		"enclosing function also shrinks or resets the container somewhere.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	pass.Inspect.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body != nil {
+			checkFunc(pass, fd)
+		}
+	})
+	return nil, nil
+}
+
+// growthKind distinguishes the two growth idioms for the message.
+type growthKind int
+
+const (
+	sliceAppend growthKind = iota
+	mapInsert
+)
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	shrunk := shrinkEvidence(pass, fd.Body)
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, obj types.Object, kind growthKind) {
+		if shrunk[obj] || reported[pos] {
+			return
+		}
+		reported[pos] = true
+		switch kind {
+		case sliceAppend:
+			pass.Reportf(pos, "append to %q inside a long-lived loop; nothing in %s ever shrinks or resets it, so memory grows without bound", obj.Name(), fd.Name.Name)
+		case mapInsert:
+			pass.Reportf(pos, "insert into map %q inside a long-lived loop; nothing in %s ever deletes from or resets it, so memory grows without bound", obj.Name(), fd.Name.Name)
+		}
+	}
+	// Long-lived loops anywhere in the function, including inside
+	// goroutine literals — that is where drain loops usually live.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		loop, body := longLived(pass, n)
+		if body != nil {
+			collectGrowth(pass, loop.Pos(), body, report)
+		}
+		return true
+	})
+}
+
+// longLived reports whether n is a loop that plausibly runs for the life
+// of the process: a for statement with no condition and no exit of its
+// own, or a range over a channel.
+func longLived(pass *analysis.Pass, n ast.Node) (ast.Node, *ast.BlockStmt) {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		if n.Cond == nil && !hasLoopExit(n.Body) {
+			return n, n.Body
+		}
+	case *ast.RangeStmt:
+		if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return n, n.Body
+			}
+		}
+	}
+	return nil, nil
+}
+
+// hasLoopExit reports whether body can leave the enclosing loop: an
+// unlabeled break targeting it, or a return statement anywhere inside
+// (returns exit through nested constructs too; only function literals
+// shield them). Labeled breaks are rare enough here to ignore.
+func hasLoopExit(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && n.Label == nil {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// collectGrowth finds growth operations in a long-lived loop body whose
+// target is declared before the loop. Nested function literals are
+// skipped: a closure's own loops are judged when the walk reaches them.
+func collectGrowth(pass *analysis.Pass, loopPos token.Pos, body *ast.BlockStmt, report func(token.Pos, types.Object, growthKind)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok && isMapIndex(pass, ix) {
+					if obj := rootObject(pass, ix.X); declaredBefore(obj, loopPos) {
+						report(n.Pos(), obj, mapInsert)
+					}
+				}
+			}
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					obj := rootObject(pass, n.Lhs[i])
+					if declaredBefore(obj, loopPos) && isAppendToSelf(pass, n.Rhs[i], obj) {
+						report(n.Pos(), obj, sliceAppend)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := n.X.(*ast.IndexExpr); ok && isMapIndex(pass, ix) {
+				if obj := rootObject(pass, ix.X); declaredBefore(obj, loopPos) {
+					report(n.Pos(), obj, mapInsert)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func declaredBefore(obj types.Object, pos token.Pos) bool {
+	return obj != nil && obj.Pos() < pos
+}
+
+func isMapIndex(pass *analysis.Pass, ix *ast.IndexExpr) bool {
+	tv, ok := pass.TypesInfo.Types[ix.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isAppendToSelf reports whether e is append(x, ...) with x rooted at obj.
+func isAppendToSelf(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	return rootObject(pass, call.Args[0]) == obj
+}
+
+// shrinkEvidence collects every object the function visibly shrinks or
+// resets: delete(m, k), clear(x), or a reassignment that is not an
+// append-to-self and not an element store. Nested function literals are
+// included — a cleanup closure bounding the container counts.
+func shrinkEvidence(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	shrunk := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok || len(n.Args) == 0 {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && (b.Name() == "delete" || b.Name() == "clear") {
+				if obj := rootObject(pass, n.Args[0]); obj != nil {
+					shrunk[obj] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if _, isIndex := lhs.(*ast.IndexExpr); isIndex {
+					continue // element store, not a reset
+				}
+				obj := rootObject(pass, lhs)
+				if obj == nil {
+					continue
+				}
+				if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) && isAppendToSelf(pass, n.Rhs[i], obj) {
+					continue // the growth idiom itself
+				}
+				shrunk[obj] = true
+			}
+		}
+		return true
+	})
+	return shrunk
+}
+
+// rootObject resolves the variable at the base of x, x.f, x[i], *x.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package boundedgrowth_test
+
+import (
+	"testing"
+
+	"tcpsig/internal/analysis/analysistest"
+	"tcpsig/internal/analysis/boundedgrowth"
+)
+
+func TestBoundedGrowth(t *testing.T) {
+	analysistest.Run(t, "testdata", boundedgrowth.Analyzer, "boundedgrowth")
+}

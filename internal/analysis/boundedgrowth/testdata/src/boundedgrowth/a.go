@@ -1,0 +1,110 @@
+// Package boundedgrowth exercises the unbounded-growth check.
+package boundedgrowth
+
+var cache = map[string]int{}
+
+func drain(ch chan int) {
+	var seen []int
+	stats := map[int]int{}
+	for v := range ch {
+		seen = append(seen, v) // want `append to "seen" inside a long-lived loop`
+		stats[v]++             // want `insert into map "stats" inside a long-lived loop`
+	}
+}
+
+func pump(next func() int) {
+	var log []int
+	for {
+		log = append(log, next()) // want `append to "log" inside a long-lived loop`
+	}
+}
+
+func fill(ch chan string) {
+	for k := range ch {
+		cache[k] = len(k) // want `insert into map "cache" inside a long-lived loop`
+	}
+}
+
+func boundedSlice(ch chan int) {
+	var buf []int
+	for v := range ch {
+		buf = append(buf, v) // reset below: no diagnostic
+		if len(buf) > 10 {
+			buf = buf[:0]
+		}
+	}
+}
+
+func boundedMap(ch chan int) {
+	m := map[int]bool{}
+	for v := range ch {
+		m[v] = true // delete below: no diagnostic
+		delete(m, v-10)
+	}
+}
+
+func perIteration(ch chan []int) {
+	for batch := range ch {
+		var acc []int
+		for _, v := range batch {
+			acc = append(acc, v) // acc is reclaimed each iteration: no diagnostic
+		}
+		use(acc)
+	}
+}
+
+func boundedLoop(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // the loop terminates: no diagnostic
+	}
+	return out
+}
+
+func untilEOF(next func() (int, bool)) []int {
+	var out []int
+	for {
+		v, ok := next()
+		if !ok {
+			break
+		}
+		out = append(out, v) // the loop has an exit: no diagnostic
+	}
+	return out
+}
+
+func readAll(next func() (int, bool)) []int {
+	var out []int
+	for {
+		v, ok := next()
+		if !ok {
+			return out
+		}
+		out = append(out, v) // the loop returns: no diagnostic
+	}
+}
+
+func goroutineDrain(ch chan int, done func([]int)) {
+	var all []int
+	go func() {
+		for v := range ch {
+			all = append(all, v) // want `append to "all" inside a long-lived loop`
+		}
+		done(all)
+	}()
+}
+
+func goroutineBounded(ch chan int, emit func([]int)) {
+	var batch []int
+	go func() {
+		for v := range ch {
+			batch = append(batch, v) // flushed below: no diagnostic
+			if len(batch) == 8 {
+				emit(batch)
+				batch = nil
+			}
+		}
+	}()
+}
+
+func use([]int) {}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// A Fact is a typed datum an analyzer attaches to a package-level object
+// (or to a whole package) in one package and observes while analyzing the
+// packages that import it. This mirrors golang.org/x/tools
+// analysis.Fact: facts are how per-object knowledge — "this field is
+// accessed atomically", "this function is a hot path" — crosses package
+// boundaries in both the standalone loader and the unitchecker protocol.
+//
+// Fact types must be pointers to gob-encodable structs and must be listed
+// in the producing analyzer's FactTypes so drivers can serialize them.
+type Fact interface {
+	// AFact is a marker method; it has no behavior.
+	AFact()
+}
+
+// factKey identifies one stored fact. Facts are keyed by (package path,
+// object key, fact type) rather than by object identity, so a fact
+// exported while type-checking a package from source is found again when
+// the same object is reached through gc export data — the two loaders
+// materialize distinct types.Object values for the same source object.
+type factKey struct {
+	pkg string
+	obj string // "" for package facts
+	typ reflect.Type
+}
+
+// Facts is a store of exported facts shared across the packages of one
+// driver run. Drivers seed it with the facts of dependencies (decoded from
+// .vetx files in unitchecker mode, accumulated in analysis order in
+// standalone mode) and harvest what each analyzed package exports.
+type Facts struct {
+	m map[factKey]Fact
+
+	// registry maps serialized type names back to fact types for decoding.
+	registry map[string]reflect.Type
+}
+
+// NewFacts returns an empty store able to decode the fact types declared
+// by the given analyzers.
+func NewFacts(analyzers []*Analyzer) *Facts {
+	f := &Facts{m: map[factKey]Fact{}, registry: map[string]reflect.Type{}}
+	for _, a := range analyzers {
+		for _, ft := range a.FactTypes {
+			t := reflect.TypeOf(ft)
+			if t.Kind() != reflect.Ptr {
+				panic(fmt.Sprintf("analysis: fact type %T of analyzer %s is not a pointer", ft, a.Name))
+			}
+			f.registry[factName(t)] = t
+		}
+	}
+	return f
+}
+
+func factName(t reflect.Type) string {
+	return t.Elem().PkgPath() + "." + t.Elem().Name()
+}
+
+// ObjectKey encodes obj as a stable string relative to its package: a
+// package-level object, a field of a package-level named struct type, or a
+// method of a package-level named type. Objects outside those classes
+// (locals, embedded anonymous types) have no key and cannot carry facts.
+func ObjectKey(obj types.Object) (pkgpath, key string, ok bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	pkg := obj.Pkg()
+	if obj.Parent() == pkg.Scope() {
+		return pkg.Path(), "o." + obj.Name(), true
+	}
+	// Fields and methods have no parent scope; search the package scope's
+	// named types for the owner.
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, isType := scope.Lookup(name).(*types.TypeName)
+		if !isType {
+			continue
+		}
+		named, isNamed := tn.Type().(*types.Named)
+		if !isNamed {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i) == obj {
+				return pkg.Path(), "m." + name + "." + obj.Name(), true
+			}
+		}
+		st, isStruct := named.Underlying().(*types.Struct)
+		if !isStruct {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == obj {
+				return pkg.Path(), "f." + name + "." + obj.Name(), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// set stores a fact, replacing any previous fact of the same type on the
+// same object.
+func (f *Facts) set(pkg, obj string, fact Fact) {
+	f.m[factKey{pkg: pkg, obj: obj, typ: reflect.TypeOf(fact)}] = fact
+}
+
+// get copies a stored fact into ptr (a pointer to a concrete fact type)
+// and reports whether one was found.
+func (f *Facts) get(pkg, obj string, ptr Fact) bool {
+	if f == nil {
+		return false
+	}
+	stored, ok := f.m[factKey{pkg: pkg, obj: obj, typ: reflect.TypeOf(ptr)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// wireFact is the serialized form of one fact.
+type wireFact struct {
+	Pkg  string
+	Obj  string
+	Type string
+	Data []byte
+}
+
+// Encode serializes the store for a .vetx-style facts file. The output is
+// deterministic: entries are sorted by (package, object, type).
+func (f *Facts) Encode() ([]byte, error) {
+	if f == nil || len(f.m) == 0 {
+		return nil, nil
+	}
+	wire := make([]wireFact, 0, len(f.m))
+	for k, fact := range f.m {
+		var data bytes.Buffer
+		if err := gob.NewEncoder(&data).EncodeValue(reflect.ValueOf(fact).Elem()); err != nil {
+			return nil, fmt.Errorf("encoding fact %T on %s.%s: %w", fact, k.pkg, k.obj, err)
+		}
+		wire = append(wire, wireFact{Pkg: k.pkg, Obj: k.obj, Type: factName(k.typ), Data: data.Bytes()})
+	}
+	sort.Slice(wire, func(i, j int) bool {
+		a, b := wire[i], wire[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return a.Type < b.Type
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges a serialized store into f. Facts whose type is not in f's
+// registry (produced by an analyzer not in this run) are skipped.
+func (f *Facts) Decode(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var wire []wireFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err != nil {
+		return fmt.Errorf("decoding facts: %w", err)
+	}
+	for _, w := range wire {
+		t, ok := f.registry[w.Type]
+		if !ok {
+			continue
+		}
+		v := reflect.New(t.Elem())
+		if err := gob.NewDecoder(bytes.NewReader(w.Data)).DecodeValue(v); err != nil {
+			return fmt.Errorf("decoding fact %s on %s.%s: %w", w.Type, w.Pkg, w.Obj, err)
+		}
+		f.set(w.Pkg, w.Obj, v.Interface().(Fact))
+	}
+	return nil
+}
+
+// Len returns the number of stored facts.
+func (f *Facts) Len() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.m)
+}
+
+// ExportObjectFact attaches fact to obj, which must belong to the package
+// under analysis and be a package-level object, a field of a package-level
+// struct type, or a method of a package-level type; other objects are
+// silently unkeyable and the export is dropped.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	if obj == nil || obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("analysis: ExportObjectFact: object %v is not from package %v", obj, p.Pkg))
+	}
+	pkg, key, ok := ObjectKey(obj)
+	if !ok {
+		return
+	}
+	p.facts.set(pkg, key, fact)
+}
+
+// ImportObjectFact copies into fact (a pointer) the fact of that type
+// previously exported on obj — by this package or any package in the
+// import graph — and reports whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	pkg, key, ok := ObjectKey(obj)
+	if !ok {
+		return false
+	}
+	return p.facts.get(pkg, key, fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.set(p.Pkg.Path(), "", fact)
+}
+
+// ImportPackageFact copies into fact the package-level fact of that type
+// exported by pkg, and reports whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if pkg == nil {
+		return false
+	}
+	return p.facts.get(pkg.Path(), "", fact)
+}

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/ast"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// markFact is the test fact: exported on every exported top-level function
+// of an analyzed package. A diagnostic fires only on a call to a function
+// of ANOTHER package that carries the fact, so any diagnostic in an
+// importing package proves the fact crossed the package boundary.
+type markFact struct{ Note string }
+
+func (*markFact) AFact() {}
+
+func markAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "marktest",
+		Doc:       "test analyzer: exports a fact per exported function, reports cross-package calls to marked functions",
+		FactTypes: []Fact{(*markFact)(nil)},
+		Run: func(pass *Pass) (interface{}, error) {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Recv != nil || !fd.Name.IsExported() {
+						continue
+					}
+					if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+						pass.ExportObjectFact(obj, &markFact{Note: obj.Name()})
+					}
+				}
+			}
+			pass.Inspect.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+				call := n.(*ast.CallExpr)
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				obj := pass.TypesInfo.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg() == pass.Pkg {
+					return
+				}
+				var mf markFact
+				if pass.ImportObjectFact(obj, &mf) {
+					pass.Reportf(call.Pos(), "call to marked function %s", mf.Note)
+				}
+			})
+			return nil, nil
+		},
+	}
+}
+
+// writeModule lays out the two-package fixture module: dep exports a
+// function, imp calls it.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":     "module factsdemo\n\ngo 1.22\n",
+		"dep/dep.go": "package dep\n\nfunc Marked() {}\n",
+		"imp/imp.go": "package imp\n\nimport \"factsdemo/dep\"\n\nfunc Use() { dep.Marked() }\n",
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := writeFileMkdir(path, content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestFactsStandaloneRoundTrip drives the standalone loader end to end:
+// dep is type-checked from source and exports a fact on Marked; when imp
+// is analyzed, dep.Marked is materialized from gc export data — a distinct
+// types.Object — and the fact must still be found.
+func TestFactsStandaloneRoundTrip(t *testing.T) {
+	dir := writeModule(t)
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	findings, err := RunPackages(pkgs, []*Analyzer{markAnalyzer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.PkgPath != "factsdemo/imp" || !strings.Contains(f.Message, "call to marked function Marked") {
+		t.Errorf("unexpected finding: %v", f)
+	}
+}
+
+// TestFactsStandaloneOrderIndependent feeds Load's result to RunPackages
+// in reverse: SortByImports must restore dependency order or the fact
+// would not exist yet when imp is analyzed.
+func TestFactsStandaloneOrderIndependent(t *testing.T) {
+	dir := writeModule(t)
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := 0, len(pkgs)-1; i < j; i, j = i+1, j-1 {
+		pkgs[i], pkgs[j] = pkgs[j], pkgs[i]
+	}
+	findings, err := RunPackages(pkgs, []*Analyzer{markAnalyzer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+}
+
+// TestFactsUnitcheckerRoundTrip replays the cmd/go vet protocol by hand:
+// a VetxOnly unit for dep writes dep.vetx; the imp unit type-checks
+// against dep's gc export data, seeds its store from dep.vetx, and must
+// report the marked call (exit 1). The imp unit's own vetx output must
+// contain dep's fact too — facts are transitive.
+func TestFactsUnitcheckerRoundTrip(t *testing.T) {
+	dir := writeModule(t)
+	out, err := command(dir, "go", "list", "-export", "-f", "{{.Export}}", "./dep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	depExport := strings.TrimSpace(out)
+	if depExport == "" {
+		t.Fatal("go list produced no export data for dep")
+	}
+
+	depVetx := filepath.Join(dir, "dep.vetx")
+	impVetx := filepath.Join(dir, "imp.vetx")
+	depCfg := writeCfg(t, dir, "dep.cfg", vetConfig{
+		ID:         "factsdemo/dep",
+		Compiler:   "gc",
+		ImportPath: "factsdemo/dep",
+		GoFiles:    []string{filepath.Join(dir, "dep", "dep.go")},
+		VetxOnly:   true,
+		VetxOutput: depVetx,
+	})
+	if code := RunUnitchecker(depCfg, []*Analyzer{markAnalyzer()}); code != 0 {
+		t.Fatalf("dep unit exited %d, want 0", code)
+	}
+
+	impCfg := writeCfg(t, dir, "imp.cfg", vetConfig{
+		ID:          "factsdemo/imp",
+		Compiler:    "gc",
+		ImportPath:  "factsdemo/imp",
+		GoFiles:     []string{filepath.Join(dir, "imp", "imp.go")},
+		PackageFile: map[string]string{"factsdemo/dep": depExport},
+		PackageVetx: map[string]string{"factsdemo/dep": depVetx},
+		VetxOutput:  impVetx,
+	})
+	if code := RunUnitchecker(impCfg, []*Analyzer{markAnalyzer()}); code != 1 {
+		t.Fatalf("imp unit exited %d, want 1 (the marked-call diagnostic)", code)
+	}
+
+	facts := NewFacts([]*Analyzer{markAnalyzer()})
+	data, err := os.ReadFile(impVetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := facts.Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	var mf markFact
+	if !facts.get("factsdemo/dep", "o.Marked", &mf) || mf.Note != "Marked" {
+		t.Errorf("imp.vetx does not carry dep's fact; store: %v", facts.m)
+	}
+}
+
+// TestFactsEncodeDeterministic: the vetx bytes participate in cmd/go's
+// cache keys, so two encodes of the same store must be identical.
+func TestFactsEncodeDeterministic(t *testing.T) {
+	a := markAnalyzer()
+	mk := func() *Facts {
+		f := NewFacts([]*Analyzer{a})
+		f.set("p", "o.A", &markFact{Note: "A"})
+		f.set("p", "o.B", &markFact{Note: "B"})
+		f.set("q", "f.T.X", &markFact{Note: "X"})
+		return f
+	}
+	b1, err := mk().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := mk().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("two encodes of the same store differ")
+	}
+}
+
+// TestFactsDecodeSkipsUnknownTypes: a vetx written by a run with more
+// analyzers must still decode in a run with fewer.
+func TestFactsDecodeSkipsUnknownTypes(t *testing.T) {
+	full := NewFacts([]*Analyzer{markAnalyzer()})
+	full.set("p", "o.A", &markFact{Note: "A"})
+	data, err := full.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := NewFacts(nil)
+	if err := empty.Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("store with no registered fact types decoded %d facts, want 0", empty.Len())
+	}
+}
+
+// Small os helpers kept out of the test bodies.
+
+func writeFileMkdir(path, content string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(content), 0o666)
+}
+
+func writeCfg(t *testing.T, dir, name string, cfg vetConfig) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func command(dir string, name string, args ...string) (string, error) {
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	return string(out), err
+}

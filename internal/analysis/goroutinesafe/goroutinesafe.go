@@ -1,0 +1,407 @@
+// Package goroutinesafe is the concurrency-discipline analyzer for the
+// deterministic sweep engine. The repo's concurrency contract (DESIGN.md,
+// "Concurrency model") is narrow by design: goroutines are joined before
+// their results are observed, mutexes are released on every path, and lock
+// values are never copied. This analyzer enforces the three hazards
+// mechanically:
+//
+//   - a `go` statement in a function with no visible join — no
+//     WaitGroup.Wait, channel receive, select, or range-over-channel
+//     anywhere in the launching function — is a detached goroutine that
+//     can outlive the sweep and race its results;
+//
+//   - a mutex Lock with no Unlock in the same statement list, or with a
+//     return/branch between Lock and a non-deferred Unlock, can leak the
+//     lock on an early exit (the fix is `defer mu.Unlock()`);
+//
+//   - copying a value whose type contains a sync or sync/atomic
+//     synchronization primitive (parameter, assignment, or call argument)
+//     silently forks the lock state.
+//
+// The checks are per-function heuristics, not a whole-program escape
+// analysis: a goroutine joined by a different function must carry a
+// //sigcheck:ignore goroutinesafe -- reason.
+package goroutinesafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tcpsig/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinesafe",
+	Doc: "flag unjoined goroutines, leakable mutex locks, and copied locks\n\n" +
+		"Every goroutine must have a visible join (WaitGroup.Wait or a channel\n" +
+		"operation) in its launching function, every Lock must reach an Unlock\n" +
+		"on all paths (prefer defer), and values containing sync primitives\n" +
+		"must not be copied.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Walk every function exactly once. Nested function literals are
+	// visited as functions in their own right (their bodies are skipped
+	// while checking the enclosing function).
+	pass.Inspect.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		var ftype *ast.FuncType
+		var recv *ast.FieldList
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body, ftype, recv = n.Body, n.Type, n.Recv
+		case *ast.FuncLit:
+			body, ftype = n.Body, n.Type
+		}
+		checkParams(pass, recv)
+		checkParams(pass, ftype.Params)
+		if body == nil {
+			return
+		}
+		checkGoroutines(pass, body)
+		checkLocks(pass, body)
+	})
+	checkCopies(pass)
+	return nil, nil
+}
+
+// --- unjoined goroutines ---
+
+// checkGoroutines reports every `go` statement in body when body shows no
+// join evidence at all. The scan covers body excluding the goroutine
+// subtrees themselves (a receive inside the launched goroutine is the
+// worker's input loop, not a join) and excluding nested function literals
+// (they are checked as their own functions).
+func checkGoroutines(pass *analysis.Pass, body *ast.BlockStmt) {
+	var gos []*ast.GoStmt
+	joined := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			gos = append(gos, n)
+			return false // worker body is not join evidence
+		case *ast.FuncLit:
+			return false // separate function; checked on its own
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				joined = true
+			}
+		case *ast.SelectStmt:
+			joined = true
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					joined = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				joined = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n)
+	})
+	if joined {
+		return
+	}
+	for _, g := range gos {
+		pass.Reportf(g.Pos(), "goroutine launched without a join in this function: no WaitGroup.Wait, channel receive, or select; a detached goroutine can outlive the run and race its results")
+	}
+}
+
+// --- lock/unlock discipline ---
+
+// lockMethod reports whether call is a Lock/RLock (or Unlock/RUnlock) call
+// on a sync.Mutex or sync.RWMutex, returning the receiver expression.
+func lockMethod(pass *analysis.Pass, call *ast.CallExpr, names ...string) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+		}
+	}
+	if !match {
+		return nil, false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// checkLocks enforces, within every statement list of body, that a
+// Lock/RLock call reaches its Unlock: either the next statement is the
+// matching deferred Unlock, or a plain Unlock appears later in the same
+// list with no return/branch/nested-early-exit between them.
+func checkLocks(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // checked as its own function
+		}
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		checkLockList(pass, list)
+		return true
+	})
+}
+
+func checkLockList(pass *analysis.Pass, list []ast.Stmt) {
+	for i, stmt := range list {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		recv, ok := lockMethod(pass, call, "Lock", "RLock")
+		if !ok {
+			continue
+		}
+		unlock := "Unlock"
+		if sel := call.Fun.(*ast.SelectorExpr); sel.Sel.Name == "RLock" {
+			unlock = "RUnlock"
+		}
+		recvStr := types.ExprString(recv)
+		checkOneLock(pass, call, list, i, recvStr, unlock)
+	}
+}
+
+// checkOneLock inspects the statements after list[i] (a Lock call on
+// recvStr) for the matching unlock discipline.
+func checkOneLock(pass *analysis.Pass, lock *ast.CallExpr, list []ast.Stmt, i int, recvStr, unlock string) {
+	// Deferred unlock anywhere after the lock dominates every later exit;
+	// it is only unsafe if an early exit can happen before the defer runs.
+	for j := i + 1; j < len(list); j++ {
+		if d, ok := list[j].(*ast.DeferStmt); ok {
+			if r, ok := lockMethod(pass, d.Call, unlock); ok && types.ExprString(r) == recvStr {
+				if j == i+1 || !earlyExitBetween(list[i+1:j]) {
+					return
+				}
+				pass.Reportf(lock.Pos(), "%s.%s: an early exit before the deferred %s leaks the lock; defer immediately after locking", recvStr, lockName(lock), unlock)
+				return
+			}
+		}
+	}
+	// Plain unlock in the same list: safe only when no statement between
+	// can exit early (return, branch, or a call that panics on purpose).
+	for j := i + 1; j < len(list); j++ {
+		es, ok := list[j].(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if r, ok := lockMethod(pass, call, unlock); ok && types.ExprString(r) == recvStr {
+			if !earlyExitBetween(list[i+1 : j]) {
+				return
+			}
+			d := analysis.Diagnostic{
+				Pos:     lock.Pos(),
+				Message: recvStr + "." + lockName(lock) + ": an early exit between Lock and " + recvStr + "." + unlock + " leaks the lock; use defer",
+			}
+			// The mechanical rewrite: defer the unlock right after the
+			// lock and drop the trailing unlock statement. Only offered
+			// when the unlock is the final statement of the list, where
+			// moving the release to function/block exit cannot extend the
+			// critical section past other statements in this list.
+			if j == len(list)-1 {
+				d.SuggestedFixes = []analysis.SuggestedFix{{
+					Message: "defer the unlock at the lock site",
+					TextEdits: []analysis.TextEdit{
+						{Pos: list[i].End(), End: list[i].End(), NewText: []byte("\n\tdefer " + recvStr + "." + unlock + "()")},
+						{Pos: list[j].Pos(), End: list[j].End(), NewText: nil},
+					},
+				}}
+			}
+			pass.Report(d)
+			return
+		}
+	}
+	pass.Reportf(lock.Pos(), "%s.%s without a matching %s in the same statement list: the lock is not released on every path", recvStr, lockName(lock), unlock)
+}
+
+func lockName(call *ast.CallExpr) string {
+	return call.Fun.(*ast.SelectorExpr).Sel.Name
+}
+
+// earlyExitBetween reports whether any of the statements can leave the
+// enclosing list before reaching the statement after them: a return, a
+// break/continue/goto, or a nested statement containing one.
+func earlyExitBetween(stmts []ast.Stmt) bool {
+	exit := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ReturnStmt, *ast.BranchStmt:
+				exit = true
+			case *ast.FuncLit:
+				return false // its returns do not exit this frame
+			}
+			return !exit
+		})
+		if exit {
+			return true
+		}
+	}
+	return false
+}
+
+// --- copied locks ---
+
+// checkParams flags by-value parameters and receivers whose type contains
+// a synchronization primitive.
+func checkParams(pass *analysis.Pass, fields *ast.FieldList) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		tv, ok := pass.TypesInfo.Types[f.Type]
+		if !ok {
+			continue
+		}
+		if name := lockIn(tv.Type); name != "" {
+			pass.Reportf(f.Type.Pos(), "by-value parameter copies %s: pass a pointer", name)
+		}
+	}
+}
+
+// checkCopies flags assignments and call arguments that copy a value
+// containing a synchronization primitive. Composite literals and zero
+// values are construction, not copies, and stay legal.
+func checkCopies(pass *analysis.Pass) {
+	pass.Inspect.Preorder([]ast.Node{(*ast.AssignStmt)(nil), (*ast.CallExpr)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				// Assigning to the blank identifier discards the value;
+				// nothing observable is copied.
+				if i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				if !copiesValue(rhs) {
+					continue
+				}
+				tv, ok := pass.TypesInfo.Types[rhs]
+				if !ok {
+					continue
+				}
+				if name := lockIn(tv.Type); name != "" {
+					pass.Reportf(rhs.Pos(), "assignment copies %s: use a pointer", name)
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass, n) {
+				return // len, cap, new(T), etc. do not copy the operand
+			}
+			for _, arg := range n.Args {
+				if !copiesValue(arg) {
+					continue
+				}
+				tv, ok := pass.TypesInfo.Types[arg]
+				if !ok {
+					continue
+				}
+				if name := lockIn(tv.Type); name != "" {
+					pass.Reportf(arg.Pos(), "call argument copies %s: pass a pointer", name)
+				}
+			}
+		}
+	})
+}
+
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// copiesValue reports whether evaluating e yields a copy of an existing
+// value (as opposed to constructing a fresh one).
+func copiesValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesValue(e.X)
+	}
+	return false
+}
+
+// syncTypes is the set of sync and sync/atomic types that must never be
+// copied after first use.
+var syncTypes = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+		"Cond": true, "Pool": true, "Map": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+	},
+}
+
+// lockIn returns a description of the first synchronization primitive
+// reachable from t without following a pointer, or "" when there is none.
+func lockIn(t types.Type) string {
+	return lockIn1(t, t, map[types.Type]bool{})
+}
+
+func lockIn1(t, top types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && syncTypes[obj.Pkg().Path()][obj.Name()] {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockIn1(u.Field(i).Type(), top, seen); name != "" {
+				if t == top {
+					return name
+				}
+				return name + " (inside " + t.String() + ")"
+			}
+		}
+	case *types.Array:
+		return lockIn1(u.Elem(), top, seen)
+	}
+	return ""
+}

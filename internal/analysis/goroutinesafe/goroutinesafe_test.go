@@ -1,0 +1,12 @@
+package goroutinesafe_test
+
+import (
+	"testing"
+
+	"tcpsig/internal/analysis/analysistest"
+	"tcpsig/internal/analysis/goroutinesafe"
+)
+
+func TestGoroutineSafe(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, "testdata", goroutinesafe.Analyzer, "goroutinesafe")
+}

@@ -1,0 +1,158 @@
+// Package goroutinesafe is the fixture for the goroutinesafe analyzer.
+package goroutinesafe
+
+import "sync"
+
+var mu sync.Mutex
+var rw sync.RWMutex
+
+// --- goroutine joins ---
+
+func detached() {
+	go work() // want `goroutine launched without a join`
+}
+
+func detachedWithInnerReceive(ch chan int) {
+	// The receive is inside the goroutine (its input loop), not a join.
+	go func() { // want `goroutine launched without a join`
+		<-ch
+	}()
+}
+
+func joinedByWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+func joinedByChannel() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+func joinedBySelect(a, b chan int) {
+	go work()
+	select {
+	case <-a:
+	case <-b:
+	}
+}
+
+func joinedByRange(ch chan int) {
+	go work()
+	for range ch {
+	}
+}
+
+func work() {}
+
+// --- lock discipline ---
+
+func lockNoUnlock() {
+	mu.Lock() // want `mu.Lock without a matching Unlock`
+	work()
+}
+
+func lockDefer() {
+	mu.Lock()
+	defer mu.Unlock()
+	work()
+}
+
+func lockStraightLine() int {
+	mu.Lock()
+	x := 1
+	mu.Unlock()
+	return x
+}
+
+func lockEarlyReturn(cond bool) {
+	mu.Lock() // want `early exit between Lock and mu.Unlock leaks the lock`
+	if cond {
+		return
+	}
+	mu.Unlock()
+}
+
+func lockLateDefer(cond bool) {
+	mu.Lock() // want `early exit before the deferred Unlock leaks the lock`
+	if cond {
+		return
+	}
+	defer mu.Unlock()
+	work()
+}
+
+func rlockNoUnlock() {
+	rw.RLock() // want `rw.RLock without a matching RUnlock`
+	work()
+}
+
+func rlockDefer() {
+	rw.RLock()
+	defer rw.RUnlock()
+	work()
+}
+
+// A FuncLit's returns do not exit the enclosing frame.
+func lockWithClosure() {
+	mu.Lock()
+	f := func() { return }
+	f()
+	mu.Unlock()
+}
+
+// --- copied locks ---
+
+type guarded struct {
+	mu    sync.Mutex
+	count int
+}
+
+type deep struct {
+	inner guarded
+}
+
+func byValueParam(g guarded) { // want `by-value parameter copies sync.Mutex`
+	_ = g.count
+}
+
+func byPointerParam(g *guarded) {
+	_ = g.count
+}
+
+func copyAssign(g *guarded) {
+	snapshot := *g // want `assignment copies sync.Mutex`
+	_ = snapshot
+}
+
+func copyDeep(d deep) { // want `by-value parameter copies sync.Mutex \(inside goroutinesafe.guarded\)`
+	_ = d
+}
+
+func construction() {
+	var g guarded // zero value: construction, not a copy
+	h := guarded{count: 1}
+	_ = g
+	_ = h
+}
+
+func copyArg(g *guarded) {
+	sink(*g) // want `call argument copies sync.Mutex`
+}
+
+func sink(v interface{}) { _ = v }
+
+func copyWaitGroup(wg sync.WaitGroup) { // want `by-value parameter copies sync.WaitGroup`
+	_ = wg
+}

@@ -1,0 +1,505 @@
+// Package hotpathalloc flags allocation sites inside functions annotated
+// as hot paths. The zero-allocation campaign (ROADMAP item 2) needs a
+// static half: the escape-analysis budget (cmd/escapegate) counts what the
+// compiler says escapes, and this analyzer points at the idioms that put
+// allocations there in the first place, before they reach a profile.
+//
+// Annotation contract: a function whose doc comment contains a line
+//
+//	//sigcheck:hotpath
+//
+// is a hot path; a file whose package doc carries the same line marks
+// every function in the package. Inside a hot function the analyzer flags
+//
+//   - fmt.Sprintf / Sprint / Sprintln / Errorf and errors.New — a string
+//     or error allocation per call;
+//   - append inside a loop to a slice declared without preallocated
+//     capacity (make with a capacity argument);
+//   - escaping composite literals: &T{...} and new(T);
+//   - interface boxing: a non-constant, non-pointer-shaped value passed
+//     as an interface-typed argument;
+//   - closures capturing enclosing variables (each closure value
+//     allocates, and captured variables move to the heap).
+//
+// Each annotated function is also exported as a HotPathFact, and every
+// call site of a hot-path function — in any package, via the Facts
+// mechanism — is checked for allocating argument expressions (a composite
+// literal, a closure, or a formatting call evaluated per call).
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tcpsig/internal/analysis"
+)
+
+// HotPathFact marks a function as annotated //sigcheck:hotpath, making
+// its call sites hot contexts in every importing package.
+type HotPathFact struct{}
+
+// AFact marks HotPathFact as a fact type.
+func (*HotPathFact) AFact() {}
+
+// Marker is the annotation comment prefix.
+const Marker = "//sigcheck:hotpath"
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "flag allocation sites inside //sigcheck:hotpath functions\n\n" +
+		"Formatted strings, un-preallocated appends in loops, escaping composite\n" +
+		"literals, interface boxing, and capturing closures all allocate per\n" +
+		"call; inside an annotated hot path each one is a diagnostic. Call\n" +
+		"sites of hot-path functions are checked across packages via facts.",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*HotPathFact)(nil)},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	pkgHot := packageAnnotated(pass)
+
+	// Collect annotated functions and export their facts.
+	hotFuncs := map[*ast.FuncDecl]bool{}
+	hotObjs := map[types.Object]bool{}
+	pass.Inspect.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if !pkgHot && !annotated(fd.Doc) {
+			return
+		}
+		hotFuncs[fd] = true
+		if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+			hotObjs[obj] = true
+			pass.ExportObjectFact(obj, &HotPathFact{})
+		}
+	})
+
+	for fd := range hotFuncs {
+		if fd.Body != nil && !inTestFile(pass, fd.Pos()) {
+			checkHotBody(pass, fd)
+		}
+	}
+
+	checkCallSites(pass, hotFuncs, hotObjs)
+	return nil, nil
+}
+
+// packageAnnotated reports whether any file's package doc carries the
+// marker, making the whole package hot.
+func packageAnnotated(pass *analysis.Pass) bool {
+	for _, f := range pass.Files {
+		if annotated(f.Doc) {
+			return true
+		}
+	}
+	return false
+}
+
+// inTestFile reports whether pos lies in a _test.go file. Allocation
+// discipline applies to production hot paths, not to test code that
+// happens to drive them.
+func inTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+func annotated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotBody applies the in-function allocation checks to one annotated
+// function.
+func checkHotBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var loops []ast.Node // enclosing for/range statements, innermost last
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+			for _, sub := range children(n) {
+				ast.Inspect(sub, inspectorFunc(walk))
+			}
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.CallExpr:
+			if !checkCall(pass, fd, n, len(loops) > 0) {
+				checkBoxing(pass, fd, n)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hot path %s: &composite literal escapes to the heap; reuse a buffer or return by value", fd.Name.Name)
+				}
+			}
+		case *ast.FuncLit:
+			reportCaptures(pass, fd, n)
+			// The closure body still runs on the hot path; keep walking.
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, inspectorFunc(walk))
+}
+
+// inspectorFunc adapts a walk function that never sees nil.
+func inspectorFunc(walk func(ast.Node) bool) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n)
+	}
+}
+
+// children returns the immediate child nodes of a for/range statement so
+// the walk can recurse with the loop recorded.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		for _, c := range []ast.Node{n.Init, n.Cond, n.Post, n.Body} {
+			if c != nil && !isNilNode(c) {
+				out = append(out, c)
+			}
+		}
+	case *ast.RangeStmt:
+		for _, c := range []ast.Node{n.Key, n.Value, n.X, n.Body} {
+			if c != nil && !isNilNode(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+func isNilNode(n ast.Node) bool {
+	switch v := n.(type) {
+	case *ast.BlockStmt:
+		return v == nil
+	case ast.Expr:
+		return v == nil
+	case ast.Stmt:
+		return v == nil
+	}
+	return false
+}
+
+// allocFuncs are package-level functions that allocate a fresh string or
+// error per call.
+var allocFuncs = map[string]map[string]bool{
+	"fmt":    {"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true, "Appendf": true},
+	"errors": {"New": true},
+}
+
+// checkCall flags allocating calls: fmt/errors constructors, new(T), and
+// un-preallocated append in loops. It reports true when the call itself
+// was flagged, so the caller can skip the (redundant) boxing check on its
+// arguments.
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, inLoop bool) bool {
+	if pkg, name, ok := pkgFunc(pass, call); ok {
+		if allocFuncs[pkg][name] {
+			pass.Reportf(call.Pos(), "hot path %s: %s.%s allocates per call; precompute or intern the value", fd.Name.Name, pkg, name)
+			return true
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				pass.Reportf(call.Pos(), "hot path %s: new(T) allocates per call; reuse a value or embed it", fd.Name.Name)
+			case "append":
+				if inLoop && len(call.Args) > 0 {
+					if obj := rootObject(pass, call.Args[0]); obj != nil && declaredWithoutCapacity(pass, fd, obj) {
+						pass.Reportf(call.Pos(), "hot path %s: append in a loop to %q, declared without capacity; preallocate with make(_, 0, n)", fd.Name.Name, obj.Name())
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// pkgFunc resolves a call to (package path, function name) for calls of
+// the form pkg.Fn(...).
+func pkgFunc(pass *analysis.Pass, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name, true
+}
+
+// rootObject resolves the variable at the base of x, x.f, x[i].
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithoutCapacity reports whether obj is a local of fd whose
+// declaration visibly lacks a capacity: `var x []T`, `x := []T{}`, or a
+// make call without a capacity argument. Parameters, fields and outer
+// variables are not judged — their capacity is the caller's business.
+func declaredWithoutCapacity(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	if obj.Pos() < fd.Pos() || obj.Pos() > fd.End() {
+		return false
+	}
+	// Parameters and named results are declared inside [fd.Pos, fd.End]
+	// too; exclude anything declared before the body starts.
+	if fd.Body == nil || obj.Pos() < fd.Body.Pos() {
+		return false
+	}
+	noCap := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || pass.TypesInfo.Defs[id] != obj || i >= len(n.Rhs) {
+					continue
+				}
+				noCap = !hasCapacity(pass, n.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.TypesInfo.Defs[name] != obj {
+					continue
+				}
+				if len(n.Values) == 0 {
+					noCap = true // var x []T
+				} else if i < len(n.Values) {
+					noCap = !hasCapacity(pass, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return noCap
+}
+
+// hasCapacity reports whether e visibly allocates with capacity: a make
+// call with a capacity argument, or any expression we cannot see through
+// (a call result, a slice of something else) which is given the benefit
+// of the doubt.
+func hasCapacity(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return false // []T{} has capacity zero
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+				return len(e.Args) >= 3
+			}
+		}
+	case *ast.Ident:
+		return e.Name != "nil"
+	}
+	return true
+}
+
+// checkBoxing flags non-constant, non-pointer-shaped values passed as
+// interface-typed arguments inside hot functions. Pointer-shaped values
+// (pointers, channels, maps, funcs, unsafe.Pointer) fit the interface data
+// word directly, constants get a static box from the compiler, and values
+// that are already interfaces pass through; everything else allocates a
+// convT box per call.
+func checkBoxing(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	sig := callSignature(pass, call)
+	if sig == nil || sig.Params().Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		param := paramType(sig, i, call.Ellipsis.IsValid())
+		if param == nil {
+			continue
+		}
+		if _, isIface := param.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+			continue
+		}
+		if pointerShaped(tv.Type) {
+			continue
+		}
+		if _, already := tv.Type.Underlying().(*types.Interface); already {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "hot path %s: %s value boxes into an interface argument, allocating per call", fd.Name.Name, tv.Type.String())
+	}
+}
+
+// paramType resolves the parameter type matched by argument i, expanding
+// the variadic tail; a nil result means "do not judge" (ellipsis calls
+// pass the slice through unboxed).
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() {
+		if i < n-1 {
+			return sig.Params().At(i).Type()
+		}
+		if ellipsis {
+			return nil
+		}
+		if sl, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+// pointerShaped reports whether values of t occupy a single pointer word,
+// so converting them to an interface needs no allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func callSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if tv.IsType() {
+		return nil // conversion, handled by boxing only via call args elsewhere
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// reportCaptures flags a closure that captures variables from the
+// enclosing function: the closure value and its captured variables move to
+// the heap.
+func reportCaptures(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) {
+	captured := map[string]bool{}
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return true // package-level: not a capture
+		}
+		// Declared outside the literal but inside the enclosing function?
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // the literal's own local or parameter
+		}
+		if v.Pos() < fd.Pos() || v.Pos() > fd.End() {
+			return true // from an even-outer scope; still a capture, but rare
+		}
+		if !captured[v.Name()] {
+			captured[v.Name()] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	if len(names) > 0 {
+		pass.Reportf(lit.Pos(), "hot path %s: closure captures %s; each closure allocates and moves its captures to the heap", fd.Name.Name, strings.Join(names, ", "))
+	}
+}
+
+// checkCallSites flags allocating argument expressions at call sites of
+// hot-path functions, including functions of imported packages whose
+// annotation arrives as a HotPathFact.
+func checkCallSites(pass *analysis.Pass, hotFuncs map[*ast.FuncDecl]bool, hotObjs map[types.Object]bool) {
+	pass.Inspect.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		// Test code is not a hot path: closures and literals handed to
+		// hot functions from _test.go files are fine.
+		if inTestFile(pass, n.Pos()) {
+			return false
+		}
+		// Inside an annotated function the in-function checks own the
+		// diagnostics; skip to avoid double reports.
+		for _, anc := range stack {
+			if fd, ok := anc.(*ast.FuncDecl); ok && hotFuncs[fd] {
+				return true
+			}
+		}
+		call := n.(*ast.CallExpr)
+		callee := calleeObject(pass, call)
+		if callee == nil {
+			return true
+		}
+		if !hotObjs[callee] && !pass.ImportObjectFact(callee, &HotPathFact{}) {
+			return true
+		}
+		for _, arg := range call.Args {
+			switch a := arg.(type) {
+			case *ast.UnaryExpr:
+				if a.Op == token.AND {
+					if _, ok := a.X.(*ast.CompositeLit); ok {
+						pass.Reportf(a.Pos(), "&composite-literal argument to hot-path function %s allocates per call; hoist it out of the event path", callee.Name())
+					}
+				}
+			case *ast.FuncLit:
+				pass.Reportf(a.Pos(), "closure argument to hot-path function %s allocates per call; hoist it out of the event path", callee.Name())
+			case *ast.CallExpr:
+				if pkg, name, ok := pkgFunc(pass, a); ok && allocFuncs[pkg][name] {
+					pass.Reportf(a.Pos(), "%s.%s argument to hot-path function %s allocates per call; precompute or intern it", pkg, name, callee.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleeObject resolves the called function or method object.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}

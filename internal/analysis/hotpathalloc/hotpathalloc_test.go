@@ -1,0 +1,20 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"tcpsig/internal/analysis/analysistest"
+	"tcpsig/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "hotpath", "hotpath_pkg")
+}
+
+// TestCrossPackageFacts proves the HotPathFact round-trip: hotpath_dep
+// annotates its functions, hotpath_import carries no annotations, and the
+// call-site diagnostics in the importer exist purely because the
+// dependency's facts were imported.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "hotpath_dep", "hotpath_import")
+}

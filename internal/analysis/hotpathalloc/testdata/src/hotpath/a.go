@@ -1,0 +1,111 @@
+// Package hotpath exercises the in-function checks of hotpathalloc and
+// the same-package call-site check.
+package hotpath
+
+import (
+	"errors"
+	"fmt"
+)
+
+type event struct {
+	seq  int
+	note string
+}
+
+var sink interface{}
+
+//sigcheck:hotpath
+func format(v int) string {
+	return fmt.Sprintf("v=%d", v) // want `hot path format: fmt.Sprintf allocates per call`
+}
+
+//sigcheck:hotpath
+func mkerr() error {
+	return errors.New("boom") // want `hot path mkerr: errors.New allocates per call`
+}
+
+//sigcheck:hotpath
+func escape(seq int) *event {
+	return &event{seq: seq} // want `hot path escape: &composite literal escapes to the heap`
+}
+
+//sigcheck:hotpath
+func fresh() *event {
+	return new(event) // want `hot path fresh: new\(T\) allocates per call`
+}
+
+//sigcheck:hotpath
+func appendLoop(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `hot path appendLoop: append in a loop to "out", declared without capacity`
+	}
+	return out
+}
+
+//sigcheck:hotpath
+func appendPrealloc(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i) // preallocated: no diagnostic
+	}
+	return out
+}
+
+//sigcheck:hotpath
+func appendOnce(x []int) []int {
+	return append(x, 1) // not in a loop, and x is a parameter
+}
+
+//sigcheck:hotpath
+func boxes(v int64) {
+	record(v) // want `hot path boxes: int64 value boxes into an interface argument`
+}
+
+//sigcheck:hotpath
+func boxesConst() {
+	record(1) // constant: the compiler uses a static box
+}
+
+//sigcheck:hotpath
+func passesPointer(e *event) {
+	record(e) // pointer-shaped: fits the interface word
+}
+
+func record(v interface{}) { sink = v }
+
+//sigcheck:hotpath
+func capture(n int) func() int {
+	total := 0
+	return func() int { // want `hot path capture: closure captures total, n; each closure allocates`
+		total += n
+		return total
+	}
+}
+
+//sigcheck:hotpath
+func noCapture() func(int) int {
+	return func(x int) int { return x + 1 } // captures nothing: no diagnostic
+}
+
+func coldSprintf(v int) string {
+	return fmt.Sprintf("v=%d", v) // not annotated: no diagnostic
+}
+
+//sigcheck:hotpath
+func process(f func() int) int { return f() }
+
+//sigcheck:hotpath
+func push(e *event) { sink = e }
+
+//sigcheck:hotpath
+func note(msg string) { _ = msg }
+
+func coldCallers(v int) {
+	n := 0
+	_ = process(func() int { n++; return n }) // want `closure argument to hot-path function process allocates per call`
+	push(&event{seq: v})                      // want `&composite-literal argument to hot-path function push allocates per call`
+	note(fmt.Sprintf("v=%d", v))              // want `fmt.Sprintf argument to hot-path function note allocates per call`
+	note("static")                            // plain argument: no diagnostic
+	_ = format(v)                             // plain argument: no diagnostic
+}

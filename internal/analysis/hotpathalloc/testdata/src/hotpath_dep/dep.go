@@ -1,0 +1,16 @@
+// Package hotpath_dep is the fact-exporting half of the cross-package
+// fixture: its annotated functions travel to importers as HotPathFacts.
+package hotpath_dep
+
+// Event is the payload importers hand to the hot path.
+type Event struct {
+	Seq int
+}
+
+var sink interface{}
+
+//sigcheck:hotpath
+func Emit(e *Event) { sink = e }
+
+//sigcheck:hotpath
+func Log(msg string) { _ = msg }

@@ -1,0 +1,19 @@
+// Package hotpath_import never annotates anything itself; the diagnostics
+// here exist purely because hotpath_dep's HotPathFacts were imported.
+package hotpath_import
+
+import (
+	"fmt"
+
+	"hotpath_dep"
+)
+
+func Forward(v int) {
+	hotpath_dep.Emit(&hotpath_dep.Event{Seq: v}) // want `&composite-literal argument to hot-path function Emit allocates per call`
+	hotpath_dep.Log(fmt.Sprintf("v=%d", v))      // want `fmt.Sprintf argument to hot-path function Log allocates per call`
+}
+
+func Fine(e *hotpath_dep.Event) {
+	hotpath_dep.Emit(e)
+	hotpath_dep.Log("static")
+}

@@ -1,0 +1,15 @@
+// Package hotpath_pkg is entirely hot: the marker in the package doc
+// annotates every function in the package.
+//
+//sigcheck:hotpath
+package hotpath_pkg
+
+import "fmt"
+
+func All(v int) string {
+	return fmt.Sprintf("v=%d", v) // want `hot path All: fmt.Sprintf allocates per call`
+}
+
+func AlsoHot() *int {
+	return new(int) // want `hot path AlsoHot: new\(T\) allocates per call`
+}

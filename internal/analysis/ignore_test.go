@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// alwaysAnalyzer reports one diagnostic on every return statement, giving
+// the suppression tests a predictable signal to suppress.
+func alwaysAnalyzer(name string) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "test analyzer: flags every return statement",
+		Run: func(pass *Pass) (interface{}, error) {
+			pass.Inspect.Preorder([]ast.Node{(*ast.ReturnStmt)(nil)}, func(n ast.Node) {
+				pass.Reportf(n.Pos(), "return statement")
+			})
+			return nil, nil
+		},
+	}
+}
+
+func analyzeSource(t *testing.T, src string, analyzers []*Analyzer) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ignoretest.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := TypeCheck(fset, "ignoretest", []*ast.File{f}, importer.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func TestIgnoreWithReasonSuppresses(t *testing.T) {
+	src := `package ignoretest
+
+func trailing() int {
+	return 1 //sigcheck:ignore always -- trailing-comment form
+}
+
+func ownLine() int {
+	//sigcheck:ignore always -- own-line form covers the next line
+	return 2
+}
+
+func allAnalyzers() int {
+	return 3 //sigcheck:ignore -- no analyzer name exempts every analyzer
+}
+
+func unsuppressed() int {
+	return 4
+}
+`
+	findings := analyzeSource(t, src, []*Analyzer{alwaysAnalyzer("always")})
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want only the unsuppressed one: %v", len(findings), findings)
+	}
+	if findings[0].Posn.Line != 17 {
+		t.Errorf("surviving finding at line %d, want 17 (unsuppressed): %v", findings[0].Posn.Line, findings[0])
+	}
+}
+
+func TestIgnoreNamesOnlyThatAnalyzer(t *testing.T) {
+	src := `package ignoretest
+
+func f() int {
+	return 1 //sigcheck:ignore other -- suppresses a different analyzer only
+}
+`
+	findings := analyzeSource(t, src, []*Analyzer{alwaysAnalyzer("always"), alwaysAnalyzer("other")})
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	if findings[0].Analyzer != "always" {
+		t.Errorf("surviving finding from %q, want %q", findings[0].Analyzer, "always")
+	}
+}
+
+// TestBareIgnoreIsADiagnostic covers the ignore contract itself: an ignore
+// with no "-- reason" (or a blank reason) is reported under the reserved
+// analyzer name, and that report survives even though the bare ignore
+// covers its own line — otherwise a bare ignore would exempt itself.
+func TestBareIgnoreIsADiagnostic(t *testing.T) {
+	src := `package ignoretest
+
+func bare() int {
+	return 1 //sigcheck:ignore
+}
+
+func blankReason() int {
+	return 2 //sigcheck:ignore always --
+}
+
+func reasoned() int {
+	return 3 //sigcheck:ignore -- a real reason
+}
+`
+	findings := analyzeSource(t, src, []*Analyzer{alwaysAnalyzer("always")})
+	var bare []Finding
+	for _, f := range findings {
+		if f.Analyzer != IgnoreAnalyzerName {
+			t.Errorf("unexpected non-contract finding: %v", f)
+			continue
+		}
+		if !strings.Contains(f.Message, "without a `-- reason`") {
+			t.Errorf("unexpected message: %v", f)
+		}
+		bare = append(bare, f)
+	}
+	if len(bare) != 2 {
+		t.Fatalf("got %d bare-ignore findings, want 2 (lines 4 and 8): %v", len(bare), findings)
+	}
+	if bare[0].Posn.Line != 4 || bare[1].Posn.Line != 8 {
+		t.Errorf("bare-ignore findings at lines %d and %d, want 4 and 8", bare[0].Posn.Line, bare[1].Posn.Line)
+	}
+}

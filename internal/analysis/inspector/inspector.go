@@ -1,0 +1,204 @@
+// Package inspector provides single-walk AST dispatch for analyzers, a
+// miniature of golang.org/x/tools/go/ast/inspector. Building an Inspector
+// traverses the package's files exactly once and records the events; every
+// analyzer then replays the recorded traversal, filtered by node type,
+// instead of hand-rolling its own ast.Inspect. With several analyzers per
+// package the walk cost is paid once, and analyzers that need ancestry get
+// a maintained stack instead of rebuilding one.
+package inspector
+
+import "go/ast"
+
+// event is one step of the recorded traversal. A push event's index field
+// points at the matching pop event, so Preorder can skip whole subtrees
+// whose root type cannot match the filter; a pop event's index points back
+// at its push.
+type event struct {
+	node  ast.Node
+	typ   uint64 // bit for the node's concrete type
+	index int    // push: index of matching pop; pop: index of matching push
+}
+
+// Inspector replays a recorded traversal of a set of files.
+type Inspector struct {
+	events []event
+}
+
+// New records a preorder traversal of the files.
+func New(files []*ast.File) *Inspector {
+	in := &Inspector{events: make([]event, 0, 256)}
+	var stack []int // indices of open push events
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				stack = append(stack, len(in.events))
+				in.events = append(in.events, event{node: n, typ: typeBit(n), index: -1})
+				return true
+			}
+			push := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			in.events[push].index = len(in.events)
+			in.events = append(in.events, event{node: in.events[push].node, typ: in.events[push].typ, index: push})
+			return true
+		})
+	}
+	return in
+}
+
+// maskOf returns the union of type bits for the example nodes. An empty
+// list means "every node type".
+func maskOf(types []ast.Node) uint64 {
+	if len(types) == 0 {
+		return ^uint64(0)
+	}
+	var mask uint64
+	for _, n := range types {
+		mask |= typeBit(n)
+	}
+	return mask
+}
+
+// Preorder calls f for every node whose concrete type matches one of the
+// example nodes in types (all nodes when types is empty), in depth-first
+// preorder.
+func (in *Inspector) Preorder(types []ast.Node, f func(ast.Node)) {
+	mask := maskOf(types)
+	for i := 0; i < len(in.events); i++ {
+		ev := in.events[i]
+		if ev.index <= i {
+			continue // pop event
+		}
+		if ev.typ&mask != 0 {
+			f(ev.node)
+		}
+	}
+}
+
+// WithStack is Preorder with ancestry: f receives the node, whether this is
+// the push (true) or pop (false) visit, and the stack of open nodes from
+// the *ast.File down to the node itself. Returning false from a push visit
+// skips the node's subtree (the pop visit is still delivered).
+func (in *Inspector) WithStack(types []ast.Node, f func(n ast.Node, push bool, stack []ast.Node) bool) {
+	mask := maskOf(types)
+	var stack []ast.Node
+	for i := 0; i < len(in.events); i++ {
+		ev := in.events[i]
+		if ev.index > i { // push
+			stack = append(stack, ev.node)
+			if ev.typ&mask != 0 {
+				if !f(ev.node, true, stack) {
+					// Skip the subtree: jump to just before the pop event.
+					i = ev.index - 1
+					continue
+				}
+			}
+		} else { // pop
+			if ev.typ&mask != 0 {
+				f(ev.node, false, stack)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// typeBit maps a node's concrete type to a bit. Types an analyzer never
+// filters on share the overflow bit; they still traverse correctly, only
+// the type filter is coarser for them.
+func typeBit(n ast.Node) uint64 {
+	switch n.(type) {
+	case *ast.ArrayType:
+		return 1 << 0
+	case *ast.AssignStmt:
+		return 1 << 1
+	case *ast.BasicLit:
+		return 1 << 2
+	case *ast.BinaryExpr:
+		return 1 << 3
+	case *ast.BlockStmt:
+		return 1 << 4
+	case *ast.BranchStmt:
+		return 1 << 5
+	case *ast.CallExpr:
+		return 1 << 6
+	case *ast.CaseClause:
+		return 1 << 7
+	case *ast.ChanType:
+		return 1 << 8
+	case *ast.CommClause:
+		return 1 << 9
+	case *ast.CompositeLit:
+		return 1 << 10
+	case *ast.DeclStmt:
+		return 1 << 11
+	case *ast.DeferStmt:
+		return 1 << 12
+	case *ast.Ellipsis:
+		return 1 << 13
+	case *ast.ExprStmt:
+		return 1 << 14
+	case *ast.File:
+		return 1 << 15
+	case *ast.ForStmt:
+		return 1 << 16
+	case *ast.FuncDecl:
+		return 1 << 17
+	case *ast.FuncLit:
+		return 1 << 18
+	case *ast.FuncType:
+		return 1 << 19
+	case *ast.GenDecl:
+		return 1 << 20
+	case *ast.GoStmt:
+		return 1 << 21
+	case *ast.Ident:
+		return 1 << 22
+	case *ast.IfStmt:
+		return 1 << 23
+	case *ast.IncDecStmt:
+		return 1 << 24
+	case *ast.IndexExpr:
+		return 1 << 25
+	case *ast.InterfaceType:
+		return 1 << 26
+	case *ast.KeyValueExpr:
+		return 1 << 27
+	case *ast.MapType:
+		return 1 << 28
+	case *ast.ParenExpr:
+		return 1 << 29
+	case *ast.RangeStmt:
+		return 1 << 30
+	case *ast.ReturnStmt:
+		return 1 << 31
+	case *ast.SelectStmt:
+		return 1 << 32
+	case *ast.SelectorExpr:
+		return 1 << 33
+	case *ast.SendStmt:
+		return 1 << 34
+	case *ast.SliceExpr:
+		return 1 << 35
+	case *ast.StarExpr:
+		return 1 << 36
+	case *ast.StructType:
+		return 1 << 37
+	case *ast.SwitchStmt:
+		return 1 << 38
+	case *ast.TypeAssertExpr:
+		return 1 << 39
+	case *ast.TypeSpec:
+		return 1 << 40
+	case *ast.TypeSwitchStmt:
+		return 1 << 41
+	case *ast.UnaryExpr:
+		return 1 << 42
+	case *ast.ValueSpec:
+		return 1 << 43
+	case *ast.ImportSpec:
+		return 1 << 44
+	case *ast.LabeledStmt:
+		return 1 << 45
+	default:
+		return 1 << 63
+	}
+}

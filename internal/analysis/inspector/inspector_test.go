@@ -1,0 +1,114 @@
+package inspector_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+
+	"tcpsig/internal/analysis/inspector"
+)
+
+const src = `package p
+
+import "fmt"
+
+func f(xs []int) int {
+	total := 0
+	for i, x := range xs {
+		if x > 0 {
+			total += x
+		} else {
+			fmt.Println(i)
+		}
+	}
+	go func() { _ = total }()
+	return total
+}
+`
+
+func parse(t *testing.T) []*ast.File {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*ast.File{f}
+}
+
+// TestPreorderMatchesInspect checks that a filtered Preorder visits exactly
+// the nodes a hand-rolled ast.Inspect would, in the same order.
+func TestPreorderMatchesInspect(t *testing.T) {
+	files := parse(t)
+	in := inspector.New(files)
+
+	var got []ast.Node
+	in.Preorder([]ast.Node{(*ast.CallExpr)(nil), (*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		got = append(got, n)
+	})
+
+	var want []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.CallExpr, *ast.RangeStmt:
+				want = append(want, n)
+			}
+			return true
+		})
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Preorder visited %d nodes, ast.Inspect %d", len(got), len(want))
+	}
+}
+
+// TestPreorderAllTypes checks the empty filter visits every node.
+func TestPreorderAllTypes(t *testing.T) {
+	files := parse(t)
+	in := inspector.New(files)
+	got := 0
+	in.Preorder(nil, func(ast.Node) { got++ })
+	want := 0
+	ast.Inspect(files[0], func(n ast.Node) bool {
+		if n != nil {
+			want++
+		}
+		return true
+	})
+	if got != want {
+		t.Errorf("Preorder(nil) visited %d nodes, want %d", got, want)
+	}
+}
+
+// TestWithStack checks that the stack runs from the file to the node and
+// that returning false prunes the subtree.
+func TestWithStack(t *testing.T) {
+	files := parse(t)
+	in := inspector.New(files)
+
+	sawGoStmt := false
+	in.WithStack([]ast.Node{(*ast.GoStmt)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		if _, ok := stack[0].(*ast.File); !ok {
+			t.Errorf("stack[0] = %T, want *ast.File", stack[0])
+		}
+		if stack[len(stack)-1] != n {
+			t.Error("stack top is not the visited node")
+		}
+		switch n.(type) {
+		case *ast.GoStmt:
+			sawGoStmt = true
+			return false // prune: the FuncLit inside must not be visited
+		case *ast.FuncLit:
+			t.Error("FuncLit visited despite pruned GoStmt subtree")
+		}
+		return true
+	})
+	if !sawGoStmt {
+		t.Error("GoStmt never visited")
+	}
+}

@@ -22,6 +22,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -29,8 +30,11 @@ type vetConfig struct {
 
 // RunUnitchecker implements one invocation of the cmd/go vet-tool protocol:
 // read the .cfg file, analyze the unit, print findings to stderr, and write
-// the (empty — sigcheck exchanges no facts) .vetx output file. The returned
-// exit code is 0 for a clean unit and 1 when there are findings.
+// the .vetx output file carrying the unit's exported facts (its own plus
+// those inherited from its dependencies, so facts are transitive). A
+// VetxOnly unit — a dependency of the packages being vetted — is analyzed
+// for facts but its diagnostics are suppressed. The returned exit code is 0
+// for a clean unit and 1 when there are findings.
 func RunUnitchecker(cfgFile string, analyzers []*Analyzer) int {
 	exit, err := runUnit(cfgFile, analyzers)
 	if err != nil {
@@ -49,14 +53,13 @@ func runUnit(cfgFile string, analyzers []*Analyzer) (int, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return 1, fmt.Errorf("parsing %s: %w", cfgFile, err)
 	}
-	// cmd/go requires the facts file to exist even for facts-free tools.
+	// cmd/go requires the facts file to exist even when the unit fails to
+	// analyze, so write an empty one up front; it is rewritten with real
+	// facts after a successful run.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
 			return 1, err
 		}
-	}
-	if cfg.VetxOnly {
-		return 0, nil
 	}
 
 	fset := token.NewFileSet()
@@ -88,9 +91,36 @@ func runUnit(cfgFile string, analyzers []*Analyzer) (int, error) {
 		}
 		return 1, err
 	}
-	findings, err := RunPackage(pkg, analyzers)
+
+	// Seed the fact store with the dependencies' facts. The .vetx files
+	// cmd/go hands us are written by this same tool, so a decode failure
+	// is a real error, not a version skew to shrug off.
+	facts := NewFacts(analyzers)
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			return 1, fmt.Errorf("reading facts of %s: %w", path, err)
+		}
+		if err := facts.Decode(data); err != nil {
+			return 1, fmt.Errorf("facts of %s: %w", path, err)
+		}
+	}
+
+	findings, err := RunPackageFacts(pkg, analyzers, facts)
 	if err != nil {
 		return 1, err
+	}
+	if cfg.VetxOutput != "" {
+		enc, err := facts.Encode()
+		if err != nil {
+			return 1, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, enc, 0o666); err != nil {
+			return 1, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
 	}
 	for _, f := range findings {
 		fmt.Fprintf(os.Stderr, "%s\n", f)

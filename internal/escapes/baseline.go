@@ -1,0 +1,99 @@
+package escapes
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A Baseline is the checked-in record of how many heap escapes each hot
+// function is allowed. JSON maps marshal with sorted keys, so the file is
+// byte-deterministic for a given count set.
+type Baseline struct {
+	// Comment documents the regeneration workflow inside the artifact
+	// itself, for whoever opens it after the gate fails.
+	Comment string `json:"_comment"`
+
+	// GoVersion records the toolchain the counts were measured with;
+	// escape analysis changes between releases.
+	GoVersion string `json:"go_version"`
+
+	Counts map[string]int `json:"counts"`
+}
+
+const baselineComment = "Escape-analysis budget per //sigcheck:hotpath function. " +
+	"Regenerate with `go run ./cmd/escapegate -update` after deliberately " +
+	"changing a hot path or bumping the Go toolchain; the gate fails CI " +
+	"when a count rises above this file."
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Counts == nil {
+		b.Counts = map[string]int{}
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes counts as the new baseline.
+func WriteBaseline(path, goVersion string, counts map[string]int) error {
+	b := Baseline{Comment: baselineComment, GoVersion: goVersion, Counts: counts}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// A Delta is one per-function difference between baseline and current.
+type Delta struct {
+	Key      string
+	Baseline int // -1 when the function is not in the baseline
+	Current  int // -1 when the function no longer exists
+}
+
+// Diff compares current counts against the baseline. Regressions — a
+// count above the baseline, or a new hot function that already escapes —
+// fail the gate. Improvements (count dropped) and stale entries (function
+// gone or no longer annotated) are advisory: they mean the baseline
+// should be regenerated to lock in the better state.
+func Diff(baseline, current map[string]int) (regressions, advisories []Delta) {
+	keys := make([]string, 0, len(current))
+	for k := range current {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		cur := current[k]
+		base, known := baseline[k]
+		switch {
+		case !known && cur > 0:
+			regressions = append(regressions, Delta{Key: k, Baseline: -1, Current: cur})
+		case !known:
+			advisories = append(advisories, Delta{Key: k, Baseline: -1, Current: cur})
+		case cur > base:
+			regressions = append(regressions, Delta{Key: k, Baseline: base, Current: cur})
+		case cur < base:
+			advisories = append(advisories, Delta{Key: k, Baseline: base, Current: cur})
+		}
+	}
+	stale := make([]string, 0, len(baseline))
+	for k := range baseline {
+		if _, ok := current[k]; !ok {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	for _, k := range stale {
+		advisories = append(advisories, Delta{Key: k, Baseline: baseline[k], Current: -1})
+	}
+	return regressions, advisories
+}

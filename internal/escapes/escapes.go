@@ -1,0 +1,258 @@
+// Package escapes implements the escape-analysis budget gate: it compiles
+// packages with -gcflags=-m, attributes the compiler's "escapes to heap" /
+// "moved to heap" diagnostics to functions annotated //sigcheck:hotpath
+// (the same marker the hotpathalloc analyzer reads), and diffs the
+// per-function counts against a checked-in baseline. A count above the
+// baseline is a regression — someone added a heap allocation to a hot
+// path — and fails the gate; a count below it is an improvement that
+// should be locked in by regenerating the baseline.
+//
+// The compiler's diagnostics are replayed from the build cache, so
+// repeated runs are cheap and deterministic for a fixed toolchain. Counts
+// do depend on the compiler version: regenerate the baseline when the Go
+// toolchain is bumped.
+package escapes
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Marker is the hot-path annotation, shared with the hotpathalloc
+// analyzer: a function (or, via the package doc, a whole package) whose
+// doc comment contains this line is budgeted.
+const Marker = "//sigcheck:hotpath"
+
+// A HotFunc is one annotated function with its source extent.
+type HotFunc struct {
+	Key       string // "<relpath>:<qualified name>", e.g. "internal/sim/sim.go:(*Engine).push"
+	File      string // path relative to the module root
+	StartLine int
+	EndLine   int
+}
+
+// An EscapeSite is one heap-allocation diagnostic from the compiler.
+type EscapeSite struct {
+	File string // path relative to the module root
+	Line int
+	Msg  string
+}
+
+// HotFunctions parses the non-test Go files of every package matched by
+// patterns (resolved with the go command relative to dir) and returns the
+// annotated functions sorted by key.
+func HotFunctions(dir string, patterns []string) ([]HotFunc, error) {
+	dirs, err := packageDirs(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []HotFunc
+	for _, pkgDir := range dirs {
+		entries, err := os.ReadDir(pkgDir)
+		if err != nil {
+			return nil, err
+		}
+		var files []*ast.File
+		var names []string
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			path := filepath.Join(pkgDir, e.Name())
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+			names = append(names, path)
+		}
+		pkgHot := false
+		for _, f := range files {
+			if annotated(f.Doc) {
+				pkgHot = true
+			}
+		}
+		for i, f := range files {
+			rel, err := filepath.Rel(dir, names[i])
+			if err != nil {
+				return nil, err
+			}
+			rel = filepath.ToSlash(rel)
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || (!pkgHot && !annotated(fd.Doc)) {
+					continue
+				}
+				out = append(out, HotFunc{
+					Key:       rel + ":" + qualifiedName(fd),
+					File:      rel,
+					StartLine: fset.Position(fd.Pos()).Line,
+					EndLine:   fset.Position(fd.End()).Line,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// packageDirs resolves package patterns to source directories.
+func packageDirs(dir string, patterns []string) ([]string, error) {
+	args := append([]string{"list", "-f", "{{.Dir}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, ee.Stderr)
+		}
+		return nil, err
+	}
+	var dirs []string
+	for _, l := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if l != "" {
+			dirs = append(dirs, l)
+		}
+	}
+	return dirs, nil
+}
+
+func annotated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// qualifiedName renders "Func" or "(<recv>).Method" from syntax alone.
+func qualifiedName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return "(" + typeString(fd.Recv.List[0].Type) + ")." + fd.Name.Name
+}
+
+func typeString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return "*" + typeString(e.X)
+	case *ast.IndexExpr:
+		return typeString(e.X) + "[" + typeString(e.Index) + "]"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// CompileEscapes builds patterns with -gcflags=-m (applied to the named
+// packages only) and returns the heap-allocation diagnostics. Binaries of
+// main packages are discarded into a temp directory; -o is legal only
+// when a main package is in the set, so it is added conditionally.
+func CompileEscapes(dir string, patterns []string) ([]EscapeSite, error) {
+	tmp, err := os.MkdirTemp("", "escapegate-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	list := exec.Command("go", append([]string{"list", "-f", "{{.Name}}"}, patterns...)...)
+	list.Dir = dir
+	names, err := list.Output()
+	args := []string{"build"}
+	if err == nil && containsLine(string(names), "main") {
+		args = append(args, "-o", tmp)
+	}
+	args = append(append(args, "-gcflags=-m"), patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// With -gcflags=-m the output is diagnostics even on success; a
+		// build failure surfaces as compile errors in the same stream.
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out)
+	}
+	return ParseEscapes(string(out)), nil
+}
+
+// ParseEscapes extracts the heap-allocation lines from -gcflags=-m output.
+// Other -m chatter (inlining decisions, leaking-param notes, "# pkg"
+// headers, <autogenerated> positions) is dropped.
+func ParseEscapes(output string) []EscapeSite {
+	var out []EscapeSite
+	for _, line := range strings.Split(output, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "<autogenerated>") {
+			continue
+		}
+		file, rest, ok := strings.Cut(line, ":")
+		if !ok || !strings.HasSuffix(file, ".go") {
+			continue
+		}
+		lineno, rest, ok := cutInt(rest)
+		if !ok {
+			continue
+		}
+		// Column is optional in principle; strip it when present.
+		if _, r, ok := cutInt(rest); ok {
+			rest = r
+		}
+		msg := strings.TrimSpace(rest)
+		if !strings.HasSuffix(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap:") {
+			continue
+		}
+		out = append(out, EscapeSite{File: filepath.ToSlash(file), Line: lineno, Msg: msg})
+	}
+	return out
+}
+
+func containsLine(s, want string) bool {
+	for _, l := range strings.Split(s, "\n") {
+		if strings.TrimSpace(l) == want {
+			return true
+		}
+	}
+	return false
+}
+
+// cutInt splits ":"-separated output like "12:6: msg" one field at a time.
+func cutInt(s string) (int, string, bool) {
+	head, rest, _ := strings.Cut(s, ":")
+	n, err := strconv.Atoi(strings.TrimSpace(head))
+	if err != nil {
+		return 0, s, false
+	}
+	return n, rest, true
+}
+
+// Counts attributes escape sites to hot functions by source extent. Every
+// hot function appears in the result, zero or not, so the baseline also
+// tracks the annotation roster itself.
+func Counts(hot []HotFunc, sites []EscapeSite) map[string]int {
+	counts := make(map[string]int, len(hot))
+	for _, h := range hot {
+		counts[h.Key] = 0
+	}
+	for _, s := range sites {
+		for _, h := range hot {
+			if s.File == h.File && s.Line >= h.StartLine && s.Line <= h.EndLine {
+				counts[h.Key]++
+				break
+			}
+		}
+	}
+	return counts
+}

@@ -95,6 +95,8 @@ func (f *FlowInfo) SlowStartDuration() time.Duration {
 }
 
 // ackedAt returns the cumulative acked bytes at time t.
+//
+//sigcheck:hotpath
 func (f *FlowInfo) ackedAt(t sim.Time) int64 {
 	// Binary search for the last point at or before t.
 	lo, hi := 0, len(f.AckCurve)
@@ -346,6 +348,9 @@ func mergeRange(set []netem.SackBlock, start, end uint32) []netem.SackBlock {
 	return out
 }
 
+// coveredBytes sums the bytes covered by a SACK set.
+//
+//sigcheck:hotpath
 func coveredBytes(set []netem.SackBlock) int64 {
 	var n int64
 	for _, iv := range set {

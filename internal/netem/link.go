@@ -136,6 +136,8 @@ func (l *Link) Src() Node { return l.src }
 
 // drainReleases returns buffer bytes for packets that have finished
 // serializing by now.
+//
+//sigcheck:hotpath
 func (l *Link) drainReleases() {
 	now := l.eng.Now()
 	for l.releaseHead < len(l.releases) && l.releases[l.releaseHead].at <= now {
@@ -160,6 +162,8 @@ func (l *Link) drainReleases() {
 
 // Send enqueues a packet for transmission. Drops are silent, as on a real
 // wire; senders learn about them from missing ACKs.
+//
+//sigcheck:hotpath
 func (l *Link) Send(p *Packet) {
 	l.stats.Sent++
 	if l.Tap != nil {
@@ -272,6 +276,7 @@ func (l *Link) Send(p *Packet) {
 			l.stats.Corrupted++
 			dp = corruptCopy(p)
 		}
+		//sigcheck:ignore hotpathalloc -- reordering is a configured fault path, off in the common case; the out-of-band closure is what lets the packet bypass the FIFO pipeline
 		l.eng.At(deliverAt+act.ExtraDelay, func() {
 			l.stats.Delivered++
 			l.stats.BytesDelivered += uint64(dp.Size)
@@ -280,6 +285,7 @@ func (l *Link) Send(p *Packet) {
 		if act.Duplicate {
 			l.stats.Duplicated++
 			dup := *p
+			//sigcheck:ignore hotpathalloc -- duplication is a configured fault path; the copy needs its own out-of-band delivery closure
 			l.eng.At(deliverAt+act.ExtraDelay, func() {
 				l.stats.Delivered++
 				l.stats.BytesDelivered += uint64(dup.Size)
@@ -319,6 +325,10 @@ func (l *Link) Send(p *Packet) {
 	}
 }
 
+// deliverHead hands every due pending delivery to the receiver and re-arms
+// the timer for the next one.
+//
+//sigcheck:hotpath
 func (l *Link) deliverHead() {
 	now := l.eng.Now()
 	for l.deliveryHead < len(l.deliveries) {

@@ -114,6 +114,8 @@ func equalBounds(a, b []float64) bool {
 type Counter struct{ v uint64 }
 
 // Inc adds one. Safe on nil.
+//
+//sigcheck:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v++
@@ -121,6 +123,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n. Safe on nil.
+//
+//sigcheck:hotpath
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v += n
@@ -139,6 +143,8 @@ func (c *Counter) Value() uint64 {
 type Gauge struct{ v float64 }
 
 // Set replaces the value. Safe on nil.
+//
+//sigcheck:hotpath
 func (g *Gauge) Set(v float64) {
 	if g != nil {
 		g.v = v
@@ -146,6 +152,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add shifts the value. Safe on nil.
+//
+//sigcheck:hotpath
 func (g *Gauge) Add(d float64) {
 	if g != nil {
 		g.v += d
@@ -175,6 +183,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one sample. Safe on nil.
+//
+//sigcheck:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

@@ -83,6 +83,9 @@ func (e *Engine) less(i, j int) bool {
 	return e.q[i].seq < e.q[j].seq
 }
 
+// push inserts an event into the 4-ary heap.
+//
+//sigcheck:hotpath
 func (e *Engine) push(ev schedEvent) {
 	e.q = append(e.q, ev)
 	if len(e.q) > e.maxPending {
@@ -99,6 +102,9 @@ func (e *Engine) push(ev schedEvent) {
 	}
 }
 
+// pop removes the earliest event from the 4-ary heap.
+//
+//sigcheck:hotpath
 func (e *Engine) pop() schedEvent {
 	top := e.q[0]
 	last := len(e.q) - 1
@@ -126,6 +132,8 @@ func (e *Engine) pop() schedEvent {
 
 // Schedule runs fn after delay of virtual time. A negative delay is treated
 // as zero.
+//
+//sigcheck:hotpath
 func (e *Engine) Schedule(delay Time, fn Event) {
 	if delay < 0 {
 		delay = 0
@@ -135,6 +143,8 @@ func (e *Engine) Schedule(delay Time, fn Event) {
 
 // At runs fn at absolute virtual time t. Scheduling in the past clamps to
 // the current time.
+//
+//sigcheck:hotpath
 func (e *Engine) At(t Time, fn Event) {
 	if fn == nil {
 		panic("sim: nil event")
@@ -153,6 +163,7 @@ type Handle struct{ dead *bool }
 // It costs one small allocation; use plain Schedule on hot paths.
 func (e *Engine) ScheduleHandle(delay Time, fn Event) Handle {
 	dead := new(bool)
+	//sigcheck:ignore hotpathalloc -- cancellation costs one closure by design; the doc comment steers hot paths to plain Schedule
 	e.Schedule(delay, func() {
 		if !*dead {
 			*dead = true
@@ -179,12 +190,15 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // step executes the earliest pending event. It reports false when the queue
 // is empty.
+//
+//sigcheck:hotpath
 func (e *Engine) step() bool {
 	if len(e.q) == 0 {
 		return false
 	}
 	ev := e.pop()
 	if ev.at < e.now {
+		//sigcheck:ignore hotpathalloc -- unreachable in a correct run; the panic message only forms when the heap invariant is already broken
 		panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
 	}
 	e.now = ev.at
@@ -259,6 +273,7 @@ func (t *Timer) schedule(at Time) {
 	g := t.gen
 	t.fireAt = at
 	t.armed = true
+	//sigcheck:ignore hotpathalloc -- timers re-arm at most once per RTO/TLP event, not per packet; the generation-check closure is the cancellation mechanism
 	t.eng.At(at, func() { t.onFire(g) })
 }
 

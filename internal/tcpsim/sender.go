@@ -257,6 +257,7 @@ func (s *Sender) Close() {
 }
 
 func (s *Sender) armStop(d time.Duration) {
+	//sigcheck:ignore hotpathalloc -- armed once per connection when the duration-limited stream is set up, never per packet
 	s.eng.Schedule(d, func() {
 		if !s.done && s.unlimited {
 			s.unlimited = false
@@ -281,6 +282,8 @@ func (s *Sender) onSyn(p *netem.Packet) {
 }
 
 // Input processes an arriving packet (ACKs from the receiver).
+//
+//sigcheck:hotpath
 func (s *Sender) Input(p *netem.Packet) {
 	if p.Seg.Flags&netem.FlagSYN != 0 {
 		s.onSyn(p)
@@ -375,6 +378,8 @@ func (s *Sender) mergeSack(start, end uint32) {
 }
 
 // sackedBytes returns how many in-flight bytes the scoreboard marks received.
+//
+//sigcheck:hotpath
 func (s *Sender) sackedBytes() int64 {
 	var n int64
 	for _, iv := range s.sacked {
@@ -386,6 +391,8 @@ func (s *Sender) sackedBytes() int64 {
 // lostBytes estimates how many in-flight bytes are lost per the RFC 6675
 // IsLost heuristic: unsacked ranges with at least DupThresh (3) segments
 // worth of SACKed data above them.
+//
+//sigcheck:hotpath
 func (s *Sender) lostBytes() int64 {
 	if len(s.sacked) == 0 {
 		return 0
@@ -422,6 +429,8 @@ func (s *Sender) lostBytes() int64 {
 // in-flight minus SACKed minus presumed-lost, plus retransmitted copies.
 // Excluding lost bytes is what lets recovery drain an overflowed buffer
 // instead of stalling on an inflated estimate.
+//
+//sigcheck:hotpath
 func (s *Sender) pipeBytes() int {
 	fl := int64(s.bytesInFlight())
 	if s.cfg.DisableSACK {
@@ -450,6 +459,8 @@ func (s *Sender) inLossRecovery() bool { return seqLT(s.sndUna, s.rtoHigh) }
 // unsacked hole at or after max(sndUna, highRxt), below the repair horizon
 // (the highest SACKed byte in fast recovery, extended to the pre-timeout
 // send horizon in loss recovery).
+//
+//sigcheck:hotpath
 func (s *Sender) recoveryHole() (uint32, int, bool) {
 	if s.cfg.DisableSACK || (!s.inRecovery && !s.inLossRecovery()) {
 		return 0, 0, false
@@ -499,6 +510,10 @@ func (s *Sender) recoveryHole() (uint32, int, bool) {
 
 var _ CongestionControl = (*Reno)(nil)
 
+// onNewAck handles cumulative progress: RTT sampling, scoreboard trim,
+// congestion-control updates, and recovery exit.
+//
+//sigcheck:hotpath
 func (s *Sender) onNewAck(ack uint32) {
 	newly := seqDiff(ack, s.sndUna)
 	if newly < 0 {
@@ -589,6 +604,8 @@ func (s *Sender) onNewAck(ack uint32) {
 
 // armRetransmitTimer arms either a tail-loss probe (RFC 8985-style PTO of
 // roughly 2*SRTT) or the full RTO when a probe has already been spent.
+//
+//sigcheck:hotpath
 func (s *Sender) armRetransmitTimer() {
 	rto := s.rto.RTO()
 	if s.cfg.DisableTLP || s.tlpFired || s.inRecovery {
@@ -639,6 +656,8 @@ func (s *Sender) sendTLPProbe() {
 
 // rackCheck resends the front hole when its retransmission is presumed lost:
 // no cumulative progress for ~1.5 SRTT despite an earlier front retransmit.
+//
+//sigcheck:hotpath
 func (s *Sender) rackCheck() {
 	// Active in fast recovery and in post-timeout loss recovery (the
 	// window below rtoHigh), where new dup ACKs cannot re-trigger fast
@@ -658,6 +677,9 @@ func (s *Sender) rackCheck() {
 	s.retransmitFront()
 }
 
+// onDupAck counts duplicate ACKs toward fast retransmit.
+//
+//sigcheck:hotpath
 func (s *Sender) onDupAck() {
 	s.dupAcks++
 	if s.inRecovery {
@@ -790,6 +812,9 @@ func (s *Sender) recordSlowStartRTT(rtt time.Duration) {
 	}
 }
 
+// bytesInFlight is the unacknowledged sequence range.
+//
+//sigcheck:hotpath
 func (s *Sender) bytesInFlight() int {
 	fl := seqDiff(s.sndNxt, s.sndUna)
 	if fl < 0 {
@@ -842,6 +867,8 @@ func (s *Sender) retransmitRange(seq uint32, size int) {
 
 // trySend transmits as much as the windows (and pacing) allow, repairing
 // scoreboard holes before sending new data (RFC 6675 NextSeg order).
+//
+//sigcheck:hotpath
 func (s *Sender) trySend() {
 	if s.state != stEstablished && s.state != stFinSent || s.done {
 		return
@@ -887,6 +914,7 @@ func (s *Sender) trySend() {
 			if s.pacingNext > now {
 				if !s.pacingWakePending {
 					s.pacingWakePending = true
+					//sigcheck:ignore hotpathalloc -- at most one pacing wake-up is outstanding at a time (pacingWakePending); one closure per pacing stall, not per packet
 					s.eng.At(s.pacingNext, func() {
 						s.pacingWakePending = false
 						s.trySend()
@@ -997,10 +1025,14 @@ func (s *Sender) beginLimited() {
 	s.limitedSince = s.eng.Now()
 }
 
+// sendPacket builds and transmits one segment.
+//
+//sigcheck:hotpath
 func (s *Sender) sendPacket(seq, ack uint32, flags uint8, payload int, retx bool) {
 	if flags&netem.FlagACK != 0 && ack == 0 {
 		ack = s.irs + 1
 	}
+	//sigcheck:ignore hotpathalloc -- the packet is the simulation's unit of exchange and outlives this frame; one allocation per transmitted segment is the designed cost
 	p := &netem.Packet{
 		Flow: s.flow,
 		Seg: netem.Segment{
