@@ -16,17 +16,12 @@ import (
 	"testing"
 	"time"
 
+	"tcpsig/internal/benchkit"
 	"tcpsig/internal/core"
 	"tcpsig/internal/dtree"
 	"tcpsig/internal/experiments"
-	"tcpsig/internal/features"
-	"tcpsig/internal/flowrtt"
 	"tcpsig/internal/mlab"
-	"tcpsig/internal/netem"
-	"tcpsig/internal/obs"
-	"tcpsig/internal/sim"
 	"tcpsig/internal/stats"
-	"tcpsig/internal/tcpsim"
 	"tcpsig/internal/testbed"
 )
 
@@ -337,93 +332,25 @@ func BenchmarkREDAblation(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
-// Micro-benchmarks: the per-flow pipeline and the substrates.
+// Micro-benchmarks: the per-flow pipeline and the substrates. The bodies
+// live in internal/benchkit so `ccsig bench` can drive the identical code
+// through testing.Benchmark when emitting perf-trajectory artifacts; the
+// wrappers here keep the historical benchmark names stable for CI's
+// -bench regex and benchstat history.
 
 // BenchmarkEmulatedTransfer measures raw emulation speed: a 10-second
 // 20 Mbps throughput test per iteration.
-func BenchmarkEmulatedTransfer(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		eng := sim.NewEngine(int64(i + 1))
-		net := netem.New(eng)
-		client := net.NewHost("client")
-		server := net.NewHost("server")
-		q := netem.NewDropTailDepth(20e6, 100*time.Millisecond)
-		net.Connect(server, client,
-			netem.LinkConfig{RateBps: 20e6, Delay: 20 * time.Millisecond, Queue: q},
-			netem.LinkConfig{RateBps: 100e6, Delay: 20 * time.Millisecond})
-		d := tcpsim.StartDownload(client, server, 40000, 80, tcpsim.Config{}, 0, 10*time.Second)
-		eng.Run()
-		if !d.Receiver.Done() {
-			b.Fatal("transfer incomplete")
-		}
-		b.SetBytes(d.Receiver.BytesReceived())
-	}
-}
+func BenchmarkEmulatedTransfer(b *testing.B) { benchkit.EmulatedTransfer(b) }
 
 // BenchmarkFlowRTTExtraction measures trace analysis over a captured
 // 10-second transfer.
-func BenchmarkFlowRTTExtraction(b *testing.B) {
-	eng := sim.NewEngine(77)
-	net := netem.New(eng)
-	client := net.NewHost("client")
-	server := net.NewHost("server")
-	q := netem.NewDropTailDepth(20e6, 100*time.Millisecond)
-	net.Connect(server, client,
-		netem.LinkConfig{RateBps: 20e6, Delay: 20 * time.Millisecond, Queue: q},
-		netem.LinkConfig{RateBps: 100e6, Delay: 20 * time.Millisecond})
-	capt := server.EnableCapture()
-	tcpsim.StartDownload(client, server, 40000, 80, tcpsim.Config{}, 0, 10*time.Second)
-	eng.Run()
-	flow := flowrtt.Flows(capt.Records)[0]
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		info, err := flowrtt.Analyze(capt.Records, flow)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(info.SlowStart) < 10 {
-			b.Fatal("too few samples")
-		}
-	}
-}
+func BenchmarkFlowRTTExtraction(b *testing.B) { benchkit.FlowRTTExtraction(b) }
 
 // BenchmarkFeatureExtraction measures NormDiff/CoV computation.
-func BenchmarkFeatureExtraction(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	rtts := make([]time.Duration, 200)
-	for i := range rtts {
-		rtts[i] = time.Duration(20+rng.Intn(100)) * time.Millisecond
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := features.FromRTTs(rtts, 0); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkFeatureExtraction(b *testing.B) { benchkit.FeatureExtraction(b) }
 
 // BenchmarkTreePredict measures single-flow classification.
-func BenchmarkTreePredict(b *testing.B) {
-	rng := rand.New(rand.NewSource(2))
-	var ex []dtree.Example
-	for i := 0; i < 500; i++ {
-		x, y := rng.Float64(), rng.Float64()
-		label := 0
-		if x+y > 1 {
-			label = 1
-		}
-		ex = append(ex, dtree.Example{X: []float64{x, y}, Label: label})
-	}
-	tree, err := dtree.Train(ex, dtree.Options{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	probe := []float64{0.4, 0.7}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tree.Predict(probe)
-	}
-}
+func BenchmarkTreePredict(b *testing.B) { benchkit.TreePredict(b) }
 
 // BenchmarkTreeTrain measures decision-tree training on 1000 examples.
 func BenchmarkTreeTrain(b *testing.B) {
@@ -446,84 +373,20 @@ func BenchmarkTreeTrain(b *testing.B) {
 }
 
 // BenchmarkEngineEvents measures the raw discrete-event engine throughput.
-func BenchmarkEngineEvents(b *testing.B) {
-	eng := sim.NewEngine(1)
-	var fn func()
-	n := 0
-	fn = func() {
-		n++
-		if n < b.N {
-			eng.Schedule(time.Microsecond, fn)
-		}
-	}
-	b.ResetTimer()
-	eng.Schedule(0, fn)
-	eng.Run()
-	if n < b.N {
-		b.Fatalf("ran %d events", n)
-	}
-}
+func BenchmarkEngineEvents(b *testing.B) { benchkit.EngineEvents(b) }
 
-// benchNetemEnqueue drives the link admission/serialization hot path:
-// packets are pushed through a gigabit link and the engine drains
-// deliveries (and buffer releases — the dequeue path) every 256 sends.
-func benchNetemEnqueue(b *testing.B, sink *obs.Sink) {
-	eng := sim.NewEngine(1)
-	obs.Attach(eng, sink)
-	net := netem.New(eng)
-	src := net.NewHost("src")
-	dst := net.NewHost("dst")
-	toDst, _ := net.Connect(src, dst,
-		netem.LinkConfig{RateBps: 1e9, Queue: netem.NewDropTail(1 << 20)},
-		netem.LinkConfig{RateBps: 1e9})
-	flow := netem.FlowKey{SrcAddr: src.Addr(), DstAddr: dst.Addr(), SrcPort: 1, DstPort: 2}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		toDst.Send(&netem.Packet{Flow: flow, Size: 1500})
-		if i%256 == 255 {
-			eng.Run()
-		}
-	}
-}
-
-// BenchmarkNetemEnqueue is the disabled-sink baseline: the observability
-// layer must cost ~nothing here (a nil check per event).
-func BenchmarkNetemEnqueue(b *testing.B) { benchNetemEnqueue(b, nil) }
+// BenchmarkNetemEnqueue is the disabled-sink link hot-path baseline: the
+// observability layer must cost ~nothing here (a nil check per event).
+func BenchmarkNetemEnqueue(b *testing.B) { benchkit.NetemEnqueue(b) }
 
 // BenchmarkNetemEnqueueTraced measures the same path with tracing on.
-func BenchmarkNetemEnqueueTraced(b *testing.B) {
-	benchNetemEnqueue(b, &obs.Sink{Trace: obs.NewTracer(0)})
-}
-
-// benchSenderStep runs a short emulated transfer — the TCP sender's
-// ACK-clocked send/receive stepping dominates — with or without a sink.
-func benchSenderStep(b *testing.B, attach bool) {
-	for i := 0; i < b.N; i++ {
-		eng := sim.NewEngine(int64(i + 1))
-		if attach {
-			obs.Attach(eng, &obs.Sink{Trace: obs.NewTracer(0), Metrics: obs.NewRegistry()})
-		}
-		net := netem.New(eng)
-		client := net.NewHost("client")
-		server := net.NewHost("server")
-		q := netem.NewDropTailDepth(20e6, 100*time.Millisecond)
-		net.Connect(server, client,
-			netem.LinkConfig{RateBps: 20e6, Delay: 20 * time.Millisecond, Queue: q},
-			netem.LinkConfig{RateBps: 100e6, Delay: 20 * time.Millisecond})
-		d := tcpsim.StartDownload(client, server, 40000, 80, tcpsim.Config{}, 0, 2*time.Second)
-		eng.Run()
-		if !d.Receiver.Done() {
-			b.Fatal("transfer incomplete")
-		}
-		b.SetBytes(d.Receiver.BytesReceived())
-	}
-}
+func BenchmarkNetemEnqueueTraced(b *testing.B) { benchkit.NetemEnqueueTraced(b) }
 
 // BenchmarkSenderStep is the disabled-sink sender hot-path baseline.
-func BenchmarkSenderStep(b *testing.B) { benchSenderStep(b, false) }
+func BenchmarkSenderStep(b *testing.B) { benchkit.SenderStep(b) }
 
 // BenchmarkSenderStepTraced measures the sender with tracing and metrics on.
-func BenchmarkSenderStepTraced(b *testing.B) { benchSenderStep(b, true) }
+func BenchmarkSenderStepTraced(b *testing.B) { benchkit.SenderStepTraced(b) }
 
 // BenchmarkNDTTest measures one emulated NDT measurement including TSLP
 // probes (the mlab substrate's unit of work).

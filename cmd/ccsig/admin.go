@@ -1,0 +1,13 @@
+package main
+
+import "tcpsig/internal/telemetry"
+
+// startAdmin starts the opt-in wall-clock admin plane on addr, or
+// returns nil (fully inert, all methods nil-safe) when addr is empty.
+func startAdmin(addr string) *telemetry.Admin {
+	a, err := telemetry.StartAdmin(addr)
+	if err != nil {
+		fatal(err)
+	}
+	return a
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"tcpsig/internal/checkpoint"
 	"tcpsig/internal/conformance"
 	"tcpsig/internal/parallel"
+	"tcpsig/internal/telemetry"
 )
 
 // conformanceCmd runs the tier-2 statistical conformance suite (or, with
@@ -22,7 +24,7 @@ import (
 // stages persist completed chunks, so an interrupted run (exit 3) resumes
 // with -resume instead of recomputing.
 func conformanceCmd(args []string) {
-	fs := newFlagSet("conformance", "[-seed N] [-j N] [-o out.json] [-expected bands.json] [-checkpoint DIR] [-resume] [-chunk N] [-v] | -generate [-seeds 1,2,3]")
+	fs := newFlagSet("conformance", "[-seed N] [-j N] [-o out.json] [-expected bands.json] [-checkpoint DIR] [-resume] [-chunk N] [-admin ADDR] [-v] | -generate [-seeds 1,2,3]")
 	seed := fs.Int64("seed", 1, "suite seed (the report is byte-identical per seed)")
 	jobs := fs.Int("j", 0, "parallel sim runs (0 = all cores, 1 = serial; output is identical either way)")
 	out := fs.String("o", "", "write the JSON report (or, with -generate, the bands) here instead of stdout")
@@ -33,6 +35,7 @@ func conformanceCmd(args []string) {
 	ckptDir := fs.String("checkpoint", "", "persist the suite's sweep progress under this directory")
 	resume := fs.Bool("resume", false, "continue an interrupted suite run from -checkpoint")
 	chunk := fs.Int("chunk", 0, "runs per checkpoint chunk (0 = default)")
+	adminAddr := fs.String("admin", "", "serve live /metrics, /progress and /debug/pprof on this address (e.g. :9100)")
 	verbose := fs.Bool("v", false, "print stage progress to stderr")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
@@ -83,13 +86,18 @@ func conformanceCmd(args []string) {
 		return
 	}
 
+	telemetry.InitLogging("ccsig", *verbose, "sub", "conformance", "seed", *seed)
+	admin := startAdmin(*adminAddr)
+	defer admin.Close()
+
 	spec := checkpointSpec(*ckptDir, *resume, *chunk)
+	admin.Observe(spec)
 	opt := conformance.Options{Seed: *seed, Workers: workers, Checks: onlyChecks}
-	if *verbose || spec != nil {
+	if *verbose || spec != nil || admin != nil {
 		src := &conformance.EmulatedSource{Seed: *seed, Workers: workers, Checkpoint: spec}
 		if *verbose {
 			src.Progress = func(stage string) {
-				fmt.Fprintf(os.Stderr, "conformance: running %s...\n", stage)
+				slog.Info("running stage", "stage", stage)
 			}
 		}
 		opt.Source = src
@@ -111,7 +119,8 @@ func conformanceCmd(args []string) {
 	rep, err := conformance.Run(opt)
 	if err != nil {
 		if errors.Is(err, checkpoint.ErrInterrupted) {
-			fmt.Fprintf(os.Stderr, "\nccsig conformance: %v\nresume with: ccsig conformance -checkpoint %s -resume (plus the same flags)\n", err, *ckptDir)
+			slog.Warn("interrupted; progress checkpointed", "err", err,
+				"resume", fmt.Sprintf("ccsig conformance -checkpoint %s -resume (plus the same flags)", *ckptDir))
 			os.Exit(3)
 		}
 		fatal(err)

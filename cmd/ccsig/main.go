@@ -11,6 +11,9 @@
 //	ccsig conformance [-seed N] [-j N] [-o report.json]
 //	ccsig trace [-seed N] [-cong N] -o trace.json
 //	ccsig metrics [-seed N] [-scenario both]
+//	ccsig bench [-rev LABEL] [-count N] -o BENCH_rev.json
+//	ccsig benchdiff [-advisory] old.json new.json
+//	ccsig checkmetrics [file]
 //
 // train fits the decision tree on emulated controlled experiments
 // reproducing the paper's testbed; classify analyzes pcap files captured at
@@ -23,6 +26,15 @@
 // metrics runs instrumented experiments and prints their metric
 // snapshots. trace and metrics output is a pure function of the seed:
 // re-running with the same flags is byte-identical.
+//
+// bench, benchdiff and checkmetrics serve the wall-clock telemetry
+// plane: bench emits a versioned perf-trajectory artifact from the
+// hot-path micro-benchmarks, benchdiff gates two artifacts against
+// regression budgets, and checkmetrics validates a saved Prometheus
+// /metrics exposition. Long-running subcommands (faults, conformance)
+// accept -admin ADDR to serve live /metrics, /progress and
+// /debug/pprof while they run; the flag is off by default and never
+// alters sim-time outputs.
 package main
 
 import (
@@ -30,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -37,6 +50,7 @@ import (
 	"tcpsig"
 	"tcpsig/internal/checkpoint"
 	"tcpsig/internal/parallel"
+	"tcpsig/internal/telemetry"
 	"tcpsig/internal/testbed"
 )
 
@@ -51,11 +65,12 @@ func checkpointSpec(dir string, resume bool, chunk int) *checkpoint.Spec {
 	return &checkpoint.Spec{
 		Dir: dir, Resume: resume, ChunkSize: chunk,
 		Interrupt: intr,
-		Log:       func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		Log:       func(format string, args ...any) { slog.Info(fmt.Sprintf(format, args...)) },
 	}
 }
 
 func main() {
+	telemetry.InitLogging("ccsig", false)
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -77,6 +92,12 @@ func main() {
 		traceCmd(os.Args[2:])
 	case "metrics":
 		metricsCmd(os.Args[2:])
+	case "bench":
+		benchCmd(os.Args[2:])
+	case "benchdiff":
+		benchdiffCmd(os.Args[2:])
+	case "checkmetrics":
+		checkmetricsCmd(os.Args[2:])
 	case "help", "-h", "-help", "--help":
 		usage()
 	default:
@@ -98,6 +119,9 @@ commands:
   conformance  run the tier-2 statistical conformance suite, emit a JSON report
   trace      run one instrumented experiment, export a Chrome/Perfetto trace
   metrics    run instrumented experiments, print metric snapshots
+  bench      run hot-path micro-benchmarks, write a perf-trajectory artifact
+  benchdiff  compare two bench artifacts against regression budgets
+  checkmetrics  validate a saved Prometheus /metrics exposition
   help       show this message
 
 run 'ccsig <command> -h' for per-command flags
@@ -292,7 +316,7 @@ func inspectCmd(args []string) {
 }
 
 func faultsCmd(args []string) {
-	fs := newFlagSet("faults", "[-quick] [-runs N] [-threshold F] [-seed N] [-faults name,name,...] [-j N] [-checkpoint DIR] [-resume] [-chunk N] [-v]")
+	fs := newFlagSet("faults", "[-quick] [-runs N] [-threshold F] [-seed N] [-faults name,name,...] [-j N] [-checkpoint DIR] [-resume] [-chunk N] [-admin ADDR] [-v]")
 	quick := fs.Bool("quick", false, "small parameter grid (seconds instead of minutes)")
 	runs := fs.Int("runs", 0, "runs per parameter combination and scenario")
 	threshold := fs.Float64("threshold", 0.8, "slow-start throughput labeling threshold")
@@ -302,14 +326,20 @@ func faultsCmd(args []string) {
 	ckptDir := fs.String("checkpoint", "", "persist per-regime sweep progress under this directory")
 	resume := fs.Bool("resume", false, "continue an interrupted run from -checkpoint")
 	chunk := fs.Int("chunk", 0, "runs per checkpoint chunk (0 = default)")
+	adminAddr := fs.String("admin", "", "serve live /metrics, /progress and /debug/pprof on this address (e.g. :9100)")
 	verbose := fs.Bool("v", false, "print progress")
 	fs.Parse(args)
 	if *resume && *ckptDir == "" {
 		badUsage(fs, "-resume requires -checkpoint")
 	}
+	telemetry.InitLogging("ccsig", *verbose, "sub", "faults", "seed", *seed)
+
+	admin := startAdmin(*adminAddr)
+	defer admin.Close()
 
 	spec := checkpointSpec(*ckptDir, *resume, *chunk)
-	sw := testbed.SweepOptions{RunsPerConfig: *runs, Seed: *seed, Workers: parallel.Workers(*jobs), Checkpoint: spec}
+	admin.Observe(spec)
+	sw := testbed.SweepOptions{RunsPerConfig: *runs, Seed: *seed, Workers: parallel.Workers(*jobs), Checkpoint: spec, LiveMetrics: admin.LiveMetrics()}
 	if *quick {
 		sw.Rates = []float64{50}
 		sw.Losses = []float64{0}
@@ -342,15 +372,19 @@ func faultsCmd(args []string) {
 	}
 
 	opt := testbed.FaultSweepOptions{Sweep: sw, Regimes: regimes, Threshold: *threshold}
-	if *verbose {
+	if *verbose || admin != nil {
 		opt.Progress = func(regime string, done, total int) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] sweeping regime %s...\n", done+1, total, regime)
+			if *verbose {
+				slog.Info("sweeping regime", "regime", regime, "done", done, "total", total)
+			}
+			admin.RunDone("regimes", done, total)
 		}
 	}
 	report, err := testbed.SweepFaults(opt)
 	if err != nil {
 		if errors.Is(err, checkpoint.ErrInterrupted) {
-			fmt.Fprintf(os.Stderr, "\nccsig faults: %v\nresume with: ccsig faults -checkpoint %s -resume (plus the same flags)\n", err, *ckptDir)
+			slog.Warn("interrupted; progress checkpointed", "err", err,
+				"resume", fmt.Sprintf("ccsig faults -checkpoint %s -resume (plus the same flags)", *ckptDir))
 			os.Exit(3)
 		}
 		fatal(err)

@@ -49,6 +49,9 @@ commands:
   conformance  run the tier-2 statistical conformance suite, emit a JSON report
   trace      run one instrumented experiment, export a Chrome/Perfetto trace
   metrics    run instrumented experiments, print metric snapshots
+  bench      run hot-path micro-benchmarks, write a perf-trajectory artifact
+  benchdiff  compare two bench artifacts against regression budgets
+  checkmetrics  validate a saved Prometheus /metrics exposition
   help       show this message
 
 run 'ccsig <command> -h' for per-command flags
@@ -92,7 +95,7 @@ func TestTopLevelExitCodes(t *testing.T) {
 // 0 on -h, printing its synopsis either way (the flag package contract,
 // wired through newFlagSet).
 func TestSubcommandFlagErrors(t *testing.T) {
-	subs := []string{"train", "classify", "summarize", "inspect", "faults", "conformance", "trace", "metrics"}
+	subs := []string{"train", "classify", "summarize", "inspect", "faults", "conformance", "trace", "metrics", "bench", "benchdiff", "checkmetrics"}
 	for _, sub := range subs {
 		t.Run(sub+"/bad flag", func(t *testing.T) {
 			_, stderr, code := runCLI(t, sub, "-no-such-flag")
@@ -129,6 +132,9 @@ func TestSubcommandUsageErrors(t *testing.T) {
 		{name: "summarize without pcaps", args: []string{"summarize", "-server", "10.0.0.2"}, wantErr: "no pcap files given"},
 		{name: "conformance stray args", args: []string{"conformance", "stray"}, wantErr: "unexpected arguments"},
 		{name: "conformance bad seeds", args: []string{"conformance", "-generate", "-seeds", "1,x"}, wantErr: `bad -seeds entry "x"`},
+		{name: "bench without output", args: []string{"bench"}, wantErr: "-o is required"},
+		{name: "bench bad count", args: []string{"bench", "-count", "0", "-o", "x.json"}, wantErr: "-count must be >= 1"},
+		{name: "benchdiff one arg", args: []string{"benchdiff", "old.json"}, wantErr: "want exactly two artifact paths"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -155,6 +161,9 @@ func TestRuntimeFailuresExitOne(t *testing.T) {
 		{name: "classify missing model", args: []string{"classify", "-model", "/nonexistent/model.json", "-server", "10.0.0.2", "x.pcap"}, wantErr: "ccsig:"},
 		{name: "faults unknown regime", args: []string{"faults", "-faults", "no-such-regime"}, wantErr: "unknown fault regime"},
 		{name: "conformance unknown check", args: []string{"conformance", "-checks", "no-such-check"}, wantErr: "unknown check"},
+		{name: "bench unknown benchmark", args: []string{"bench", "-only", "NoSuchBench", "-o", "-"}, wantErr: "unknown benchmark"},
+		{name: "benchdiff missing artifact", args: []string{"benchdiff", "/nonexistent/a.json", "/nonexistent/b.json"}, wantErr: "ccsig:"},
+		{name: "checkmetrics missing file", args: []string{"checkmetrics", "/nonexistent/metrics.txt"}, wantErr: "ccsig:"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	figures [-scale quick|full|paper] [-only fig1,fig3,...] [-seed N] [-j N]
-//	        [-checkpoint DIR] [-resume] [-chunk N]
+//	        [-checkpoint DIR] [-resume] [-chunk N] [-admin ADDR]
 //	        [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // Experiments: fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, multiplexing,
@@ -15,12 +15,18 @@
 // interrupted run continues with -resume, replaying finished stages and
 // chunks. SIGINT/SIGTERM drain gracefully and exit 3 (resumable); a second
 // signal exits immediately.
+//
+// With -admin the wall-clock telemetry plane serves process metrics,
+// per-stage checkpoint progress (/progress) and /debug/pprof/* on ADDR
+// while the figures run; off by default, and figure output is unchanged
+// by it.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -31,6 +37,7 @@ import (
 	"tcpsig/internal/obs"
 	"tcpsig/internal/parallel"
 	"tcpsig/internal/stats"
+	"tcpsig/internal/telemetry"
 	"tcpsig/internal/testbed"
 )
 
@@ -52,6 +59,7 @@ func main() {
 	ckptDir := flag.String("checkpoint", "", "persist per-stage sweep progress under this directory")
 	resume := flag.Bool("resume", false, "continue an interrupted run from -checkpoint")
 	chunk := flag.Int("chunk", 0, "runs per checkpoint chunk (0 = default)")
+	adminAddr := flag.String("admin", "", "serve live /metrics, /progress and /debug/pprof on this address (e.g. :9100)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -82,6 +90,14 @@ func main() {
 	stopProfiles = stop
 	defer stopProfiles()
 
+	telemetry.InitLogging("figures", *progress, "seed", *seed, "scale", *scaleFlag)
+	admin, err := telemetry.StartAdmin(*adminAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		exit(1)
+	}
+	defer admin.Close()
+
 	want := map[string]bool{}
 	if *only != "" {
 		for _, name := range strings.Split(*only, ",") {
@@ -101,8 +117,9 @@ func main() {
 		spec = &checkpoint.Spec{
 			Dir: *ckptDir, Resume: *resume, ChunkSize: *chunk,
 			Interrupt: intr,
-			Log:       func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+			Log:       func(format string, args ...any) { slog.Info(fmt.Sprintf(format, args...)) },
 		}
+		admin.Observe(spec)
 	}
 
 	r := &runner{scale: scale, seed: *seed, workers: parallel.Workers(*jobs), progress: prog, ckpt: spec, ckptDir: *ckptDir}
@@ -192,7 +209,9 @@ func (r *runner) check(err error) {
 		return
 	}
 	if errors.Is(err, checkpoint.ErrInterrupted) {
-		fmt.Fprintf(os.Stderr, "\nfigures: %v\nresume with: figures -checkpoint %s -resume (plus the same flags)\n", err, r.ckptDir)
+		fmt.Fprintln(os.Stderr)
+		slog.Warn("interrupted; progress checkpointed", "err", err,
+			"resume", fmt.Sprintf("figures -checkpoint %s -resume (plus the same flags)", r.ckptDir))
 		exit(3)
 	}
 	fmt.Fprintf(os.Stderr, "\nfigures: %v\n", err)

@@ -3,25 +3,29 @@
 //
 // Usage:
 //
-//	mlab dispute [-scale quick|full|paper] [-seed N] [-j N] [-checkpoint DIR] [-resume] [-chunk N]   # §4.1/§5.1-5.3
-//	mlab tslp    [-scale quick|full|paper] [-seed N] [-j N] [-checkpoint DIR] [-resume] [-chunk N]   # §4.2/§5.4
+//	mlab dispute [-scale quick|full|paper] [-seed N] [-j N] [-checkpoint DIR] [-resume] [-chunk N] [-admin ADDR]   # §4.1/§5.1-5.3
+//	mlab tslp    [-scale quick|full|paper] [-seed N] [-j N] [-checkpoint DIR] [-resume] [-chunk N] [-admin ADDR]   # §4.2/§5.4
 //
 // With -checkpoint the training sweep and the dataset generation persist
 // completed chunks under DIR; an interrupted run continues with -resume.
 // SIGINT/SIGTERM drain gracefully and exit 3 (resumable); a second signal
-// exits immediately.
+// exits immediately. With -admin the wall-clock telemetry plane serves
+// process metrics, checkpoint progress and pprof on ADDR while the
+// campaign runs; off by default and output-neutral.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"tcpsig/internal/checkpoint"
 	"tcpsig/internal/experiments"
 	"tcpsig/internal/mlab"
 	"tcpsig/internal/parallel"
+	"tcpsig/internal/telemetry"
 )
 
 func main() {
@@ -40,8 +44,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  mlab dispute [-scale quick|full|paper] [-seed N] [-j N] [-checkpoint DIR] [-resume] [-chunk N]
-  mlab tslp    [-scale quick|full|paper] [-seed N] [-j N] [-checkpoint DIR] [-resume] [-chunk N]
+  mlab dispute [-scale quick|full|paper] [-seed N] [-j N] [-checkpoint DIR] [-resume] [-chunk N] [-admin ADDR]
+  mlab tslp    [-scale quick|full|paper] [-seed N] [-j N] [-checkpoint DIR] [-resume] [-chunk N] [-admin ADDR]
 `)
 	os.Exit(2)
 }
@@ -68,6 +72,7 @@ type mlabFlags struct {
 	ckptDir   *string
 	resume    *bool
 	chunk     *int
+	adminAddr *string
 }
 
 func addFlags(fs *flag.FlagSet) mlabFlags {
@@ -78,7 +83,20 @@ func addFlags(fs *flag.FlagSet) mlabFlags {
 		ckptDir:   fs.String("checkpoint", "", "persist sweep progress under this directory"),
 		resume:    fs.Bool("resume", false, "continue an interrupted run from -checkpoint"),
 		chunk:     fs.Int("chunk", 0, "runs per checkpoint chunk (0 = default)"),
+		adminAddr: fs.String("admin", "", "serve live /metrics, /progress and /debug/pprof on this address (e.g. :9100)"),
 	}
+}
+
+// admin starts the wall-clock telemetry plane (nil and inert without
+// -admin) after installing structured logging for the subcommand.
+func (f mlabFlags) admin(cmd string) *telemetry.Admin {
+	telemetry.InitLogging("mlab", false, "sub", cmd, "seed", *f.seed, "scale", *f.scaleFlag)
+	a, err := telemetry.StartAdmin(*f.adminAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlab %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+	return a
 }
 
 // spec installs the signal discipline and builds the checkpoint root (nil
@@ -95,7 +113,7 @@ func (f mlabFlags) spec(cmd string) *checkpoint.Spec {
 	return &checkpoint.Spec{
 		Dir: *f.ckptDir, Resume: *f.resume, ChunkSize: *f.chunk,
 		Interrupt: intr,
-		Log:       func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		Log:       func(format string, args ...any) { slog.Info(fmt.Sprintf(format, args...)) },
 	}
 }
 
@@ -106,8 +124,9 @@ func (f mlabFlags) check(cmd string, err error) {
 		return
 	}
 	if errors.Is(err, checkpoint.ErrInterrupted) {
-		fmt.Fprintf(os.Stderr, "\nmlab %s: %v\nresume with: mlab %s -checkpoint %s -resume (plus the same flags)\n",
-			cmd, err, cmd, *f.ckptDir)
+		fmt.Fprintln(os.Stderr)
+		slog.Warn("interrupted; progress checkpointed", "err", err,
+			"resume", fmt.Sprintf("mlab %s -checkpoint %s -resume (plus the same flags)", cmd, *f.ckptDir))
 		os.Exit(3)
 	}
 	fmt.Fprintf(os.Stderr, "\nmlab %s: %v\n", cmd, err)
@@ -121,6 +140,9 @@ func disputeCmd(args []string) {
 	scale := parseScale(*f.scaleFlag)
 	workers := parallel.Workers(*f.jobs)
 	spec := f.spec("dispute")
+	admin := f.admin("dispute")
+	defer admin.Close()
+	admin.Observe(spec)
 
 	ex := experiments.Exec{Scale: scale, Seed: *f.seed, Workers: workers, Checkpoint: spec}
 	results, err := ex.SweepResults(nil)
@@ -133,6 +155,7 @@ func disputeCmd(args []string) {
 	ex.Seed = *f.seed + 10000
 	tests, err := ex.DisputeData(func(done, total int) {
 		fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
+		admin.RunDone("dispute-data", done, total)
 	})
 	f.check("dispute", err)
 	fmt.Fprintf(os.Stderr, "\n%d NDT tests\n", len(tests))
@@ -174,6 +197,9 @@ func tslpCmd(args []string) {
 	scale := parseScale(*f.scaleFlag)
 	workers := parallel.Workers(*f.jobs)
 	spec := f.spec("tslp")
+	admin := f.admin("tslp")
+	defer admin.Close()
+	admin.Observe(spec)
 
 	ex := experiments.Exec{Scale: scale, Seed: *f.seed, Workers: workers, Checkpoint: spec}
 	results, err := ex.SweepResults(nil)

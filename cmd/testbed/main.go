@@ -6,7 +6,7 @@
 // Usage:
 //
 //	testbed [-runs N] [-threshold F] [-seed N] [-quick] [-csv] [-o file] [-j N]
-//	        [-checkpoint DIR] [-resume] [-chunk N]
+//	        [-checkpoint DIR] [-resume] [-chunk N] [-admin ADDR]
 //	        [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // With -checkpoint the sweep persists each completed chunk of runs under
@@ -15,6 +15,13 @@
 // byte-identical to an uninterrupted run. SIGINT/SIGTERM drain gracefully
 // (finish the in-flight chunk, flush the manifest, exit 3); a second
 // signal exits immediately.
+//
+// With -admin the wall-clock telemetry plane serves live /metrics (the
+// sweep's metric aggregate so far plus process gauges, Prometheus text
+// format), /progress (chunk counts, run rate, ETA as JSON), /healthz and
+// /debug/pprof/* on ADDR while the sweep runs. The flag is off by
+// default and never changes sweep output: same-seed runs are
+// byte-identical with and without it.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 	"time"
@@ -31,6 +39,7 @@ import (
 	"tcpsig/internal/features"
 	"tcpsig/internal/obs"
 	"tcpsig/internal/parallel"
+	"tcpsig/internal/telemetry"
 	"tcpsig/internal/testbed"
 )
 
@@ -54,6 +63,7 @@ func main() {
 	ckptDir := flag.String("checkpoint", "", "persist sweep progress under this directory")
 	resume := flag.Bool("resume", false, "continue an interrupted sweep from -checkpoint")
 	chunk := flag.Int("chunk", 0, "runs per checkpoint chunk (0 = default)")
+	adminAddr := flag.String("admin", "", "serve live /metrics, /progress and /debug/pprof on this address (e.g. :9100)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -66,6 +76,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "testbed: -resume requires -checkpoint")
 		os.Exit(2)
 	}
+	telemetry.InitLogging("testbed", false, "seed", *seed)
+
+	admin, err := telemetry.StartAdmin(*adminAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "testbed:", err)
+		os.Exit(1)
+	}
+	defer admin.Close()
 
 	stop, err := obs.StartProfiles(*cpuprofile, *memprofile, *traceFile)
 	if err != nil {
@@ -83,8 +101,9 @@ func main() {
 		spec = &checkpoint.Spec{
 			Dir: *ckptDir, Name: "sweep", Resume: *resume, ChunkSize: *chunk,
 			Interrupt: intr,
-			Log:       func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+			Log:       func(format string, args ...any) { slog.Info(fmt.Sprintf(format, args...)) },
 		}
+		admin.Observe(spec)
 	}
 
 	opt := testbed.SweepOptions{
@@ -92,8 +111,10 @@ func main() {
 		Seed:          *seed,
 		Workers:       parallel.Workers(*jobs),
 		Checkpoint:    spec,
+		LiveMetrics:   admin.LiveMetrics(),
 		Progress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
+			admin.RunDone("sweep", done, total)
 		},
 	}
 	if *quick {
@@ -138,7 +159,9 @@ func main() {
 	if err != nil {
 		staged.Abort()
 		if errors.Is(err, checkpoint.ErrInterrupted) {
-			fmt.Fprintf(os.Stderr, "\ntestbed: %v\nresume with: testbed -checkpoint %s -resume (plus the same flags)\n", err, *ckptDir)
+			fmt.Fprintln(os.Stderr)
+			slog.Warn("interrupted; progress checkpointed", "err", err,
+				"resume", fmt.Sprintf("testbed -checkpoint %s -resume (plus the same flags)", *ckptDir))
 			exit(3)
 		}
 		fmt.Fprintln(os.Stderr, "\ntestbed:", err)

@@ -8,6 +8,7 @@ package simdeterminism
 import (
 	"go/ast"
 	"go/types"
+	"strconv"
 
 	"tcpsig/internal/analysis"
 )
@@ -30,6 +31,25 @@ var Packages = []string{
 	// or work stealing) would be invisible in the results until it wasn't.
 	"internal/parallel",
 }
+
+// ForbiddenImports lists import-path suffixes that simulation code must
+// never depend on. internal/telemetry is the wall-clock observability
+// plane: it may consume sim-plane data (obs snapshots), but the reverse
+// edge would let host time leak into simulation behaviour.
+var ForbiddenImports = []string{
+	"internal/telemetry",
+}
+
+// ImportPackages is the wider set the import ban applies to: everything
+// in Packages plus the sweep and checkpoint layers. Those two may read
+// the wall clock (worker scheduling, file IO), but they feed the
+// telemetry plane only through plain callbacks and the checkpoint
+// Observer interface — importing telemetry from them would invert the
+// dependency the two-plane design rests on.
+var ImportPackages = append([]string{
+	"internal/testbed",
+	"internal/checkpoint",
+}, Packages...)
 
 // wallClock is the set of time functions that read the host clock or block
 // on it. Duration arithmetic and constants remain allowed.
@@ -54,11 +74,27 @@ var Analyzer = &analysis.Analyzer{
 		"Inside internal/{sim,netem,tcpsim,faults,experiments,obs} every random draw\n" +
 		"must come from an injected *rand.Rand and every timestamp from the sim\n" +
 		"clock; time.Now/Since/Sleep and the global math/rand functions make\n" +
-		"runs irreproducible.",
+		"runs irreproducible. Those packages — plus testbed and checkpoint —\n" +
+		"must also never import internal/telemetry, the wall-clock plane:\n" +
+		"metric snapshots flow out to it through plain data, never control\n" +
+		"back in.",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	if analysis.HasPathSuffix(pass.Pkg.Path(), ImportPackages) {
+		for _, file := range pass.Files {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if analysis.HasPathSuffix(path, ForbiddenImports) {
+					pass.Reportf(imp.Pos(), "import of %s: the wall-clock telemetry plane must not be reachable from simulation code (snapshots flow out as data; nothing flows back)", path)
+				}
+			}
+		}
+	}
 	if !analysis.HasPathSuffix(pass.Pkg.Path(), Packages) {
 		return nil, nil
 	}

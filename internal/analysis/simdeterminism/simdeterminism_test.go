@@ -8,5 +8,5 @@ import (
 )
 
 func TestSimDeterminism(t *testing.T) {
-	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "internal/sim", "internal/obs", "internal/parallel", "other")
+	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "internal/sim", "internal/obs", "internal/parallel", "internal/testbed", "other")
 }

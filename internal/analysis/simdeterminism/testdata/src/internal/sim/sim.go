@@ -3,6 +3,8 @@ package sim
 import (
 	"math/rand"
 	"time"
+
+	_ "internal/telemetry" // want `import of internal/telemetry: the wall-clock telemetry plane must not be reachable from simulation code`
 )
 
 func bad(t0 time.Time) {

@@ -1,0 +1,6 @@
+// Package telemetry is a stand-in for the real wall-clock plane: any
+// fixture importing it must be flagged by the simdeterminism analyzer.
+package telemetry
+
+// Marker exists so importers can reference the package.
+const Marker = 1

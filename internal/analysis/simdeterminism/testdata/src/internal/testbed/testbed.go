@@ -1,0 +1,14 @@
+// Package testbed exercises the wider import ban: the sweep layer may
+// read the wall clock (it is not in the determinism set), but importing
+// the telemetry plane still inverts the two-plane dependency.
+package testbed
+
+import (
+	"time"
+
+	_ "internal/telemetry" // want `import of internal/telemetry: the wall-clock telemetry plane must not be reachable from simulation code`
+)
+
+func allowedHere() time.Time {
+	return time.Now() // allowed: testbed is only in the import set, not the clock set
+}

@@ -1,0 +1,220 @@
+// Package benchkit holds the hot-path micro-benchmark bodies shared by
+// the root bench_test.go suite (go test -bench) and the `ccsig bench`
+// subcommand, which drives them through testing.Benchmark to emit
+// versioned perf-trajectory artifacts without a Go toolchain at runtime.
+//
+// Every body calls b.ReportAllocs, so allocation counts are recorded even
+// when the driver does not pass -benchmem — the artifact comparator
+// treats allocs/op as a first-class regression signal.
+package benchkit
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tcpsig/internal/dtree"
+	"tcpsig/internal/features"
+	"tcpsig/internal/flowrtt"
+	"tcpsig/internal/netem"
+	"tcpsig/internal/obs"
+	"tcpsig/internal/sim"
+	"tcpsig/internal/tcpsim"
+)
+
+// Benchmark is one runnable hot-path benchmark.
+type Benchmark struct {
+	Name string
+	Fn   func(*testing.B)
+}
+
+// All returns the benchmark registry in display order. The names are the
+// artifact keys: renaming one shows up as a removed+added pair in every
+// later comparator run, so treat them as stable identifiers.
+func All() []Benchmark {
+	return []Benchmark{
+		{"EngineEvents", EngineEvents},
+		{"NetemEnqueue", NetemEnqueue},
+		{"NetemEnqueueTraced", NetemEnqueueTraced},
+		{"SenderStep", SenderStep},
+		{"SenderStepTraced", SenderStepTraced},
+		{"EmulatedTransfer", EmulatedTransfer},
+		{"FlowRTTExtraction", FlowRTTExtraction},
+		{"FeatureExtraction", FeatureExtraction},
+		{"TreePredict", TreePredict},
+	}
+}
+
+// EngineEvents measures the raw discrete-event engine throughput.
+func EngineEvents(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			eng.Schedule(time.Microsecond, fn)
+		}
+	}
+	b.ResetTimer()
+	eng.Schedule(0, fn)
+	eng.Run()
+	if n < b.N {
+		b.Fatalf("ran %d events", n)
+	}
+}
+
+// netemEnqueue drives the link admission/serialization hot path: packets
+// are pushed through a gigabit link and the engine drains deliveries (and
+// buffer releases — the dequeue path) every 256 sends.
+func netemEnqueue(b *testing.B, sink *obs.Sink) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	obs.Attach(eng, sink)
+	net := netem.New(eng)
+	src := net.NewHost("src")
+	dst := net.NewHost("dst")
+	toDst, _ := net.Connect(src, dst,
+		netem.LinkConfig{RateBps: 1e9, Queue: netem.NewDropTail(1 << 20)},
+		netem.LinkConfig{RateBps: 1e9})
+	flow := netem.FlowKey{SrcAddr: src.Addr(), DstAddr: dst.Addr(), SrcPort: 1, DstPort: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		//sigcheck:ignore hotpathalloc -- the benchmark measures exactly this allocation+enqueue cost; each packet must be fresh
+		toDst.Send(&netem.Packet{Flow: flow, Size: 1500})
+		if i%256 == 255 {
+			eng.Run()
+		}
+	}
+}
+
+// NetemEnqueue is the disabled-sink baseline: the observability layer
+// must cost ~nothing here (a nil check per event).
+func NetemEnqueue(b *testing.B) { netemEnqueue(b, nil) }
+
+// NetemEnqueueTraced measures the same path with tracing on.
+func NetemEnqueueTraced(b *testing.B) {
+	netemEnqueue(b, &obs.Sink{Trace: obs.NewTracer(0)})
+}
+
+// senderStep runs a short emulated transfer — the TCP sender's
+// ACK-clocked send/receive stepping dominates — with or without a sink.
+func senderStep(b *testing.B, attach bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(int64(i + 1))
+		if attach {
+			obs.Attach(eng, &obs.Sink{Trace: obs.NewTracer(0), Metrics: obs.NewRegistry()})
+		}
+		net := netem.New(eng)
+		client := net.NewHost("client")
+		server := net.NewHost("server")
+		q := netem.NewDropTailDepth(20e6, 100*time.Millisecond)
+		net.Connect(server, client,
+			netem.LinkConfig{RateBps: 20e6, Delay: 20 * time.Millisecond, Queue: q},
+			netem.LinkConfig{RateBps: 100e6, Delay: 20 * time.Millisecond})
+		d := tcpsim.StartDownload(client, server, 40000, 80, tcpsim.Config{}, 0, 2*time.Second)
+		eng.Run()
+		if !d.Receiver.Done() {
+			b.Fatal("transfer incomplete")
+		}
+		b.SetBytes(d.Receiver.BytesReceived())
+	}
+}
+
+// SenderStep is the disabled-sink sender hot-path baseline.
+func SenderStep(b *testing.B) { senderStep(b, false) }
+
+// SenderStepTraced measures the sender with tracing and metrics on.
+func SenderStepTraced(b *testing.B) { senderStep(b, true) }
+
+// EmulatedTransfer measures raw emulation speed: a 10-second 20 Mbps
+// throughput test per iteration.
+func EmulatedTransfer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(int64(i + 1))
+		net := netem.New(eng)
+		client := net.NewHost("client")
+		server := net.NewHost("server")
+		q := netem.NewDropTailDepth(20e6, 100*time.Millisecond)
+		net.Connect(server, client,
+			netem.LinkConfig{RateBps: 20e6, Delay: 20 * time.Millisecond, Queue: q},
+			netem.LinkConfig{RateBps: 100e6, Delay: 20 * time.Millisecond})
+		d := tcpsim.StartDownload(client, server, 40000, 80, tcpsim.Config{}, 0, 10*time.Second)
+		eng.Run()
+		if !d.Receiver.Done() {
+			b.Fatal("transfer incomplete")
+		}
+		b.SetBytes(d.Receiver.BytesReceived())
+	}
+}
+
+// FlowRTTExtraction measures trace analysis over a captured 10-second
+// transfer.
+func FlowRTTExtraction(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(77)
+	net := netem.New(eng)
+	client := net.NewHost("client")
+	server := net.NewHost("server")
+	q := netem.NewDropTailDepth(20e6, 100*time.Millisecond)
+	net.Connect(server, client,
+		netem.LinkConfig{RateBps: 20e6, Delay: 20 * time.Millisecond, Queue: q},
+		netem.LinkConfig{RateBps: 100e6, Delay: 20 * time.Millisecond})
+	capt := server.EnableCapture()
+	tcpsim.StartDownload(client, server, 40000, 80, tcpsim.Config{}, 0, 10*time.Second)
+	eng.Run()
+	flow := flowrtt.Flows(capt.Records)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		info, err := flowrtt.Analyze(capt.Records, flow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(info.SlowStart) < 10 {
+			b.Fatal("too few samples")
+		}
+	}
+}
+
+// FeatureExtraction measures NormDiff/CoV computation.
+func FeatureExtraction(b *testing.B) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(1))
+	rtts := make([]time.Duration, 200)
+	for i := range rtts {
+		rtts[i] = time.Duration(20+rng.Intn(100)) * time.Millisecond
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := features.FromRTTs(rtts, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TreePredict measures single-flow classification.
+func TreePredict(b *testing.B) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(2))
+	var ex []dtree.Example
+	for i := 0; i < 500; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		label := 0
+		if x+y > 1 {
+			label = 1
+		}
+		ex = append(ex, dtree.Example{X: []float64{x, y}, Label: label})
+	}
+	tree, err := dtree.Train(ex, dtree.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := []float64{0.4, 0.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Predict(probe)
+	}
+}

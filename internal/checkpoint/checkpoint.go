@@ -83,6 +83,31 @@ type Spec struct {
 	// Log, when non-nil, receives one line per resume decision (chunk
 	// replayed, chunk recomputed, stale temp removed).
 	Log func(format string, args ...any)
+
+	// Observer, when non-nil, receives wall-clock progress callbacks
+	// (stage start, chunk completion) for live /progress reporting. It is
+	// strictly observational: callbacks carry copies of plan state, run on
+	// the sweep goroutine between chunks, and have no way to influence
+	// execution, so enabling one cannot perturb sweep outputs.
+	Observer Observer
+}
+
+// Observer is the wall-clock progress hook the telemetry plane implements
+// (telemetry.Progress satisfies it). Implementations must be safe for
+// concurrent use: a multi-stage pipeline may drive several stages through
+// one observer.
+type Observer interface {
+	// StageStarted fires once per Run, after the manifest is loaded:
+	// runs and chunks describe the plan, resumedChunks how many chunks the
+	// manifest already recorded, and lastDigest the digest of the highest
+	// recorded chunk — the resume fingerprint operators compare across
+	// restarts ("" on a fresh start).
+	StageStarted(stage string, runs, chunks, resumedChunks int, lastDigest string)
+
+	// ChunkDone fires after chunk (0-based) of chunks is durable and its
+	// results were delivered to collect; replayed distinguishes manifest
+	// replay from live computation, digest is the chunk artifact's digest.
+	ChunkDone(stage string, chunk, chunks int, replayed bool, digest string)
 }
 
 // Stage returns a copy of s naming one stage of a multi-stage pipeline.
@@ -179,6 +204,15 @@ func Run[T any](spec *Spec, identity string, n, workers int, run func(i int) T, 
 	defer mf.Close()
 
 	chunks := (n + size - 1) / size
+	if spec.Observer != nil {
+		last, maxChunk := "", -1
+		for c, rec := range records {
+			if c > maxChunk {
+				maxChunk, last = c, rec.Digest
+			}
+		}
+		spec.Observer.StageStarted(name, n, chunks, len(records), last)
+	}
 	for c := 0; c < chunks; c++ {
 		if spec.Interrupt.Interrupted() {
 			return fmt.Errorf("checkpoint: %s: stopped before chunk %d/%d: %w", name, c+1, chunks, ErrInterrupted)
@@ -188,6 +222,8 @@ func Run[T any](spec *Spec, identity string, n, workers int, run func(i int) T, 
 			hi = n
 		}
 		var payload []byte
+		replayed := false
+		chunkDigest := ""
 		rec, have := records[c]
 		if have {
 			if rec.Lo != lo || rec.Hi != hi {
@@ -200,6 +236,7 @@ func Run[T any](spec *Spec, identity string, n, workers int, run func(i int) T, 
 				payload = nil
 			} else {
 				spec.logf("checkpoint: %s: chunk %d/%d: replayed %d run(s)", name, c+1, chunks, hi-lo)
+				replayed, chunkDigest = true, rec.Digest
 			}
 		}
 		if payload == nil {
@@ -222,9 +259,13 @@ func Run[T any](spec *Spec, identity string, n, workers int, run func(i int) T, 
 			} else if err := appendRecord(mf, record{Chunk: c, Lo: lo, Hi: hi, File: chunkFile(c), Digest: digest}); err != nil {
 				return err
 			}
+			chunkDigest = digest
 		}
 		if err := replay(payload, lo, hi, collect); err != nil {
 			return fmt.Errorf("checkpoint: %s: chunk %d: %w", name, c, err)
+		}
+		if spec.Observer != nil {
+			spec.Observer.ChunkDone(name, c, chunks, replayed, chunkDigest)
 		}
 	}
 	return nil

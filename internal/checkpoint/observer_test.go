@@ -1,0 +1,117 @@
+package checkpoint
+
+import (
+	"sync"
+	"testing"
+)
+
+// recordingObserver captures every callback for assertion.
+type recordingObserver struct {
+	mu     sync.Mutex
+	stages []stageEvent
+	chunks []chunkEvent
+}
+
+type stageEvent struct {
+	stage                 string
+	runs, chunks, resumed int
+	lastDigest            string
+}
+
+type chunkEvent struct {
+	stage         string
+	chunk, chunks int
+	replayed      bool
+	digest        string
+}
+
+func (o *recordingObserver) StageStarted(stage string, runs, chunks, resumedChunks int, lastDigest string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.stages = append(o.stages, stageEvent{stage, runs, chunks, resumedChunks, lastDigest})
+}
+
+func (o *recordingObserver) ChunkDone(stage string, chunk, chunks int, replayed bool, digest string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.chunks = append(o.chunks, chunkEvent{stage, chunk, chunks, replayed, digest})
+}
+
+// TestObserverFreshAndResumed: a fresh run reports a zero-resume stage and
+// computed chunks; re-running the same plan with Resume reports the
+// recorded chunk count, the last recorded digest as the resume
+// fingerprint, and all-replayed chunks with digests matching the first
+// pass. Results stay identical either way — the observer is read-only.
+func TestObserverFreshAndResumed(t *testing.T) {
+	dir := t.TempDir()
+	fresh := &recordingObserver{}
+	spec := &Spec{Dir: dir, Name: "stage", ChunkSize: 3, Observer: fresh}
+
+	out1, computed := sweep(t, spec, "plan-v1", 10, 2)
+	wantItems(t, out1, 10)
+	if computed != 10 {
+		t.Fatalf("computed %d, want 10", computed)
+	}
+	if len(fresh.stages) != 1 || fresh.stages[0] != (stageEvent{"stage", 10, 4, 0, ""}) {
+		t.Fatalf("fresh StageStarted = %+v", fresh.stages)
+	}
+	if len(fresh.chunks) != 4 {
+		t.Fatalf("fresh ChunkDone fired %d times, want 4", len(fresh.chunks))
+	}
+	for i, ev := range fresh.chunks {
+		if ev.stage != "stage" || ev.chunk != i || ev.chunks != 4 || ev.replayed || ev.digest == "" {
+			t.Fatalf("fresh chunk event %d = %+v", i, ev)
+		}
+	}
+
+	resumed := &recordingObserver{}
+	spec2 := &Spec{Dir: dir, Name: "stage", ChunkSize: 3, Resume: true, Observer: resumed}
+	out2, computed2 := sweep(t, spec2, "plan-v1", 10, 2)
+	wantItems(t, out2, 10)
+	if computed2 != 0 {
+		t.Fatalf("resume computed %d runs, want 0 (all replayed)", computed2)
+	}
+	want := stageEvent{"stage", 10, 4, 4, fresh.chunks[3].digest}
+	if len(resumed.stages) != 1 || resumed.stages[0] != want {
+		t.Fatalf("resumed StageStarted = %+v, want %+v", resumed.stages, want)
+	}
+	for i, ev := range resumed.chunks {
+		if !ev.replayed || ev.digest != fresh.chunks[i].digest {
+			t.Fatalf("resumed chunk event %d = %+v, want replay of %+v", i, ev, fresh.chunks[i])
+		}
+	}
+}
+
+// TestObserverInterrupted: a drained run reports only the chunks that
+// completed before the interrupt, so /progress never overstates
+// durability.
+func TestObserverInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	obsv := &recordingObserver{}
+	intr := &Interrupt{}
+	spec := &Spec{Dir: dir, Name: "stage", ChunkSize: 2, Interrupt: intr, Observer: obsv}
+
+	count := 0
+	err := Run(spec, "plan-v1", 10, 1,
+		func(i int) item { return runFn(i) },
+		func(i int, v item) {
+			count++
+			if count == 4 { // end of chunk 2 of 5
+				intr.Trigger()
+			}
+		})
+	if err == nil {
+		t.Fatal("interrupted run returned nil error")
+	}
+	if len(obsv.chunks) != 2 {
+		t.Fatalf("ChunkDone fired %d times before drain, want 2: %+v", len(obsv.chunks), obsv.chunks)
+	}
+}
+
+// TestObserverAbsent: a plain checkpointed run with no observer must not
+// panic — the hook is strictly optional.
+func TestObserverAbsent(t *testing.T) {
+	spec := &Spec{Dir: t.TempDir(), Name: "stage", ChunkSize: 4}
+	out, _ := sweep(t, spec, "plan-v1", 5, 2)
+	wantItems(t, out, 5)
+}

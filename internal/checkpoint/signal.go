@@ -1,7 +1,7 @@
 package checkpoint
 
 import (
-	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -45,11 +45,12 @@ func NotifyInterrupt(drain bool, cleanup func()) *Interrupt {
 	go func() {
 		sig := <-ch
 		if drain {
-			fmt.Fprintf(os.Stderr, "%v: draining — finishing the in-flight chunk; interrupt again to exit now\n", sig)
+			slog.Warn("draining: finishing the in-flight chunk; interrupt again to exit now",
+				"signal", sig.String(), "resumable", true)
 			intr.Trigger()
 			sig = <-ch
 		}
-		fmt.Fprintf(os.Stderr, "%v: exiting\n", sig)
+		slog.Warn("exiting", "signal", sig.String(), "status", 130)
 		if cleanup != nil {
 			cleanup()
 		}

@@ -1,0 +1,103 @@
+package obs
+
+import "testing"
+
+// TestMergeBucketConflictRepeated: every conflicting merge is counted —
+// the counter tallies skipped folds, so a sweep that merges N incompatible
+// per-run registries reports N, not 1.
+func TestMergeBucketConflictRepeated(t *testing.T) {
+	dst := NewRegistry()
+	dst.Histogram("h", LinearBuckets(1, 1, 3)).Observe(2)
+	for i := 0; i < 3; i++ {
+		src := NewRegistry()
+		src.Histogram("h", LinearBuckets(5, 5, 2)).Observe(7)
+		dst.Merge(src)
+	}
+	if got := dst.Counter(BucketConflictCounter).Value(); got != 3 {
+		t.Fatalf("conflict counter = %d, want 3", got)
+	}
+	if got := dst.Histogram("h", LinearBuckets(1, 1, 3)).Count(); got != 1 {
+		t.Fatalf("dst histogram count = %d, want 1 (no conflicting fold may land)", got)
+	}
+}
+
+// TestMergeBucketConflictIsolated: a conflict on one histogram must not
+// poison the rest of the merge — sibling counters, gauges and compatible
+// histograms still fold.
+func TestMergeBucketConflictIsolated(t *testing.T) {
+	dst := NewRegistry()
+	dst.Histogram("clash", LinearBuckets(1, 1, 3)).Observe(2)
+	dst.Histogram("fine", LinearBuckets(1, 1, 2)).Observe(1)
+	dst.Counter("runs").Inc()
+
+	src := NewRegistry()
+	src.Histogram("clash", LinearBuckets(5, 5, 2)).Observe(7)
+	src.Histogram("fine", LinearBuckets(1, 1, 2)).Observe(2)
+	src.Counter("runs").Inc()
+	src.Gauge("last").Set(9)
+
+	dst.Merge(src)
+	if got := dst.Counter(BucketConflictCounter).Value(); got != 1 {
+		t.Fatalf("conflict counter = %d, want 1", got)
+	}
+	if got := dst.Histogram("fine", LinearBuckets(1, 1, 2)).Count(); got != 2 {
+		t.Fatalf("compatible sibling histogram count = %d, want 2", got)
+	}
+	if got := dst.Counter("runs").Value(); got != 2 {
+		t.Fatalf("runs = %d, want 2", got)
+	}
+	if got := dst.Gauge("last").Value(); got != 9 {
+		t.Fatalf("gauge = %v, want 9", got)
+	}
+	if got := dst.Histogram("clash", LinearBuckets(1, 1, 3)).Count(); got != 1 {
+		t.Fatalf("conflicting histogram count = %d, want 1", got)
+	}
+}
+
+// TestMergeConflictCounterAggregates: the conflict counter is itself a
+// counter, so per-run conflict counts fold additively — and conflicts
+// detected *during* the merge add on top. A sweep aggregate therefore
+// reports total conflicts across runs plus cross-run bucket drift.
+func TestMergeConflictCounterAggregates(t *testing.T) {
+	src := NewRegistry()
+	src.Histogram("h", LinearBuckets(1, 1, 3))
+	src.Histogram("h", LinearBuckets(9, 9, 9)) // in-run conflict: src counter = 1
+	if got := src.Counter(BucketConflictCounter).Value(); got != 1 {
+		t.Fatalf("src conflict counter = %d, want 1", got)
+	}
+
+	dst := NewRegistry()
+	dst.Histogram("h", LinearBuckets(2, 2, 2)).Observe(1) // disagrees with src's "h"
+	dst.Merge(src)
+
+	// 1 folded from src's own counter + 1 detected during the merge.
+	if got := dst.Counter(BucketConflictCounter).Value(); got != 2 {
+		t.Fatalf("aggregated conflict counter = %d, want 2", got)
+	}
+}
+
+// TestMergeAdoptsBucketsFirstSight: the first merge of a histogram name
+// adopts src's buckets; a later compatible merge folds; a later
+// incompatible one conflicts.
+func TestMergeAdoptsBucketsFirstSight(t *testing.T) {
+	dst := NewRegistry()
+
+	first := NewRegistry()
+	first.Histogram("h", LinearBuckets(1, 1, 2)).Observe(1)
+	dst.Merge(first)
+
+	second := NewRegistry()
+	second.Histogram("h", LinearBuckets(1, 1, 2)).Observe(2)
+	dst.Merge(second)
+
+	third := NewRegistry()
+	third.Histogram("h", LinearBuckets(7, 7, 7)).Observe(3)
+	dst.Merge(third)
+
+	if got := dst.Histogram("h", LinearBuckets(1, 1, 2)).Count(); got != 2 {
+		t.Fatalf("adopted histogram count = %d, want 2", got)
+	}
+	if got := dst.Counter(BucketConflictCounter).Value(); got != 1 {
+		t.Fatalf("conflict counter = %d, want 1", got)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -333,8 +334,21 @@ func (r *Registry) Snapshot() []Metric {
 }
 
 // formatFloat renders v with the shortest exact decimal representation,
-// which is deterministic across runs and platforms.
+// which is deterministic across runs and platforms. Non-finite values are
+// pinned to the spellings NaN, +Inf and -Inf (notably strconv would render
+// positive infinity as "+Inf" but NaN sign-insensitively) so WriteText
+// output stays parseable and golden-stable even when a metric goes
+// non-finite — a divide-by-zero feature or an overflowed sum must corrupt
+// one value, not the whole text artifact.
 func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 

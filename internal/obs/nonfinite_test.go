@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFormatFloatNonFinite pins the text spellings of the non-finite
+// values. strconv.FormatFloat happens to produce compatible spellings
+// today, but the artifact contract ("NaN", "+Inf", "-Inf" — parseable by
+// strconv.ParseFloat and by the Prometheus exposition layer) is now
+// guarded explicitly rather than inherited.
+func TestFormatFloatNonFinite(t *testing.T) {
+	cases := map[float64]string{
+		math.NaN():      "NaN",
+		math.Inf(1):     "+Inf",
+		math.Inf(-1):    "-Inf",
+		1.5:             "1.5",
+		0:               "0",
+		-0.25:           "-0.25",
+		math.MaxFloat64: "1.7976931348623157e+308",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// TestWriteTextNonFinite: a registry poisoned with NaN and ±Inf must still
+// render line-oriented, parseable text — every value field round-trips
+// through strconv.ParseFloat.
+func TestWriteTextNonFinite(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("bad.nan").Set(math.NaN())
+	r.Gauge("bad.pos").Set(math.Inf(1))
+	r.Gauge("bad.neg").Set(math.Inf(-1))
+	h := r.Histogram("bad.hist", []float64{1})
+	h.Observe(math.Inf(1)) // overflow bucket; sum becomes +Inf
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"gauge bad.nan NaN\n",
+		"gauge bad.pos +Inf\n",
+		"gauge bad.neg -Inf\n",
+		"histogram bad.hist count=1 sum=+Inf le=1:0 le=+Inf:1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText missing %q:\n%s", want, out)
+		}
+	}
+
+	// Regression guard: every value token must parse back as a float.
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(nil, 1<<20)
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			t.Fatalf("short line %q", line)
+		}
+		switch fields[0] {
+		case "gauge", "counter":
+			if _, err := strconv.ParseFloat(fields[2], 64); err != nil {
+				t.Errorf("unparseable value in %q: %v", line, err)
+			}
+		case "histogram":
+			for _, f := range fields[2:] {
+				kv := strings.SplitN(f, "=", 2)
+				if len(kv) != 2 {
+					t.Errorf("bad histogram field %q in %q", f, line)
+					continue
+				}
+				val := kv[1]
+				if i := strings.LastIndexByte(val, ':'); kv[0] == "le" && i >= 0 {
+					val = val[:i]
+				}
+				if _, err := strconv.ParseFloat(val, 64); err != nil {
+					t.Errorf("unparseable %q in %q: %v", f, line, err)
+				}
+			}
+		}
+	}
+}
+
+// TestWriteTextNaNDeterministic: two identically-poisoned registries write
+// identical bytes — NaN payloads must not leak into the text.
+func TestWriteTextNaNDeterministic(t *testing.T) {
+	mk := func(seed float64) string {
+		r := NewRegistry()
+		r.Gauge("x").Set(math.NaN() * seed) // different NaN provenance
+		r.Histogram("h", []float64{1}).Observe(math.NaN())
+		var b bytes.Buffer
+		if err := r.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := mk(1), mk(-3); a != b {
+		t.Fatalf("NaN rendering not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"log/slog"
+
+	"tcpsig/internal/checkpoint"
+	"tcpsig/internal/obs"
+)
+
+// Admin bundles the opt-in wall-clock observability plane for a
+// long-running command: a live metric aggregate fed by per-run sim
+// snapshots, a /progress tracker fed by checkpoint chunk events, and
+// the HTTP server exposing both plus pprof. All methods are nil-safe,
+// so call sites wire it unconditionally and an empty -admin flag (nil
+// Admin) stays fully inert — the sim-time plane never notices it.
+type Admin struct {
+	live *Live
+	prog *Progress
+	srv  *Server
+	addr string
+	stop func()
+}
+
+// StartAdmin starts the admin server on addr and its background
+// scraper, or returns (nil, nil) when addr is empty.
+func StartAdmin(addr string) (*Admin, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	live := NewLive()
+	prog := NewProgress()
+	srv := &Server{
+		Metrics:  CombinedMetrics(live.Metrics, ProcessMetrics),
+		Progress: prog,
+	}
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	slog.Info("admin server listening", "addr", bound,
+		"endpoints", "/metrics /progress /healthz /debug/pprof/")
+	return &Admin{live: live, prog: prog, srv: srv, addr: bound, stop: live.StartScraper(0)}, nil
+}
+
+// Addr returns the bound listen address ("" when off).
+func (a *Admin) Addr() string {
+	if a == nil {
+		return ""
+	}
+	return a.addr
+}
+
+// Close stops the scraper (folding any pending snapshots) and shuts
+// the server down.
+func (a *Admin) Close() {
+	if a == nil {
+		return
+	}
+	a.stop()
+	a.srv.Close()
+}
+
+// LiveMetrics returns the sweep tap feeding the live aggregate, or nil
+// when the plane is off — so assigning it to SweepOptions.LiveMetrics
+// leaves the option untouched.
+func (a *Admin) LiveMetrics() func([]obs.Metric) {
+	if a == nil {
+		return nil
+	}
+	return a.live.Fold
+}
+
+// Observe attaches the /progress tracker to a checkpoint spec.
+func (a *Admin) Observe(spec *checkpoint.Spec) {
+	if a == nil || spec == nil {
+		return
+	}
+	spec.Observer = a.prog
+}
+
+// RunDone records coarse stage progress for commands that report
+// completion counts instead of checkpoint chunks.
+func (a *Admin) RunDone(stage string, done, total int) {
+	if a == nil {
+		return
+	}
+	a.prog.RunDone(stage, done, total)
+}

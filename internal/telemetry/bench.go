@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// BenchSchemaVersion is bumped whenever the artifact layout changes
+// incompatibly; the loader refuses artifacts from a different major
+// schema, so a comparator can never silently diff two different shapes.
+const BenchSchemaVersion = 1
+
+// BenchResult is one benchmark's measured cost. When an artifact holds
+// several -count repetitions, the recorded value is the minimum ns/op
+// repetition (the least-noise estimator), with its memory numbers.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+
+	// N is the iteration count of the recorded repetition and Reps how
+	// many repetitions were taken.
+	N    int `json:"n"`
+	Reps int `json:"reps,omitempty"`
+}
+
+// BenchArtifact is the versioned perf-trajectory document `ccsig bench`
+// writes (conventionally BENCH_<rev>.json). Artifacts are comparable over
+// time: the comparator diffs two of them against tolerance budgets and
+// fails on regression, making speed a contract the same way the
+// conformance bands make accuracy one.
+type BenchArtifact struct {
+	Schema    int    `json:"schema"`
+	Rev       string `json:"rev"`
+	CreatedAt string `json:"created_at,omitempty"` // RFC3339, wall clock
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// NewBenchArtifact stamps an artifact with the current toolchain and time.
+func NewBenchArtifact(rev string, results []BenchResult) *BenchArtifact {
+	sorted := append([]BenchResult(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	return &BenchArtifact{
+		Schema:     BenchSchemaVersion,
+		Rev:        rev,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: sorted,
+	}
+}
+
+// WriteJSON renders the artifact as indented JSON.
+func (a *BenchArtifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// Result returns the named benchmark, or nil.
+func (a *BenchArtifact) Result(name string) *BenchResult {
+	for i := range a.Benchmarks {
+		if a.Benchmarks[i].Name == name {
+			return &a.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// LoadBenchArtifact reads and validates one artifact file.
+func LoadBenchArtifact(path string) (*BenchArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: reading bench artifact: %w", err)
+	}
+	var a BenchArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("telemetry: parsing bench artifact %s: %w", path, err)
+	}
+	if a.Schema != BenchSchemaVersion {
+		return nil, fmt.Errorf("telemetry: bench artifact %s has schema %d, this binary speaks %d", path, a.Schema, BenchSchemaVersion)
+	}
+	return &a, nil
+}
+
+// BenchBudget is the per-metric regression tolerance the comparator
+// enforces. Percentages are fractions (0.30 = +30% allowed). Benchmarks
+// faster than MinNsPerOp are exempt from the ns/op check: at that scale
+// the delta is measurement noise, not a regression signal.
+type BenchBudget struct {
+	NsPct      float64
+	BytesPct   float64
+	AllocsPct  float64
+	MinNsPerOp float64
+}
+
+// DefaultBenchBudget mirrors the escape-gate philosophy: generous enough
+// to absorb CI-runner noise, tight enough that a real hot-path regression
+// (a new allocation, a 2x slowdown) cannot land silently.
+func DefaultBenchBudget() BenchBudget {
+	return BenchBudget{NsPct: 0.30, BytesPct: 0.25, AllocsPct: 0.05, MinNsPerOp: 50}
+}
+
+// BenchDelta is one benchmark metric's old→new movement.
+type BenchDelta struct {
+	Name       string // benchmark name
+	Metric     string // "ns/op", "B/op" or "allocs/op"
+	Old        float64
+	New        float64
+	Pct        float64 // fractional change, +0.5 = 50% slower/bigger
+	Regression bool
+	Note       string // set for structural findings (added/removed benchmarks)
+}
+
+// CompareBench diffs two artifacts against the budget. Every benchmark
+// present in both contributes three deltas; benchmarks present in only
+// one side yield advisory notes (Regression=false) so coverage changes
+// are visible without failing the gate. It reports regressed=true when
+// any delta exceeds its budget.
+func CompareBench(oldA, newA *BenchArtifact, budget BenchBudget) (deltas []BenchDelta, regressed bool) {
+	for _, o := range oldA.Benchmarks {
+		n := newA.Result(o.Name)
+		if n == nil {
+			deltas = append(deltas, BenchDelta{Name: o.Name, Note: "removed: present only in old artifact"})
+			continue
+		}
+		add := func(metric string, oldV, newV, pct float64, exempt bool) {
+			d := BenchDelta{Name: o.Name, Metric: metric, Old: oldV, New: newV}
+			if oldV > 0 {
+				d.Pct = (newV - oldV) / oldV
+			} else if newV > 0 {
+				d.Pct = 1 // from zero: treat any growth as +100%
+			}
+			if !exempt && d.Pct > pct {
+				d.Regression = true
+				regressed = true
+			}
+			deltas = append(deltas, d)
+		}
+		add("ns/op", o.NsPerOp, n.NsPerOp, budget.NsPct,
+			o.NsPerOp < budget.MinNsPerOp && n.NsPerOp < budget.MinNsPerOp)
+		add("B/op", float64(o.BytesPerOp), float64(n.BytesPerOp), budget.BytesPct, false)
+		add("allocs/op", float64(o.AllocsPerOp), float64(n.AllocsPerOp), budget.AllocsPct, false)
+	}
+	for _, n := range newA.Benchmarks {
+		if oldA.Result(n.Name) == nil {
+			deltas = append(deltas, BenchDelta{Name: n.Name, Note: "added: present only in new artifact"})
+		}
+	}
+	return deltas, regressed
+}
+
+// FormatBenchDeltas renders a comparator report as an aligned table, one
+// line per delta, regressions marked with "REGRESSION".
+func FormatBenchDeltas(deltas []BenchDelta) string {
+	var b strings.Builder
+	for _, d := range deltas {
+		if d.Note != "" {
+			fmt.Fprintf(&b, "%-40s %s\n", d.Name, d.Note)
+			continue
+		}
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(&b, "%-40s %-10s %14.2f -> %14.2f  %+7.1f%%%s\n",
+			d.Name, d.Metric, d.Old, d.New, 100*d.Pct, mark)
+	}
+	return b.String()
+}

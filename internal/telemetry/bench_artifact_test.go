@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, a *BenchArtifact) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("writing artifact: %v", err)
+	}
+	return path
+}
+
+func TestBenchArtifactRoundTrip(t *testing.T) {
+	a := NewBenchArtifact("abc1234", []BenchResult{
+		{Name: "ZTreePredict", NsPerOp: 42.5, AllocsPerOp: 0, BytesPerOp: 0, N: 1000000, Reps: 3},
+		{Name: "NetemEnqueue", NsPerOp: 180, AllocsPerOp: 1, BytesPerOp: 48, N: 500000, Reps: 3},
+	})
+	if a.Schema != BenchSchemaVersion {
+		t.Fatalf("Schema = %d", a.Schema)
+	}
+	// Benchmarks are sorted by name so the artifact diffs cleanly in git.
+	if a.Benchmarks[0].Name != "NetemEnqueue" || a.Benchmarks[1].Name != "ZTreePredict" {
+		t.Fatalf("not sorted: %+v", a.Benchmarks)
+	}
+
+	got, err := LoadBenchArtifact(writeArtifact(t, a))
+	if err != nil {
+		t.Fatalf("LoadBenchArtifact: %v", err)
+	}
+	if got.Rev != "abc1234" || got.GoVersion == "" || got.GOARCH == "" {
+		t.Errorf("metadata lost: %+v", got)
+	}
+	if len(got.Benchmarks) != 2 || *got.Result("NetemEnqueue") != a.Benchmarks[0] {
+		t.Errorf("benchmarks lost: %+v", got.Benchmarks)
+	}
+	if got.Result("Missing") != nil {
+		t.Error("Result on absent name should be nil")
+	}
+}
+
+func TestBenchArtifactSchemaGate(t *testing.T) {
+	a := NewBenchArtifact("r", nil)
+	a.Schema = BenchSchemaVersion + 1
+	_, err := LoadBenchArtifact(writeArtifact(t, a))
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("future-schema artifact loaded: %v", err)
+	}
+	if _, err := LoadBenchArtifact(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("absent artifact loaded")
+	}
+}
+
+func art(results ...BenchResult) *BenchArtifact {
+	return &BenchArtifact{Schema: BenchSchemaVersion, Rev: "test", Benchmarks: results}
+}
+
+// TestCompareBenchInjectedRegression is the acceptance proof: an injected
+// ns/op regression beyond budget trips the comparator.
+func TestCompareBenchInjectedRegression(t *testing.T) {
+	old := art(BenchResult{Name: "SenderStep", NsPerOp: 1000, AllocsPerOp: 2, BytesPerOp: 64})
+	slow := art(BenchResult{Name: "SenderStep", NsPerOp: 1400, AllocsPerOp: 2, BytesPerOp: 64})
+
+	deltas, regressed := CompareBench(old, slow, DefaultBenchBudget())
+	if !regressed {
+		t.Fatal("+40%% ns/op against a 30%% budget did not regress")
+	}
+	var hit *BenchDelta
+	for i := range deltas {
+		if deltas[i].Regression {
+			if hit != nil {
+				t.Fatalf("multiple regressions: %+v", deltas)
+			}
+			hit = &deltas[i]
+		}
+	}
+	if hit == nil || hit.Metric != "ns/op" || hit.Pct < 0.39 || hit.Pct > 0.41 {
+		t.Fatalf("regression delta = %+v", hit)
+	}
+	if !strings.Contains(FormatBenchDeltas(deltas), "REGRESSION") {
+		t.Errorf("report does not mark the regression:\n%s", FormatBenchDeltas(deltas))
+	}
+}
+
+func TestCompareBenchWithinBudget(t *testing.T) {
+	old := art(BenchResult{Name: "SenderStep", NsPerOp: 1000, AllocsPerOp: 2, BytesPerOp: 64})
+	drift := art(BenchResult{Name: "SenderStep", NsPerOp: 1200, AllocsPerOp: 2, BytesPerOp: 70})
+
+	deltas, regressed := CompareBench(old, drift, DefaultBenchBudget())
+	if regressed {
+		t.Fatalf("within-budget drift regressed: %s", FormatBenchDeltas(deltas))
+	}
+	if len(deltas) != 3 {
+		t.Errorf("deltas = %d, want 3", len(deltas))
+	}
+}
+
+func TestCompareBenchAllocRegression(t *testing.T) {
+	old := art(BenchResult{Name: "NetemEnqueue", NsPerOp: 200, AllocsPerOp: 0, BytesPerOp: 0})
+	leak := art(BenchResult{Name: "NetemEnqueue", NsPerOp: 200, AllocsPerOp: 1, BytesPerOp: 48})
+
+	_, regressed := CompareBench(old, leak, DefaultBenchBudget())
+	if !regressed {
+		t.Fatal("a new allocation on a zero-alloc hot path did not regress")
+	}
+}
+
+// TestCompareBenchNoiseFloor: sub-MinNsPerOp benchmarks are exempt from the
+// ns/op check (a 10ns→40ns move is timer noise) but never from allocs.
+func TestCompareBenchNoiseFloor(t *testing.T) {
+	old := art(BenchResult{Name: "TreePredict", NsPerOp: 10})
+	fast := art(BenchResult{Name: "TreePredict", NsPerOp: 40})
+	if _, regressed := CompareBench(old, fast, DefaultBenchBudget()); regressed {
+		t.Fatal("noise-floor ns/op delta regressed")
+	}
+	// Crossing the floor re-arms the check.
+	slow := art(BenchResult{Name: "TreePredict", NsPerOp: 80})
+	if _, regressed := CompareBench(old, slow, DefaultBenchBudget()); !regressed {
+		t.Fatal("10ns -> 80ns crossed the floor but did not regress")
+	}
+}
+
+func TestCompareBenchCoverageNotes(t *testing.T) {
+	old := art(
+		BenchResult{Name: "Kept", NsPerOp: 100},
+		BenchResult{Name: "Dropped", NsPerOp: 100},
+	)
+	cur := art(
+		BenchResult{Name: "Kept", NsPerOp: 100},
+		BenchResult{Name: "Fresh", NsPerOp: 100},
+	)
+	deltas, regressed := CompareBench(old, cur, DefaultBenchBudget())
+	if regressed {
+		t.Fatal("coverage changes alone must stay advisory")
+	}
+	notes := map[string]string{}
+	for _, d := range deltas {
+		if d.Note != "" {
+			notes[d.Name] = d.Note
+		}
+	}
+	if !strings.Contains(notes["Dropped"], "removed") || !strings.Contains(notes["Fresh"], "added") {
+		t.Errorf("notes = %v", notes)
+	}
+	report := FormatBenchDeltas(deltas)
+	if !strings.Contains(report, "removed") || !strings.Contains(report, "added") {
+		t.Errorf("report drops coverage notes:\n%s", report)
+	}
+}
+
+func TestBenchArtifactJSONShape(t *testing.T) {
+	a := NewBenchArtifact("r1", []BenchResult{{Name: "X", NsPerOp: 1}})
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("artifact is not a JSON object: %v", err)
+	}
+	for _, key := range []string{"schema", "rev", "go_version", "goos", "goarch", "benchmarks"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("artifact missing %q:\n%s", key, buf.String())
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+	"os"
+)
+
+// InitLogging installs a text slog handler writing to stderr as the
+// process default logger, pre-tagged with the command name and any extra
+// context attributes (run, scenario, seed, ...), and returns it. The CLIs
+// call this once at startup so every later slog.Info/Warn — including the
+// checkpoint executor's resume decisions and the SIGINT/SIGTERM drain
+// notice — carries the same structured context.
+//
+// Logs go to stderr only, never into artifacts: sim-time outputs (CSVs,
+// traces, reports) stay byte-identical whatever the log level.
+func InitLogging(cmd string, verbose bool, attrs ...any) *slog.Logger {
+	return initLogging(os.Stderr, cmd, verbose, attrs...)
+}
+
+func initLogging(w io.Writer, cmd string, verbose bool, attrs ...any) *slog.Logger {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	logger := slog.New(h)
+	if cmd != "" {
+		attrs = append([]any{"cmd", cmd}, attrs...)
+	}
+	if len(attrs) > 0 {
+		logger = logger.With(attrs...)
+	}
+	slog.SetDefault(logger)
+	return logger
+}

@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+
+	"tcpsig/internal/obs"
+)
+
+// processStart anchors the uptime gauge. Reading the wall clock at init is
+// exactly what the wall-clock plane is for; nothing here flows back into
+// simulation state.
+var processStart = time.Now()
+
+// ProcessMetrics snapshots host-process health — goroutines, heap, GC,
+// uptime — as obs metrics, giving /metrics live content even for commands
+// that do not plumb per-run sim registries. Names live under `process.`
+// and `go.` so they can never collide with sim-time metric families.
+func ProcessMetrics() []obs.Metric {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r := obs.NewRegistry()
+	r.Gauge("process.uptime_seconds").Set(time.Since(processStart).Seconds())
+	r.Gauge("go.goroutines").Set(float64(runtime.NumGoroutine()))
+	r.Gauge("go.cpu_count").Set(float64(runtime.NumCPU()))
+	r.Gauge("go.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	r.Gauge("go.heap_sys_bytes").Set(float64(ms.HeapSys))
+	r.Gauge("go.heap_objects").Set(float64(ms.HeapObjects))
+	r.Gauge("go.next_gc_bytes").Set(float64(ms.NextGC))
+	r.Counter("go.total_alloc_bytes").Add(ms.TotalAlloc)
+	r.Counter("go.gc_cycles").Add(uint64(ms.NumGC))
+	r.Gauge("go.gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+	return r.Snapshot()
+}

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"tcpsig/internal/checkpoint"
+)
+
+// Progress is the telemetry side of the checkpoint executor's progress
+// hook; the executor never imports this package.
+var _ checkpoint.Observer = (*Progress)(nil)
+
+// Progress tracks a long-running sweep for the admin server's /progress
+// endpoint: overall run counts with rate and ETA, plus per-checkpoint-stage
+// chunk state fed by the checkpoint executor (it implements
+// checkpoint.Observer). All methods are safe for concurrent use and safe
+// on a nil receiver, so CLIs thread a possibly-nil *Progress through
+// without branches.
+type Progress struct {
+	mu     sync.Mutex
+	start  time.Time
+	now    func() time.Time // injectable clock for tests
+	stages []*stageState
+	byName map[string]*stageState
+	done   int
+	total  int
+}
+
+type stageState struct {
+	name          string
+	runs          int
+	chunks        int
+	chunksDone    int
+	replayed      int
+	resumedChunks int
+	lastDigest    string
+	runsDone      int
+}
+
+// NewProgress returns a tracker whose clock starts now.
+func NewProgress() *Progress {
+	return &Progress{start: time.Now(), now: time.Now, byName: map[string]*stageState{}}
+}
+
+// StageStarted records a checkpoint stage beginning execution. A resumed
+// stage reports how many chunks the manifest already held and the digest
+// of the last recorded chunk — the resume fingerprint operators compare
+// across restarts.
+func (p *Progress) StageStarted(stage string, runs, chunks, resumedChunks int, lastDigest string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stage(stage)
+	st.runs = runs
+	st.chunks = chunks
+	st.resumedChunks = resumedChunks
+	st.lastDigest = lastDigest
+}
+
+// ChunkDone records one chunk committed (computed) or replayed from the
+// manifest during resume.
+func (p *Progress) ChunkDone(stage string, chunk, chunks int, replayed bool, digest string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stage(stage)
+	if chunks > 0 {
+		st.chunks = chunks
+	}
+	st.chunksDone++
+	if replayed {
+		st.replayed++
+	}
+	st.lastDigest = digest
+}
+
+// RunDone records overall run-level progress (the CLIs' Progress callbacks
+// report done out of total, in run order).
+func (p *Progress) RunDone(stage string, done, total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if stage != "" {
+		st := p.stage(stage)
+		st.runsDone = done
+		if total > 0 {
+			st.runs = total
+		}
+	}
+	p.done = done
+	p.total = total
+}
+
+// stage returns (creating if needed) the named stage state. Callers hold mu.
+func (p *Progress) stage(name string) *stageState {
+	if p.byName == nil {
+		p.byName = map[string]*stageState{}
+	}
+	st, ok := p.byName[name]
+	if !ok {
+		st = &stageState{name: name}
+		p.byName[name] = st
+		p.stages = append(p.stages, st)
+	}
+	return st
+}
+
+// StageSnapshot is the JSON view of one checkpoint stage.
+type StageSnapshot struct {
+	Name           string `json:"name"`
+	ChunksDone     int    `json:"chunks_done"`
+	ChunksTotal    int    `json:"chunks_total,omitempty"`
+	ReplayedChunks int    `json:"replayed_chunks,omitempty"`
+	ResumedChunks  int    `json:"resumed_chunks,omitempty"`
+	RunsDone       int    `json:"runs_done,omitempty"`
+	RunsTotal      int    `json:"runs_total,omitempty"`
+	LastDigest     string `json:"last_digest,omitempty"`
+}
+
+// Snapshot is the JSON view served at /progress.
+type Snapshot struct {
+	StartedAt  string          `json:"started_at"`
+	ElapsedSec float64         `json:"elapsed_sec"`
+	RunsDone   int             `json:"runs_done"`
+	RunsTotal  int             `json:"runs_total"`
+	RunsPerSec float64         `json:"runs_per_sec,omitempty"`
+	ETASec     float64         `json:"eta_sec,omitempty"`
+	Stages     []StageSnapshot `json:"stages,omitempty"`
+}
+
+// Snapshot returns the current progress view. A nil tracker yields the
+// zero snapshot.
+func (p *Progress) Snapshot() Snapshot {
+	if p == nil {
+		return Snapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	elapsed := p.now().Sub(p.start).Seconds()
+	s := Snapshot{
+		StartedAt:  p.start.UTC().Format(time.RFC3339),
+		ElapsedSec: round3(elapsed),
+		RunsDone:   p.done,
+		RunsTotal:  p.total,
+	}
+	if p.done > 0 && elapsed > 0 {
+		rate := float64(p.done) / elapsed
+		s.RunsPerSec = round3(rate)
+		if p.total > p.done {
+			s.ETASec = round3(float64(p.total-p.done) / rate)
+		}
+	}
+	for _, st := range p.stages {
+		s.Stages = append(s.Stages, StageSnapshot{
+			Name:           st.name,
+			ChunksDone:     st.chunksDone,
+			ChunksTotal:    st.chunks,
+			ReplayedChunks: st.replayed,
+			ResumedChunks:  st.resumedChunks,
+			RunsDone:       st.runsDone,
+			RunsTotal:      st.runs,
+			LastDigest:     st.lastDigest,
+		})
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as one JSON document. Nil-safe: a nil
+// tracker writes the zero snapshot, so /progress always answers.
+func (p *Progress) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.Snapshot())
+}
+
+// round3 keeps the JSON humane without losing operational precision.
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}

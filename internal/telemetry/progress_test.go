@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock makes rate/ETA arithmetic exact in tests.
+func fakeClock(p *Progress, base time.Time) func(d time.Duration) {
+	cur := base
+	p.start = base
+	p.now = func() time.Time { return cur }
+	return func(d time.Duration) { cur = cur.Add(d) }
+}
+
+func TestProgressRateAndETA(t *testing.T) {
+	p := NewProgress()
+	advance := fakeClock(p, time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC))
+
+	advance(10 * time.Second)
+	p.RunDone("", 50, 200)
+
+	s := p.Snapshot()
+	if s.ElapsedSec != 10 {
+		t.Errorf("ElapsedSec = %v, want 10", s.ElapsedSec)
+	}
+	if s.RunsPerSec != 5 {
+		t.Errorf("RunsPerSec = %v, want 5", s.RunsPerSec)
+	}
+	if s.ETASec != 30 {
+		t.Errorf("ETASec = %v, want 30 (150 runs left at 5/s)", s.ETASec)
+	}
+	if s.StartedAt != "2026-01-02T03:04:05Z" {
+		t.Errorf("StartedAt = %q", s.StartedAt)
+	}
+
+	// Finished: no ETA field.
+	p.RunDone("", 200, 200)
+	if s := p.Snapshot(); s.ETASec != 0 {
+		t.Errorf("ETASec after completion = %v, want 0", s.ETASec)
+	}
+}
+
+func TestProgressZeroElapsed(t *testing.T) {
+	p := NewProgress()
+	fakeClock(p, time.Unix(1000, 0))
+	p.RunDone("", 5, 10)
+	s := p.Snapshot()
+	if s.RunsPerSec != 0 || s.ETASec != 0 {
+		t.Errorf("zero-elapsed snapshot computed rate %v eta %v", s.RunsPerSec, s.ETASec)
+	}
+}
+
+func TestProgressStages(t *testing.T) {
+	p := NewProgress()
+	p.StageStarted("faults-clean", 60, 6, 2, "aaaa")
+	p.ChunkDone("faults-clean", 0, 6, true, "aaaa")
+	p.ChunkDone("faults-clean", 1, 6, true, "bbbb")
+	p.ChunkDone("faults-clean", 2, 6, false, "cccc")
+	p.RunDone("faults-clean", 30, 60)
+	p.StageStarted("faults-storm", 60, 6, 0, "")
+
+	s := p.Snapshot()
+	if len(s.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(s.Stages))
+	}
+	st := s.Stages[0]
+	if st.Name != "faults-clean" || st.ChunksDone != 3 || st.ChunksTotal != 6 ||
+		st.ReplayedChunks != 2 || st.ResumedChunks != 2 ||
+		st.RunsDone != 30 || st.RunsTotal != 60 || st.LastDigest != "cccc" {
+		t.Errorf("stage[0] = %+v", st)
+	}
+	// Stage order is registration order (an execution timeline), not
+	// alphabetical — "faults-storm" registered second, so it lists second.
+	if s.Stages[1].Name != "faults-storm" {
+		t.Errorf("stage[1] = %+v", s.Stages[1])
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.StageStarted("x", 1, 1, 0, "")
+	p.ChunkDone("x", 0, 1, false, "")
+	p.RunDone("x", 1, 1)
+	if s := p.Snapshot(); s.RunsDone != 0 || len(s.Stages) != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("nil WriteJSON output not JSON: %v", err)
+	}
+}
+
+func TestProgressConcurrent(t *testing.T) {
+	p := NewProgress()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.ChunkDone("sweep", i, 100, i%2 == 0, "d")
+				p.RunDone("sweep", i, 800)
+				_ = p.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := p.Snapshot().Stages[0].ChunksDone; got != 800 {
+		t.Errorf("ChunksDone = %d, want 800", got)
+	}
+}

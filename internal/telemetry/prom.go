@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"tcpsig/internal/obs"
+)
+
+// WritePrometheus renders a metric snapshot in the Prometheus text
+// exposition format (version 0.0.4): one `# HELP`/`# TYPE` pair per metric
+// family followed by that family's samples, with all samples of a family
+// grouped together as the format requires.
+//
+// obs metric names translate as follows:
+//
+//   - Dots and other characters outside [a-zA-Z0-9_:] become underscores
+//     (`sim.events.executed` → `sim_events_executed`).
+//   - An embedded `{k=v,...}` segment — the sweep's per-cell convention,
+//     e.g. `sweep.cell{rate=50M,scen=self}.normdiff` — is lifted into
+//     Prometheus labels: `sweep_cell_normdiff{rate="50M",scen="self"}`.
+//   - Counters gain the conventional `_total` suffix.
+//   - Histograms expand to `_bucket` (cumulative, with `le`), `_sum` and
+//     `_count` series.
+//
+// NaN and ±Inf render as `NaN`, `+Inf` and `-Inf`, the format's spelling,
+// so the exposition is always machine-parseable. The output is a pure
+// function of the snapshot: same metrics in, same bytes out.
+func WritePrometheus(w io.Writer, ms []obs.Metric) error {
+	bw := bufio.NewWriter(w)
+	seen := map[string]string{} // family name -> type already emitted under it
+	for _, fam := range groupFamilies(ms) {
+		name := fam.name
+		if typ, dup := seen[name]; dup && typ != fam.typ {
+			// Two obs types sanitized onto one family name: a family may
+			// carry only one type, so the later one is disambiguated.
+			name = name + "_" + fam.typ
+		}
+		seen[name] = fam.typ
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp("tcpsig metric "+fam.raw))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, fam.typ)
+		for _, m := range fam.metrics {
+			writeFamilySample(bw, name, fam.typ, m)
+		}
+	}
+	return bw.Flush()
+}
+
+// family is one exposition group: every sample sharing a (sanitized name,
+// type) pair, in snapshot order.
+type family struct {
+	name    string // sanitized family name (counter names already carry _total)
+	typ     string // "counter", "gauge" or "histogram"
+	raw     string // representative raw obs name, for the HELP line
+	metrics []promMetric
+}
+
+// promMetric is one obs.Metric with its name split into family + labels.
+type promMetric struct {
+	labels string // rendered label list without braces, "" when none
+	m      obs.Metric
+}
+
+func groupFamilies(ms []obs.Metric) []family {
+	index := map[string]int{} // family key -> position in out
+	var out []family
+	for _, m := range ms {
+		base, labels := splitLabels(m.Name)
+		name := sanitizeName(base)
+		if m.Type == "counter" && !strings.HasSuffix(name, "_total") {
+			name += "_total"
+		}
+		key := m.Type + "\x00" + name
+		i, ok := index[key]
+		if !ok {
+			i = len(out)
+			index[key] = i
+			out = append(out, family{name: name, typ: m.Type, raw: stripLabels(m.Name)})
+		}
+		out[i].metrics = append(out[i].metrics, promMetric{labels: labels, m: m})
+	}
+	return out
+}
+
+func writeFamilySample(w io.Writer, name, typ string, pm promMetric) {
+	switch typ {
+	case "counter":
+		fmt.Fprintf(w, "%s%s %d\n", name, braced(pm.labels), pm.m.Count)
+	case "gauge":
+		fmt.Fprintf(w, "%s%s %s\n", name, braced(pm.labels), formatPromValue(pm.m.Value))
+	case "histogram":
+		cum := uint64(0)
+		for i, c := range pm.m.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(pm.m.Bounds) {
+				le = formatPromValue(pm.m.Bounds[i])
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(joinLabels(pm.labels, `le="`+escapeLabel(le)+`"`)), cum)
+		}
+		fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(pm.labels), formatPromValue(pm.m.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", name, braced(pm.labels), pm.m.Count)
+	}
+}
+
+// splitLabels lifts the first balanced {k=v,...} segment of an obs metric
+// name into a rendered Prometheus label list, returning the name with the
+// segment removed. Names without such a segment — or with a malformed one
+// (unclosed brace, entry without '=') — pass through whole, to be
+// neutralized by sanitizeName instead of dropped.
+func splitLabels(raw string) (base, labels string) {
+	open := strings.IndexByte(raw, '{')
+	if open < 0 {
+		return raw, ""
+	}
+	close := strings.IndexByte(raw[open:], '}')
+	if close < 0 {
+		return raw, ""
+	}
+	close += open
+	var parts []string
+	for _, kv := range strings.Split(raw[open+1:close], ",") {
+		eq := strings.IndexByte(kv, '=')
+		if eq <= 0 {
+			return raw, "" // malformed: keep the whole name opaque
+		}
+		parts = append(parts, fmt.Sprintf("%s=%q", sanitizeLabelName(kv[:eq]), kv[eq+1:]))
+	}
+	return raw[:open] + raw[close+1:], strings.Join(parts, ",")
+}
+
+// stripLabels removes the label segment from a raw name for HELP lines,
+// so every cell of a sweep shares one family help text.
+func stripLabels(raw string) string {
+	base, labels := splitLabels(raw)
+	if labels == "" {
+		return raw
+	}
+	return base
+}
+
+// braced wraps a non-empty rendered label list in braces.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// joinLabels appends extra to a rendered label list.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// sanitizeName maps an arbitrary obs metric name onto the Prometheus
+// metric-name alphabet [a-zA-Z0-9_:], with a leading underscore when the
+// first character would otherwise be a digit. Empty input becomes "_".
+func sanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabelName maps onto [a-zA-Z0-9_] (no colons in label names).
+func sanitizeLabelName(s string) string {
+	out := sanitizeName(s)
+	return strings.ReplaceAll(out, ":", "_")
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double-quote and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP text per the text format: backslash and
+// newline only.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatPromValue renders a float sample value. The exposition format
+// spells the non-finite values NaN, +Inf and -Inf; finite values use the
+// shortest exact decimal form, deterministic across platforms.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ParsePrometheus is a minimal checker for the text exposition format,
+// used by tests and the CI smoke job (`ccsig checkmetrics`): it verifies
+// every non-comment line is `name[{labels}] value` with a parseable value
+// and that each sample's family was declared by a preceding # TYPE line.
+// It returns the number of samples.
+func ParsePrometheus(r io.Reader) (int, error) {
+	types := map[string]string{}
+	samples := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name := text
+		if i := strings.IndexAny(text, "{ "); i >= 0 {
+			name = text[:i]
+		}
+		sp := strings.LastIndexByte(text, ' ')
+		if sp < 0 {
+			return samples, fmt.Errorf("telemetry: line %d: no value: %q", line, text)
+		}
+		if _, err := strconv.ParseFloat(text[sp+1:], 64); err != nil {
+			return samples, fmt.Errorf("telemetry: line %d: bad value %q: %v", line, text[sp+1:], err)
+		}
+		fam := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if t, ok := types[strings.TrimSuffix(name, suffix)]; ok && t == "histogram" {
+				fam = strings.TrimSuffix(name, suffix)
+				break
+			}
+		}
+		if _, ok := types[fam]; !ok {
+			return samples, fmt.Errorf("telemetry: line %d: sample %q has no # TYPE declaration", line, name)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, fmt.Errorf("telemetry: reading exposition: %w", err)
+	}
+	return samples, nil
+}

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tcpsig/internal/obs"
+)
+
+func exposition(t *testing.T, ms []obs.Metric) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WritePrometheus(&b, ms); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+// mustParse runs the format checker over an exposition and returns the
+// sample count.
+func mustParse(t *testing.T, text string) int {
+	t.Helper()
+	n, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+	return n
+}
+
+func TestPrometheusEmptyRegistry(t *testing.T) {
+	got := exposition(t, obs.NewRegistry().Snapshot())
+	if got != "" {
+		t.Fatalf("empty registry should produce an empty exposition, got:\n%s", got)
+	}
+	if n := mustParse(t, got); n != 0 {
+		t.Fatalf("parsed %d samples from empty exposition", n)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("core.verdicts").Add(3)
+	r.Gauge("sim.now_us").Set(1500.5)
+	r.Histogram("rtt.ms", []float64{10, 20}).Observe(5)
+	r.Histogram("rtt.ms", []float64{10, 20}).Observe(15)
+	r.Histogram("rtt.ms", []float64{10, 20}).Observe(99)
+
+	want := `# HELP core_verdicts_total tcpsig metric core.verdicts
+# TYPE core_verdicts_total counter
+core_verdicts_total 3
+# HELP sim_now_us tcpsig metric sim.now_us
+# TYPE sim_now_us gauge
+sim_now_us 1500.5
+# HELP rtt_ms tcpsig metric rtt.ms
+# TYPE rtt_ms histogram
+rtt_ms_bucket{le="10"} 1
+rtt_ms_bucket{le="20"} 2
+rtt_ms_bucket{le="+Inf"} 3
+rtt_ms_sum 119
+rtt_ms_count 3
+`
+	got := exposition(t, r.Snapshot())
+	if got != want {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if n := mustParse(t, got); n != 7 {
+		t.Fatalf("parsed %d samples, want 7", n)
+	}
+}
+
+// TestPrometheusCellLabels: the sweep's per-cell name convention is lifted
+// into labels, and all cells of one family group under a single TYPE line
+// even though the raw snapshot interleaves families when sorted by name.
+func TestPrometheusCellLabels(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("sweep.cell{rate=50M,loss=0.0002,scen=self}.valid").Inc()
+	r.Counter("sweep.cell{rate=10M,loss=0,scen=external}.valid").Add(2)
+	r.Histogram("sweep.cell{rate=50M,loss=0.0002,scen=self}.cov", []float64{0.5}).Observe(0.2)
+
+	got := exposition(t, r.Snapshot())
+	mustParse(t, got)
+
+	for _, want := range []string{
+		`sweep_cell_valid_total{rate="10M",loss="0",scen="external"} 2`,
+		`sweep_cell_valid_total{rate="50M",loss="0.0002",scen="self"} 1`,
+		`sweep_cell_cov_bucket{rate="50M",loss="0.0002",scen="self",le="0.5"} 1`,
+		`sweep_cell_cov_sum{rate="50M",loss="0.0002",scen="self"} 0.2`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	if n := strings.Count(got, "# TYPE sweep_cell_valid_total counter"); n != 1 {
+		t.Errorf("family sweep_cell_valid_total declared %d times, want 1:\n%s", n, got)
+	}
+	// The text format requires one contiguous group per family: both
+	// cells' samples must directly follow their single TYPE line.
+	idx := strings.Index(got, "# TYPE sweep_cell_valid_total counter")
+	rest := got[idx:]
+	block := rest[:strings.Index(rest, "# HELP")+1]
+	if strings.Count(block, "sweep_cell_valid_total{") != 2 {
+		t.Errorf("family samples not contiguous:\n%s", got)
+	}
+}
+
+func TestPrometheusExoticNames(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Gauge("99bottles").Set(1)
+	r.Gauge("weird name-with.dots/and:colons").Set(2)
+	r.Gauge(`cell{msg=say "hi"\now,k=v}.x`).Set(3)
+	r.Gauge("torn{no-close").Set(4)
+	r.Gauge("torn{no=eq,}").Set(5)
+
+	got := exposition(t, r.Snapshot())
+	mustParse(t, got)
+
+	for _, want := range []string{
+		"_99bottles 1",
+		"weird_name_with_dots_and:colons 2",
+		`cell_x{msg="say \"hi\"\\now",k="v"} 3`,
+		"torn_no_close 4", // unclosed brace: whole name sanitized
+		"torn_no_eq__ 5",  // entry without '=': whole name sanitized
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestPrometheusTypeCollision: two obs types landing on one sanitized
+// family name must not emit one family with two TYPE lines of the same
+// name — the later family is disambiguated with a type suffix.
+func TestPrometheusTypeCollision(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("x.y").Inc()
+	r.Gauge("x.y").Set(7)
+
+	got := exposition(t, r.Snapshot())
+	mustParse(t, got)
+	if !strings.Contains(got, "# TYPE x_y_total counter") {
+		t.Errorf("missing counter family:\n%s", got)
+	}
+	if !strings.Contains(got, "# TYPE x_y gauge") {
+		t.Errorf("missing gauge family:\n%s", got)
+	}
+}
+
+func TestPrometheusNaNInf(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Gauge("bad.nan").Set(math.NaN())
+	r.Gauge("bad.posinf").Set(math.Inf(1))
+	r.Gauge("bad.neginf").Set(math.Inf(-1))
+	h := r.Histogram("bad.hist", []float64{math.Inf(-1), 1})
+	h.Observe(math.Inf(1)) // lands in +Inf overflow, poisons the sum
+
+	got := exposition(t, r.Snapshot())
+	mustParse(t, got)
+	for _, want := range []string{
+		"bad_nan NaN",
+		"bad_posinf +Inf",
+		"bad_neginf -Inf",
+		`bad_hist_bucket{le="-Inf"} 0`,
+		`bad_hist_bucket{le="+Inf"} 1`,
+		"bad_hist_sum +Inf",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestPrometheusHistogramEdgeBuckets: a histogram with no finite bounds
+// still exposes the mandatory +Inf bucket and consistent count.
+func TestPrometheusHistogramEdgeBuckets(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("edge.none", nil)
+	h.Observe(1)
+	h.Observe(2)
+
+	got := exposition(t, r.Snapshot())
+	mustParse(t, got)
+	if !strings.Contains(got, `edge_none_bucket{le="+Inf"} 2`) {
+		t.Errorf("missing +Inf bucket:\n%s", got)
+	}
+	if !strings.Contains(got, "edge_none_count 2") {
+		t.Errorf("missing count:\n%s", got)
+	}
+}
+
+func TestPrometheusDeterministic(t *testing.T) {
+	r := obs.NewRegistry()
+	for _, name := range []string{"b.x", "a.y", "c{k=1}.z", "c{k=2}.z"} {
+		r.Counter(name).Inc()
+	}
+	first := exposition(t, r.Snapshot())
+	for i := 0; i < 5; i++ {
+		if again := exposition(t, r.Snapshot()); again != first {
+			t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", first, again)
+		}
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"no_type_line 1\n",
+		"# TYPE x gauge\nx notanumber\n",
+		"# TYPE x gauge\nx\n",
+	}
+	for _, c := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(c)); err == nil {
+			t.Errorf("ParsePrometheus accepted %q", c)
+		}
+	}
+}

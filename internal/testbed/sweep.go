@@ -74,6 +74,15 @@ type SweepOptions struct {
 	// it is separate from any per-run Config.Obs sink.
 	Metrics *obs.Registry
 
+	// LiveMetrics, when non-nil, receives each run's metric snapshot from
+	// the ordered collector — in run order, never concurrently — so a
+	// wall-clock consumer (telemetry.Live) can aggregate mid-sweep. It is
+	// a plain data callback: this package never imports the telemetry
+	// plane, and enabling it does not change results, Metrics, Progress or
+	// Stream output. Per-run registries are allocated when either Metrics
+	// or LiveMetrics is set.
+	LiveMetrics func([]obs.Metric)
+
 	// Checkpoint, when non-nil with a Dir, makes SweepCheckpointed
 	// persist completed chunks and resume from them (see
 	// internal/checkpoint). Sweep ignores it.
@@ -202,7 +211,7 @@ func Sweep(opt SweepOptions) []*Result {
 	parallel.ForEachOrdered(total, parallel.OptWorkers(opt.Workers),
 		func(i int) sweepOut {
 			var reg *obs.Registry
-			if opt.Metrics != nil {
+			if opt.Metrics != nil || opt.LiveMetrics != nil {
 				reg = obs.NewRegistry()
 			}
 			return runSweepCell(specs[i], reg)
@@ -212,6 +221,9 @@ func Sweep(opt SweepOptions) []*Result {
 				opt.Progress(i+1, total)
 			}
 			opt.Metrics.Merge(v.reg)
+			if opt.LiveMetrics != nil {
+				opt.LiveMetrics(v.reg.Snapshot())
+			}
 			if v.err == nil {
 				out = append(out, v.res)
 			}
@@ -227,9 +239,13 @@ func Sweep(opt SweepOptions) []*Result {
 func (o SweepOptions) identity() string {
 	// Whether metrics are collected changes the persisted record bytes,
 	// so it is part of the identity: resuming a -metrics sweep without
-	// -metrics must be refused, not silently mixed.
+	// -metrics must be refused, not silently mixed. LiveMetrics feeds off
+	// the same per-run registries, so it participates in the same flag —
+	// a live-telemetry sweep records metrics and stays resumable both
+	// with and without the admin server as long as one of the two is on.
+	metrics := o.Metrics != nil || o.LiveMetrics != nil
 	return fmt.Sprintf("testbed.Sweep v1 seed=%d rates=%v losses=%v lats=%v bufs=%v runs=%d cong=%d dur=%s metrics=%t",
-		o.Seed, o.Rates, o.Losses, o.Latencies, o.Buffers, o.RunsPerConfig, o.CongFlows, o.Duration, o.Metrics != nil)
+		o.Seed, o.Rates, o.Losses, o.Latencies, o.Buffers, o.RunsPerConfig, o.CongFlows, o.Duration, metrics)
 }
 
 // sweepRecord is the persisted form of one run: the result (or its error,
@@ -256,7 +272,7 @@ func SweepCheckpointed(opt SweepOptions) ([]*Result, error) {
 	err := checkpoint.Run(opt.Checkpoint, opt.identity(), total, opt.Workers,
 		func(i int) sweepRecord {
 			var reg *obs.Registry
-			if opt.Metrics != nil {
+			if opt.Metrics != nil || opt.LiveMetrics != nil {
 				reg = obs.NewRegistry()
 			}
 			v := runSweepCell(specs[i], reg)
@@ -273,6 +289,9 @@ func SweepCheckpointed(opt SweepOptions) ([]*Result, error) {
 			}
 			if len(rec.Metrics) > 0 {
 				opt.Metrics.Merge(obs.FromSnapshot(rec.Metrics))
+			}
+			if opt.LiveMetrics != nil {
+				opt.LiveMetrics(rec.Metrics)
 			}
 			if rec.Res == nil {
 				return
