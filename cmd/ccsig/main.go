@@ -6,6 +6,7 @@
 //
 //	ccsig train [-quick] [-runs N] [-threshold F] -o model.json
 //	ccsig classify -model model.json -server 10.0.0.2 trace.pcap...
+//	ccsig serve -model model.json -server 10.0.0.2 [-replay] [trace.pcap | -]
 //	ccsig inspect -model model.json
 //	ccsig faults [-quick] [-faults ge-loss,flap,...] [-j N]
 //	ccsig conformance [-seed N] [-j N] [-o report.json]
@@ -18,7 +19,9 @@
 // train fits the decision tree on emulated controlled experiments
 // reproducing the paper's testbed; classify analyzes pcap files captured at
 // the data sender (e.g. a speed-test server) and prints one verdict per
-// flow; inspect prints the tree; faults re-runs the controlled experiments
+// flow (-json for NDJSON); serve classifies the same captures as a stream —
+// bounded per-flow state, verdicts emitted the moment each flow's slow
+// start ends, byte-identical to classify -json; inspect prints the tree; faults re-runs the controlled experiments
 // under injected network faults (bursty loss, link flaps, reordering,
 // duplication, corruption) and reports how the signature's accuracy holds
 // up per regime; trace runs one instrumented experiment and exports a
@@ -80,6 +83,8 @@ func main() {
 		trainCmd(os.Args[2:])
 	case "classify":
 		classifyCmd(os.Args[2:])
+	case "serve":
+		serveCmd(os.Args[2:])
 	case "inspect":
 		inspectCmd(os.Args[2:])
 	case "summarize":
@@ -113,6 +118,7 @@ func usage() {
 commands:
   train      fit the decision tree on emulated controlled experiments
   classify   classify flows in server-side pcap captures
+  serve      classify a pcap stream incrementally, emitting NDJSON verdicts
   summarize  print per-flow slow-start statistics from pcap captures
   inspect    print a trained model's decision tree
   faults     measure accuracy under injected network faults
@@ -208,9 +214,10 @@ func trainCmd(args []string) {
 }
 
 func classifyCmd(args []string) {
-	fs := newFlagSet("classify", "[-model model.json] -server IPv4 trace.pcap...")
+	fs := newFlagSet("classify", "[-model model.json] [-json] -server IPv4 trace.pcap...")
 	modelPath := fs.String("model", "", "model file from 'ccsig train' (default: train a quick model)")
 	server := fs.String("server", "", "server IPv4 address (data sender) in the capture")
+	asJSON := fs.Bool("json", false, "emit one NDJSON verdict per flow (the schema ccsig serve streams)")
 	fs.Parse(args)
 	if *server == "" {
 		badUsage(fs, "-server is required")
@@ -241,6 +248,12 @@ func classifyCmd(args []string) {
 			exit = 1
 		}
 		for _, fv := range verdicts {
+			if *asJSON {
+				if err := writeVerdictNDJSON(os.Stdout, fv); err != nil {
+					fatal(err)
+				}
+				continue
+			}
 			id := fmt.Sprintf("%s:%d > %s:%d", fv.SrcIP, fv.SrcPort, fv.DstIP, fv.DstPort)
 			v := fv.Verdict
 			if v.Class < 0 {

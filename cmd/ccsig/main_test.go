@@ -43,6 +43,7 @@ const goldenUsage = `usage: ccsig <command> [flags]
 commands:
   train      fit the decision tree on emulated controlled experiments
   classify   classify flows in server-side pcap captures
+  serve      classify a pcap stream incrementally, emitting NDJSON verdicts
   summarize  print per-flow slow-start statistics from pcap captures
   inspect    print a trained model's decision tree
   faults     measure accuracy under injected network faults

@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"tcpsig/internal/checkpoint"
+	"tcpsig/internal/netem"
 	"tcpsig/internal/obs"
+	"tcpsig/internal/pcap"
 	"tcpsig/internal/testbed"
 )
 
@@ -46,7 +48,7 @@ func (a accessFlags) config(cong int, sink *obs.Sink) testbed.Config {
 }
 
 func traceCmd(args []string) {
-	fs := newFlagSet("trace", "[-seed N] [-rate Mbps] [-loss F] [-latency D] [-buffer D] [-cong N] [-duration D] [-events N] [-o trace.json] [-queue-csv f] [-cwnd-csv f] [-events-csv f] [-metrics f]")
+	fs := newFlagSet("trace", "[-seed N] [-rate Mbps] [-loss F] [-latency D] [-buffer D] [-cong N] [-duration D] [-events N] [-o trace.json] [-queue-csv f] [-cwnd-csv f] [-events-csv f] [-metrics f] [-pcap f]")
 	af := accessFlags{
 		seed:     fs.Int64("seed", 1, "random seed (the output is a pure function of it)"),
 		rate:     fs.Float64("rate", 10, "access-link rate in Mbps"),
@@ -62,13 +64,19 @@ func traceCmd(args []string) {
 	cwndCSV := fs.String("cwnd-csv", "", "also write the cwnd time series as CSV")
 	eventsCSV := fs.String("events-csv", "", "also write every retained event as generic CSV")
 	metricsOut := fs.String("metrics", "", "also write the run's metrics snapshot as text")
+	pcapOut := fs.String("pcap", "", "also write the server-side packet capture as a pcap file")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		badUsage(fs, fmt.Sprintf("unexpected argument %q", fs.Arg(0)))
 	}
 
 	sink := &obs.Sink{Trace: obs.NewTracer(*events), Metrics: obs.NewRegistry()}
-	res, err := testbed.Run(af.config(*cong, sink))
+	cfg := af.config(*cong, sink)
+	var capt *netem.Capture
+	if *pcapOut != "" {
+		cfg.Capture = func(c *netem.Capture) { capt = c }
+	}
+	res, err := testbed.Run(cfg)
 	if err != nil {
 		// The run produced no valid test flow, but the trace up to the
 		// failure is still the debugging artifact the user asked for.
@@ -90,6 +98,23 @@ func traceCmd(args []string) {
 	} {
 		if err := writeOutput(o.path, o.write); err != nil {
 			fatal(err)
+		}
+	}
+	if *pcapOut != "" && capt != nil {
+		if err := writeOutput(*pcapOut, func(w io.Writer) error {
+			return pcap.NewWriter(w).WriteCapture(capt)
+		}); err != nil {
+			fatal(err)
+		}
+		// Report the data sender's address so the capture can be fed
+		// straight to classify/serve -server.
+		for i := range capt.Records {
+			rec := &capt.Records[i]
+			if rec.Dir == netem.DirOut && rec.Pkt.IsData() {
+				ip := pcap.ServerIP(rec.Pkt.Flow.SrcAddr)
+				fmt.Fprintf(os.Stderr, "pcap server=%s\n", ipString4(ip))
+				break
+			}
 		}
 	}
 }

@@ -30,6 +30,11 @@ var Packages = []string{
 	// count; a wall-clock read or global rand draw there (say, for backoff
 	// or work stealing) would be invisible in the results until it wasn't.
 	"internal/parallel",
+	// The streaming flow table promises verdicts identical to the batch
+	// path, record for record; timestamps reach it only inside
+	// CaptureRecords (virtual time), and a wall-clock read there — say,
+	// for eviction aging — would make verdicts depend on ingest pacing.
+	"internal/stream",
 }
 
 // ForbiddenImports lists import-path suffixes that simulation code must

@@ -8,5 +8,5 @@ import (
 )
 
 func TestSimDeterminism(t *testing.T) {
-	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "internal/sim", "internal/obs", "internal/parallel", "internal/testbed", "other")
+	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "internal/sim", "internal/obs", "internal/parallel", "internal/stream", "internal/testbed", "other")
 }

@@ -1,0 +1,23 @@
+// Package stream exercises the full determinism set on the streaming flow
+// table: verdicts must be a pure function of the record sequence, so both
+// ambient-nondeterminism checks and the telemetry import ban apply.
+package stream
+
+import (
+	"math/rand"
+	"time"
+
+	_ "internal/telemetry" // want `import of internal/telemetry: the wall-clock telemetry plane must not be reachable from simulation code`
+)
+
+func badEvictionAge() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func badShardPick(shards int) int {
+	return rand.Intn(shards) // want `global rand\.Intn draws from the shared seed`
+}
+
+func goodVirtual(at time.Duration) float64 {
+	return at.Seconds() // allowed: record timestamps are virtual durations
+}

@@ -171,9 +171,15 @@ func Run[T any](spec *Spec, identity string, n, workers int, run func(i int) T, 
 		return fmt.Errorf("checkpoint: %s: %w", dir, ErrExists)
 	}
 	records := map[int]record{}
+	complete := false
 	if lm != nil {
 		records = lm.records
-		spec.logf("checkpoint: %s: resuming, %d chunk(s) recorded", dir, len(records))
+		complete = lm.complete
+		if complete {
+			spec.logf("checkpoint: %s: resuming a completed stage, %d chunk(s) recorded", dir, len(records))
+		} else {
+			spec.logf("checkpoint: %s: resuming, %d chunk(s) recorded", dir, len(records))
+		}
 		// Drop any torn record tail so appends start on a line boundary.
 		if err := os.Truncate(mpath, lm.validLen); err != nil {
 			return fmt.Errorf("checkpoint: truncating manifest tail: %w", err)
@@ -204,6 +210,12 @@ func Run[T any](spec *Spec, identity string, n, workers int, run func(i int) T, 
 	defer mf.Close()
 
 	chunks := (n + size - 1) / size
+	if complete && lm.doneChunks != chunks {
+		// The header equality check should make this unreachable, but a
+		// hand-edited manifest must not silently pass as finished.
+		return fmt.Errorf("checkpoint: %s: completion record covers %d chunk(s), this plan has %d: %w",
+			name, lm.doneChunks, chunks, ErrMismatch)
+	}
 	if spec.Observer != nil {
 		last, maxChunk := "", -1
 		for c, rec := range records {
@@ -266,6 +278,16 @@ func Run[T any](spec *Spec, identity string, n, workers int, run func(i int) T, 
 		}
 		if spec.Observer != nil {
 			spec.Observer.ChunkDone(name, c, chunks, replayed, chunkDigest)
+		}
+	}
+	// Record stage completion explicitly. Without this a finished
+	// zero-chunk (empty grid) stage leaves a header-only manifest — the
+	// same bytes as a stage that crashed before its first chunk — so a
+	// resume could not tell "completed with no chunks" from "never
+	// started". A manifest already carrying the record is not re-stamped.
+	if !complete {
+		if err := appendDone(mf, chunks); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -174,13 +174,20 @@ func TestTornManifestTailDropped(t *testing.T) {
 	dir := t.TempDir()
 	sweep(t, &Spec{Dir: dir, ChunkSize: 2}, "plan", 8, 1)
 
-	// Tear the last record mid-line, as a crash during append would.
+	// Drop the completion record (a stage torn mid-append never wrote
+	// one), then tear the last chunk record mid-line, as a crash during
+	// append would.
 	mpath := filepath.Join(dir, "sweep", manifestName)
 	data, err := os.ReadFile(mpath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(mpath, data[:len(data)-9], 0o644); err != nil {
+	text := string(data)
+	cut := strings.LastIndexByte(strings.TrimSuffix(text, "\n"), '\n') + 1
+	if !strings.HasPrefix(text[cut:], "done ") {
+		t.Fatalf("manifest does not end with a completion record:\n%s", text)
+	}
+	if err := os.WriteFile(mpath, data[:cut-9], 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -188,6 +195,59 @@ func TestTornManifestTailDropped(t *testing.T) {
 	wantItems(t, out, 8)
 	if computed != 2 {
 		t.Fatalf("resume recomputed %d runs, want the torn record's 2", computed)
+	}
+}
+
+// TestEmptyGridCompletionRecorded pins the zero-chunk manifest semantics:
+// a completed empty grid is distinguishable from a never-started stage by
+// its explicit completion record, resumes as a no-op, and a completion
+// record contradicting the plan's chunk count is refused.
+func TestEmptyGridCompletionRecorded(t *testing.T) {
+	dir := t.TempDir()
+	out, computed := sweep(t, &Spec{Dir: dir, ChunkSize: 2}, "plan", 0, 1)
+	wantItems(t, out, 0)
+	if computed != 0 {
+		t.Fatalf("empty grid computed %d runs", computed)
+	}
+
+	mpath := filepath.Join(dir, "sweep", manifestName)
+	lm, err := loadManifest(mpath, manifestHeader("sweep", identityID("plan"), 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm == nil || !lm.complete || lm.doneChunks != 0 || len(lm.records) != 0 {
+		t.Fatalf("completed empty grid loads as %+v, want complete with 0 chunks", lm)
+	}
+
+	// Resume is a clean no-op and does not duplicate the record.
+	before, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, computed = sweep(t, &Spec{Dir: dir, ChunkSize: 2, Resume: true}, "plan", 0, 1)
+	wantItems(t, out, 0)
+	if computed != 0 {
+		t.Fatalf("resumed empty grid computed %d runs", computed)
+	}
+	after, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatalf("resume rewrote a completed manifest:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+
+	// A completion record whose chunk count contradicts the plan must be
+	// refused, not trusted.
+	forged := strings.Replace(string(after), formatDone(0), formatDone(3), 1)
+	if forged == string(after) {
+		t.Fatal("could not forge the completion record")
+	}
+	if err := os.WriteFile(mpath, []byte(forged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sweepErr(&Spec{Dir: dir, ChunkSize: 2, Resume: true}, "plan", 0, 1); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("forged completion record resumed: %v, want ErrMismatch", err)
 	}
 }
 

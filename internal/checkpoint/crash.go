@@ -19,6 +19,10 @@ import (
 //	mid-manifest   between the two halves of a manifest record append:
 //	               a torn manifest tail
 //	after-chunk    record appended and synced; the next chunk never runs
+//	mid-done       between the two halves of the stage-completion record:
+//	               all chunks durable, the finished-stage marker torn (the
+//	               chunk index in the spec is the stage's chunk count, 0
+//	               for an empty grid)
 const CrashEnv = "CCSIG_CRASHPOINT"
 
 // crashPoint kills the process outright if CrashEnv names this site and

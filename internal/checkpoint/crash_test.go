@@ -7,6 +7,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -32,9 +33,13 @@ func TestCrashHelper(t *testing.T) {
 	}
 	workers, _ := strconv.Atoi(os.Getenv("CHECKPOINT_CRASH_WORKERS"))
 	resume := os.Getenv("CHECKPOINT_CRASH_RESUME") == "1"
+	n := helperN
+	if s := os.Getenv("CHECKPOINT_CRASH_N"); s != "" {
+		n, _ = strconv.Atoi(s)
+	}
 	spec := &Spec{Dir: dir, ChunkSize: helperChunk, Resume: resume}
 	var out []item
-	err := Run(spec, "crash-harness plan v1", helperN, workers,
+	err := Run(spec, "crash-harness plan v1", n, workers,
 		runFn,
 		func(i int, v item) { out = append(out, v) })
 	if err != nil {
@@ -54,11 +59,17 @@ func TestCrashHelper(t *testing.T) {
 // runHelper re-execs this test binary in helper mode. crashpoint, when
 // non-empty, is the CCSIG_CRASHPOINT spec that will SIGKILL the child.
 func runHelper(t *testing.T, dir string, workers int, resume bool, crashpoint string) error {
+	return runHelperN(t, dir, workers, resume, crashpoint, helperN)
+}
+
+// runHelperN is runHelper with an explicit run count (0 = empty grid).
+func runHelperN(t *testing.T, dir string, workers int, resume bool, crashpoint string, n int) error {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashHelper$", "-test.v=false")
 	cmd.Env = append(os.Environ(),
 		crashHelperEnv+"="+dir,
 		"CHECKPOINT_CRASH_WORKERS="+strconv.Itoa(workers),
+		"CHECKPOINT_CRASH_N="+strconv.Itoa(n),
 	)
 	if resume {
 		cmd.Env = append(cmd.Env, "CHECKPOINT_CRASH_RESUME=1")
@@ -112,6 +123,59 @@ func TestCrashAtEveryFaultPointResumesByteIdentical(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestCrashEmptyGridResume pins the zero-chunk resume fix: an empty grid
+// completes by writing only the stage-completion record, so a crash while
+// writing it must leave a resumable checkpoint, and the resumed tree must
+// match an uninterrupted empty-grid run byte for byte. Before the
+// completion record existed, a finished empty grid was indistinguishable
+// from a stage that crashed right after its header.
+func TestCrashEmptyGridResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec harness")
+	}
+	// Reference: an empty grid, never interrupted.
+	refDir := t.TempDir()
+	if err := runHelperN(t, refDir, 1, false, "", 0); err != nil {
+		t.Fatalf("reference empty-grid run: %v", err)
+	}
+	ref := readTree(t, refDir)
+	refManifest, ok := ref[filepath.Join("sweep", manifestName)]
+	if !ok || !strings.Contains(refManifest, "done 0 ") {
+		t.Fatalf("empty-grid manifest lacks a completion record:\n%s", refManifest)
+	}
+
+	// Crash while the completion record is being written (chunk count 0),
+	// then resume: the result must be byte-identical to the reference.
+	dir := t.TempDir()
+	if err := runHelperN(t, dir, 1, false, "mid-done:0", 0); err == nil {
+		t.Fatal("crash at mid-done:0 did not kill the child")
+	}
+	if err := runHelperN(t, dir, 1, true, "", 0); err != nil {
+		t.Fatalf("resume after torn completion record: %v", err)
+	}
+	got := readTree(t, dir)
+	if len(got) != len(ref) {
+		t.Fatalf("resumed tree has %d files, reference %d", len(got), len(ref))
+	}
+	for name, want := range ref {
+		if got[name] != want {
+			t.Errorf("after mid-done crash, %s differs from the uninterrupted run:\ngot:\n%s\nwant:\n%s", name, got[name], want)
+		}
+	}
+
+	// Resuming an already-completed empty grid is a no-op: the completion
+	// record is not duplicated and the tree does not change.
+	if err := runHelperN(t, dir, 1, true, "", 0); err != nil {
+		t.Fatalf("resume of completed empty grid: %v", err)
+	}
+	again := readTree(t, dir)
+	for name, want := range got {
+		if again[name] != want {
+			t.Errorf("second resume changed %s:\n%s", name, again[name])
+		}
 	}
 }
 

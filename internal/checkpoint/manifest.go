@@ -63,10 +63,50 @@ func parseRecord(line string) (record, bool) {
 	return record{Chunk: idx, Lo: lo, Hi: hi, File: fields[4], Digest: fields[5]}, true
 }
 
+// formatDone renders the stage-completion record:
+//
+//	done <chunks> <crc32>
+//
+// It is appended after the last chunk record, so a manifest holding it is
+// a finished stage — the only way to tell a completed zero-chunk (empty
+// grid) stage from one that crashed right after writing its header.
+func formatDone(chunks int) string {
+	body := fmt.Sprintf("done %d", chunks)
+	return fmt.Sprintf("%s %08x", body, crc32.ChecksumIEEE([]byte(body)))
+}
+
+// parseDone parses a completion record, reporting ok only for a complete,
+// checksum-valid line.
+func parseDone(line string) (chunks int, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[0] != "done" {
+		return 0, false
+	}
+	crc, err := strconv.ParseUint(fields[2], 16, 32)
+	if err != nil {
+		return 0, false
+	}
+	body := strings.Join(fields[:2], " ")
+	if crc32.ChecksumIEEE([]byte(body)) != uint32(crc) {
+		return 0, false
+	}
+	chunks, err = strconv.Atoi(fields[1])
+	if err != nil || chunks < 0 {
+		return 0, false
+	}
+	return chunks, true
+}
+
 // loadedManifest is the usable state recovered from an existing manifest.
 type loadedManifest struct {
 	records  map[int]record
 	validLen int64 // byte length of the valid prefix (header + whole records)
+
+	// complete marks a manifest carrying a valid completion record: every
+	// chunk ran and the stage finished. doneChunks is the chunk count the
+	// record binds (sanity-checked against the plan on resume).
+	complete   bool
+	doneChunks int
 }
 
 // loadManifest reads an existing manifest. A missing file — or one whose
@@ -98,6 +138,11 @@ func loadManifest(path, wantHeader string) (*loadedManifest, error) {
 		if n < 0 {
 			break // torn tail: no terminating newline
 		}
+		if chunks, ok := parseDone(rest[:n]); ok {
+			lm.complete, lm.doneChunks = true, chunks
+			lm.validLen += int64(n) + 1
+			break // completion is the final record; ignore anything after
+		}
 		r, ok := parseRecord(rest[:n])
 		if !ok {
 			break // torn or corrupt record; drop it and everything after
@@ -127,5 +172,25 @@ func appendRecord(f *os.File, r record) error {
 		return fmt.Errorf("checkpoint: syncing manifest: %w", err)
 	}
 	crashPoint("after-chunk", r.Chunk)
+	return nil
+}
+
+// appendDone appends the stage-completion record and syncs, with the same
+// two-half crash point the chunk records have so the injection harness can
+// tear it — including on a zero-chunk (empty grid) stage, where this is
+// the only record the manifest ever gets.
+func appendDone(f *os.File, chunks int) error {
+	line := formatDone(chunks) + "\n"
+	half := len(line) / 2
+	if _, err := f.WriteString(line[:half]); err != nil {
+		return fmt.Errorf("checkpoint: appending completion record: %w", err)
+	}
+	crashPoint("mid-done", chunks)
+	if _, err := f.WriteString(line[half:]); err != nil {
+		return fmt.Errorf("checkpoint: appending completion record: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing manifest: %w", err)
+	}
 	return nil
 }

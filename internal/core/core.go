@@ -275,6 +275,16 @@ func (c *Classifier) ClassifyTrace(records []netem.CaptureRecord, flow netem.Flo
 		c.countReason(ReasonNoData)
 		return Verdict{Class: -1, Reason: ReasonNoData}, err
 	}
+	return c.ClassifyInfo(info)
+}
+
+// ClassifyInfo classifies a flow from its completed trace analysis. It is
+// the shared back half of every classification path: ClassifyTrace calls it
+// after a batch Analyze, and the streaming flow table calls it the moment a
+// flow's slow start ends (the slow-start fields of a flowrtt.Tracker are
+// final from that point, so the verdict equals the batch one). Degraded and
+// failed verdicts carry the same Reason/error taxonomy as ClassifyTrace.
+func (c *Classifier) ClassifyInfo(info *flowrtt.FlowInfo) (Verdict, error) {
 	ss := info.SlowStartRTTs()
 	if len(ss) == 0 && info.HasRetransmit {
 		c.countReason(ReasonNoSlowStart)

@@ -166,126 +166,185 @@ type outSeg struct {
 	retx   bool
 }
 
-// Analyze extracts RTT samples for the data direction given by flow from a
-// server-side capture. Outgoing records must carry the flow key; incoming
-// ACKs are matched on the reverse key.
-func Analyze(records []netem.CaptureRecord, flow netem.FlowKey) (*FlowInfo, error) {
-	info := &FlowInfo{Flow: flow}
-	rev := flow.Reverse()
+// Tracker is the incremental form of Analyze: a per-flow state machine fed
+// one capture record at a time. Feeding every record of a capture through
+// Observe and then calling Finish produces exactly what Analyze returns —
+// Analyze is implemented that way — so batch and streaming consumers share
+// one code path by construction.
+//
+// The streaming property the classifier exploits: the moment Observe
+// reports that slow start ended (the flow's first retransmission), the
+// slow-start prefix is final. SlowStart, HasRetransmit, FirstRetransmitAt
+// and SlowStartBytesAcked never change afterwards, so a verdict computed
+// right then equals the one a whole-trace analysis would reach, and the
+// remaining per-flow state can be freed.
+type Tracker struct {
+	flow netem.FlowKey
+	rev  netem.FlowKey
+	info *FlowInfo
 
-	var outstanding []outSeg
-	var seen []netem.SackBlock // transmitted ranges, for retransmit detection
-	var highAck uint32
-	var haveAck bool
-	var firstSeq uint32
-	var haveData bool
+	outstanding []outSeg
+	seen        []netem.SackBlock // transmitted ranges, for retransmit detection
+	highAck     uint32
+	haveAck     bool
+	firstSeq    uint32
+	haveData    bool
+}
 
-	isRetransmission := func(p *netem.Packet) bool {
-		if p.Retransmit {
+// NewTracker starts tracking the data direction given by flow. Outgoing
+// records must carry the flow key; incoming ACKs are matched on the
+// reverse key. Records for other flows are ignored, so a caller may feed a
+// whole interleaved capture or pre-filter per flow — the result is the
+// same.
+func NewTracker(flow netem.FlowKey) *Tracker {
+	return &Tracker{flow: flow, rev: flow.Reverse(), info: &FlowInfo{Flow: flow}}
+}
+
+// SlowStartOver reports whether the slow-start window has closed (a
+// retransmission was observed). Once true, the slow-start fields of Peek()
+// are final.
+func (t *Tracker) SlowStartOver() bool { return t.info.HasRetransmit }
+
+// Peek returns the evolving analysis. Before Finish, whole-flow fields
+// (BytesAcked, Samples, AckCurve, LastDataAt) are still moving; once
+// SlowStartOver reports true, the slow-start fields (SlowStart,
+// HasRetransmit, FirstRetransmitAt, SlowStartBytesAcked, FirstDataAt) are
+// final. The pointer aliases Tracker state — callers must not mutate it.
+func (t *Tracker) Peek() *FlowInfo { return t.info }
+
+// Observe feeds one capture record into the state machine. It returns true
+// exactly once, on the record that ends the flow's slow start (its first
+// retransmission) — the earliest moment a streaming classifier can emit
+// this flow's verdict.
+func (t *Tracker) Observe(rec *netem.CaptureRecord) bool {
+	info := t.info
+	p := &rec.Pkt
+	slowStartJustEnded := false
+	switch {
+	case rec.Dir == netem.DirOut && p.Flow == t.flow && p.IsData():
+		retx := t.isRetransmission(p)
+		if !t.haveData {
+			t.haveData = true
+			t.firstSeq = p.Seg.Seq
+			info.FirstDataAt = rec.At
+		} else if !retx && seqLT32(p.Seg.Seq, t.firstSeq) {
+			// A reordered capture showed us a segment from before
+			// the first one we saw: rebase the byte-progress
+			// origin so ACK progress is not undercounted.
+			delta := seqDiff32(t.firstSeq, p.Seg.Seq)
+			t.firstSeq = p.Seg.Seq
+			for j := range info.AckCurve {
+				info.AckCurve[j].Acked += delta
+			}
+		}
+		info.LastDataAt = rec.At
+		if retx {
+			if !info.HasRetransmit {
+				info.HasRetransmit = true
+				info.FirstRetransmitAt = rec.At
+				if t.haveAck {
+					info.SlowStartBytesAcked = seqDiff32(t.highAck, t.firstSeq)
+				}
+				slowStartJustEnded = true
+			}
+			// Invalidate overlapping outstanding samples.
+			for j := range t.outstanding {
+				if seqLT32(p.Seg.Seq, t.outstanding[j].endSeq) && seqLT32(t.outstanding[j].endSeq, p.EndSeq()+1) {
+					t.outstanding[j].retx = true
+				}
+			}
+		} else {
+			t.outstanding = append(t.outstanding, outSeg{endSeq: p.EndSeq(), at: rec.At})
+			t.seen = mergeRange(t.seen, p.Seg.Seq, p.EndSeq())
+		}
+		info.BytesSent = coveredBytes(t.seen)
+
+	case rec.Dir == netem.DirIn && p.Flow == t.rev && p.Seg.Flags&netem.FlagACK != 0:
+		ack := p.Seg.Ack
+		if t.haveData && seqLT32(t.firstSeq, ack) {
+			if !t.haveAck || seqLT32(t.highAck, ack) {
+				t.highAck = ack
+				t.haveAck = true
+				info.AckCurve = append(info.AckCurve, AckPoint{At: rec.At, Acked: seqDiff32(t.highAck, t.firstSeq)})
+			}
+		}
+		// Pop covered segments; newest non-retransmitted one
+		// yields the sample.
+		idx := 0
+		var sampleAt sim.Time
+		var sampleRTT time.Duration
+		ok := false
+		for ; idx < len(t.outstanding) && seqLEQ32(t.outstanding[idx].endSeq, ack); idx++ {
+			if t.outstanding[idx].retx {
+				continue
+			}
+			rtt := rec.At - t.outstanding[idx].at
+			if rtt <= 0 {
+				// Non-monotonic timestamps (corrupt or hostile
+				// captures) must never yield negative or zero
+				// RTT samples.
+				continue
+			}
+			sampleAt = rec.At
+			sampleRTT = rtt
+			ok = true
+		}
+		t.outstanding = t.outstanding[idx:]
+		if ok {
+			s := Sample{At: sampleAt, RTT: sampleRTT}
+			info.Samples = append(info.Samples, s)
+			if !info.HasRetransmit {
+				info.SlowStart = append(info.SlowStart, s)
+			}
+		}
+	}
+	return slowStartJustEnded
+}
+
+// isRetransmission reports whether p retransmits data. The emulator flags
+// its retransmissions; for real traces the test is a data packet whose
+// range overlaps something already sent.
+func (t *Tracker) isRetransmission(p *netem.Packet) bool {
+	if p.Retransmit {
+		return true
+	}
+	start, end := p.Seg.Seq, p.EndSeq()
+	for _, r := range t.seen {
+		if seqLT32(start, r.End) && seqLT32(r.Start, end) {
 			return true
 		}
-		// For real traces without the emulator's flag: a data packet
-		// whose range overlaps something already sent.
-		start, end := p.Seg.Seq, p.EndSeq()
-		for _, r := range seen {
-			if seqLT32(start, r.End) && seqLT32(r.Start, end) {
-				return true
-			}
-		}
-		return false
 	}
+	return false
+}
 
-	for i := range records {
-		rec := &records[i]
-		p := &rec.Pkt
-		switch {
-		case rec.Dir == netem.DirOut && p.Flow == flow && p.IsData():
-			retx := isRetransmission(p)
-			if !haveData {
-				haveData = true
-				firstSeq = p.Seg.Seq
-				info.FirstDataAt = rec.At
-			} else if !retx && seqLT32(p.Seg.Seq, firstSeq) {
-				// A reordered capture showed us a segment from before
-				// the first one we saw: rebase the byte-progress
-				// origin so ACK progress is not undercounted.
-				delta := seqDiff32(firstSeq, p.Seg.Seq)
-				firstSeq = p.Seg.Seq
-				for j := range info.AckCurve {
-					info.AckCurve[j].Acked += delta
-				}
-			}
-			info.LastDataAt = rec.At
-			if retx {
-				if !info.HasRetransmit {
-					info.HasRetransmit = true
-					info.FirstRetransmitAt = rec.At
-					if haveAck {
-						info.SlowStartBytesAcked = seqDiff32(highAck, firstSeq)
-					}
-				}
-				// Invalidate overlapping outstanding samples.
-				for j := range outstanding {
-					if seqLT32(p.Seg.Seq, outstanding[j].endSeq) && seqLT32(outstanding[j].endSeq, p.EndSeq()+1) {
-						outstanding[j].retx = true
-					}
-				}
-			} else {
-				outstanding = append(outstanding, outSeg{endSeq: p.EndSeq(), at: rec.At})
-				seen = mergeRange(seen, p.Seg.Seq, p.EndSeq())
-			}
-			info.BytesSent = coveredBytes(seen)
-
-		case rec.Dir == netem.DirIn && p.Flow == rev && p.Seg.Flags&netem.FlagACK != 0:
-			ack := p.Seg.Ack
-			if haveData && seqLT32(firstSeq, ack) {
-				if !haveAck || seqLT32(highAck, ack) {
-					highAck = ack
-					haveAck = true
-					info.AckCurve = append(info.AckCurve, AckPoint{At: rec.At, Acked: seqDiff32(highAck, firstSeq)})
-				}
-			}
-			// Pop covered segments; newest non-retransmitted one
-			// yields the sample.
-			idx := 0
-			var sampleAt sim.Time
-			var sampleRTT time.Duration
-			ok := false
-			for ; idx < len(outstanding) && seqLEQ32(outstanding[idx].endSeq, ack); idx++ {
-				if outstanding[idx].retx {
-					continue
-				}
-				rtt := rec.At - outstanding[idx].at
-				if rtt <= 0 {
-					// Non-monotonic timestamps (corrupt or hostile
-					// captures) must never yield negative or zero
-					// RTT samples.
-					continue
-				}
-				sampleAt = rec.At
-				sampleRTT = rtt
-				ok = true
-			}
-			outstanding = outstanding[idx:]
-			if ok {
-				s := Sample{At: sampleAt, RTT: sampleRTT}
-				info.Samples = append(info.Samples, s)
-				if !info.HasRetransmit {
-					info.SlowStart = append(info.SlowStart, s)
-				}
-			}
-		}
+// Finish finalizes the whole-flow byte accounting and returns the analysis,
+// exactly as Analyze would for the record sequence observed so far. It is
+// idempotent and may be interleaved with further Observe calls (the next
+// Finish reflects them).
+func (t *Tracker) Finish() (*FlowInfo, error) {
+	if !t.haveData {
+		return nil, fmt.Errorf("%w: %v", ErrNoData, t.flow)
 	}
-	if !haveData {
-		return nil, fmt.Errorf("%w: %v", ErrNoData, flow)
-	}
-	if haveAck {
-		info.BytesAcked = seqDiff32(highAck, firstSeq)
+	info := t.info
+	if t.haveAck {
+		info.BytesAcked = seqDiff32(t.highAck, t.firstSeq)
 		if !info.HasRetransmit {
 			info.SlowStartBytesAcked = info.BytesAcked
 		}
 	}
 	return info, nil
+}
+
+// Analyze extracts RTT samples for the data direction given by flow from a
+// server-side capture. Outgoing records must carry the flow key; incoming
+// ACKs are matched on the reverse key. It is the batch form of Tracker:
+// every record streams through the same state machine, record for record.
+func Analyze(records []netem.CaptureRecord, flow netem.FlowKey) (*FlowInfo, error) {
+	t := NewTracker(flow)
+	for i := range records {
+		t.Observe(&records[i])
+	}
+	return t.Finish()
 }
 
 // AnalyzeValid is Analyze plus the paper's >= 10 slow-start samples filter.

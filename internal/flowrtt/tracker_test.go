@@ -1,0 +1,153 @@
+package flowrtt
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"tcpsig/internal/netem"
+)
+
+// wrapTrace builds one flow's capture with all sequence numbers offset by
+// isn: two slow-start rounds, a retransmission mid-flow, then one more
+// acked segment. With an ISN just below 2^32 the second data segment
+// straddles the wrap, the cumulative ACKs are numerically *smaller* than
+// the ISN, and retransmit detection must match ranges across the wrap —
+// exercising seqLT32/seqLEQ32/seqDiff32 end to end.
+func wrapTrace(isn uint32) []netem.CaptureRecord {
+	s := func(off uint32) uint32 { return isn + off }
+	return []netem.CaptureRecord{
+		dataOut(0, s(0), 1460),
+		dataOut(1*time.Millisecond, s(1460), 1460),
+		ackIn(20*time.Millisecond, s(2920)),
+		dataOut(21*time.Millisecond, s(2920), 1460),
+		dataOut(22*time.Millisecond, s(4380), 1460),
+		ackIn(40*time.Millisecond, s(5840)),
+		dataOut(41*time.Millisecond, s(2920), 1460), // retransmission, detected by range overlap only
+		dataOut(42*time.Millisecond, s(5840), 1460),
+		ackIn(60*time.Millisecond, s(7300)),
+	}
+}
+
+// wrapRetxIndex is the index in wrapTrace of the retransmission record
+// that ends slow start.
+const wrapRetxIndex = 6
+
+// highISN puts the wrap inside the second data segment: isn+1460 < 2^32
+// but isn+2920 wraps to 920.
+const highISN = uint32(1<<32 - 2000)
+
+// A flow whose ISN sits just below 2^32 must produce the same analysis as
+// an equivalent low-ISN flow: every FlowInfo field is base-relative, so
+// the two results must be deep-equal.
+func TestSequenceWraparoundMidSlowStart(t *testing.T) {
+	low, err := Analyze(wrapTrace(1000), testFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Analyze(wrapTrace(highISN), testFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin the expected analysis on the low-ISN flow first, so a symmetric
+	// wraparound bug (both flows wrong the same way) cannot hide.
+	if !low.HasRetransmit || low.FirstRetransmitAt != 41*time.Millisecond {
+		t.Fatalf("retransmit not detected as expected: %+v", low)
+	}
+	if low.SlowStartBytesAcked != 5840 {
+		t.Fatalf("SlowStartBytesAcked = %d, want 5840", low.SlowStartBytesAcked)
+	}
+	if low.BytesAcked != 7300 || low.BytesSent != 7300 {
+		t.Fatalf("BytesAcked/BytesSent = %d/%d, want 7300/7300", low.BytesAcked, low.BytesSent)
+	}
+	if len(low.Samples) != 3 || len(low.SlowStart) != 2 {
+		t.Fatalf("Samples/SlowStart = %d/%d, want 3/2", len(low.Samples), len(low.SlowStart))
+	}
+	wantAcked := []int64{2920, 5840, 7300}
+	if len(low.AckCurve) != len(wantAcked) {
+		t.Fatalf("AckCurve has %d points, want %d", len(low.AckCurve), len(wantAcked))
+	}
+	for i, p := range low.AckCurve {
+		if p.Acked != wantAcked[i] {
+			t.Fatalf("AckCurve[%d].Acked = %d, want %d", i, p.Acked, wantAcked[i])
+		}
+	}
+
+	if !reflect.DeepEqual(low, high) {
+		t.Fatalf("wraparound flow diverges from low-ISN flow:\nlow:  %+v\nhigh: %+v", low, high)
+	}
+}
+
+// The streaming tracker must agree with Analyze record for record: Observe
+// reports the end of slow start exactly once, on the retransmission
+// record; the slow-start fields visible through Peek at that instant are
+// already final; and Finish reproduces the batch analysis — for a low ISN
+// and for one that wraps mid-slow-start.
+func TestTrackerEarlyEmissionAcrossWraparound(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		isn  uint32
+	}{
+		{"lowISN", 1000},
+		{"wrapISN", highISN},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			recs := wrapTrace(tc.isn)
+			want, err := Analyze(recs, testFlow)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tr := NewTracker(testFlow)
+			var endedAt []int
+			for i := range recs {
+				if tr.Observe(&recs[i]) {
+					endedAt = append(endedAt, i)
+
+					// Slow-start fields are final the moment Observe
+					// reports the transition.
+					peek := tr.Peek()
+					if !tr.SlowStartOver() {
+						t.Fatal("Observe returned true but SlowStartOver is false")
+					}
+					if peek.SlowStartBytesAcked != want.SlowStartBytesAcked {
+						t.Fatalf("early SlowStartBytesAcked = %d, want %d", peek.SlowStartBytesAcked, want.SlowStartBytesAcked)
+					}
+					if peek.FirstRetransmitAt != want.FirstRetransmitAt {
+						t.Fatalf("early FirstRetransmitAt = %v, want %v", peek.FirstRetransmitAt, want.FirstRetransmitAt)
+					}
+					if !reflect.DeepEqual(peek.SlowStart, want.SlowStart) {
+						t.Fatalf("early SlowStart samples diverge:\ngot:  %+v\nwant: %+v", peek.SlowStart, want.SlowStart)
+					}
+				}
+			}
+			if len(endedAt) != 1 || endedAt[0] != wrapRetxIndex {
+				t.Fatalf("slow start ended at records %v, want exactly [%d]", endedAt, wrapRetxIndex)
+			}
+
+			got, err := tr.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("tracker result diverges from Analyze:\ngot:  %+v\nwant: %+v", got, want)
+			}
+			// Finish is idempotent.
+			again, err := tr.Finish()
+			if err != nil || !reflect.DeepEqual(again, want) {
+				t.Fatalf("second Finish diverged: %+v err=%v", again, err)
+			}
+		})
+	}
+}
+
+// A tracker that never sees data reports ErrNoData, like Analyze.
+func TestTrackerNoData(t *testing.T) {
+	tr := NewTracker(testFlow)
+	ack := ackIn(time.Millisecond, 500)
+	tr.Observe(&ack)
+	if _, err := tr.Finish(); err == nil {
+		t.Fatal("Finish on data-free flow: want ErrNoData, got nil")
+	}
+}

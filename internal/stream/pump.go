@@ -1,0 +1,103 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tcpsig/internal/netem"
+	"tcpsig/internal/obs"
+)
+
+// Pump decouples record ingest from classification with a bounded channel,
+// giving the producer a backpressure choice per record:
+//
+//   - Feed blocks until the table catches up — lossless, the right mode
+//     when the producer is itself pull-based (reading a pcap file or a
+//     fifo, where blocking simply stops consuming input).
+//   - Offer never blocks: when the buffer is full the record is counted
+//     as dropped and discarded — the right mode when the producer cannot
+//     stall (replaying a capture at its original timing, or a live tap).
+//
+// A single goroutine drains the channel into Table.Observe, so a pumped
+// table needs no Observe-side synchronization concerns regardless of how
+// many producers call Feed/Offer.
+type Pump struct {
+	table *Table
+	ch    chan netem.CaptureRecord
+	wg    sync.WaitGroup
+	once  sync.Once
+
+	accepted atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+// DefaultPumpBuffer is the ingest-channel capacity when Config passes 0.
+const DefaultPumpBuffer = 4096
+
+// NewPump starts a pump draining into t. buffer is the ingest-channel
+// capacity (0 = DefaultPumpBuffer).
+func NewPump(t *Table, buffer int) *Pump {
+	if buffer <= 0 {
+		buffer = DefaultPumpBuffer
+	}
+	p := &Pump{table: t, ch: make(chan netem.CaptureRecord, buffer)}
+	p.wg.Add(1)
+	//sigcheck:ignore goroutinesafe -- the drain goroutine's lifetime is the pump's, not this call's: it exits when Close closes the channel, and Close joins it via wg.Wait
+	go func() {
+		defer p.wg.Done()
+		for rec := range p.ch {
+			p.table.Observe(&rec)
+		}
+	}()
+	return p
+}
+
+// Feed enqueues one record, blocking while the buffer is full. Must not be
+// called after Close.
+func (p *Pump) Feed(rec netem.CaptureRecord) {
+	p.ch <- rec
+	p.accepted.Add(1)
+}
+
+// Offer enqueues one record if buffer space is available; otherwise the
+// record is dropped, counted, and false is returned. Must not be called
+// after Close.
+func (p *Pump) Offer(rec netem.CaptureRecord) bool {
+	select {
+	case p.ch <- rec:
+		p.accepted.Add(1)
+		return true
+	default:
+		p.dropped.Add(1)
+		return false
+	}
+}
+
+// Close drains the remaining buffered records and joins the consumer.
+// Idempotent. The caller typically follows with Table.Flush.
+func (p *Pump) Close() {
+	p.once.Do(func() { close(p.ch) })
+	p.wg.Wait()
+}
+
+// Accepted returns the number of records enqueued successfully.
+func (p *Pump) Accepted() uint64 { return p.accepted.Load() }
+
+// Dropped returns the number of records discarded by Offer under
+// backpressure.
+func (p *Pump) Dropped() uint64 { return p.dropped.Load() }
+
+// Depth returns the current ingest-channel occupancy.
+func (p *Pump) Depth() int { return len(p.ch) }
+
+// Metrics returns the pump's ingest counters and depth gauge in obs
+// snapshot order, for composition with Table.Metrics on the telemetry
+// plane.
+func (p *Pump) Metrics() []obs.Metric {
+	acc, drop := p.accepted.Load(), p.dropped.Load()
+	return []obs.Metric{
+		{Name: "stream.ingest_accepted", Type: "counter", Value: float64(acc), Count: acc},
+		{Name: "stream.ingest_dropped", Type: "counter", Value: float64(drop), Count: drop},
+		{Name: "stream.ingest_depth", Type: "gauge", Value: float64(len(p.ch))},
+	}
+}

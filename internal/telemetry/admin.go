@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"log/slog"
+	"sync/atomic"
 
 	"tcpsig/internal/checkpoint"
 	"tcpsig/internal/obs"
@@ -14,11 +15,12 @@ import (
 // so call sites wire it unconditionally and an empty -admin flag (nil
 // Admin) stays fully inert — the sim-time plane never notices it.
 type Admin struct {
-	live *Live
-	prog *Progress
-	srv  *Server
-	addr string
-	stop func()
+	live  *Live
+	prog  *Progress
+	srv   *Server
+	addr  string
+	stop  func()
+	extra atomic.Pointer[func() []obs.Metric]
 }
 
 // StartAdmin starts the admin server on addr and its background
@@ -27,19 +29,39 @@ func StartAdmin(addr string) (*Admin, error) {
 	if addr == "" {
 		return nil, nil
 	}
-	live := NewLive()
-	prog := NewProgress()
-	srv := &Server{
-		Metrics:  CombinedMetrics(live.Metrics, ProcessMetrics),
-		Progress: prog,
+	a := &Admin{live: NewLive(), prog: NewProgress()}
+	a.srv = &Server{
+		Metrics:  CombinedMetrics(a.live.Metrics, ProcessMetrics, a.extraMetrics),
+		Progress: a.prog,
 	}
-	bound, err := srv.Start(addr)
+	bound, err := a.srv.Start(addr)
 	if err != nil {
 		return nil, err
 	}
 	slog.Info("admin server listening", "addr", bound,
 		"endpoints", "/metrics /progress /healthz /debug/pprof/")
-	return &Admin{live: live, prog: prog, srv: srv, addr: bound, stop: live.StartScraper(0)}, nil
+	a.addr = bound
+	a.stop = a.live.StartScraper(0)
+	return a, nil
+}
+
+// AttachMetrics adds a point-in-time snapshot source to the /metrics
+// exposition, after the live aggregate and process metrics — e.g. the
+// streaming flow-table gauges of `ccsig serve`. Safe to call while the
+// server is running; a second call replaces the first source.
+func (a *Admin) AttachMetrics(src func() []obs.Metric) {
+	if a == nil || src == nil {
+		return
+	}
+	a.extra.Store(&src)
+}
+
+// extraMetrics reads the attached source, if any.
+func (a *Admin) extraMetrics() []obs.Metric {
+	if p := a.extra.Load(); p != nil {
+		return (*p)()
+	}
+	return nil
 }
 
 // Addr returns the bound listen address ("" when off).

@@ -104,13 +104,25 @@ type BenchBudget struct {
 	BytesPct   float64
 	AllocsPct  float64
 	MinNsPerOp float64
+
+	// Absolute budgets for zero-valued baselines. A percentage is
+	// undefined against a 0 ns/op, 0 B/op or 0 allocs/op baseline (the
+	// relative delta divides by zero), so those metrics are instead judged
+	// by how far the new value may rise above zero in absolute terms. The
+	// zero-valued defaults make zero-alloc and zero-byte baselines hard
+	// contracts: any growth at all is a regression.
+	NsAbs     float64
+	BytesAbs  float64
+	AllocsAbs float64
 }
 
 // DefaultBenchBudget mirrors the escape-gate philosophy: generous enough
 // to absorb CI-runner noise, tight enough that a real hot-path regression
-// (a new allocation, a 2x slowdown) cannot land silently.
+// (a new allocation, a 2x slowdown) cannot land silently. NsAbs matches
+// MinNsPerOp: growth from a 0 ns/op baseline into noise-floor territory is
+// not a signal, beyond it is.
 func DefaultBenchBudget() BenchBudget {
-	return BenchBudget{NsPct: 0.30, BytesPct: 0.25, AllocsPct: 0.05, MinNsPerOp: 50}
+	return BenchBudget{NsPct: 0.30, BytesPct: 0.25, AllocsPct: 0.05, MinNsPerOp: 50, NsAbs: 50}
 }
 
 // BenchDelta is one benchmark metric's old→new movement.
@@ -121,7 +133,10 @@ type BenchDelta struct {
 	New        float64
 	Pct        float64 // fractional change, +0.5 = 50% slower/bigger
 	Regression bool
-	Note       string // set for structural findings (added/removed benchmarks)
+	// Note is set for structural findings (added/removed benchmarks,
+	// Metric empty) and for zero-baseline metrics judged by an absolute
+	// budget instead of the undefined relative delta.
+	Note string
 }
 
 // CompareBench diffs two artifacts against the budget. Every benchmark
@@ -136,23 +151,31 @@ func CompareBench(oldA, newA *BenchArtifact, budget BenchBudget) (deltas []Bench
 			deltas = append(deltas, BenchDelta{Name: o.Name, Note: "removed: present only in old artifact"})
 			continue
 		}
-		add := func(metric string, oldV, newV, pct float64, exempt bool) {
+		add := func(metric string, oldV, newV, pct, abs float64, exempt bool) {
 			d := BenchDelta{Name: o.Name, Metric: metric, Old: oldV, New: newV}
 			if oldV > 0 {
 				d.Pct = (newV - oldV) / oldV
+				if !exempt && d.Pct > pct {
+					d.Regression = true
+				}
 			} else if newV > 0 {
-				d.Pct = 1 // from zero: treat any growth as +100%
+				// Zero baseline: the relative delta is undefined (division
+				// by zero), so the metric is held to its absolute budget.
+				// Pct stays 0; the note carries the verdict's arithmetic.
+				d.Note = fmt.Sprintf("zero baseline: new value %g vs absolute budget %g", newV, abs)
+				if !exempt && newV > abs {
+					d.Regression = true
+				}
 			}
-			if !exempt && d.Pct > pct {
-				d.Regression = true
+			if d.Regression {
 				regressed = true
 			}
 			deltas = append(deltas, d)
 		}
-		add("ns/op", o.NsPerOp, n.NsPerOp, budget.NsPct,
+		add("ns/op", o.NsPerOp, n.NsPerOp, budget.NsPct, budget.NsAbs,
 			o.NsPerOp < budget.MinNsPerOp && n.NsPerOp < budget.MinNsPerOp)
-		add("B/op", float64(o.BytesPerOp), float64(n.BytesPerOp), budget.BytesPct, false)
-		add("allocs/op", float64(o.AllocsPerOp), float64(n.AllocsPerOp), budget.AllocsPct, false)
+		add("B/op", float64(o.BytesPerOp), float64(n.BytesPerOp), budget.BytesPct, budget.BytesAbs, false)
+		add("allocs/op", float64(o.AllocsPerOp), float64(n.AllocsPerOp), budget.AllocsPct, budget.AllocsAbs, false)
 	}
 	for _, n := range newA.Benchmarks {
 		if oldA.Result(n.Name) == nil {
@@ -167,13 +190,20 @@ func CompareBench(oldA, newA *BenchArtifact, budget BenchBudget) (deltas []Bench
 func FormatBenchDeltas(deltas []BenchDelta) string {
 	var b strings.Builder
 	for _, d := range deltas {
-		if d.Note != "" {
+		if d.Metric == "" {
+			// Structural finding (added/removed benchmark).
 			fmt.Fprintf(&b, "%-40s %s\n", d.Name, d.Note)
 			continue
 		}
 		mark := ""
 		if d.Regression {
 			mark = "  REGRESSION"
+		}
+		if d.Note != "" {
+			// Zero-baseline metric: the percentage column is undefined.
+			fmt.Fprintf(&b, "%-40s %-10s %14.2f -> %14.2f  (%s)%s\n",
+				d.Name, d.Metric, d.Old, d.New, d.Note, mark)
+			continue
 		}
 		fmt.Fprintf(&b, "%-40s %-10s %14.2f -> %14.2f  %+7.1f%%%s\n",
 			d.Name, d.Metric, d.Old, d.New, 100*d.Pct, mark)

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -113,6 +114,58 @@ func TestCompareBenchAllocRegression(t *testing.T) {
 	_, regressed := CompareBench(old, leak, DefaultBenchBudget())
 	if !regressed {
 		t.Fatal("a new allocation on a zero-alloc hot path did not regress")
+	}
+}
+
+// TestCompareBenchZeroBaselineAbsolute: a zero-valued baseline metric has
+// no defined relative delta, so it is judged by the absolute budget — the
+// comparator must produce finite verdicts (no Inf/NaN percentage), flag
+// growth beyond the budget, and tolerate growth within it.
+func TestCompareBenchZeroBaselineAbsolute(t *testing.T) {
+	// Synthetic zero-alloc baseline, round-tripped through a real artifact
+	// file like benchdiff loads them.
+	base, err := LoadBenchArtifact(writeArtifact(t, NewBenchArtifact("base", []BenchResult{
+		{Name: "ObserveHot", NsPerOp: 0, AllocsPerOp: 0, BytesPerOp: 0, N: 1000000},
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leak, err := LoadBenchArtifact(writeArtifact(t, NewBenchArtifact("leak", []BenchResult{
+		{Name: "ObserveHot", NsPerOp: 30, AllocsPerOp: 1, BytesPerOp: 48, N: 1000000},
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deltas, regressed := CompareBench(base, leak, DefaultBenchBudget())
+	if !regressed {
+		t.Fatal("allocation growth from a zero-alloc baseline did not regress")
+	}
+	byMetric := map[string]BenchDelta{}
+	for _, d := range deltas {
+		if math.IsInf(d.Pct, 0) || math.IsNaN(d.Pct) {
+			t.Fatalf("non-finite Pct for %s %s: %v", d.Name, d.Metric, d.Pct)
+		}
+		byMetric[d.Metric] = d
+	}
+	// ns/op grew from zero but only into the noise floor (NsAbs): advisory.
+	if d := byMetric["ns/op"]; d.Regression || !strings.Contains(d.Note, "absolute budget") {
+		t.Errorf("0 -> 30 ns/op within NsAbs should not regress: %+v", d)
+	}
+	// B/op and allocs/op have zero absolute budget: any growth regresses.
+	for _, m := range []string{"B/op", "allocs/op"} {
+		if d := byMetric[m]; !d.Regression || !strings.Contains(d.Note, "absolute budget") {
+			t.Errorf("%s zero-baseline growth not flagged: %+v", m, d)
+		}
+	}
+	if report := FormatBenchDeltas(deltas); !strings.Contains(report, "zero baseline") ||
+		strings.Contains(report, "Inf") || strings.Contains(report, "NaN") {
+		t.Errorf("report mishandles zero baselines:\n%s", report)
+	}
+
+	// No movement at all on a zero baseline stays clean.
+	if deltas, regressed := CompareBench(base, base, DefaultBenchBudget()); regressed {
+		t.Fatalf("identical zero-baseline artifacts regressed: %s", FormatBenchDeltas(deltas))
 	}
 }
 

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"sync"
 	"time"
 
@@ -152,11 +153,21 @@ func (p *Progress) Snapshot() Snapshot {
 		RunsDone:   p.done,
 		RunsTotal:  p.total,
 	}
+	// Rate and ETA exist only once at least one run has completed over a
+	// positive elapsed window: before that the arithmetic is 0/0 or n/0
+	// (NaN/+Inf), which encoding/json cannot marshal, so the fields are
+	// omitted entirely (omitempty on the zero value). The finiteness
+	// re-checks defend against degenerate clocks producing sub-normal
+	// rates whose ETA overflows to +Inf.
 	if p.done > 0 && elapsed > 0 {
 		rate := float64(p.done) / elapsed
-		s.RunsPerSec = round3(rate)
-		if p.total > p.done {
-			s.ETASec = round3(float64(p.total-p.done) / rate)
+		if finite(rate) && rate > 0 {
+			s.RunsPerSec = round3(rate)
+			if p.total > p.done {
+				if eta := float64(p.total-p.done) / rate; finite(eta) {
+					s.ETASec = round3(eta)
+				}
+			}
 		}
 	}
 	for _, st := range p.stages {
@@ -185,4 +196,9 @@ func (p *Progress) WriteJSON(w io.Writer) error {
 // round3 keeps the JSON humane without losing operational precision.
 func round3(v float64) float64 {
 	return float64(int64(v*1000+0.5)) / 1000
+}
+
+// finite reports whether v is representable in JSON.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }

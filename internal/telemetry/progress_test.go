@@ -3,6 +3,9 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -115,5 +118,64 @@ func TestProgressConcurrent(t *testing.T) {
 	wg.Wait()
 	if got := p.Snapshot().Stages[0].ChunksDone; got != 800 {
 		t.Errorf("ChunksDone = %d, want 800", got)
+	}
+}
+
+// TestProgressFirstScrapeWindow is the /progress regression for the
+// first-scrape window: before any run has completed (and with zero
+// elapsed time, where a naive rate is 0/0) the endpoint must still answer
+// 200 with valid JSON, with the rate-derived fields absent rather than
+// +Inf/NaN — encoding/json cannot marshal those at all.
+func TestProgressFirstScrapeWindow(t *testing.T) {
+	p := NewProgress()
+	fakeClock(p, time.Unix(1000, 0)) // elapsed stays exactly 0
+	// A stage has announced itself but nothing has finished: the state a
+	// scraper sees immediately after startup.
+	p.StageStarted("sweep", 10, 5, 0, "")
+	p.RunDone("verdicts", 0, 0) // streaming caller: no known total yet
+
+	srv := httptest.NewServer((&Server{Progress: p}).Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first scrape: status %d, body %s", resp.StatusCode, body)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatalf("first scrape is not valid JSON: %v\n%s", err, body)
+	}
+	for _, field := range []string{"runs_per_sec", "eta_sec"} {
+		if v, ok := raw[field]; ok {
+			t.Errorf("first scrape carries %s=%v before any rate exists", field, v)
+		}
+	}
+
+	// One run later with still-zero elapsed time (a clock that has not
+	// ticked): rate would divide by zero — fields must stay absent.
+	p.RunDone("verdicts", 1, 10)
+	resp2, err := http.Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw2 map[string]any
+	if err := json.Unmarshal(body2, &raw2); err != nil {
+		t.Fatalf("zero-elapsed scrape is not valid JSON: %v\n%s", err, body2)
+	}
+	if _, ok := raw2["eta_sec"]; ok {
+		t.Errorf("eta_sec present with zero elapsed time:\n%s", body2)
 	}
 }

@@ -128,7 +128,12 @@ func splitLabels(raw string) (base, labels string) {
 		if eq <= 0 {
 			return raw, "" // malformed: keep the whole name opaque
 		}
-		parts = append(parts, fmt.Sprintf("%s=%q", sanitizeLabelName(kv[:eq]), kv[eq+1:]))
+		// Quote with the exposition format's own escaping (\\, \", \n
+		// only). Go's %q escaped the same characters but also rewrote
+		// control bytes as \t/\xNN — escapes the 0.0.4 format does not
+		// define, producing lines scrapers reject. Everything after the
+		// first '=' is the value, so values may themselves contain '='.
+		parts = append(parts, sanitizeLabelName(kv[:eq])+`="`+escapeLabel(kv[eq+1:])+`"`)
 	}
 	return raw[:open] + raw[close+1:], strings.Join(parts, ",")
 }
@@ -221,11 +226,86 @@ func formatPromValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// scanLabelSection validates one label section starting just inside the
+// opening brace (text[i-1] == '{') and returns the index one past the
+// closing brace. It enforces the 0.0.4 grammar: `label="value"` pairs
+// separated by commas (trailing comma allowed), values quoted, and only
+// the escapes the format defines — \\, \" and \n. Lines the old writer
+// emitted via Go's %q (e.g. a tab as \t, arbitrary bytes as \xNN) fail
+// here, as they do on real scrapers.
+func scanLabelSection(text string, i int) (int, error) {
+	n := len(text)
+	for {
+		if i < n && text[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < n && isLabelNameByte(text[i], i == start) {
+			i++
+		}
+		if i == start {
+			return i, fmt.Errorf("bad label name in label section")
+		}
+		if i >= n || text[i] != '=' {
+			return i, fmt.Errorf("label without '=' in label section")
+		}
+		i++
+		if i >= n || text[i] != '"' {
+			return i, fmt.Errorf("unquoted label value")
+		}
+		i++
+		for {
+			if i >= n {
+				return i, fmt.Errorf("unterminated label value")
+			}
+			c := text[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= n {
+					return i, fmt.Errorf("dangling backslash in label value")
+				}
+				switch text[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return i, fmt.Errorf("invalid escape \\%c in label value", text[i+1])
+				}
+				i += 2
+				continue
+			}
+			i++
+		}
+		switch {
+		case i < n && text[i] == ',':
+			i++
+		case i < n && text[i] == '}':
+			// next loop iteration closes the section
+		default:
+			return i, fmt.Errorf("expected ',' or '}' in label section")
+		}
+	}
+}
+
+// isLabelNameByte reports whether c may appear in a label name
+// ([a-zA-Z_][a-zA-Z0-9_]*).
+func isLabelNameByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
 // ParsePrometheus is a minimal checker for the text exposition format,
 // used by tests and the CI smoke job (`ccsig checkmetrics`): it verifies
-// every non-comment line is `name[{labels}] value` with a parseable value
-// and that each sample's family was declared by a preceding # TYPE line.
-// It returns the number of samples.
+// every non-comment line is `name[{labels}] value` with a parseable value,
+// that label sections follow the 0.0.4 grammar (only \\, \" and \n
+// escapes), and that each sample's family was declared by a preceding
+// # TYPE line. It returns the number of samples.
 func ParsePrometheus(r io.Reader) (int, error) {
 	types := map[string]string{}
 	samples := 0
@@ -252,6 +332,15 @@ func ParsePrometheus(r io.Reader) (int, error) {
 		sp := strings.LastIndexByte(text, ' ')
 		if sp < 0 {
 			return samples, fmt.Errorf("telemetry: line %d: no value: %q", line, text)
+		}
+		if br := len(name); br < len(text) && text[br] == '{' {
+			after, err := scanLabelSection(text, br+1)
+			if err != nil {
+				return samples, fmt.Errorf("telemetry: line %d: %v: %q", line, err, text)
+			}
+			if strings.TrimLeft(text[after:sp+1], " ") != "" {
+				return samples, fmt.Errorf("telemetry: line %d: trailing garbage after label section: %q", line, text)
+			}
 		}
 		if _, err := strconv.ParseFloat(text[sp+1:], 64); err != nil {
 			return samples, fmt.Errorf("telemetry: line %d: bad value %q: %v", line, text[sp+1:], err)

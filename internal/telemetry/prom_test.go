@@ -128,6 +128,33 @@ func TestPrometheusExoticNames(t *testing.T) {
 	}
 }
 
+// TestPrometheusHostileCellNames: cell values containing '=', '"', '\'
+// and raw control bytes must come out as legal 0.0.4 label values. The
+// old %q-based quoting rewrote a tab as the Go escape \t — an escape the
+// exposition format does not define, so scrapers rejected the line.
+func TestPrometheusHostileCellNames(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter(`sweep.cell{eq=a=b,quote=say "hi",slash=a\b}.valid`).Inc()
+	r.Gauge("sweep.cell{tab=a\tb}.x").Set(1)
+
+	got := exposition(t, r.Snapshot())
+	mustParse(t, got)
+
+	for _, want := range []string{
+		// '=' splits only once: the rest of the segment is the value.
+		`sweep_cell_valid_total{eq="a=b",quote="say \"hi\"",slash="a\\b"} 1`,
+		// A raw tab is legal inside a quoted label value; \t is not.
+		"sweep_cell_x{tab=\"a\tb\"} 1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, `\t`) {
+		t.Errorf("exposition uses a Go-only escape:\n%s", got)
+	}
+}
+
 // TestPrometheusTypeCollision: two obs types landing on one sanitized
 // family name must not emit one family with two TYPE lines of the same
 // name — the later family is disambiguated with a type suffix.
@@ -206,10 +233,25 @@ func TestParsePrometheusRejectsGarbage(t *testing.T) {
 		"no_type_line 1\n",
 		"# TYPE x gauge\nx notanumber\n",
 		"# TYPE x gauge\nx\n",
+		// Malformed label sections, including the lines the old writer
+		// emitted via Go's %q escaping.
+		"# TYPE x gauge\nx{l=\"a\\tb\"} 1\n",  // \t is not a 0.0.4 escape
+		"# TYPE x gauge\nx{l=\"a\\x41\"} 1\n", // neither is \xNN
+		"# TYPE x gauge\nx{l=\"open} 1\n",     // unterminated value
+		"# TYPE x gauge\nx{l=unquoted} 1\n",
+		"# TYPE x gauge\nx{noeq} 1\n",
+		"# TYPE x gauge\nx{l=\"v\"extra} 1\n",
+		"# TYPE x gauge\nx{l=\"v\"\\} junk 1\n",
 	}
 	for _, c := range cases {
 		if _, err := ParsePrometheus(strings.NewReader(c)); err == nil {
 			t.Errorf("ParsePrometheus accepted %q", c)
 		}
+	}
+	// The escapes the format does define stay accepted, as do raw tabs
+	// and values containing '=' or '}'.
+	good := "# TYPE x gauge\nx{a=\"s\\\\ay \\\"hi\\\"\\n\",b=\"a\tb\",c=\"k=v\",d=\"a}b\"} 1\n"
+	if n, err := ParsePrometheus(strings.NewReader(good)); err != nil || n != 1 {
+		t.Errorf("ParsePrometheus rejected legal labels (%d samples): %v", n, err)
 	}
 }

@@ -109,6 +109,13 @@ type Config struct {
 	// sink leaves the hot paths at their uninstrumented cost. Runtime
 	// plumbing, not a parameter: excluded from the persisted JSON form.
 	Obs *obs.Sink `json:"-"`
+
+	// Capture, when non-nil, receives the server-side packet capture after
+	// the run completes, before analysis — even when the run then fails
+	// validity checks. Used to export golden pcap traces (ccsig trace
+	// -pcap). Runtime plumbing like Obs: excluded from the persisted JSON
+	// form and from Result, which checkpointed sweeps serialize.
+	Capture func(*netem.Capture) `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -277,6 +284,9 @@ func Run(cfg Config) (*Result, error) {
 	dl := tcpsim.StartDownload(pi1, server1, 40000, 80, tcpCfg, 0, cfg.Duration)
 	eng.RunFor(cfg.Duration + 5*time.Second)
 
+	if cfg.Capture != nil {
+		cfg.Capture(capt)
+	}
 	flows := flowrtt.Flows(capt.Records)
 	if len(flows) == 0 {
 		return nil, fmt.Errorf("testbed: no test flow captured")

@@ -28,9 +28,9 @@ import (
 	"tcpsig/internal/core"
 	"tcpsig/internal/dtree"
 	"tcpsig/internal/features"
-	"tcpsig/internal/flowrtt"
 	"tcpsig/internal/netem"
 	"tcpsig/internal/pcap"
+	"tcpsig/internal/stream"
 	"tcpsig/internal/testbed"
 )
 
@@ -238,9 +238,11 @@ func (c *Classifier) ClassifyPcapFile(path string, serverIPv4 string) ([]FlowVer
 }
 
 // ClassifyPcap is ClassifyPcapFile reading from r. The capture is decoded
-// in one streaming pass and held once, as emulator records. A trace that is
-// cut off or corrupted partway through still yields verdicts for the flows
-// read up to that point, alongside an error matching ErrCorruptTrace.
+// in one pass and fed record by record through the streaming flow table
+// (internal/stream), so memory scales with the number of flows, not the
+// trace length. A trace that is cut off or corrupted partway through still
+// yields verdicts for the flows read up to that point, alongside an error
+// matching ErrCorruptTrace.
 func (c *Classifier) ClassifyPcap(r io.Reader, serverIPv4 string) ([]FlowVerdict, error) {
 	ip, err := parseIPv4(serverIPv4)
 	if err != nil {
@@ -253,10 +255,18 @@ func (c *Classifier) ClassifyPcap(r io.Reader, serverIPv4 string) ([]FlowVerdict
 	const maxFlowIPs = 1 << 16
 	rd := pcap.NewReader(r)
 	var (
-		records []netem.CaptureRecord
+		results []stream.FlowResult
 		fullIPs = make(map[netem.FlowKey][2]uint32)
 		readErr error
 	)
+	// FullInfo mode: verdicts are computed at Flush from each flow's
+	// complete analysis, exactly matching batch ClassifyTrace, and emitted
+	// in first-appearance order.
+	table := stream.NewTable(stream.Config{
+		Classifier: c.inner,
+		FullInfo:   true,
+		Emit:       func(res stream.FlowResult) { results = append(results, res) },
+	})
 	for {
 		rec, err := rd.Next()
 		if err == io.EOF {
@@ -275,31 +285,60 @@ func (c *Classifier) ClassifyPcap(r io.Reader, serverIPv4 string) ([]FlowVerdict
 		if _, ok := fullIPs[key]; !ok && len(fullIPs) < maxFlowIPs {
 			fullIPs[key] = [2]uint32{rec.SrcIP, rec.DstIP}
 		}
-		records = append(records, pcap.RecordToCapture(rec, ip))
+		crec := pcap.RecordToCapture(rec, ip)
+		table.Observe(&crec)
 	}
+	table.Flush()
 	var out []FlowVerdict
-	for _, flow := range flowrtt.Flows(records) {
+	for _, res := range results {
 		fv := FlowVerdict{
-			SrcIP:   ipString(uint32(flow.SrcAddr)),
-			SrcPort: uint16(flow.SrcPort),
-			DstIP:   ipString(uint32(flow.DstAddr)),
-			DstPort: uint16(flow.DstPort),
+			SrcIP:   ipString(uint32(res.Flow.SrcAddr)),
+			SrcPort: uint16(res.Flow.SrcPort),
+			DstIP:   ipString(uint32(res.Flow.DstAddr)),
+			DstPort: uint16(res.Flow.DstPort),
+			Verdict: res.Verdict,
+			Err:     res.Err,
 		}
-		if ips, ok := fullIPs[flow]; ok {
+		if ips, ok := fullIPs[res.Flow]; ok {
 			fv.SrcIP, fv.DstIP = ipString(ips[0]), ipString(ips[1])
 		}
-		v, err := c.inner.ClassifyTrace(records, flow)
-		fv.Verdict = v
-		fv.Err = err
 		out = append(out, fv)
 	}
 	return out, readErr
 }
 
 // ClassifyCapture classifies every flow of an in-memory emulator capture.
+// Like ClassifyPcap it is a thin consumer of the streaming flow table, and
+// mirrors core.ClassifyCapture's contract: invalid flows land in the error
+// map, and flows that still produced a degraded verdict appear in both.
 func (c *Classifier) ClassifyCapture(capt *netem.Capture) (map[netem.FlowKey]Verdict, map[netem.FlowKey]error) {
-	return c.inner.ClassifyCapture(capt)
+	verdicts := make(map[netem.FlowKey]Verdict)
+	errs := make(map[netem.FlowKey]error)
+	table := stream.NewTable(stream.Config{
+		Classifier: c.inner,
+		FullInfo:   true,
+		Emit: func(res stream.FlowResult) {
+			if res.Err != nil {
+				errs[res.Flow] = res.Err
+				if res.Verdict.Class < 0 {
+					return
+				}
+			}
+			verdicts[res.Flow] = res.Verdict
+		},
+	})
+	for i := range capt.Records {
+		table.Observe(&capt.Records[i])
+	}
+	table.Flush()
+	return verdicts, errs
 }
+
+// Core exposes the underlying core classifier for module-internal
+// consumers — cmd/ccsig's serve subcommand wires it straight into the
+// streaming flow table (internal/stream). External importers cannot name
+// the returned type.
+func (c *Classifier) Core() *core.Classifier { return c.inner }
 
 // Save writes the model as JSON.
 func (c *Classifier) Save(w io.Writer) error { return c.inner.Save(w) }
