@@ -346,6 +346,10 @@ func BenchmarkEmulatedTransfer(b *testing.B) { benchkit.EmulatedTransfer(b) }
 // 10-second transfer.
 func BenchmarkFlowRTTExtraction(b *testing.B) { benchkit.FlowRTTExtraction(b) }
 
+// BenchmarkStreamIngest measures the streaming classification table end to
+// end over a captured transfer, with per-flow state recycling on.
+func BenchmarkStreamIngest(b *testing.B) { benchkit.StreamIngest(b) }
+
 // BenchmarkFeatureExtraction measures NormDiff/CoV computation.
 func BenchmarkFeatureExtraction(b *testing.B) { benchkit.FeatureExtraction(b) }
 

@@ -6,7 +6,6 @@ import (
 	"log/slog"
 	"os"
 	"strings"
-	"testing"
 
 	"tcpsig/internal/benchkit"
 	"tcpsig/internal/telemetry"
@@ -17,9 +16,11 @@ import (
 // versioned perf-trajectory artifact, conventionally BENCH_<rev>.json.
 // Pair two artifacts with `ccsig benchdiff` to gate regressions.
 func benchCmd(args []string) {
-	fs := newFlagSet("bench", "[-rev LABEL] [-count N] [-only name,...] [-list] -o BENCH_rev.json")
+	fs := newFlagSet("bench", "[-rev LABEL] [-reps N] [-min-time D] [-only name,...] [-list] -o BENCH_rev.json")
 	rev := fs.String("rev", "unversioned", "revision label stamped into the artifact (e.g. a git short hash)")
-	count := fs.Int("count", 1, "repetitions per benchmark; the fastest repetition is recorded")
+	count := fs.Int("count", 1, "deprecated alias for -reps")
+	reps := fs.Int("reps", 0, "minimum repetitions per benchmark; the fastest repetition is recorded, all are kept as the spread")
+	minTime := fs.Duration("min-time", 0, "keep repeating each benchmark until this much total measured time accrues (e.g. 5s)")
 	only := fs.String("only", "", "comma-separated benchmark names to run (default: all)")
 	list := fs.Bool("list", false, "list available benchmark names and exit")
 	out := fs.String("o", "", "artifact output path ('-' = stdout)")
@@ -40,6 +41,16 @@ func benchCmd(args []string) {
 	}
 	if *count < 1 {
 		badUsage(fs, "-count must be >= 1")
+	}
+	if *reps < 0 {
+		badUsage(fs, "-reps must be >= 1")
+	}
+	if *minTime < 0 {
+		badUsage(fs, "-min-time must be >= 0")
+	}
+	nReps := *count
+	if *reps > 0 {
+		nReps = *reps
 	}
 
 	selected := all
@@ -63,18 +74,20 @@ func benchCmd(args []string) {
 
 	results := make([]telemetry.BenchResult, 0, len(selected))
 	for _, bm := range selected {
-		best := telemetry.BenchResult{Name: bm.Name, Reps: *count}
-		for rep := 0; rep < *count; rep++ {
-			r := testing.Benchmark(bm.Fn)
-			if r.N == 0 {
-				fatal(fmt.Errorf("benchmark %s did not run (failed inside testing.Benchmark)", bm.Name))
-			}
-			ns := float64(r.T.Nanoseconds()) / float64(r.N)
-			if rep == 0 || ns < best.NsPerOp {
-				best.NsPerOp = ns
-				best.AllocsPerOp = r.AllocsPerOp()
-				best.BytesPerOp = r.AllocedBytesPerOp()
-				best.N = r.N
+		runs := benchkit.Measure(bm.Fn, benchkit.RunOptions{Reps: nReps, MinTime: *minTime})
+		bestRep := benchkit.Best(runs)
+		best := telemetry.BenchResult{
+			Name:        bm.Name,
+			NsPerOp:     bestRep.NsPerOp,
+			AllocsPerOp: bestRep.AllocsPerOp,
+			BytesPerOp:  bestRep.BytesPerOp,
+			N:           bestRep.N,
+			Reps:        len(runs),
+		}
+		if len(runs) > 1 {
+			best.RepNs = make([]float64, len(runs))
+			for i, r := range runs {
+				best.RepNs[i] = r.NsPerOp
 			}
 		}
 		slog.Info("bench", "name", bm.Name, "ns_per_op", best.NsPerOp,
@@ -96,12 +109,13 @@ func benchCmd(args []string) {
 // exits 1 when the new one regresses (0 with -advisory, so CI can surface
 // a diff without blocking).
 func benchdiffCmd(args []string) {
-	fs := newFlagSet("benchdiff", "[-ns-pct F] [-bytes-pct F] [-allocs-pct F] [-min-ns F] [-advisory] old.json new.json")
+	fs := newFlagSet("benchdiff", "[-ns-pct F] [-bytes-pct F] [-allocs-pct F] [-min-ns F] [-ns-advisory] [-advisory] old.json new.json")
 	def := telemetry.DefaultBenchBudget()
 	nsPct := fs.Float64("ns-pct", def.NsPct, "allowed fractional ns/op growth (0.30 = +30%)")
 	bytesPct := fs.Float64("bytes-pct", def.BytesPct, "allowed fractional B/op growth")
 	allocsPct := fs.Float64("allocs-pct", def.AllocsPct, "allowed fractional allocs/op growth")
 	minNs := fs.Float64("min-ns", def.MinNsPerOp, "ns/op noise floor below which time deltas are exempt")
+	nsAdvisory := fs.Bool("ns-advisory", false, "report ns/op regressions without failing (allocs and bytes stay enforcing)")
 	advisory := fs.Bool("advisory", false, "report regressions but exit 0")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
@@ -116,7 +130,10 @@ func benchdiffCmd(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	budget := telemetry.BenchBudget{NsPct: *nsPct, BytesPct: *bytesPct, AllocsPct: *allocsPct, MinNsPerOp: *minNs}
+	budget := telemetry.BenchBudget{
+		NsPct: *nsPct, BytesPct: *bytesPct, AllocsPct: *allocsPct,
+		MinNsPerOp: *minNs, NsAdvisory: *nsAdvisory, NsAbs: def.NsAbs,
+	}
 	deltas, regressed := telemetry.CompareBench(oldA, newA, budget)
 	fmt.Printf("benchdiff %s (%s) -> %s (%s)\n", oldA.Rev, oldA.CreatedAt, newA.Rev, newA.CreatedAt)
 	fmt.Print(telemetry.FormatBenchDeltas(deltas))

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tcpsig/internal/telemetry"
+)
+
+// writeBenchArtifact writes a minimal valid perf-trajectory artifact, the
+// same shape `ccsig bench` produces, for driving benchdiff through the CLI.
+func writeBenchArtifact(t *testing.T, dir, rev string, results []telemetry.BenchResult) string {
+	t.Helper()
+	path := filepath.Join(dir, "BENCH_"+rev+".json")
+	a := telemetry.NewBenchArtifact(rev, results)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBenchdiffGateExitCodes is the CLI half of the enforcing perf gate:
+// the exact exit codes and report strings the bench-trajectory CI job keys
+// on, observed through a real process boundary. The budget-math half is
+// TestCompareBenchInjectedRegression in internal/telemetry.
+func TestBenchdiffGateExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := []telemetry.BenchResult{
+		{Name: "EngineEvents", NsPerOp: 400, AllocsPerOp: 0, BytesPerOp: 0, N: 1000},
+		{Name: "EmulatedTransfer", NsPerOp: 9e6, AllocsPerOp: 900, BytesPerOp: 120000, N: 100},
+	}
+	old := writeBenchArtifact(t, dir, "baseline", base)
+
+	t.Run("within budget exits 0", func(t *testing.T) {
+		same := writeBenchArtifact(t, dir, "same", base)
+		stdout, stderr, code := runCLI(t, "benchdiff", old, same)
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr)
+		}
+		if !strings.Contains(stdout, "within budget") {
+			t.Fatalf("stdout missing pass marker:\n%s", stdout)
+		}
+	})
+
+	t.Run("alloc regression exits 1", func(t *testing.T) {
+		// A formerly zero-alloc path growing any allocation must trip the
+		// enforcing gate — this is the failure CI's hard assertion exists
+		// to make unmissable.
+		bad := make([]telemetry.BenchResult, len(base))
+		copy(bad, base)
+		bad[0].AllocsPerOp = 3
+		newPath := writeBenchArtifact(t, dir, "leaky", bad)
+		stdout, _, code := runCLI(t, "benchdiff", old, newPath)
+		if code != 1 {
+			t.Fatalf("exit = %d, want 1\nstdout:\n%s", code, stdout)
+		}
+		if !strings.Contains(stdout, "REGRESSION over budget") {
+			t.Fatalf("stdout missing regression marker:\n%s", stdout)
+		}
+	})
+
+	t.Run("ns regression respects -ns-advisory", func(t *testing.T) {
+		slow := make([]telemetry.BenchResult, len(base))
+		copy(slow, base)
+		slow[1].NsPerOp = 2 * base[1].NsPerOp
+		newPath := writeBenchArtifact(t, dir, "slow", slow)
+
+		// Enforcing by default: a 2x slowdown fails.
+		_, _, code := runCLI(t, "benchdiff", old, newPath)
+		if code != 1 {
+			t.Fatalf("enforcing ns gate: exit = %d, want 1", code)
+		}
+		// The CI posture: ns/op is advisory, allocs and bytes still gate.
+		stdout, stderr, code := runCLI(t, "benchdiff", "-ns-advisory", old, newPath)
+		if code != 0 {
+			t.Fatalf("-ns-advisory: exit = %d, want 0\nstderr:\n%s", code, stderr)
+		}
+		if !strings.Contains(stdout, "REGRESSION (advisory)") {
+			t.Fatalf("stdout missing advisory marker:\n%s", stdout)
+		}
+		if !strings.Contains(stdout, "within budget") {
+			t.Fatalf("stdout missing pass marker:\n%s", stdout)
+		}
+	})
+
+	t.Run("-ns-advisory does not excuse alloc regressions", func(t *testing.T) {
+		bad := make([]telemetry.BenchResult, len(base))
+		copy(bad, base)
+		bad[1].AllocsPerOp = 2 * base[1].AllocsPerOp
+		newPath := writeBenchArtifact(t, dir, "alloc-leak", bad)
+		stdout, _, code := runCLI(t, "benchdiff", "-ns-advisory", old, newPath)
+		if code != 1 {
+			t.Fatalf("exit = %d, want 1\nstdout:\n%s", code, stdout)
+		}
+		if !strings.Contains(stdout, "REGRESSION over budget") {
+			t.Fatalf("stdout missing regression marker:\n%s", stdout)
+		}
+	})
+
+	t.Run("best-of-reps absorbs one noisy rep", func(t *testing.T) {
+		// The committed baseline carries rep_ns; a new artifact whose
+		// headline ns/op is noisy but whose best rep is clean must pass
+		// even with the ns gate enforcing.
+		noisy := make([]telemetry.BenchResult, len(base))
+		copy(noisy, base)
+		noisy[1].NsPerOp = 2 * base[1].NsPerOp
+		noisy[1].RepNs = []float64{2 * base[1].NsPerOp, base[1].NsPerOp * 1.01}
+		noisy[1].Reps = 2
+		newPath := writeBenchArtifact(t, dir, "noisy", noisy)
+		stdout, stderr, code := runCLI(t, "benchdiff", old, newPath)
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0 (best rep is within budget)\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+		}
+	})
+}
+
+// TestBenchRepsRecordsSpread drives `ccsig bench -reps` end to end on the
+// cheapest benchmark and checks the artifact carries the per-rep spread the
+// best-of-reps gate consumes.
+func TestBenchRepsRecordsSpread(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_test.json")
+	_, stderr, code := runCLI(t, "bench", "-only", "EngineEvents", "-reps", "2", "-rev", "test", "-o", out)
+	if code != 0 {
+		t.Fatalf("bench exited %d\nstderr:\n%s", code, stderr)
+	}
+	a, err := telemetry.LoadBenchArtifact(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.Result("EngineEvents")
+	if r == nil {
+		t.Fatal("artifact missing EngineEvents")
+	}
+	if r.Reps != 2 || len(r.RepNs) != 2 {
+		t.Fatalf("reps = %d, rep_ns = %v, want 2 reps recorded", r.Reps, r.RepNs)
+	}
+	if r.AllocsPerOp != 0 {
+		t.Fatalf("EngineEvents allocates %d allocs/op through the CLI, want 0", r.AllocsPerOp)
+	}
+	best := r.EffectiveNs()
+	for _, ns := range r.RepNs {
+		if ns < best {
+			t.Fatalf("EffectiveNs %v is not the minimum of rep_ns %v", best, r.RepNs)
+		}
+	}
+}

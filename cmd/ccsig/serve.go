@@ -195,6 +195,10 @@ func serveCmd(args []string) {
 		MaxFlows:   *maxFlows,
 		Shards:     *shards,
 		Emit:       emit,
+		// Long-lived service: recycle per-flow trackers and table entries.
+		// Safe because emit consumes Verdict.Flow inside the callback and
+		// never retains it.
+		Recycle: true,
 	})
 	pump := stream.NewPump(table, *buffer)
 	admin.AttachMetrics(telemetry.CombinedMetrics(table.Metrics, pump.Metrics))

@@ -1,0 +1,87 @@
+package benchkit
+
+import (
+	"testing"
+	"time"
+)
+
+// RunOptions controls repeated measurement of one benchmark body.
+//
+// Repetition count is governed by two knobs that compose: at least Reps
+// repetitions always run, and when MinTime is set repetitions continue
+// past Reps until the total measured time reaches it (bounded by MaxReps).
+// Recording the minimum-ns/op repetition and gating on it is the
+// least-noise estimator: scheduler preemption, GC pauses and frequency
+// scaling only ever make a repetition slower, never faster, so the best
+// repetition is the closest observation of the code's true cost.
+type RunOptions struct {
+	// Reps is the minimum number of repetitions (default 1).
+	Reps int
+
+	// MinTime, when positive, keeps adding repetitions until the summed
+	// measured time of all repetitions reaches it. Each repetition is one
+	// testing.Benchmark run (itself ~1s of measurement), so MinTime is a
+	// floor on total evidence, not on any single repetition.
+	MinTime time.Duration
+
+	// MaxReps caps MinTime-driven repetitions so a pathologically slow
+	// benchmark cannot loop forever (default 20; the Reps floor always
+	// wins when larger).
+	MaxReps int
+}
+
+// Rep is one repetition's measurement.
+type Rep struct {
+	NsPerOp     float64
+	AllocsPerOp int64
+	BytesPerOp  int64
+	N           int
+}
+
+// Measure runs fn under testing.Benchmark according to opt and returns
+// every repetition in run order. It panics if the body fails to run
+// (testing.Benchmark reports N==0) — benchmark bodies signal setup
+// failure through b.Fatal, which surfaces that way.
+func Measure(fn func(*testing.B), opt RunOptions) []Rep {
+	reps := opt.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	maxReps := opt.MaxReps
+	if maxReps < 1 {
+		maxReps = 20
+	}
+	if maxReps < reps {
+		maxReps = reps
+	}
+	var out []Rep
+	var total time.Duration
+	for i := 0; i < maxReps; i++ {
+		if i >= reps && (opt.MinTime <= 0 || total >= opt.MinTime) {
+			break
+		}
+		r := testing.Benchmark(fn)
+		if r.N == 0 {
+			panic("benchkit: benchmark body did not run")
+		}
+		total += r.T
+		out = append(out, Rep{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		})
+	}
+	return out
+}
+
+// Best returns the minimum-ns/op repetition. It panics on an empty slice.
+func Best(reps []Rep) Rep {
+	best := reps[0]
+	for _, r := range reps[1:] {
+		if r.NsPerOp < best.NsPerOp {
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,58 @@
+package benchkit
+
+import (
+	"testing"
+	"time"
+)
+
+// trivialBody is a near-free benchmark body so repeated testing.Benchmark
+// runs stay cheap inside the test.
+func trivialBody(b *testing.B) {
+	x := 0
+	for i := 0; i < b.N; i++ {
+		x += i
+	}
+	if x < 0 {
+		b.Fatal("unreachable")
+	}
+}
+
+func TestMeasureReps(t *testing.T) {
+	reps := Measure(trivialBody, RunOptions{Reps: 3})
+	if len(reps) != 3 {
+		t.Fatalf("got %d reps, want 3", len(reps))
+	}
+	for i, r := range reps {
+		if r.N <= 0 || r.NsPerOp < 0 {
+			t.Errorf("rep %d implausible: %+v", i, r)
+		}
+	}
+	best := Best(reps)
+	for _, r := range reps {
+		if r.NsPerOp < best.NsPerOp {
+			t.Errorf("Best missed a faster rep: %v < %v", r.NsPerOp, best.NsPerOp)
+		}
+	}
+}
+
+func TestMeasureDefaultsToOneRep(t *testing.T) {
+	if got := len(Measure(trivialBody, RunOptions{})); got != 1 {
+		t.Fatalf("got %d reps, want 1", got)
+	}
+}
+
+func TestMeasureMinTimeAddsReps(t *testing.T) {
+	// Each testing.Benchmark run measures for ~1s, so a 2.5s floor needs
+	// at least three repetitions even with Reps 1.
+	reps := Measure(trivialBody, RunOptions{Reps: 1, MinTime: 2500 * time.Millisecond})
+	if len(reps) < 3 {
+		t.Fatalf("got %d reps, want >= 3 for a 2.5s floor", len(reps))
+	}
+}
+
+func TestMeasureMaxRepsCapsMinTime(t *testing.T) {
+	reps := Measure(trivialBody, RunOptions{Reps: 1, MinTime: time.Hour, MaxReps: 2})
+	if len(reps) != 2 {
+		t.Fatalf("got %d reps, want MaxReps cap of 2", len(reps))
+	}
+}

@@ -1,0 +1,48 @@
+package benchkit
+
+import (
+	"testing"
+	"time"
+)
+
+// TestZeroAllocContracts is the in-tree form of the CI "assert zero-alloc
+// contracts" step: the designated hot paths must report exactly zero
+// allocations per operation through the same testing.Benchmark machinery
+// that produces the perf-trajectory artifact. This is deliberately stricter
+// than the benchdiff budget, which only bounds fractional growth — for
+// these paths the baseline is zero and must stay zero.
+//
+// EngineEvents has been zero-alloc since the engine grew its free-listed
+// event heap; SenderStep and NetemEnqueue joined it when packets and ACK
+// batches moved onto the per-Network pool. The traced variants prove the
+// observability hooks don't reintroduce per-op garbage.
+func TestZeroAllocContracts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs benchmarks to measurement length")
+	}
+	zeroAlloc := map[string]bool{
+		"EngineEvents":       true,
+		"NetemEnqueue":       true,
+		"NetemEnqueueTraced": true,
+		"SenderStep":         true,
+		"SenderStepTraced":   true,
+	}
+	for _, bm := range All() {
+		if !zeroAlloc[bm.Name] {
+			continue
+		}
+		delete(zeroAlloc, bm.Name)
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			reps := Measure(bm.Fn, RunOptions{Reps: 1, MinTime: 200 * time.Millisecond, MaxReps: 3})
+			best := Best(reps)
+			if best.AllocsPerOp != 0 {
+				t.Errorf("%s allocates %d allocs/op (%d B/op), want 0 — a pooled hot path regressed",
+					bm.Name, best.AllocsPerOp, best.BytesPerOp)
+			}
+		})
+	}
+	for name := range zeroAlloc {
+		t.Errorf("zero-alloc benchmark %q missing from the registry", name)
+	}
+}

@@ -1,0 +1,41 @@
+//go:build conformance
+
+package conformance
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tcpsig/internal/netem"
+)
+
+// TestSuitePoolingByteIdentity re-runs the suite with packet pooling
+// disabled and demands the serialized report match the pooled run byte for
+// byte, at the band-generation seed and at an unseen one. This is the
+// end-to-end form of the pooled-vs-unpooled equivalence proofs: if
+// recycling perturbed any emulation, a measured value would move and the
+// reports would differ.
+func TestSuitePoolingByteIdentity(t *testing.T) {
+	for _, seed := range []int64{1, 5} {
+		pooled := runSuite(t, seed)
+		if !pooled.Pass {
+			t.Fatalf("pooled suite failed at seed %d:\n%s", seed, pooled.Summary())
+		}
+
+		prev := netem.SetDefaultPooling(false)
+		unpooled := runSuite(t, seed)
+		netem.SetDefaultPooling(prev)
+
+		a, err := json.Marshal(pooled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(unpooled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("seed %d: pooling changed the conformance report:\npooled:   %s\nunpooled: %s", seed, a, b)
+		}
+	}
+}

@@ -8,14 +8,16 @@ import (
 	"tcpsig/internal/sim"
 )
 
+// sink records delivered packets by value: Input only borrows the packet,
+// which returns to the network pool (and is rewritten) once it returns.
 type sink struct {
-	pkts  []*netem.Packet
+	pkts  []netem.Packet
 	times []sim.Time
 	eng   *sim.Engine
 }
 
 func (s *sink) Input(p *netem.Packet) {
-	s.pkts = append(s.pkts, p)
+	s.pkts = append(s.pkts, *p)
 	s.times = append(s.times, s.eng.Now())
 }
 

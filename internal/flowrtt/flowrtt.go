@@ -12,7 +12,6 @@ package flowrtt
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"tcpsig/internal/netem"
@@ -374,37 +373,43 @@ func Flows(records []netem.CaptureRecord) []netem.FlowKey {
 	return out
 }
 
-// mergeRange inserts [start, end) keeping the set sorted and merged.
+// mergeRange inserts [start, end) keeping the set sorted and merged, in
+// place: the steady state (extending the frontier block) touches only
+// existing storage, so per-record tracking allocates nothing once the set
+// has reached its working size.
+//
+//sigcheck:hotpath
 func mergeRange(set []netem.SackBlock, start, end uint32) []netem.SackBlock {
 	if !seqLT32(start, end) {
 		return set
 	}
-	out := set[:0:0]
-	inserted := false
-	for _, iv := range set {
-		switch {
-		case seqLT32(end, iv.Start):
-			if !inserted {
-				out = append(out, netem.SackBlock{Start: start, End: end})
-				inserted = true
-			}
-			out = append(out, iv)
-		case seqLT32(iv.End, start):
-			out = append(out, iv)
-		default:
-			if seqLT32(iv.Start, start) {
-				start = iv.Start
-			}
-			if seqLT32(end, iv.End) {
-				end = iv.End
-			}
+	// i = first block not entirely below [start, end); j = first block
+	// entirely above it. [i, j) overlaps or touches the new range and
+	// collapses into a single block.
+	i := 0
+	for i < len(set) && seqLT32(set[i].End, start) {
+		i++
+	}
+	j := i
+	for j < len(set) && seqLEQ32(set[j].Start, end) {
+		if seqLT32(set[j].Start, start) {
+			start = set[j].Start
 		}
+		if seqLT32(end, set[j].End) {
+			end = set[j].End
+		}
+		j++
 	}
-	if !inserted {
-		out = append(out, netem.SackBlock{Start: start, End: end})
+	if i == j {
+		// No overlap: open a slot at i.
+		set = append(set, netem.SackBlock{})
+		copy(set[i+1:], set[i:])
+		set[i] = netem.SackBlock{Start: start, End: end}
+	} else {
+		set[i] = netem.SackBlock{Start: start, End: end}
+		set = append(set[:i+1], set[j:]...)
 	}
-	sort.Slice(out, func(i, j int) bool { return seqLT32(out[i].Start, out[j].Start) })
-	return out
+	return set
 }
 
 // coveredBytes sums the bytes covered by a SACK set.

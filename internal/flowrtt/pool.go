@@ -1,0 +1,68 @@
+package flowrtt
+
+import "tcpsig/internal/netem"
+
+// Reset rearms the tracker for a new flow, retaining every buffer the
+// previous flow grew: the sample slices, the ACK curve, the outstanding-
+// segment window and the transmitted-range set all keep their capacity, so
+// a recycled tracker reaches steady state allocation-free.
+//
+// The FlowInfo previously returned by Peek or Finish is rewritten in place —
+// callers recycling trackers must be done with the old analysis (and any
+// Verdict aliasing it) before calling Reset. Both struct rewrites are
+// whole-value assignments, so a field added to Tracker or FlowInfo later is
+// zeroed here by construction rather than leaking across flows.
+func (t *Tracker) Reset(flow netem.FlowKey) {
+	info := t.info
+	if info == nil {
+		info = &FlowInfo{}
+	}
+	*info = FlowInfo{
+		Flow:      flow,
+		Samples:   info.Samples[:0],
+		SlowStart: info.SlowStart[:0],
+		AckCurve:  info.AckCurve[:0],
+	}
+	*t = Tracker{
+		flow:        flow,
+		rev:         flow.Reverse(),
+		info:        info,
+		outstanding: t.outstanding[:0],
+		seen:        t.seen[:0],
+	}
+}
+
+// Pool is a plain LIFO free list of Trackers. It is deliberately not a
+// sync.Pool: recycling order stays deterministic, nothing is dropped behind
+// the caller's back, and there is no per-P magic to reason about. It is not
+// safe for concurrent use — callers shard or lock around it (the stream
+// table keeps one per lock shard).
+type Pool struct {
+	free []*Tracker
+}
+
+// Get returns a tracker armed for flow: a recycled one when available
+// (reset, buffers retained), a fresh one otherwise.
+func (p *Pool) Get(flow netem.FlowKey) *Tracker {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		t.Reset(flow)
+		return t
+	}
+	return NewTracker(flow)
+}
+
+// Put parks a tracker for reuse. The tracker (and the FlowInfo it hands out
+// via Peek/Finish) must no longer be referenced by the caller: the next Get
+// rewrites both. Put(nil) is a no-op.
+func (p *Pool) Put(t *Tracker) {
+	if t == nil {
+		return
+	}
+	p.free = append(p.free, t)
+}
+
+// Size returns the number of parked trackers.
+func (p *Pool) Size() int { return len(p.free) }

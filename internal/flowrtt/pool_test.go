@@ -1,0 +1,226 @@
+package flowrtt
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
+)
+
+func poolFlow(i int) netem.FlowKey {
+	return netem.FlowKey{
+		SrcAddr: netem.Addr(10 + i), DstAddr: netem.Addr(20 + i),
+		SrcPort: netem.Port(80), DstPort: netem.Port(40000 + i),
+	}
+}
+
+func dataRec(flow netem.FlowKey, at sim.Time, seq uint32, payload int, retx bool) netem.CaptureRecord {
+	return netem.CaptureRecord{At: at, Dir: netem.DirOut, Pkt: netem.Packet{
+		Flow: flow,
+		Seg:  netem.Segment{Seq: seq, PayloadLen: payload, Flags: netem.FlagACK},
+		Size: payload + netem.HeaderBytes,
+
+		Retransmit: retx,
+	}}
+}
+
+func ackRec(flow netem.FlowKey, at sim.Time, ack uint32, sack []netem.SackBlock) netem.CaptureRecord {
+	return netem.CaptureRecord{At: at, Dir: netem.DirIn, Pkt: netem.Packet{
+		Flow: flow.Reverse(),
+		Seg:  netem.Segment{Ack: ack, Flags: netem.FlagACK, Sack: sack},
+		Size: netem.HeaderBytes,
+	}}
+}
+
+// simpleTransfer yields a deterministic record sequence with data, ACKs and
+// one retransmission, enough to populate every FlowInfo field.
+func simpleTransfer(flow netem.FlowKey) []netem.CaptureRecord {
+	const mss = 1448
+	var recs []netem.CaptureRecord
+	at := sim.Time(0)
+	seq := uint32(1000)
+	for i := 0; i < 15; i++ {
+		recs = append(recs, dataRec(flow, at, seq, mss, false))
+		at += time.Millisecond
+		recs = append(recs, ackRec(flow, at+20*time.Millisecond, seq+mss, nil))
+		seq += mss
+	}
+	// One retransmission closes slow start.
+	recs = append(recs, dataRec(flow, at+50*time.Millisecond, seq-mss, mss, true))
+	recs = append(recs, ackRec(flow, at+80*time.Millisecond, seq, nil))
+	return recs
+}
+
+// normInfo maps empty slices to nil so a recycled tracker's FlowInfo (whose
+// slices were truncated, not dropped) compares equal to a fresh one's.
+func normInfo(f *FlowInfo) FlowInfo {
+	c := *f
+	if len(c.Samples) == 0 {
+		c.Samples = nil
+	}
+	if len(c.SlowStart) == 0 {
+		c.SlowStart = nil
+	}
+	if len(c.AckCurve) == 0 {
+		c.AckCurve = nil
+	}
+	return c
+}
+
+// feedBoth drives one record through a pooled and a fresh tracker.
+func feedBoth(t *testing.T, pooled, fresh *Tracker, rec *netem.CaptureRecord) {
+	t.Helper()
+	if got, want := pooled.Observe(rec), fresh.Observe(rec); got != want {
+		t.Fatalf("Observe divergence: pooled=%v fresh=%v on %+v", got, want, rec)
+	}
+}
+
+// TestTrackerResetEquivalence dirties a tracker on one flow, Resets it to
+// another, and proves the recycled tracker's analysis is indistinguishable
+// from a fresh tracker's on the same input.
+func TestTrackerResetEquivalence(t *testing.T) {
+	fA, fB := poolFlow(1), poolFlow(2)
+
+	dirty := NewTracker(fA)
+	for _, rec := range simpleTransfer(fA) {
+		rec := rec
+		dirty.Observe(&rec)
+	}
+	if _, err := dirty.Finish(); err != nil {
+		t.Fatalf("dirtying transfer: %v", err)
+	}
+
+	dirty.Reset(fB)
+	fresh := NewTracker(fB)
+	for _, rec := range simpleTransfer(fB) {
+		rec := rec
+		feedBoth(t, dirty, fresh, &rec)
+	}
+	gotInfo, gotErr := dirty.Finish()
+	wantInfo, wantErr := fresh.Finish()
+	if !errors.Is(gotErr, wantErr) && !errors.Is(wantErr, gotErr) {
+		t.Fatalf("Finish errors diverge: recycled=%v fresh=%v", gotErr, wantErr)
+	}
+	if !reflect.DeepEqual(normInfo(gotInfo), normInfo(wantInfo)) {
+		t.Errorf("recycled tracker diverged:\nrecycled: %+v\nfresh:    %+v", gotInfo, wantInfo)
+	}
+	if len(gotInfo.SlowStart) < MinSlowStartSamples {
+		t.Errorf("fixture too thin to be meaningful: %d slow-start samples", len(gotInfo.SlowStart))
+	}
+}
+
+// TestTrackerResetDropsAllState is the reset audit for the tracker: a Reset
+// immediately after heavy use must leave no observable sample, byte count
+// or timestamp behind. Both Reset rewrites are whole-struct assignments, so
+// this test guards the contract rather than a field list — a new field is
+// zeroed by construction and covered here automatically via Peek.
+func TestTrackerResetDropsAllState(t *testing.T) {
+	fA, fB := poolFlow(3), poolFlow(4)
+	tr := NewTracker(fA)
+	for _, rec := range simpleTransfer(fA) {
+		rec := rec
+		tr.Observe(&rec)
+	}
+	tr.Reset(fB)
+	want := FlowInfo{Flow: fB}
+	if got := normInfo(tr.Peek()); !reflect.DeepEqual(got, want) {
+		t.Errorf("Reset left state behind: %+v", got)
+	}
+	if over := tr.SlowStartOver(); over {
+		t.Error("Reset tracker still reports slow start over")
+	}
+	// The old FlowInfo pointer is rewritten in place (documented), so the
+	// recycled tracker must hand out the same pointer, not a new one —
+	// that is where the allocation saving comes from.
+	if tr.Peek() == nil || tr.Peek().Flow != fB {
+		t.Error("Peek not rearmed for the new flow")
+	}
+}
+
+// TestPoolRecyclesLIFO pins the pool's determinism contract: parked
+// trackers come back in reverse order of Put, and Get on an empty pool
+// allocates fresh.
+func TestPoolRecyclesLIFO(t *testing.T) {
+	var p Pool
+	a, b := NewTracker(poolFlow(5)), NewTracker(poolFlow(6))
+	p.Put(a)
+	p.Put(b)
+	p.Put(nil) // no-op
+	if p.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", p.Size())
+	}
+	if got := p.Get(poolFlow(7)); got != b {
+		t.Error("first Get should return the last Put")
+	}
+	if got := p.Get(poolFlow(8)); got != a {
+		t.Error("second Get should return the first Put")
+	}
+	if got := p.Get(poolFlow(9)); got == a || got == b {
+		t.Error("empty pool must allocate fresh")
+	}
+}
+
+// FuzzPoolRecycle interleaves Observe/Finish/recycle across two flows and
+// asserts a pooled tracker never leaks samples, byte counts or timestamps
+// from a previous occupant: at every Finish (and at the end) its analysis
+// must deep-equal that of a never-recycled tracker fed the identical
+// records.
+func FuzzPoolRecycle(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 0x40, 5})
+	f.Add([]byte{0, 0, 0, 1, 4, 4, 2, 2, 8, 1, 3, 3, 0x81, 9, 2, 0})
+	f.Add([]byte{2, 2, 2, 2, 6, 1, 0x43, 0x44, 0x45, 1, 0, 7, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const mss = 1448
+		flows := [2]netem.FlowKey{poolFlow(10), poolFlow(11)}
+
+		var pool Pool
+		pooled := [2]*Tracker{pool.Get(flows[0]), pool.Get(flows[1])}
+		fresh := [2]*Tracker{NewTracker(flows[0]), NewTracker(flows[1])}
+
+		compare := func(fi int) {
+			t.Helper()
+			gotInfo, gotErr := pooled[fi].Finish()
+			wantInfo, wantErr := fresh[fi].Finish()
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("flow %d Finish errors diverge: pooled=%v fresh=%v", fi, gotErr, wantErr)
+			}
+			if gotErr == nil && !reflect.DeepEqual(normInfo(gotInfo), normInfo(wantInfo)) {
+				t.Fatalf("flow %d leaked state across recycle:\npooled: %+v\nfresh:  %+v", fi, gotInfo, wantInfo)
+			}
+		}
+
+		at := sim.Time(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			fi := int(op>>2) & 1
+			flow := flows[fi]
+			at += time.Duration(arg%7+1) * time.Millisecond
+			seq := uint32(1000) + uint32(arg%32)*mss
+			switch op & 3 {
+			case 0: // data segment (top bit of op marks a retransmission)
+				rec := dataRec(flow, at, seq, mss, op&0x80 != 0)
+				pooled[fi].Observe(&rec)
+				fresh[fi].Observe(&rec)
+			case 1: // cumulative ACK
+				rec := ackRec(flow, at, seq+mss, nil)
+				pooled[fi].Observe(&rec)
+				fresh[fi].Observe(&rec)
+			case 2: // SACKed ACK, exercising the merge path
+				sack := []netem.SackBlock{{Start: seq + 2*mss, End: seq + 3*mss}}
+				rec := ackRec(flow, at, seq, sack)
+				pooled[fi].Observe(&rec)
+				fresh[fi].Observe(&rec)
+			case 3: // finish, verify, recycle through the pool
+				compare(fi)
+				pool.Put(pooled[fi])
+				pooled[fi] = pool.Get(flow) // LIFO: the very tracker just parked
+				fresh[fi] = NewTracker(flow)
+			}
+		}
+		compare(0)
+		compare(1)
+	})
+}

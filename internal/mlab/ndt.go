@@ -121,11 +121,12 @@ func (r *NDTResult) PassesNDTFilter() bool {
 type echoServer struct{ host *netem.Host }
 
 func (e *echoServer) Input(p *netem.Packet) {
-	e.host.Send(&netem.Packet{
-		Flow: p.Flow.Reverse(),
-		Seg:  netem.Segment{Flags: netem.FlagACK, Ack: p.Seg.Seq + 1},
-		Size: netem.HeaderBytes,
-	})
+	// p is borrowed from Deliver; the reply comes from the pool.
+	q := e.host.NewPacket()
+	q.Flow = p.Flow.Reverse()
+	q.Seg = netem.Segment{Flags: netem.FlagACK, Ack: p.Seg.Seq + 1}
+	q.Size = netem.HeaderBytes
+	e.host.Send(q)
 }
 
 // pinger sends a burst of spaced probes and averages the replies, like
@@ -168,11 +169,11 @@ func ping(client *netem.Host, clientPort netem.Port, server netem.Addr, serverPo
 		//sigcheck:ignore hotpathalloc -- one closure per latency probe at test setup; probe counts are tiny
 		eng.Schedule(time.Duration(i)*gap, func() {
 			pg.sentAt[seq] = eng.Now()
-			client.Send(&netem.Packet{
-				Flow: flow,
-				Seg:  netem.Segment{Seq: seq},
-				Size: netem.HeaderBytes,
-			})
+			q := client.NewPacket()
+			q.Flow = flow
+			q.Seg = netem.Segment{Seq: seq}
+			q.Size = netem.HeaderBytes
+			client.Send(q)
 		})
 	}
 	return pg

@@ -37,13 +37,15 @@ type FaultInjector interface {
 	OnTransmit(now sim.Time, p *Packet) FaultAction
 }
 
-// corruptCopy returns a copy of p with a few header bits flipped, the way a
-// link-level corruption that escaped checksumming would look to the
-// receiver: plausible lengths, garbage sequence/acknowledgment numbers.
+// corruptCopy returns a standalone copy of p with a few header bits
+// flipped, the way a link-level corruption that escaped checksumming would
+// look to the receiver: plausible lengths, garbage sequence/acknowledgment
+// numbers. The copy owns its Sack storage (clonePacket), so the original
+// can be recycled independently.
 func corruptCopy(p *Packet) *Packet {
-	c := *p
+	c := clonePacket(p)
 	c.Seg.Seq ^= 1 << 17
 	c.Seg.Ack ^= 1 << 13
 	c.Seg.Window ^= 1 << 9
-	return &c
+	return c
 }

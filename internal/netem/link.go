@@ -79,6 +79,11 @@ type Link struct {
 	dst Node
 	src Node
 
+	// owner is the network whose packet pool dropped/consumed packets
+	// return to; nil for standalone links (NewLink), which fall back to
+	// letting the GC reclaim packets, the pre-pooling behaviour.
+	owner *Network
+
 	lastDepart   sim.Time
 	lastDelivery sim.Time
 
@@ -93,6 +98,10 @@ type Link struct {
 	deliveryHead int
 	deliveryArmd bool
 	deliverFn    sim.Event
+
+	// batch is the reusable scratch buffer deliverHead collects one
+	// same-instant arrival group into before handing it to dst.
+	batch []*Packet
 
 	stats LinkStats
 
@@ -133,6 +142,16 @@ func (l *Link) Dst() Node { return l.dst }
 
 // Src returns the node that feeds this link (nil for standalone links).
 func (l *Link) Src() Node { return l.src }
+
+// free returns a packet the link consumed (queue drop, wire loss) to the
+// owning network's pool.
+//
+//sigcheck:hotpath
+func (l *Link) free(p *Packet) {
+	if l.owner != nil {
+		l.owner.FreePacket(p)
+	}
+}
 
 // drainReleases returns buffer bytes for packets that have finished
 // serializing by now.
@@ -190,6 +209,7 @@ func (l *Link) Send(p *Packet) {
 				}
 				l.tr.Drop(now, l.Name, reason, l.cfg.Queue.Bytes(), p.Size)
 			}
+			l.free(p)
 			return
 		}
 		if mark {
@@ -205,6 +225,7 @@ func (l *Link) Send(p *Packet) {
 		if l.tr != nil {
 			l.tr.Drop(now, l.Name, "queue", l.cfg.Queue.Bytes(), p.Size)
 		}
+		l.free(p)
 		return
 	} else if l.tr != nil {
 		l.tr.Enqueue(now, l.Name, l.cfg.Queue.Bytes(), p.Size)
@@ -284,14 +305,18 @@ func (l *Link) Send(p *Packet) {
 		})
 		if act.Duplicate {
 			l.stats.Duplicated++
-			dup := *p
+			dup := clonePacket(p)
 			//sigcheck:ignore hotpathalloc -- duplication is a configured fault path; the copy needs its own out-of-band delivery closure
 			l.eng.At(deliverAt+act.ExtraDelay, func() {
 				l.stats.Delivered++
 				l.stats.BytesDelivered += uint64(dup.Size)
-				l.dst.Deliver(&dup)
+				l.dst.Deliver(dup)
 			})
 		}
+		// When corruption replaced the original on the wire, the original
+		// is abandoned to the GC rather than recycled: the documented
+		// contract is that corruption never mutates the sender's packet,
+		// and fault paths are rare enough that the leak is irrelevant.
 		return
 	}
 	// Preserve FIFO delivery despite jitter, as tc netem does when
@@ -311,13 +336,14 @@ func (l *Link) Send(p *Packet) {
 	dp := p
 	if !lost && act.Corrupt {
 		l.stats.Corrupted++
+		// The original is abandoned, not recycled: corruption must not
+		// mutate the sender's packet (see the fault-path note above).
 		dp = corruptCopy(p)
 	}
 	l.deliveries = append(l.deliveries, pendingDelivery{at: deliverAt, p: dp, del: !lost})
 	if !lost && act.Duplicate {
 		l.stats.Duplicated++
-		dup := *dp
-		l.deliveries = append(l.deliveries, pendingDelivery{at: deliverAt, p: &dup, del: true})
+		l.deliveries = append(l.deliveries, pendingDelivery{at: deliverAt, p: clonePacket(dp), del: true})
 	}
 	if !l.deliveryArmd {
 		l.deliveryArmd = true
@@ -326,28 +352,58 @@ func (l *Link) Send(p *Packet) {
 }
 
 // deliverHead hands every due pending delivery to the receiver and re-arms
-// the timer for the next one.
+// the timer for the next one. Due deliveries share one virtual instant (the
+// engine dispatched this event at the head's timestamp), so they form one
+// arrival burst: the link collects them and hands the whole group to a
+// batch-aware destination in a single call.
 //
 //sigcheck:hotpath
 func (l *Link) deliverHead() {
 	now := l.eng.Now()
-	for l.deliveryHead < len(l.deliveries) {
-		d := &l.deliveries[l.deliveryHead]
+	batch := l.batch[:0]
+	head := l.deliveryHead
+	for head < len(l.deliveries) {
+		d := &l.deliveries[head]
 		if d.at > now {
-			l.eng.At(d.at, l.deliverFn)
-			return
+			break
 		}
-		l.deliveryHead++
+		head++
 		if d.del {
 			l.stats.Delivered++
 			l.stats.BytesDelivered += uint64(d.p.Size)
-			l.dst.Deliver(d.p)
+			batch = append(batch, d.p)
+		} else {
+			l.free(d.p)
 		}
 		d.p = nil
 	}
-	l.deliveries = l.deliveries[:0]
-	l.deliveryHead = 0
-	l.deliveryArmd = false
+	l.deliveryHead = head
+	if head == len(l.deliveries) {
+		l.deliveries = l.deliveries[:0]
+		l.deliveryHead = 0
+		l.deliveryArmd = false
+	} else {
+		l.eng.At(l.deliveries[head].at, l.deliverFn)
+	}
+	// Deliver after the pipeline bookkeeping above: receivers may respond
+	// by sending, and Send must see a consistent pipeline/armed state.
+	switch len(batch) {
+	case 0:
+	case 1:
+		l.dst.Deliver(batch[0])
+	default:
+		if bd, ok := l.dst.(BatchNode); ok {
+			bd.DeliverBatch(batch)
+		} else {
+			for _, p := range batch {
+				l.dst.Deliver(p)
+			}
+		}
+	}
+	for i := range batch {
+		batch[i] = nil
+	}
+	l.batch = batch[:0]
 }
 
 // SetLoss changes the link's random-loss probability at runtime, enabling

@@ -13,12 +13,22 @@ type Network struct {
 	byAddr   map[Addr]Node
 	nextAddr Addr
 	pktID    uint64
+
+	// Packet free list (see pool.go). Per network, so parallel runs never
+	// share state and recycling order stays deterministic.
+	pooling  bool
+	freePkts []*Packet
 }
 
 // New creates an empty network on the given engine.
 func New(eng *sim.Engine) *Network {
-	return &Network{eng: eng, byAddr: make(map[Addr]Node), nextAddr: 1}
+	return &Network{eng: eng, byAddr: make(map[Addr]Node), nextAddr: 1, pooling: defaultPooling.Load()}
 }
+
+// SetPooling enables or disables packet recycling for this network. With
+// pooling off, NewPacket always allocates and FreePacket is a no-op — the
+// pre-pooling behaviour, kept for equivalence testing.
+func (n *Network) SetPooling(on bool) { n.pooling = on }
 
 // Engine returns the simulation engine the network runs on.
 func (n *Network) Engine() *sim.Engine { return n.eng }
@@ -59,6 +69,8 @@ func (n *Network) Connect(a, b Node, ab, ba LinkConfig) (toB, toA *Link) {
 	toA = NewLink(n.eng, fmt.Sprintf("%s->%s", b.Name(), a.Name()), ba, a)
 	toB.src = a
 	toA.src = b
+	toB.owner = n
+	toA.owner = n
 	a.addLink(toB)
 	b.addLink(toA)
 	return toB, toA

@@ -17,9 +17,26 @@ type Node interface {
 	addLink(l *Link)
 }
 
-// Receiver consumes packets demultiplexed to a bound port on a host.
+// Receiver consumes packets demultiplexed to a bound port on a host. The
+// packet is borrowed for the duration of the call: the host recycles it
+// when Input returns, so implementations must not retain p or p.Seg.Sack.
 type Receiver interface {
 	Input(p *Packet)
+}
+
+// BatchReceiver is optionally implemented by port receivers that can
+// consume a burst of packets arriving at the same virtual instant in one
+// pass (one send attempt for N ACKs instead of N). The borrow rule of
+// Receiver.Input applies to every packet in the batch.
+type BatchReceiver interface {
+	InputBatch(ps []*Packet)
+}
+
+// BatchNode is optionally implemented by nodes that accept a same-instant
+// delivery burst in one call; links use it to hand over a whole arrival
+// group instead of packet-at-a-time.
+type BatchNode interface {
+	DeliverBatch(ps []*Packet)
 }
 
 // Direction distinguishes capture records.
@@ -49,6 +66,18 @@ type CaptureRecord struct {
 // Capture accumulates a host-side packet trace.
 type Capture struct {
 	Records []CaptureRecord
+}
+
+// record appends a deep copy of p. The value copy alone would alias the
+// packet's pooled Sack storage, which is rewritten once the packet is
+// recycled; the record must outlive that.
+func (c *Capture) record(at sim.Time, dir Direction, p *Packet) {
+	rec := CaptureRecord{At: at, Dir: dir, Pkt: *p}
+	rec.Pkt.Seg.Sack = nil
+	if len(p.Seg.Sack) > 0 {
+		rec.Pkt.Seg.Sack = append([]SackBlock(nil), p.Seg.Sack...)
+	}
+	c.Records = append(c.Records, rec)
 }
 
 // Host is an end system: it originates packets through its uplink and
@@ -111,29 +140,81 @@ func (h *Host) EnableCapture() *Capture {
 	return h.capture
 }
 
+// NewPacket allocates a packet from the host's network pool. Ownership
+// passes back to the network when the packet is handed to Send.
+func (h *Host) NewPacket() *Packet { return h.net.NewPacket() }
+
 // Send stamps and transmits a packet through the host uplink.
+//
+//sigcheck:hotpath
 func (h *Host) Send(p *Packet) {
 	p.ID = h.net.nextPacketID()
 	p.SentAt = h.net.eng.Now()
 	if h.capture != nil {
-		h.capture.Records = append(h.capture.Records, CaptureRecord{At: h.net.eng.Now(), Dir: DirOut, Pkt: *p})
+		h.capture.record(h.net.eng.Now(), DirOut, p)
 	}
 	if h.uplink == nil {
-		panic(fmt.Sprintf("netem: host %s has no uplink", h.name))
+		//sigcheck:ignore hotpathalloc -- crash path: the concatenation only evaluates when the topology is miswired
+		panic("netem: host " + h.name + " has no uplink")
 	}
 	h.uplink.Send(p)
 }
 
-// Deliver implements Node.
+// Deliver implements Node. The bound receiver borrows the packet for the
+// Input call; afterwards it returns to the network pool.
+//
+//sigcheck:hotpath
 func (h *Host) Deliver(p *Packet) {
 	if h.capture != nil {
-		h.capture.Records = append(h.capture.Records, CaptureRecord{At: h.net.eng.Now(), Dir: DirIn, Pkt: *p})
+		h.capture.record(h.net.eng.Now(), DirIn, p)
 	}
 	if r, ok := h.ports[p.Flow.DstPort]; ok {
 		r.Input(p)
-		return
+	} else {
+		h.Dropped++
 	}
-	h.Dropped++
+	h.net.FreePacket(p)
+}
+
+// DeliverBatch implements BatchNode: consecutive same-port packets of a
+// same-instant arrival burst are handed to the bound receiver in one
+// InputBatch call when it supports that, so a burst of ACKs costs one send
+// attempt instead of N.
+//
+//sigcheck:hotpath
+func (h *Host) DeliverBatch(ps []*Packet) {
+	for i := 0; i < len(ps); {
+		port := ps[i].Flow.DstPort
+		j := i + 1
+		for j < len(ps) && ps[j].Flow.DstPort == port {
+			j++
+		}
+		run := ps[i:j]
+		if h.capture != nil {
+			now := h.net.eng.Now()
+			for _, p := range run {
+				h.capture.record(now, DirIn, p)
+			}
+		}
+		switch r, ok := h.ports[port]; {
+		case !ok:
+			h.Dropped += uint64(len(run))
+		case len(run) == 1:
+			r.Input(run[0])
+		default:
+			if b, ok := r.(BatchReceiver); ok {
+				b.InputBatch(run)
+			} else {
+				for _, p := range run {
+					r.Input(p)
+				}
+			}
+		}
+		for _, p := range run {
+			h.net.FreePacket(p)
+		}
+		i = j
+	}
 }
 
 // Router forwards packets by destination address.
@@ -165,11 +246,15 @@ func (r *Router) AddRoute(dst Addr, link *Link) {
 	r.routes[dst] = link
 }
 
-// Deliver implements Node by forwarding.
+// Deliver implements Node by forwarding; ownership passes to the next
+// link, or back to the pool when no route exists.
+//
+//sigcheck:hotpath
 func (r *Router) Deliver(p *Packet) {
 	link, ok := r.routes[p.Flow.DstAddr]
 	if !ok {
 		r.NoRoute++
+		r.net.FreePacket(p)
 		return
 	}
 	link.Send(p)

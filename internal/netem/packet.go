@@ -60,7 +60,10 @@ type Segment struct {
 	PayloadLen int    // application bytes carried
 
 	// Sack carries up to three selective-acknowledgment blocks
-	// (RFC 2018). The slice is never mutated after send.
+	// (RFC 2018). The slice is never mutated between send and delivery,
+	// but its backing array belongs to the packet and is recycled with
+	// it — anything that outlives the delivery (capture records, fault
+	// duplicates) must deep-copy it.
 	Sack []SackBlock
 }
 
@@ -86,6 +89,10 @@ type Packet struct {
 	// ECE mirrors TCP's ECN-Echo bit; set by ECN-marking queues on the
 	// acknowledgment path in extended experiments.
 	ECE bool
+
+	// free marks a packet currently parked on its network's free list;
+	// the pool uses it to catch double frees.
+	free bool
 }
 
 // IsData reports whether the packet carries application payload.

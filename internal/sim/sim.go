@@ -207,6 +207,12 @@ func (e *Engine) step() bool {
 	return true
 }
 
+// Step executes the earliest pending event and reports false when the
+// queue is empty. It is the single-event form of Run, exposed for callers
+// that meter execution externally (the steady-state benchmarks step a
+// long-running transfer one event per iteration).
+func (e *Engine) Step() bool { return e.step() }
+
 // Run executes events until the queue drains or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false

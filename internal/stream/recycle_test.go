@@ -1,0 +1,266 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"tcpsig/internal/core"
+	"tcpsig/internal/features"
+	"tcpsig/internal/flowrtt"
+	"tcpsig/internal/netem"
+	"tcpsig/internal/sim"
+)
+
+// verdictSnapshot is everything observable about a FlowResult, deep-copied
+// during Emit — the only window in which Verdict.Flow is valid with Recycle
+// on. Comparing snapshots across Recycle settings proves recycling changes
+// no observable output.
+type verdictSnapshot struct {
+	Flow     netem.FlowKey
+	Seq      uint64
+	Early    bool
+	Class    int
+	Conf     float64
+	Reason   core.Reason
+	Features features.Vector
+	Info     *flowrtt.FlowInfo
+	Err      string
+}
+
+func snapshot(r FlowResult) verdictSnapshot {
+	s := verdictSnapshot{
+		Flow:     r.Flow,
+		Seq:      r.Seq,
+		Early:    r.Early,
+		Class:    r.Verdict.Class,
+		Conf:     r.Verdict.Confidence,
+		Reason:   r.Verdict.Reason,
+		Features: r.Verdict.Features,
+		Err:      errText(r.Err),
+	}
+	if f := r.Verdict.Flow; f != nil {
+		c := *f
+		c.Samples = append([]flowrtt.Sample(nil), f.Samples...)
+		c.SlowStart = append([]flowrtt.Sample(nil), f.SlowStart...)
+		c.AckCurve = append([]flowrtt.AckPoint(nil), f.AckCurve...)
+		s.Info = &c
+	}
+	return s
+}
+
+func collectSnapshots(t *testing.T, cfg Config, records []netem.CaptureRecord) []verdictSnapshot {
+	t.Helper()
+	var got []verdictSnapshot
+	cfg.Emit = func(r FlowResult) { got = append(got, snapshot(r)) }
+	tab := NewTable(cfg)
+	for i := range records {
+		tab.Observe(&records[i])
+	}
+	tab.Flush()
+	return got
+}
+
+// mixedCapture is the shared fixture: the mixedSpecs flows interleaved into
+// one capture, repeated gens times with fresh flow keys per generation so
+// recycled state crosses flow boundaries.
+func mixedCapture(gens int) []netem.CaptureRecord {
+	var all []netem.CaptureRecord
+	for g := 0; g < gens; g++ {
+		specs := mixedSpecs()
+		perFlow := make([][]netem.CaptureRecord, len(specs))
+		for i, s := range specs {
+			s.flow.DstPort = netem.Port(uint32(s.flow.DstPort) + uint32(g)*100)
+			s.start += sim.Time(g) * sim.Time(40*time.Millisecond)
+			perFlow[i] = flowTrace(s)
+		}
+		all = append(all, interleave(perFlow)...)
+	}
+	return all
+}
+
+// TestRecycleVerdictIdentity: every observable verdict field — class,
+// confidence, reason, features, the full flow analysis and the error — is
+// identical with recycling on and off, in both streaming and FullInfo
+// modes, including across generations where trackers are actually reused.
+func TestRecycleVerdictIdentity(t *testing.T) {
+	clf := trainToy(t)
+	records := mixedCapture(3)
+	for _, fullInfo := range []bool{false, true} {
+		name := "streaming"
+		if fullInfo {
+			name = "fullinfo"
+		}
+		t.Run(name, func(t *testing.T) {
+			base := collectSnapshots(t, Config{Classifier: clf, FullInfo: fullInfo}, records)
+			rec := collectSnapshots(t, Config{Classifier: clf, FullInfo: fullInfo, Recycle: true}, records)
+			if len(base) == 0 {
+				t.Fatal("fixture produced no verdicts")
+			}
+			if !reflect.DeepEqual(base, rec) {
+				for i := range base {
+					if i < len(rec) && !reflect.DeepEqual(base[i], rec[i]) {
+						t.Fatalf("verdict %d diverges with Recycle on:\noff: %+v\non:  %+v", i, base[i], rec[i])
+					}
+				}
+				t.Fatalf("verdict count diverges: %d vs %d", len(base), len(rec))
+			}
+		})
+	}
+}
+
+// TestRecycleNDJSONIdentity mirrors the `ccsig serve` NDJSON projection:
+// the JSON encoding of each verdict (the externally visible output of the
+// streaming service) must be byte-identical with recycling on and off.
+func TestRecycleNDJSONIdentity(t *testing.T) {
+	clf := trainToy(t)
+	records := mixedCapture(2)
+	encode := func(recycle bool) []string {
+		var lines []string
+		tab := NewTable(Config{Classifier: clf, Recycle: recycle, Emit: func(r FlowResult) {
+			// The same shape serve's verdictJSON carries, built inside
+			// Emit like serve does.
+			rec := map[string]any{
+				"flow": fmt.Sprintf("%v", r.Flow), "class": r.Verdict.Class,
+				"confidence": r.Verdict.Confidence, "reason": string(r.Verdict.Reason),
+				"normdiff": r.Verdict.Features.NormDiff, "cov": r.Verdict.Features.CoV,
+				"samples": r.Verdict.Features.Samples, "err": errText(r.Err),
+			}
+			if f := r.Verdict.Flow; f != nil {
+				rec["slow_start_bytes_acked"] = f.SlowStartBytesAcked
+				rec["has_retransmit"] = f.HasRetransmit
+				rec["first_retransmit_ms"] = float64(f.FirstRetransmitAt) / 1e6
+			}
+			b, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines = append(lines, string(b))
+		}})
+		for i := range records {
+			tab.Observe(&records[i])
+		}
+		tab.Flush()
+		return lines
+	}
+	off, on := encode(false), encode(true)
+	if !reflect.DeepEqual(off, on) {
+		t.Fatalf("NDJSON output changed with Recycle on:\noff: %v\non:  %v", off, on)
+	}
+	if len(off) == 0 {
+		t.Fatal("fixture produced no NDJSON lines")
+	}
+}
+
+// TestRecycleActuallyPools proves the free lists are exercised, not just
+// harmless: after the first generation's verdicts, subsequent flows must be
+// served from the shard pools.
+func TestRecycleActuallyPools(t *testing.T) {
+	clf := trainToy(t)
+	tab := NewTable(Config{Classifier: clf, Recycle: true, Emit: func(FlowResult) {}})
+
+	recs := flowTrace(flowSpec{flow: mkFlow(0), isn: 1000, samples: 12, retx: true, rising: true})
+	for i := range recs {
+		tab.Observe(&recs[i])
+	}
+	// The early verdict frees the tracker at once; the entry lives on as a
+	// tombstone absorbing post-verdict records until Flush collects it.
+	sh := tab.shardFor(mkFlow(0))
+	if sh.trackers.Size() != 1 || len(sh.freeEnts) != 0 {
+		t.Fatalf("after early verdict: trackers=%d entries=%d parked, want 1/0",
+			sh.trackers.Size(), len(sh.freeEnts))
+	}
+
+	// A second flow on the same shard must consume the parked tracker.
+	f2 := mkFlow(0)
+	f2.DstPort++
+	recs2 := flowTrace(flowSpec{flow: f2, isn: 2000, samples: 12, retx: true, rising: true})
+	for i := range recs2 {
+		tab.Observe(&recs2[i])
+	}
+	if tab.shardFor(f2) != sh {
+		t.Skip("fixture flows landed on different shards")
+	}
+	if sh.trackers.Size() != 1 {
+		t.Fatalf("second flow did not cycle through the tracker pool: %d parked", sh.trackers.Size())
+	}
+
+	// Flush collects both tombstones into the entry free list.
+	tab.Flush()
+	if len(sh.freeEnts) != 2 {
+		t.Fatalf("Flush parked %d entries, want 2", len(sh.freeEnts))
+	}
+}
+
+// TestRecycleConcurrentObserve runs the recycling table under concurrent
+// feeders (the -j8 analog; -race in CI guards the shard free lists) and
+// checks the verdict multiset matches a serial non-recycling run.
+func TestRecycleConcurrentObserve(t *testing.T) {
+	clf := trainToy(t)
+	const workers, flowsPer = 8, 25
+
+	traceFor := func(i int) []netem.CaptureRecord {
+		return flowTrace(flowSpec{
+			flow: netem.FlowKey{SrcAddr: 0x0a000001, DstAddr: netem.Addr(0x0a030000 + uint32(i)), SrcPort: 443, DstPort: netem.Port(4000 + i)},
+			isn:  uint32(1000 * i), samples: 11, retx: i%2 == 0, rising: i%3 != 0,
+		})
+	}
+
+	// Serial reference without recycling.
+	want := map[netem.FlowKey]verdictSnapshot{}
+	ref := NewTable(Config{Classifier: clf, Emit: func(r FlowResult) {
+		s := snapshot(r)
+		s.Seq = 0 // arrival order differs under concurrency
+		want[r.Flow] = s
+	}})
+	for i := 0; i < workers*flowsPer; i++ {
+		recs := traceFor(i)
+		for j := range recs {
+			ref.Observe(&recs[j])
+		}
+	}
+	ref.Flush()
+
+	var mu sync.Mutex
+	got := map[netem.FlowKey]verdictSnapshot{}
+	tab := NewTable(Config{Classifier: clf, Shards: 8, Recycle: true, Emit: func(r FlowResult) {
+		s := snapshot(r)
+		s.Seq = 0
+		mu.Lock()
+		got[r.Flow] = s
+		mu.Unlock()
+	}})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for f := 0; f < flowsPer; f++ {
+				recs := traceFor(w*flowsPer + f)
+				for j := range recs {
+					tab.Observe(&recs[j])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	tab.Flush()
+
+	if len(got) != len(want) {
+		t.Fatalf("got %d flows, want %d", len(got), len(want))
+	}
+	keys := make([]netem.FlowKey, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].DstPort < keys[j].DstPort })
+	for _, k := range keys {
+		if !reflect.DeepEqual(got[k], want[k]) {
+			t.Fatalf("flow %v diverges under concurrent recycling:\nserial:     %+v\nconcurrent: %+v", k, want[k], got[k])
+		}
+	}
+}

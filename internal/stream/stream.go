@@ -78,6 +78,17 @@ type Config struct {
 	// verdict itself is identical either way — it depends only on
 	// slow-start fields, which are final at early-emission time.
 	FullInfo bool
+
+	// Recycle returns per-flow state (trackers and table entries) to
+	// per-shard free lists when a flow detaches — verdict emission,
+	// eviction, Flush — so a long-running table reaches steady state
+	// allocation-free. It is opt-in because it tightens the emission
+	// contract: Verdict.Flow aliases the tracker's analysis, which is
+	// rewritten once the tracker is reused, so with Recycle on it (and
+	// FlowResult.Verdict.Flow generally) is valid only for the duration
+	// of the Emit callback. Consumers that retain verdicts past Emit
+	// must copy what they need or leave Recycle off.
+	Recycle bool
 }
 
 // entry is one tracked flow. After its verdict is emitted the tracker is
@@ -100,6 +111,45 @@ type shard struct {
 	head  *entry // most recently touched
 	tail  *entry // least recently touched, evicted first
 	cap   int    // max resident entries in this shard; 0 = unbounded
+
+	// Free lists (Config.Recycle): detached trackers and entries, reused
+	// under the shard lock so recycling needs no extra synchronization.
+	trackers flowrtt.Pool
+	freeEnts []*entry
+}
+
+// newEntry builds (or recycles) an entry with an armed tracker. Caller
+// holds sh.mu.
+func (sh *shard) newEntry(t *Table, key netem.FlowKey) *entry {
+	var e *entry
+	if n := len(sh.freeEnts); t.cfg.Recycle && n > 0 {
+		e = sh.freeEnts[n-1]
+		sh.freeEnts[n-1] = nil
+		sh.freeEnts = sh.freeEnts[:n-1]
+	} else {
+		//sigcheck:ignore hotpathalloc -- pool miss (or recycling off): the entry has to come from somewhere once
+		e = &entry{}
+	}
+	*e = entry{flow: key, seq: t.nextSeq.Add(1) - 1}
+	if t.cfg.Recycle {
+		e.tracker = sh.trackers.Get(key)
+	} else {
+		e.tracker = flowrtt.NewTracker(key)
+	}
+	return e
+}
+
+// recycle parks a detached entry and/or tracker. Caller holds sh.mu; nil
+// arguments are skipped, and with Recycle off both are left to the GC.
+func (sh *shard) recycle(t *Table, e *entry, tr *flowrtt.Tracker) {
+	if !t.cfg.Recycle {
+		return
+	}
+	sh.trackers.Put(tr)
+	if e != nil {
+		*e = entry{}
+		sh.freeEnts = append(sh.freeEnts, e)
+	}
 }
 
 // Table is a sharded, bounded flow table that classifies flows as their
@@ -183,25 +233,34 @@ func (t *Table) Observe(rec *netem.CaptureRecord) {
 	default:
 		return
 	}
-	emit := t.observeLocked(t.shardFor(key), key, create, rec)
+	sh := t.shardFor(key)
+	emit, done := t.observeLocked(sh, key, create, rec)
 	if emit != nil {
 		t.verdictsEmitted.Add(1)
 		t.cfg.Emit(*emit)
+		if done != nil {
+			// The verdict aliased the tracker's analysis, so it could
+			// only be parked once Emit returned.
+			sh.mu.Lock()
+			sh.recycle(t, nil, done)
+			sh.mu.Unlock()
+		}
 	}
 }
 
 // observeLocked performs the under-lock part of Observe and returns the
-// verdict to emit, if any. Emit runs in the caller, outside the shard
-// lock, so a slow verdict consumer never blocks other flows on this shard.
-func (t *Table) observeLocked(sh *shard, key netem.FlowKey, create bool, rec *netem.CaptureRecord) *FlowResult {
+// verdict to emit, if any, plus the detached tracker to recycle after the
+// emission. Emit runs in the caller, outside the shard lock, so a slow
+// verdict consumer never blocks other flows on this shard.
+func (t *Table) observeLocked(sh *shard, key netem.FlowKey, create bool, rec *netem.CaptureRecord) (*FlowResult, *flowrtt.Tracker) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	e, ok := sh.flows[key]
 	if !ok {
 		if !create {
-			return nil
+			return nil, nil
 		}
-		e = &entry{flow: key, seq: t.nextSeq.Add(1) - 1, tracker: flowrtt.NewTracker(key)}
+		e = sh.newEntry(t, key)
 		sh.flows[key] = e
 		sh.lruPush(e)
 		t.flowsTracked.Add(1)
@@ -213,11 +272,12 @@ func (t *Table) observeLocked(sh *shard, key netem.FlowKey, create bool, rec *ne
 	}
 	if e.tracker != nil && e.tracker.Observe(rec) && !t.cfg.FullInfo {
 		v, err := t.cfg.Classifier.ClassifyInfo(e.tracker.Peek())
-		e.tracker = nil // verdict is out; free the per-flow state
+		tr := e.tracker
+		e.tracker = nil // verdict is out; the entry stays as a tombstone
 		t.flowsLive.Add(-1)
-		return &FlowResult{Flow: e.flow, Seq: e.seq, Early: true, Verdict: v, Err: err}
+		return &FlowResult{Flow: e.flow, Seq: e.seq, Early: true, Verdict: v, Err: err}, tr
 	}
-	return nil
+	return nil, nil
 }
 
 // evictOver evicts least-recently-touched entries until the shard is back
@@ -236,13 +296,17 @@ func (sh *shard) evictOver(t *Table, keep *entry) {
 		sh.lruRemove(victim)
 		delete(sh.flows, victim.flow)
 		t.flowsResident.Add(-1)
-		if victim.tracker != nil {
-			victim.tracker = nil
+		tr := victim.tracker
+		victim.tracker = nil
+		if tr != nil {
 			t.flowsLive.Add(-1)
 			t.evictedFlows.Add(1)
 		} else {
 			t.evictedTombstones.Add(1)
 		}
+		// No verdict was emitted for this flow, so nothing aliases the
+		// tracker: both pieces can be parked immediately.
+		sh.recycle(t, victim, tr)
 	}
 }
 
@@ -292,6 +356,9 @@ func (t *Table) Flush() {
 		for _, e := range sh.flows { // order restored by the Seq sort below
 			if e.tracker != nil {
 				rem = append(rem, e)
+			} else {
+				// Tombstone: nothing left to emit, park it now.
+				sh.recycle(t, e, nil)
 			}
 		}
 		sh.flows = make(map[netem.FlowKey]*entry)
@@ -313,9 +380,18 @@ func (t *Table) Flush() {
 		} else {
 			res.Verdict, res.Err = t.cfg.Classifier.ClassifyInfo(info)
 		}
+		tr := e.tracker
 		e.tracker = nil
 		t.verdictsEmitted.Add(1)
 		t.cfg.Emit(res)
+		if t.cfg.Recycle {
+			// The verdict aliased the tracker's analysis; park both
+			// pieces only now that the emission is over.
+			sh := t.shardFor(res.Flow)
+			sh.mu.Lock()
+			sh.recycle(t, e, tr)
+			sh.mu.Unlock()
+		}
 	}
 }
 

@@ -40,6 +40,28 @@ func (l *Listener) Conns() []*Sender {
 	return append([]*Sender(nil), l.order...)
 }
 
+// InputBatch implements netem.BatchReceiver: consecutive same-flow packets
+// of a same-instant arrival burst reach the connection's sender as one
+// batch, so an ACK burst costs one send attempt instead of one per ACK.
+func (l *Listener) InputBatch(ps []*netem.Packet) {
+	for i := 0; i < len(ps); {
+		j := i + 1
+		for j < len(ps) && ps[j].Flow == ps[i].Flow {
+			j++
+		}
+		run := ps[i:j]
+		s, ok := l.conns[ps[i].Flow.Reverse()]
+		if ok && len(run) > 1 {
+			s.InputBatch(run)
+		} else {
+			for _, p := range run {
+				l.Input(p)
+			}
+		}
+		i = j
+	}
+}
+
 // Input implements netem.Receiver: demultiplex to per-connection senders.
 func (l *Listener) Input(p *netem.Packet) {
 	key := p.Flow.Reverse() // our sender's direction

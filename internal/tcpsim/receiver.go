@@ -90,11 +90,13 @@ func (r *Receiver) Connect(server netem.Addr, port netem.Port) {
 }
 
 func (r *Receiver) sendSyn() {
-	r.host.Send(&netem.Packet{
-		Flow: r.flow,
-		Seg:  netem.Segment{Seq: r.isn, Flags: netem.FlagSYN, Window: uint32(r.cfg.RcvWindow)},
-		Size: netem.HeaderBytes,
-	})
+	p := r.host.NewPacket()
+	p.Flow = r.flow
+	p.Seg.Seq = r.isn
+	p.Seg.Flags = netem.FlagSYN
+	p.Seg.Window = uint32(r.cfg.RcvWindow)
+	p.Size = netem.HeaderBytes
+	r.host.Send(p)
 	r.synTimer.Reset(time3s)
 }
 
@@ -200,33 +202,33 @@ func (r *Receiver) bufferOOO(start, end uint32) {
 	if start == end {
 		return
 	}
-	// Insert and merge.
-	out := r.ooo[:0:0]
-	inserted := false
-	for _, iv := range r.ooo {
-		switch {
-		case seqLT(end, iv.start):
-			if !inserted {
-				out = append(out, interval{start, end})
-				inserted = true
-			}
-			out = append(out, iv)
-		case seqGT(start, iv.end):
-			out = append(out, iv)
-		default:
-			// Overlap: merge into the pending interval.
-			if seqLT(iv.start, start) {
-				start = iv.start
-			}
-			if seqGT(iv.end, end) {
-				end = iv.end
-			}
+	// Insert and merge in place (same scheme as Sender.mergeSack):
+	// [i, j) is the run of buffered ranges overlapping or touching the
+	// new one, which collapses into a single range.
+	oo := r.ooo
+	i := 0
+	for i < len(oo) && seqLT(oo[i].end, start) {
+		i++
+	}
+	j := i
+	for j < len(oo) && seqLEQ(oo[j].start, end) {
+		if seqLT(oo[j].start, start) {
+			start = oo[j].start
 		}
+		if seqGT(oo[j].end, end) {
+			end = oo[j].end
+		}
+		j++
 	}
-	if !inserted {
-		out = append(out, interval{start, end})
+	if i == j {
+		oo = append(oo, interval{})
+		copy(oo[i+1:], oo[i:])
+		oo[i] = interval{start, end}
+	} else {
+		oo[i] = interval{start, end}
+		oo = append(oo[:i+1], oo[j:]...)
 	}
-	r.ooo = out
+	r.ooo = oo
 	// Remember which (merged) range just grew: RFC 2018 requires the
 	// first SACK block to cover the most recently received segment.
 	for _, iv := range r.ooo {
@@ -239,21 +241,31 @@ func (r *Receiver) bufferOOO(start, end uint32) {
 }
 
 func (r *Receiver) drainOOO() {
-	for len(r.ooo) > 0 && seqLEQ(r.ooo[0].start, r.rcvNxt) {
-		iv := r.ooo[0]
+	k := 0
+	for k < len(r.ooo) && seqLEQ(r.ooo[k].start, r.rcvNxt) {
+		iv := r.ooo[k]
 		if seqGT(iv.end, r.rcvNxt) {
 			r.stats.BytesReceived += seqDiff(iv.end, r.rcvNxt)
 			r.rcvNxt = iv.end
 		}
-		r.ooo = r.ooo[1:]
+		k++
+	}
+	if k > 0 {
+		// Copy-down instead of re-slicing, so bufferOOO keeps inserting
+		// into the same backing array.
+		r.ooo = r.ooo[:copy(r.ooo, r.ooo[k:])]
 	}
 }
 
+//sigcheck:hotpath
 func (r *Receiver) sendAck() {
 	r.delack.Stop()
 	r.unackedSeg = 0
 	r.stats.AcksSent++
-	var sack []netem.SackBlock
+	p := r.host.NewPacket()
+	// Build the SACK report in the packet's own (recycled) storage; at
+	// most three blocks, so the capacity is there after the first reuse.
+	sack := p.Seg.Sack[:0]
 	if !r.cfg.DisableSACK && len(r.ooo) > 0 {
 		// RFC 2018: the block covering the most recent arrival goes
 		// first; remaining slots rotate through the other ranges so
@@ -279,17 +291,14 @@ func (r *Receiver) sendAck() {
 		}
 		r.sackCursor = (r.sackCursor + 2) % n
 	}
-	r.host.Send(&netem.Packet{
-		Flow: r.flow,
-		Seg: netem.Segment{
-			Seq:    r.isn + 1,
-			Ack:    r.rcvNxt,
-			Flags:  netem.FlagACK,
-			Window: uint32(r.cfg.RcvWindow),
-			Sack:   sack,
-		},
-		Size: netem.HeaderBytes,
-		ECE:  r.eceEcho,
-	})
+	p.Flow = r.flow
+	p.Seg.Seq = r.isn + 1
+	p.Seg.Ack = r.rcvNxt
+	p.Seg.Flags = netem.FlagACK
+	p.Seg.Window = uint32(r.cfg.RcvWindow)
+	p.Seg.Sack = sack
+	p.Size = netem.HeaderBytes
+	p.ECE = r.eceEcho
+	r.host.Send(p)
 	r.eceEcho = false
 }

@@ -285,12 +285,57 @@ func (s *Sender) onSyn(p *netem.Packet) {
 //
 //sigcheck:hotpath
 func (s *Sender) Input(p *netem.Packet) {
+	if s.processInput(p) {
+		s.trySend()
+	}
+}
+
+// InputBatch processes a burst of packets that arrived at the same virtual
+// instant in one pass: per-ACK bookkeeping runs for each packet, but the
+// send attempt — a walk over windows, scoreboard and pacing — runs once for
+// the whole burst. For a burst of one this is exactly Input.
+//
+//sigcheck:hotpath
+func (s *Sender) InputBatch(ps []*netem.Packet) {
+	pending := false
+	for _, p := range ps {
+		// Deferring the send attempt is only transparent for a plain
+		// cumulative ACK outside recovery: anything else can observe the
+		// un-refilled pipe (Cubic clamps W_max to the in-flight estimate
+		// on loss, so a duplicate ACK or ECN-Echo processed over a drained
+		// pipe collapses the window far harder than sequential processing
+		// would) or change the repair schedule (SACK merges and recovery
+		// retransmissions interleave with sends). Flush before those;
+		// clean cumulative-ACK runs — the hot path — stay batched.
+		deferrable := !p.ECE && len(p.Seg.Sack) == 0 &&
+			p.Seg.Flags&(netem.FlagSYN|netem.FlagFIN) == 0 &&
+			p.Seg.Flags&netem.FlagACK != 0 &&
+			seqGT(p.Seg.Ack, s.sndUna) &&
+			!s.inRecovery && !s.inLossRecovery()
+		if pending && !deferrable {
+			s.trySend()
+			pending = false
+		}
+		if s.processInput(p) {
+			pending = true
+		}
+	}
+	if pending {
+		s.trySend()
+	}
+}
+
+// processInput is Input minus the trailing send attempt; it reports whether
+// the caller owes a trySend.
+//
+//sigcheck:hotpath
+func (s *Sender) processInput(p *netem.Packet) bool {
 	if p.Seg.Flags&netem.FlagSYN != 0 {
 		s.onSyn(p)
-		return
+		return false
 	}
 	if p.Seg.Flags&netem.FlagACK == 0 {
-		return
+		return false
 	}
 	ack := p.Seg.Ack
 	s.rwnd = int(p.Seg.Window)
@@ -312,7 +357,7 @@ func (s *Sender) Input(p *netem.Packet) {
 			}
 			s.trySend()
 		}
-		return
+		return false
 	}
 
 	if !s.cfg.DisableSACK && len(p.Seg.Sack) > 0 {
@@ -338,11 +383,16 @@ func (s *Sender) Input(p *netem.Packet) {
 	case ack == s.sndUna && s.bytesInFlight() > 0 && p.Seg.PayloadLen == 0:
 		s.onDupAck()
 	}
-	s.trySend()
+	return true
 }
 
-// mergeSack inserts [start, end) into the sorted, merged scoreboard,
-// discarding anything at or below sndUna.
+// mergeSack inserts [start, end) into the sorted, merged scoreboard in
+// place, discarding anything at or below sndUna. The steady state touches
+// only existing storage: extending or coalescing runs shrinks the slice,
+// and a true insertion shifts within capacity once the scoreboard has
+// grown to its working size.
+//
+//sigcheck:hotpath
 func (s *Sender) mergeSack(start, end uint32) {
 	if seqLEQ(end, s.sndUna) || seqGEQ(start, end) {
 		return
@@ -350,31 +400,34 @@ func (s *Sender) mergeSack(start, end uint32) {
 	if seqLT(start, s.sndUna) {
 		start = s.sndUna
 	}
-	out := s.sacked[:0:0]
-	inserted := false
-	for _, iv := range s.sacked {
-		switch {
-		case seqLT(end, iv.start):
-			if !inserted {
-				out = append(out, interval{start, end})
-				inserted = true
-			}
-			out = append(out, iv)
-		case seqGT(start, iv.end):
-			out = append(out, iv)
-		default:
-			if seqLT(iv.start, start) {
-				start = iv.start
-			}
-			if seqGT(iv.end, end) {
-				end = iv.end
-			}
+	sk := s.sacked
+	// i = first interval not entirely below [start, end); j = first
+	// interval entirely above it. [i, j) overlaps or touches the new
+	// range and collapses into one interval.
+	i := 0
+	for i < len(sk) && seqLT(sk[i].end, start) {
+		i++
+	}
+	j := i
+	for j < len(sk) && seqLEQ(sk[j].start, end) {
+		if seqLT(sk[j].start, start) {
+			start = sk[j].start
 		}
+		if seqGT(sk[j].end, end) {
+			end = sk[j].end
+		}
+		j++
 	}
-	if !inserted {
-		out = append(out, interval{start, end})
+	if i == j {
+		// No overlap: open a slot at i.
+		sk = append(sk, interval{})
+		copy(sk[i+1:], sk[i:])
+		sk[i] = interval{start, end}
+	} else {
+		sk[i] = interval{start, end}
+		sk = append(sk[:i+1], sk[j:]...)
 	}
-	s.sacked = out
+	s.sacked = sk
 }
 
 // sackedBytes returns how many in-flight bytes the scoreboard marks received.
@@ -562,9 +615,14 @@ func (s *Sender) onNewAck(ack uint32) {
 	}
 
 	// Trim the scoreboard below the new cumulative ACK and decay the
-	// retransmission-outstanding estimate.
-	for len(s.sacked) > 0 && seqLEQ(s.sacked[0].end, ack) {
-		s.sacked = s.sacked[1:]
+	// retransmission-outstanding estimate. The copy-down keeps the front
+	// capacity so mergeSack re-inserts without growing.
+	k := 0
+	for k < len(s.sacked) && seqLEQ(s.sacked[k].end, ack) {
+		k++
+	}
+	if k > 0 {
+		s.sacked = s.sacked[:copy(s.sacked, s.sacked[k:])]
 	}
 	if len(s.sacked) > 0 && seqLT(s.sacked[0].start, ack) {
 		s.sacked[0].start = ack
@@ -1032,19 +1090,15 @@ func (s *Sender) sendPacket(seq, ack uint32, flags uint8, payload int, retx bool
 	if flags&netem.FlagACK != 0 && ack == 0 {
 		ack = s.irs + 1
 	}
-	//sigcheck:ignore hotpathalloc -- the packet is the simulation's unit of exchange and outlives this frame; one allocation per transmitted segment is the designed cost
-	p := &netem.Packet{
-		Flow: s.flow,
-		Seg: netem.Segment{
-			Seq:        seq,
-			Ack:        ack,
-			Flags:      flags,
-			Window:     uint32(s.cfg.RcvWindow),
-			PayloadLen: payload,
-		},
-		Size:       payload + netem.HeaderBytes,
-		Retransmit: retx,
-	}
+	p := s.host.NewPacket()
+	p.Flow = s.flow
+	p.Seg.Seq = seq
+	p.Seg.Ack = ack
+	p.Seg.Flags = flags
+	p.Seg.Window = uint32(s.cfg.RcvWindow)
+	p.Seg.PayloadLen = payload
+	p.Size = payload + netem.HeaderBytes
+	p.Retransmit = retx
 	s.stats.SegmentsSent++
 	s.host.Send(p)
 }

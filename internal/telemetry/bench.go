@@ -17,7 +17,7 @@ import (
 const BenchSchemaVersion = 1
 
 // BenchResult is one benchmark's measured cost. When an artifact holds
-// several -count repetitions, the recorded value is the minimum ns/op
+// several repetitions, the recorded value is the minimum ns/op
 // repetition (the least-noise estimator), with its memory numbers.
 type BenchResult struct {
 	Name        string  `json:"name"`
@@ -29,6 +29,27 @@ type BenchResult struct {
 	// many repetitions were taken.
 	N    int `json:"n"`
 	Reps int `json:"reps,omitempty"`
+
+	// RepNs is every repetition's ns/op in run order, recorded so the
+	// artifact carries the measurement spread, not just the headline
+	// number. Absent in single-rep or pre-reps artifacts (the field is
+	// additive; schema stays 1).
+	RepNs []float64 `json:"rep_ns,omitempty"`
+}
+
+// EffectiveNs is the figure the comparator gates on: the minimum ns/op
+// over all recorded repetitions (falling back to the headline NsPerOp
+// when no spread was recorded, or when the headline is somehow lower).
+// Gating on the best repetition makes the gate robust to one-sided
+// noise: a slow outlier rep widens RepNs but cannot flag a regression.
+func (r *BenchResult) EffectiveNs() float64 {
+	best := r.NsPerOp
+	for _, ns := range r.RepNs {
+		if ns < best {
+			best = ns
+		}
+	}
+	return best
 }
 
 // BenchArtifact is the versioned perf-trajectory document `ccsig bench`
@@ -105,6 +126,13 @@ type BenchBudget struct {
 	AllocsPct  float64
 	MinNsPerOp float64
 
+	// NsAdvisory downgrades ns/op regressions to advisory: they are
+	// still computed and marked in the report, but do not contribute to
+	// the regressed verdict. Allocation and byte budgets stay enforcing.
+	// This is the CI posture on shared runners, where time is noisy but
+	// allocation counts are deterministic.
+	NsAdvisory bool
+
 	// Absolute budgets for zero-valued baselines. A percentage is
 	// undefined against a 0 ns/op, 0 B/op or 0 allocs/op baseline (the
 	// relative delta divides by zero), so those metrics are instead judged
@@ -133,6 +161,9 @@ type BenchDelta struct {
 	New        float64
 	Pct        float64 // fractional change, +0.5 = 50% slower/bigger
 	Regression bool
+	// Advisory marks a regression that does not fail the gate (see
+	// BenchBudget.NsAdvisory).
+	Advisory bool
 	// Note is set for structural findings (added/removed benchmarks,
 	// Metric empty) and for zero-baseline metrics judged by an absolute
 	// budget instead of the undefined relative delta.
@@ -151,7 +182,7 @@ func CompareBench(oldA, newA *BenchArtifact, budget BenchBudget) (deltas []Bench
 			deltas = append(deltas, BenchDelta{Name: o.Name, Note: "removed: present only in old artifact"})
 			continue
 		}
-		add := func(metric string, oldV, newV, pct, abs float64, exempt bool) {
+		add := func(metric string, oldV, newV, pct, abs float64, exempt, advisory bool) {
 			d := BenchDelta{Name: o.Name, Metric: metric, Old: oldV, New: newV}
 			if oldV > 0 {
 				d.Pct = (newV - oldV) / oldV
@@ -168,14 +199,22 @@ func CompareBench(oldA, newA *BenchArtifact, budget BenchBudget) (deltas []Bench
 				}
 			}
 			if d.Regression {
-				regressed = true
+				if advisory {
+					d.Advisory = true
+				} else {
+					regressed = true
+				}
 			}
 			deltas = append(deltas, d)
 		}
-		add("ns/op", o.NsPerOp, n.NsPerOp, budget.NsPct, budget.NsAbs,
-			o.NsPerOp < budget.MinNsPerOp && n.NsPerOp < budget.MinNsPerOp)
-		add("B/op", float64(o.BytesPerOp), float64(n.BytesPerOp), budget.BytesPct, budget.BytesAbs, false)
-		add("allocs/op", float64(o.AllocsPerOp), float64(n.AllocsPerOp), budget.AllocsPct, budget.AllocsAbs, false)
+		// Time is gated on the best repetition of each side (EffectiveNs):
+		// one-sided noise can only slow a repetition down, so the minimum
+		// is the robust estimator and a slow outlier rep cannot flag.
+		oldNs, newNs := o.EffectiveNs(), n.EffectiveNs()
+		add("ns/op", oldNs, newNs, budget.NsPct, budget.NsAbs,
+			oldNs < budget.MinNsPerOp && newNs < budget.MinNsPerOp, budget.NsAdvisory)
+		add("B/op", float64(o.BytesPerOp), float64(n.BytesPerOp), budget.BytesPct, budget.BytesAbs, false, false)
+		add("allocs/op", float64(o.AllocsPerOp), float64(n.AllocsPerOp), budget.AllocsPct, budget.AllocsAbs, false, false)
 	}
 	for _, n := range newA.Benchmarks {
 		if oldA.Result(n.Name) == nil {
@@ -198,6 +237,9 @@ func FormatBenchDeltas(deltas []BenchDelta) string {
 		mark := ""
 		if d.Regression {
 			mark = "  REGRESSION"
+			if d.Advisory {
+				mark = "  REGRESSION (advisory)"
+			}
 		}
 		if d.Note != "" {
 			// Zero-baseline metric: the percentage column is undefined.

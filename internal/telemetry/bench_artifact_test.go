@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -43,7 +44,7 @@ func TestBenchArtifactRoundTrip(t *testing.T) {
 	if got.Rev != "abc1234" || got.GoVersion == "" || got.GOARCH == "" {
 		t.Errorf("metadata lost: %+v", got)
 	}
-	if len(got.Benchmarks) != 2 || *got.Result("NetemEnqueue") != a.Benchmarks[0] {
+	if len(got.Benchmarks) != 2 || !reflect.DeepEqual(*got.Result("NetemEnqueue"), a.Benchmarks[0]) {
 		t.Errorf("benchmarks lost: %+v", got.Benchmarks)
 	}
 	if got.Result("Missing") != nil {
@@ -166,6 +167,64 @@ func TestCompareBenchZeroBaselineAbsolute(t *testing.T) {
 	// No movement at all on a zero baseline stays clean.
 	if deltas, regressed := CompareBench(base, base, DefaultBenchBudget()); regressed {
 		t.Fatalf("identical zero-baseline artifacts regressed: %s", FormatBenchDeltas(deltas))
+	}
+}
+
+// TestCompareBenchBestOfReps: the comparator gates ns/op on the minimum
+// over the recorded repetition spread, so injected one-sided noise — a
+// slow outlier repetition that drags the headline NsPerOp up — cannot
+// flag a regression as long as the best repetition held steady.
+func TestCompareBenchBestOfReps(t *testing.T) {
+	old := art(BenchResult{Name: "SenderStep", NsPerOp: 1000, Reps: 3, RepNs: []float64{1000, 1040, 1015}})
+
+	// Injected noise: the headline rep is +80% (a GC pause, a noisy
+	// neighbor), but one repetition still ran at baseline speed.
+	noisy := art(BenchResult{Name: "SenderStep", NsPerOp: 1800, Reps: 3, RepNs: []float64{1800, 1020, 1750}})
+	if deltas, regressed := CompareBench(old, noisy, DefaultBenchBudget()); regressed {
+		t.Fatalf("slow outlier reps flagged despite a clean best rep:\n%s", FormatBenchDeltas(deltas))
+	}
+
+	// A real regression moves every repetition, including the best one.
+	slow := art(BenchResult{Name: "SenderStep", NsPerOp: 1700, Reps: 3, RepNs: []float64{1700, 1710, 1705}})
+	if _, regressed := CompareBench(old, slow, DefaultBenchBudget()); !regressed {
+		t.Fatal("+70%% across all reps did not regress")
+	}
+
+	// Spread-free artifacts (pre-reps, or -reps 1) fall back to NsPerOp.
+	if (&BenchResult{NsPerOp: 42}).EffectiveNs() != 42 {
+		t.Fatal("EffectiveNs without spread should be NsPerOp")
+	}
+}
+
+// TestCompareBenchNsAdvisory: with NsAdvisory set, time regressions are
+// reported but do not fail the gate; allocation regressions still do.
+func TestCompareBenchNsAdvisory(t *testing.T) {
+	budget := DefaultBenchBudget()
+	budget.NsAdvisory = true
+
+	old := art(BenchResult{Name: "SenderStep", NsPerOp: 1000, AllocsPerOp: 0, BytesPerOp: 0})
+	slow := art(BenchResult{Name: "SenderStep", NsPerOp: 2000, AllocsPerOp: 0, BytesPerOp: 0})
+	deltas, regressed := CompareBench(old, slow, budget)
+	if regressed {
+		t.Fatalf("advisory ns regression failed the gate:\n%s", FormatBenchDeltas(deltas))
+	}
+	var adv *BenchDelta
+	for i := range deltas {
+		if deltas[i].Regression {
+			adv = &deltas[i]
+		}
+	}
+	if adv == nil || adv.Metric != "ns/op" || !adv.Advisory {
+		t.Fatalf("advisory regression not marked: %+v", adv)
+	}
+	if !strings.Contains(FormatBenchDeltas(deltas), "REGRESSION (advisory)") {
+		t.Errorf("report does not mark advisory regressions:\n%s", FormatBenchDeltas(deltas))
+	}
+
+	// Allocations stay enforcing under NsAdvisory.
+	leak := art(BenchResult{Name: "SenderStep", NsPerOp: 1000, AllocsPerOp: 1, BytesPerOp: 48})
+	if _, regressed := CompareBench(old, leak, budget); !regressed {
+		t.Fatal("alloc regression slipped through under NsAdvisory")
 	}
 }
 
